@@ -1,0 +1,54 @@
+/// E4 — demo "User Selected Views" sweet-spot exploration: sweep the view
+/// budget k and chart storage amplification against workload time for each
+/// cost model. Expected shape: time falls and amplification rises with k,
+/// with diminishing returns.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace sofos;
+  std::printf("E4 | Budget sweep: space amplification vs workload time\n");
+
+  for (const std::string& name : datagen::DatasetNames()) {
+    core::SofosEngine engine;
+    bench::LoadEngine(&engine, name, datagen::Scale::kDemo);
+
+    workload::WorkloadGenerator generator(&engine.facet(), engine.store());
+    workload::WorkloadOptions options;
+    options.num_queries = 25;
+    options.seed = 77;
+    auto queries = generator.Generate(options);
+    if (!queries.ok()) return 1;
+
+    std::printf("\n[%s]\n\n", name.c_str());
+    TablePrinter table({"model", "k", "ampl", "mean us", "median us", "hits"});
+
+    for (core::CostModelKind kind :
+         {core::CostModelKind::kTripleCount, core::CostModelKind::kAggValueCount,
+          core::CostModelKind::kRandom}) {
+      auto model = engine.MakeModel(kind);
+      if (!model.ok()) return 1;
+      for (size_t k : {0, 1, 2, 3, 4, 6, 8, 12, 16}) {
+        if (k > 0) {
+          auto selection = engine.SelectViews(**model, k);
+          if (!selection.ok()) return 1;
+          if (!engine.MaterializeSelection(*selection).ok()) return 1;
+        }
+        auto report = engine.RunWorkload(*queries, /*allow_views=*/k > 0);
+        if (!report.ok()) return 1;
+        table.AddRow({(*model)->name(), TablePrinter::Cell(uint64_t{k}),
+                      TablePrinter::Cell(engine.StorageAmplification(), 2),
+                      TablePrinter::Cell(report->mean_micros, 1),
+                      TablePrinter::Cell(report->median_micros, 1),
+                      TablePrinter::Cell(report->view_hits)});
+        if (k > 0 && !engine.DropMaterializedViews().ok()) return 1;
+      }
+    }
+    table.Print();
+  }
+  return 0;
+}

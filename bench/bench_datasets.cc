@@ -1,0 +1,38 @@
+/// E1 — demo "Configuration" step: the three datasets and their facets,
+/// with the statistics the demo GUI presents when a dataset is chosen.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace sofos;
+  std::printf("E1 | Datasets and facets (paper §4 'Configuration')\n\n");
+
+  TablePrinter table({"dataset", "triples", "nodes", "predicates", "facet dims",
+                      "lattice", "pattern rows", "store bytes"});
+  for (const std::string& name : datagen::DatasetNames()) {
+    core::SofosEngine engine;
+    bench::LoadEngine(&engine, name, datagen::Scale::kDemo);
+    const core::LatticeProfile* profile = engine.profile();
+    table.AddRow({name, TablePrinter::Cell(engine.CurrentTriples()),
+                  TablePrinter::Cell(uint64_t{engine.store()->NumNodes()}),
+                  TablePrinter::Cell(uint64_t{engine.store()->NumPredicates()}),
+                  TablePrinter::Cell(uint64_t{engine.facet().num_dims()}),
+                  TablePrinter::Cell(uint64_t{engine.lattice().size()}),
+                  TablePrinter::Cell(profile->base_pattern_rows),
+                  FormatBytes(engine.CurrentBytes())});
+  }
+  table.Print();
+
+  std::printf("\nFacet templates:\n");
+  for (const std::string& name : datagen::DatasetNames()) {
+    core::SofosEngine engine;
+    bench::LoadEngine(&engine, name, datagen::Scale::kTiny);
+    std::printf("\n[%s]\n%s\n", name.c_str(),
+                engine.facet().ToSparql().c_str());
+  }
+  return 0;
+}

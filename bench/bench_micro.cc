@@ -1,0 +1,172 @@
+/// E8 — substrate microbenchmarks (google-benchmark): the paper claims
+/// SOFOS "provides a generic solution to be deployed on any RDF triple
+/// store"; this bench characterizes the bundled store and SPARQL engine so
+/// that workload-level numbers (E3–E6) can be interpreted.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/registry.h"
+#include "rdf/turtle_parser.h"
+#include "rdf/turtle_writer.h"
+#include "sparql/parser.h"
+#include "sparql/query_engine.h"
+
+namespace {
+
+using namespace sofos;
+
+/// Shared demo-scale GeoPop store (built once).
+TripleStore* SharedStore() {
+  static TripleStore* store = [] {
+    auto* s = new TripleStore();
+    auto spec = datagen::GenerateByName("geopop", datagen::Scale::kDemo, 42, s);
+    if (!spec.ok()) std::abort();
+    return s;
+  }();
+  return store;
+}
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  Dictionary dict;
+  Rng rng(1);
+  std::vector<Term> terms;
+  for (int i = 0; i < 4096; ++i) {
+    terms.push_back(Term::Iri("http://bench/term/" +
+                              std::to_string(rng.Uniform(2048))));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Intern(terms[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_StoreAddFinalize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    TripleStore store;
+    std::vector<TermId> ids;
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(store.Intern(Term::Iri("http://n/" + std::to_string(i))));
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      store.Add(ids[rng.Uniform(64)], ids[rng.Uniform(8)], ids[rng.Uniform(64)]);
+    }
+    store.Finalize();
+    benchmark::DoNotOptimize(store.NumTriples());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StoreAddFinalize)->Arg(1000)->Arg(10000);
+
+void BM_ScanByPredicate(benchmark::State& state) {
+  TripleStore* store = SharedStore();
+  TermId pred = store->mutable_dictionary()->Intern(
+      Term::Iri("http://sofos.example.org/geo#population"));
+  for (auto _ : state) {
+    auto range = store->Scan(kNullTermId, pred, kNullTermId);
+    uint64_t count = 0;
+    for (const Triple& t : range) count += t.o;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(store->Scan(kNullTermId, pred, kNullTermId).size()));
+}
+BENCHMARK(BM_ScanByPredicate);
+
+void BM_ScanBoundPair(benchmark::State& state) {
+  TripleStore* store = SharedStore();
+  TermId pred = store->mutable_dictionary()->Intern(
+      Term::Iri("http://sofos.example.org/geo#year"));
+  TermId year = store->mutable_dictionary()->Intern(Term::Integer(2015));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Count(kNullTermId, pred, year));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScanBoundPair);
+
+void BM_TwoHopJoin(benchmark::State& state) {
+  TripleStore* store = SharedStore();
+  sparql::QueryEngine engine(store);
+  const std::string query =
+      "PREFIX geo: <http://sofos.example.org/geo#>\n"
+      "SELECT ?country ?continent WHERE {\n"
+      "  ?obs geo:country ?country . ?country geo:partOf ?continent }";
+  for (auto _ : state) {
+    auto result = engine.Execute(query);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result->NumRows());
+  }
+}
+BENCHMARK(BM_TwoHopJoin);
+
+void BM_StarJoinAggregate(benchmark::State& state) {
+  TripleStore* store = SharedStore();
+  sparql::QueryEngine engine(store);
+  const std::string query =
+      "PREFIX geo: <http://sofos.example.org/geo#>\n"
+      "SELECT ?country (SUM(?pop) AS ?agg) WHERE {\n"
+      "  ?obs geo:country ?country . ?obs geo:language ?language .\n"
+      "  ?obs geo:year ?year . ?obs geo:population ?pop .\n"
+      "} GROUP BY ?country";
+  for (auto _ : state) {
+    auto result = engine.Execute(query);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result->NumRows());
+  }
+}
+BENCHMARK(BM_StarJoinAggregate);
+
+void BM_FilteredAggregate(benchmark::State& state) {
+  TripleStore* store = SharedStore();
+  sparql::QueryEngine engine(store);
+  const std::string query =
+      "PREFIX geo: <http://sofos.example.org/geo#>\n"
+      "SELECT (SUM(?pop) AS ?agg) WHERE {\n"
+      "  ?obs geo:year ?year . ?obs geo:population ?pop .\n"
+      "  FILTER(?year >= 2014 && ?year <= 2016) }";
+  for (auto _ : state) {
+    auto result = engine.Execute(query);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result->NumRows());
+  }
+}
+BENCHMARK(BM_FilteredAggregate);
+
+void BM_ParseSparql(benchmark::State& state) {
+  const std::string query =
+      "PREFIX geo: <http://sofos.example.org/geo#>\n"
+      "SELECT ?a ?b (SUM(?v) AS ?s) WHERE { ?x geo:a ?a ; geo:b ?b ; geo:v ?v .\n"
+      "FILTER(?v > 10 && ?a != ?b) } GROUP BY ?a ?b ORDER BY DESC(?s) LIMIT 10";
+  for (auto _ : state) {
+    auto parsed = sparql::Parser::Parse(query);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseSparql);
+
+void BM_TurtleRoundTrip(benchmark::State& state) {
+  TurtleWriter writer;
+  std::string ntriples = writer.WriteNTriples(*SharedStore());
+  for (auto _ : state) {
+    TripleStore store;
+    TurtleParser parser;
+    if (!parser.Parse(ntriples, &store).ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(store.NumTriples());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(ntriples.size()));
+}
+BENCHMARK(BM_TurtleRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+/// E5 — demo "Hands-on Challenge": the optimal k-view selection (exhaustive
+/// oracle over measured per-view runtimes) versus what each cost model
+/// picks; reports each model's regret. Expected: greedy selections are
+/// near-oracle, Random shows the largest regret.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/training.h"
+#include "sparql/query_engine.h"
+
+namespace {
+
+using namespace sofos;
+
+/// Measured cost matrix: answer_cost[w][v] = micros to answer the canonical
+/// query of lattice node w from materialized view v (1e18 if not
+/// answerable); last column = micros from the base graph.
+Result<std::vector<std::vector<double>>> MeasureMatrix(core::SofosEngine* engine) {
+  const size_t n = engine->lattice().size();
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n + 1, 1e18));
+
+  SOFOS_RETURN_IF_ERROR(
+      engine->MaterializeViews(engine->lattice().AllMasks()).status());
+  core::Rewriter rewriter(&engine->facet());
+  sparql::QueryEngine qe(engine->store());
+  for (uint32_t w = 0; w < n; ++w) {
+    core::QuerySignature sig;
+    sig.group_mask = w;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (!core::Lattice::CanAnswer(v, w)) continue;
+      SOFOS_ASSIGN_OR_RETURN(std::string rewritten, rewriter.RewriteToView(sig, v));
+      // Median of 3 to stabilize micro-timings.
+      std::vector<double> times;
+      for (int rep = 0; rep < 3; ++rep) {
+        WallTimer timer;
+        SOFOS_RETURN_IF_ERROR(qe.Execute(rewritten).status());
+        times.push_back(timer.ElapsedMicros());
+      }
+      cost[w][v] = bench::Median(times);
+    }
+    std::vector<double> times;
+    for (int rep = 0; rep < 3; ++rep) {
+      WallTimer timer;
+      SOFOS_RETURN_IF_ERROR(
+          qe.Execute(engine->facet().CanonicalQuerySparql(w)).status());
+      times.push_back(timer.ElapsedMicros());
+    }
+    cost[w][n] = bench::Median(times);
+  }
+  SOFOS_RETURN_IF_ERROR(engine->DropMaterializedViews());
+  return cost;
+}
+
+/// Expected per-query cost of a selection under the measured matrix.
+double ScoreSelection(const std::vector<uint32_t>& views,
+                      const std::vector<std::vector<double>>& cost) {
+  const size_t n = cost.size();
+  double total = 0;
+  for (uint32_t w = 0; w < n; ++w) {
+    double cheapest = cost[w][n];
+    for (uint32_t v : views) {
+      if (core::Lattice::CanAnswer(v, w)) {
+        cheapest = std::min(cheapest, cost[w][v]);
+      }
+    }
+    total += cheapest;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main() {
+  const size_t k = 3;
+  std::printf("E5 | Hands-on challenge: oracle vs cost models (k = %zu)\n", k);
+
+  for (const std::string& name : datagen::DatasetNames()) {
+    core::SofosEngine engine;
+    bench::LoadEngine(&engine, name, datagen::Scale::kTiny);
+
+    core::LearnedTrainingOptions train_options;
+    train_options.repetitions = 1;
+    train_options.epochs = 200;
+    if (!core::TrainLearnedModel(&engine, train_options).ok()) return 1;
+
+    auto matrix = MeasureMatrix(&engine);
+    if (!matrix.ok()) {
+      std::fprintf(stderr, "%s\n", matrix.status().ToString().c_str());
+      return 1;
+    }
+
+    auto oracle = core::OracleSelection(engine.lattice(), k, *matrix);
+    if (!oracle.ok()) return 1;
+    double oracle_score = ScoreSelection(oracle->views, *matrix);
+
+    std::printf("\n[%s] oracle: %s -> %.1f us/query (enumerated in %.1f ms)\n\n",
+                name.c_str(), oracle->ToString(engine.facet()).c_str(),
+                oracle_score, oracle->selection_micros / 1000.0);
+
+    auto views_label = [&](const std::vector<uint32_t>& views) {
+      std::string out;
+      for (uint32_t mask : views) out += engine.facet().MaskLabel(mask);
+      return out;
+    };
+    sofos::TablePrinter table({"model", "selection", "us/query", "regret"});
+    table.AddRow({"oracle", views_label(oracle->views),
+                  sofos::TablePrinter::Cell(oracle_score, 1), "1.00x"});
+    for (core::CostModelKind kind :
+         {core::CostModelKind::kRandom, core::CostModelKind::kTripleCount,
+          core::CostModelKind::kAggValueCount, core::CostModelKind::kNodeCount,
+          core::CostModelKind::kLearned}) {
+      auto model = engine.MakeModel(kind);
+      if (!model.ok()) return 1;
+      auto selection = engine.SelectViews(**model, k);
+      if (!selection.ok()) return 1;
+      double score = ScoreSelection(selection->views, *matrix);
+      table.AddRow({(*model)->name(), views_label(selection->views),
+                    sofos::TablePrinter::Cell(score, 1),
+                    sofos::TablePrinter::Cell(score / oracle_score, 2) + "x"});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,319 @@
+/// Interactive terminal twin of the SOFOS demo GUI (paper Figure 3):
+///
+///   ① full lattice view      → `lattice`, `inspect <mask>`
+///   ② cost function selector → `select <model> <k>`, `user <mask>...`
+///   ③ materialized lattice   → `materialize`, `drop`, `status`
+///   ④ performance analyzer   → `workload <n>`, `run`, `challenge <k>`
+///
+/// Reads commands from stdin (scriptable: `echo "..." | sofos_cli`).
+///
+///   ./sofos_cli [dataset] [scale]
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "common/table_printer.h"
+#include "core/engine.h"
+#include "core/training.h"
+#include "datagen/registry.h"
+#include "sparql/query_engine.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sofos;
+
+class Cli {
+ public:
+  Status LoadDataset(const std::string& name, datagen::Scale scale) {
+    TripleStore store;
+    SOFOS_ASSIGN_OR_RETURN(datagen::DatasetSpec spec,
+                           datagen::GenerateByName(name, scale, 42, &store));
+    SOFOS_ASSIGN_OR_RETURN(
+        core::Facet facet,
+        core::Facet::FromSparql(spec.facet_sparql, spec.name, spec.dim_labels));
+    SOFOS_RETURN_IF_ERROR(engine_.LoadStore(std::move(store)));
+    SOFOS_RETURN_IF_ERROR(engine_.SetFacet(std::move(facet)));
+    SOFOS_RETURN_IF_ERROR(engine_.Profile().status());
+    spec_ = spec;
+    std::printf("loaded %s (%s): %llu triples, facet %s with %zu dims\n",
+                spec.name.c_str(), spec.description.c_str(),
+                static_cast<unsigned long long>(engine_.CurrentTriples()),
+                engine_.facet().name().c_str(), engine_.facet().num_dims());
+    return Status::OK();
+  }
+
+  void Repl() {
+    std::string line;
+    std::printf("sofos> ");
+    std::fflush(stdout);
+    while (std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+      std::printf("sofos> ");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+ private:
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) return true;
+    Status status = Status::OK();
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "lattice") {
+      std::printf("%s", engine_.lattice().Render(engine_.MaterializedMasks()).c_str());
+    } else if (cmd == "inspect") {
+      uint32_t mask = 0;
+      in >> mask;
+      status = Inspect(mask);
+    } else if (cmd == "models") {
+      std::printf("random triples aggvalues nodes learned user\n");
+    } else if (cmd == "select") {
+      std::string model;
+      size_t k = 3;
+      in >> model >> k;
+      status = Select(model, k);
+    } else if (cmd == "user") {
+      std::vector<uint32_t> masks;
+      uint32_t mask;
+      while (in >> mask) masks.push_back(mask);
+      status = MaterializeUser(masks);
+    } else if (cmd == "materialize") {
+      status = Materialize();
+    } else if (cmd == "drop") {
+      status = engine_.DropMaterializedViews();
+    } else if (cmd == "status") {
+      PrintStatus();
+    } else if (cmd == "workload") {
+      int n = 20;
+      in >> n;
+      status = MakeWorkload(n);
+    } else if (cmd == "run") {
+      status = RunWorkload();
+    } else if (cmd == "train") {
+      status = Train();
+    } else if (cmd == "challenge") {
+      size_t k = 2;
+      in >> k;
+      status = Challenge(k);
+    } else if (cmd == "sparql") {
+      std::string query;
+      std::getline(in, query);
+      status = RunSparql(query);
+    } else {
+      std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
+    }
+    if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+    return true;
+  }
+
+  void Help() {
+    std::printf(
+        "  lattice              render the view lattice (* = materialized)\n"
+        "  inspect <mask>       show a view's stats and stored rows\n"
+        "  models               list cost models\n"
+        "  select <model> <k>   greedy-select k views under a cost model\n"
+        "  user <mask>...       pick views by hand (user-defined model)\n"
+        "  materialize          materialize the pending selection\n"
+        "  drop                 roll back to the base graph\n"
+        "  status               storage figures and materialized views\n"
+        "  workload <n>         generate n random analytical queries\n"
+        "  run                  run the workload with and without views\n"
+        "  train                train the learned cost model\n"
+        "  challenge <k>        oracle best-k vs every cost model\n"
+        "  sparql <query>       run a raw SPARQL query\n"
+        "  quit\n");
+  }
+
+  Status Inspect(uint32_t mask) {
+    if (mask >= engine_.lattice().size()) {
+      return Status::InvalidArgument("mask out of range");
+    }
+    const core::LatticeProfile* profile = engine_.profile();
+    const core::ViewStats& stats = profile->ForMask(mask);
+    std::printf("view %s (mask %u): rows=%llu triples=%llu nodes=%llu bytes=%s\n",
+                engine_.facet().MaskLabel(mask).c_str(), mask,
+                static_cast<unsigned long long>(stats.result_rows),
+                static_cast<unsigned long long>(stats.encoded_triples),
+                static_cast<unsigned long long>(stats.encoded_nodes),
+                FormatBytes(stats.encoded_bytes).c_str());
+    // Show a sample of the view contents (the data the demo GUI displays
+    // when a lattice node is clicked).
+    sparql::QueryEngine qe(engine_.store());
+    SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result,
+                           qe.Execute(engine_.facet().ViewQuerySparql(mask)));
+    std::printf("%s", result.ToTable(6).c_str());
+    return Status::OK();
+  }
+
+  Status Select(const std::string& model_name, size_t k) {
+    SOFOS_ASSIGN_OR_RETURN(core::CostModelKind kind,
+                           core::ParseCostModelKind(model_name));
+    SOFOS_ASSIGN_OR_RETURN(auto model, engine_.MakeModel(kind));
+    SOFOS_ASSIGN_OR_RETURN(pending_, engine_.SelectViews(*model, k));
+    std::printf("selection: %s (%.1f us)\n",
+                pending_.ToString(engine_.facet()).c_str(),
+                pending_.selection_micros);
+    has_pending_ = true;
+    return Status::OK();
+  }
+
+  Status MaterializeUser(const std::vector<uint32_t>& masks) {
+    for (uint32_t mask : masks) {
+      if (mask >= engine_.lattice().size()) {
+        return Status::InvalidArgument("mask out of range");
+      }
+    }
+    pending_ = core::UserSelection(masks);
+    has_pending_ = true;
+    return Materialize();
+  }
+
+  Status Materialize() {
+    if (!has_pending_) return Status::InvalidArgument("no pending selection");
+    SOFOS_ASSIGN_OR_RETURN(auto views, engine_.MaterializeSelection(pending_));
+    for (const auto& view : views) {
+      std::printf("materialized %s: %llu rows, %llu triples in %.1f ms\n",
+                  engine_.facet().MaskLabel(view.mask).c_str(),
+                  static_cast<unsigned long long>(view.rows),
+                  static_cast<unsigned long long>(view.triples_added),
+                  view.build_micros / 1000.0);
+    }
+    has_pending_ = false;
+    PrintStatus();
+    return Status::OK();
+  }
+
+  void PrintStatus() {
+    std::printf("triples: %llu (base %llu), amplification %.2fx, views:",
+                static_cast<unsigned long long>(engine_.CurrentTriples()),
+                static_cast<unsigned long long>(engine_.BaseTriples()),
+                engine_.StorageAmplification());
+    for (uint32_t mask : engine_.MaterializedMasks()) {
+      std::printf(" %s", engine_.facet().MaskLabel(mask).c_str());
+    }
+    std::printf("\n");
+  }
+
+  Status MakeWorkload(int n) {
+    workload::WorkloadGenerator generator(&engine_.facet(), engine_.store());
+    workload::WorkloadOptions options;
+    options.num_queries = n;
+    options.seed = 7;
+    SOFOS_ASSIGN_OR_RETURN(queries_, generator.Generate(options));
+    std::printf("generated %zu queries\n", queries_.size());
+    return Status::OK();
+  }
+
+  Status RunWorkload() {
+    if (queries_.empty()) SOFOS_RETURN_IF_ERROR(MakeWorkload(20));
+    SOFOS_ASSIGN_OR_RETURN(auto with, engine_.RunWorkload(queries_, true));
+    SOFOS_ASSIGN_OR_RETURN(auto without, engine_.RunWorkload(queries_, false));
+    std::printf("with views:    %s\n", with.Summary().c_str());
+    std::printf("without views: %s\n", without.Summary().c_str());
+    if (with.mean_micros > 0) {
+      std::printf("mean speedup: %.2fx\n",
+                  without.mean_micros / with.mean_micros);
+    }
+    return Status::OK();
+  }
+
+  Status Train() {
+    core::LearnedTrainingOptions options;
+    options.repetitions = 1;
+    options.epochs = 200;
+    SOFOS_RETURN_IF_ERROR(core::TrainLearnedModel(&engine_, options).status());
+    std::printf("learned cost model trained\n");
+    return Status::OK();
+  }
+
+  /// The "hands-on challenge" (demo step 5): oracle best-k by measured
+  /// runtimes vs each cost model's pick.
+  Status Challenge(size_t k) {
+    if (queries_.empty()) SOFOS_RETURN_IF_ERROR(MakeWorkload(20));
+    const size_t n = engine_.lattice().size();
+
+    // Measured answer-cost matrix from the full lattice.
+    SOFOS_RETURN_IF_ERROR(engine_.DropMaterializedViews());
+    SOFOS_RETURN_IF_ERROR(
+        engine_.MaterializeViews(engine_.lattice().AllMasks()).status());
+    core::Rewriter rewriter(&engine_.facet());
+    sparql::QueryEngine qe(engine_.store());
+    std::vector<std::vector<double>> cost(n, std::vector<double>(n + 1, 1e18));
+    for (uint32_t w = 0; w < n; ++w) {
+      core::QuerySignature sig;
+      sig.group_mask = w;
+      for (uint32_t v = 0; v < n; ++v) {
+        if (!core::Lattice::CanAnswer(v, w)) continue;
+        SOFOS_ASSIGN_OR_RETURN(std::string rewritten,
+                               rewriter.RewriteToView(sig, v));
+        WallTimer timer;
+        SOFOS_RETURN_IF_ERROR(qe.Execute(rewritten).status());
+        cost[w][v] = timer.ElapsedMicros();
+      }
+      WallTimer timer;
+      SOFOS_RETURN_IF_ERROR(
+          qe.Execute(engine_.facet().CanonicalQuerySparql(w)).status());
+      cost[w][n] = timer.ElapsedMicros();
+    }
+    SOFOS_RETURN_IF_ERROR(engine_.DropMaterializedViews());
+
+    SOFOS_ASSIGN_OR_RETURN(auto oracle,
+                           core::OracleSelection(engine_.lattice(), k, cost));
+    std::printf("oracle best-%zu: %s (expected %.1f us/query)\n", k,
+                oracle.ToString(engine_.facet()).c_str(), oracle.benefits[0]);
+    for (core::CostModelKind kind :
+         {core::CostModelKind::kTripleCount, core::CostModelKind::kAggValueCount,
+          core::CostModelKind::kNodeCount}) {
+      SOFOS_ASSIGN_OR_RETURN(auto model, engine_.MakeModel(kind));
+      SOFOS_ASSIGN_OR_RETURN(auto selection, engine_.SelectViews(*model, k));
+      std::printf("%-10s picks %s\n", (*model).name().c_str(),
+                  selection.ToString(engine_.facet()).c_str());
+    }
+    return Status::OK();
+  }
+
+  Status RunSparql(const std::string& query) {
+    sparql::QueryEngine qe(engine_.store());
+    SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result, qe.Execute(query));
+    std::printf("%s(%llu rows, %.1f us)\n", result.ToTable(20).c_str(),
+                static_cast<unsigned long long>(result.NumRows()),
+                result.stats.exec_micros);
+    return Status::OK();
+  }
+
+  core::SofosEngine engine_;
+  datagen::DatasetSpec spec_;
+  core::SelectionResult pending_;
+  bool has_pending_ = false;
+  std::vector<core::WorkloadQuery> queries_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = argc > 1 ? argv[1] : "geopop";
+  std::string scale_name = argc > 2 ? argv[2] : "tiny";
+  auto scale = sofos::datagen::ParseScale(scale_name);
+  if (!scale.ok()) {
+    std::fprintf(stderr, "%s\n", scale.status().ToString().c_str());
+    return 1;
+  }
+  Cli cli;
+  sofos::Status status = cli.LoadDataset(dataset, *scale);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  cli.Repl();
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef SOFOS_COMMON_HASH_H_
+#define SOFOS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sofos {
+
+/// 64-bit FNV-1a over raw bytes. Deterministic across platforms; used for
+/// dictionary hashing and the learned model's feature-hashing trick.
+inline uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+/// boost-style hash combiner with 64-bit mixing.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // Derived from the 64-bit splitmix finalizer.
+  value ^= value >> 30;
+  value *= 0xbf58476d1ce4e5b9ULL;
+  value ^= value >> 27;
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_HASH_H_

@@ -1,0 +1,43 @@
+#ifndef SOFOS_COMMON_LOGGING_H_
+#define SOFOS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sofos {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kWarning so that library code stays quiet in tests and benchmarks.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Not thread-safe by design —
+/// sofos is a single-threaded research system (documented in README).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SOFOS_LOG(level)                                             \
+  ::sofos::internal::LogMessage(::sofos::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_LOGGING_H_

@@ -1,0 +1,83 @@
+#ifndef SOFOS_COMMON_RESULT_H_
+#define SOFOS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sofos {
+
+/// Result<T> carries either a value of type T or a non-OK Status, in the
+/// style of arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored Result is a programming error (checked with assert in debug
+/// builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK status. Constructing a Result from
+  /// an OK status is a programming error and is converted to kInternal.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression). On error, returns the status
+/// from the enclosing function; on success, assigns the value to `lhs`.
+/// `lhs` may be a declaration: SOFOS_ASSIGN_OR_RETURN(auto x, F());
+#define SOFOS_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  SOFOS_ASSIGN_OR_RETURN_IMPL_(                                        \
+      SOFOS_RESULT_CONCAT_(_sofos_result_, __LINE__), lhs, rexpr)
+
+#define SOFOS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define SOFOS_RESULT_CONCAT_(a, b) SOFOS_RESULT_CONCAT_IMPL_(a, b)
+#define SOFOS_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_RESULT_H_

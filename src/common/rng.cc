@@ -1,0 +1,130 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sofos {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  // xoshiro must not be seeded with all zeros; splitmix cannot produce four
+  // consecutive zeros, but keep a belt-and-braces guard.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling over the largest multiple of bound.
+  uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  double u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  ZipfSampler sampler(n, s);
+  return sampler.Sample(this);
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm for distinct sampling, then shuffle for random order.
+  std::vector<size_t> picked;
+  picked.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(Uniform(j + 1));
+    if (std::find(picked.begin(), picked.end(), t) != picked.end()) {
+      picked.push_back(j);
+    } else {
+      picked.push_back(t);
+    }
+  }
+  Shuffle(&picked);
+  return picked;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent) : n_(n) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace sofos

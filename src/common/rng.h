@@ -1,0 +1,90 @@
+#ifndef SOFOS_COMMON_RNG_H_
+#define SOFOS_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sofos {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// splitmix64. All randomness in sofos (data generation, workload sampling,
+/// random cost model, learned-model initialization) flows through this class
+/// so that every experiment is reproducible bit-for-bit across platforms —
+/// std::uniform_int_distribution does not guarantee that.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial.
+  bool Chance(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s=0 → uniform).
+  /// Uses inverse-CDF over precomputed weights; callers should reuse a
+  /// ZipfSampler for large n — this convenience is O(n) per call.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Picks a uniformly random element of `items` (must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[Uniform(items.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = Uniform(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Precomputed Zipf sampler: O(log n) per draw after O(n) setup.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double exponent);
+
+  uint64_t Sample(Rng* rng) const;
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_RNG_H_

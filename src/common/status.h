@@ -1,0 +1,97 @@
+#ifndef SOFOS_COMMON_STATUS_H_
+#define SOFOS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sofos {
+
+/// Error categories used across the sofos libraries. The set deliberately
+/// mirrors the categories used by embedded database engines (RocksDB-style):
+/// a small closed enum, with free-form detail in the message.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kParseError = 5,
+  kTypeError = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kResourceExhausted = 9,
+};
+
+/// Returns a stable human-readable name for a status code ("ParseError", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-type status object used instead of exceptions on all library
+/// boundaries. A default-constructed Status is OK. Statuses are cheap to
+/// copy (the message is empty in the OK case).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with additional context, keeping the code.
+  /// No-op on OK statuses.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define SOFOS_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::sofos::Status _sofos_status = (expr);           \
+    if (!_sofos_status.ok()) return _sofos_status;    \
+  } while (0)
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_STATUS_H_

@@ -1,0 +1,57 @@
+#ifndef SOFOS_COMMON_STRING_UTIL_H_
+#define SOFOS_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sofos {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+bool StrEndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing (sufficient for SPARQL keywords).
+std::string StrToLower(std::string_view s);
+std::string StrToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool StrEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strict integer parse of the full string (optional sign, decimal digits).
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Strict floating-point parse of the full string.
+Result<double> ParseDouble(std::string_view s);
+
+/// Escapes a string for embedding in a Turtle/N-Triples double-quoted
+/// literal (backslash, quote, newline, tab, carriage return).
+std::string EscapeTurtleString(std::string_view s);
+
+/// Inverse of EscapeTurtleString; errors on malformed escapes.
+Result<std::string> UnescapeTurtleString(std::string_view s);
+
+/// Formats a byte count with binary units ("3.2 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a duration in microseconds adaptively ("1.24 ms", "3.1 s").
+std::string FormatMicros(double micros);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_STRING_UTIL_H_

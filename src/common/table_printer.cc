@@ -1,0 +1,87 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace sofos {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Cell(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+std::string TablePrinter::Cell(uint64_t value) {
+  return StrFormat("%llu", static_cast<unsigned long long>(value));
+}
+
+std::string TablePrinter::Cell(int64_t value) {
+  return StrFormat("%lld", static_cast<long long>(value));
+}
+
+std::string TablePrinter::ToString(Style style) const {
+  if (style == Style::kCsv) {
+    std::string out = StrJoin(headers_, ",");
+    out += '\n';
+    for (const auto& row : rows_) {
+      out += StrJoin(row, ",");
+      out += '\n';
+    }
+    return out;
+  }
+
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    line += (style == Style::kMarkdown) ? "| " : "";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::string cell = i < cells.size() ? cells[i] : "";
+      cell.resize(widths[i], ' ');
+      line += cell;
+      if (i + 1 < headers_.size()) {
+        line += (style == Style::kMarkdown) ? " | " : "  ";
+      }
+    }
+    if (style == Style::kMarkdown) line += " |";
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  if (style == Style::kMarkdown) {
+    out += "|";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      out += std::string(widths[i] + 2, '-');
+      out += "|";
+    }
+    out += '\n';
+  } else {
+    size_t total = 0;
+    for (size_t w : widths) total += w;
+    total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+    out += std::string(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print(Style style) const {
+  std::fputs(ToString(style).c_str(), stdout);
+}
+
+}  // namespace sofos

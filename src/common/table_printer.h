@@ -1,0 +1,41 @@
+#ifndef SOFOS_COMMON_TABLE_PRINTER_H_
+#define SOFOS_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sofos {
+
+/// Renders aligned text tables for the benchmark harnesses, mimicking the
+/// tables/series the SOFOS demo GUI displays. Supports plain aligned output
+/// and GitHub-flavoured markdown.
+class TablePrinter {
+ public:
+  enum class Style { kAligned, kMarkdown, kCsv };
+
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatting helpers.
+  static std::string Cell(double value, int precision = 2);
+  static std::string Cell(uint64_t value);
+  static std::string Cell(int64_t value);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  std::string ToString(Style style = Style::kAligned) const;
+
+  /// Prints to stdout.
+  void Print(Style style = Style::kAligned) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,31 @@
+#ifndef SOFOS_COMMON_TIMER_H_
+#define SOFOS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sofos {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in microseconds since construction / last Restart().
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_TIMER_H_

@@ -1,0 +1,89 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+namespace sofos {
+namespace core {
+
+std::string CostModelKindName(CostModelKind kind) {
+  switch (kind) {
+    case CostModelKind::kRandom:
+      return "random";
+    case CostModelKind::kTripleCount:
+      return "triples";
+    case CostModelKind::kAggValueCount:
+      return "aggvalues";
+    case CostModelKind::kNodeCount:
+      return "nodes";
+    case CostModelKind::kLearned:
+      return "learned";
+    case CostModelKind::kUserDefined:
+      return "user";
+  }
+  return "?";
+}
+
+Result<CostModelKind> ParseCostModelKind(const std::string& name) {
+  for (CostModelKind kind : AllCostModelKinds()) {
+    if (CostModelKindName(kind) == name) return kind;
+  }
+  return Status::InvalidArgument(
+      "unknown cost model '" + name +
+      "' (expected random|triples|aggvalues|nodes|learned|user)");
+}
+
+std::vector<CostModelKind> AllCostModelKinds() {
+  return {CostModelKind::kRandom,       CostModelKind::kTripleCount,
+          CostModelKind::kAggValueCount, CostModelKind::kNodeCount,
+          CostModelKind::kLearned,      CostModelKind::kUserDefined};
+}
+
+LearnedCostModel::LearnedCostModel(std::shared_ptr<learned::Mlp> mlp,
+                                   learned::FeatureEncoder encoder,
+                                   const Facet* facet, const TripleStore* store)
+    : mlp_(std::move(mlp)), encoder_(std::move(encoder)), facet_(facet) {
+  // Snapshot the per-predicate statistics once; ViewCost only varies the
+  // dimension subset and aggregate kind.
+  base_input_.predicates = facet->PatternPredicates();
+  base_input_.graph_triples = store->NumTriples();
+  base_input_.graph_nodes = store->NumNodes();
+  base_input_.total_dims = static_cast<int>(facet->num_dims());
+  base_input_.agg_kind = static_cast<int>(facet->agg_kind());
+  const Dictionary& dict = store->dictionary();
+  for (const std::string& iri : base_input_.predicates) {
+    uint64_t count = 0, ds = 0, dobj = 0;
+    if (auto id = dict.Lookup(Term::Iri(iri)); id.has_value()) {
+      if (const PredicateStats* stats = store->StatsFor(*id)) {
+        count = stats->triples;
+        ds = stats->distinct_subjects;
+        dobj = stats->distinct_objects;
+      }
+    }
+    base_input_.predicate_counts.push_back(count);
+    base_input_.predicate_distinct_subjects.push_back(ds);
+    base_input_.predicate_distinct_objects.push_back(dobj);
+  }
+}
+
+std::vector<double> LearnedCostModel::Features(uint32_t mask) const {
+  learned::ViewFeatureInput input = base_input_;
+  input.num_group_dims = __builtin_popcount(mask);
+  return encoder_.Encode(input);
+}
+
+std::vector<double> LearnedCostModel::BaseFeatures() const {
+  learned::ViewFeatureInput input = base_input_;
+  input.num_group_dims = input.total_dims + 1;  // sentinel: beyond any view
+  return encoder_.Encode(input);
+}
+
+double LearnedCostModel::ViewCost(uint32_t mask, const LatticeProfile&) const {
+  return std::max(0.0, mlp_->Predict(Features(mask)));
+}
+
+double LearnedCostModel::BaseCost(const LatticeProfile&) const {
+  return std::max(0.0, mlp_->Predict(BaseFeatures()));
+}
+
+}  // namespace core
+}  // namespace sofos

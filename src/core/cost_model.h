@@ -1,0 +1,157 @@
+#ifndef SOFOS_CORE_COST_MODEL_H_
+#define SOFOS_CORE_COST_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/facet.h"
+#include "core/profiler.h"
+#include "learned/features.h"
+#include "learned/mlp.h"
+
+namespace sofos {
+namespace core {
+
+/// The six cost models SOFOS implements and compares (paper §3.1). A cost
+/// model predicts the cost C(V) of answering a query from a candidate view;
+/// the greedy selector then maximizes the classic HRU benefit under it.
+enum class CostModelKind {
+  kRandom,         // C(V) = 1 — yields a random k-subset
+  kTripleCount,    // C(V) = |G_V| — the relational tuple-count adaptation
+  kAggValueCount,  // C(V) = |V(G)| — number of aggregated values
+  kNodeCount,      // C(V) = |I_V ∪ B_V ∪ L_V|
+  kLearned,        // C(V) = f(encode(V)) — deep regression on runtimes
+  kUserDefined,    // the user provides costs / picks views directly
+};
+
+std::string CostModelKindName(CostModelKind kind);
+Result<CostModelKind> ParseCostModelKind(const std::string& name);
+
+/// All registered kinds, in paper order.
+std::vector<CostModelKind> AllCostModelKinds();
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  virtual CostModelKind kind() const = 0;
+  virtual std::string name() const { return CostModelKindName(kind()); }
+
+  /// Estimated cost of answering a query from the view `mask`.
+  virtual double ViewCost(uint32_t mask, const LatticeProfile& profile) const = 0;
+
+  /// Estimated cost of answering a query from the raw graph (no view).
+  virtual double BaseCost(const LatticeProfile& profile) const = 0;
+
+  /// True for models whose estimates carry no information (Random): the
+  /// selector then falls back to a seeded random subset, matching the
+  /// paper's description.
+  virtual bool IsConstant() const { return false; }
+};
+
+/// C(V) = 1 for every view.
+class RandomCostModel : public CostModel {
+ public:
+  CostModelKind kind() const override { return CostModelKind::kRandom; }
+  double ViewCost(uint32_t, const LatticeProfile&) const override { return 1.0; }
+  double BaseCost(const LatticeProfile&) const override { return 1.0; }
+  bool IsConstant() const override { return true; }
+};
+
+/// C(V) = |G_V|: the direct adaptation of relational tuple counting (and
+/// the MARVEL cost model) — the number of RDF triples in the view's graph.
+class TripleCountCostModel : public CostModel {
+ public:
+  CostModelKind kind() const override { return CostModelKind::kTripleCount; }
+  double ViewCost(uint32_t mask, const LatticeProfile& profile) const override {
+    return static_cast<double>(profile.ForMask(mask).encoded_triples);
+  }
+  double BaseCost(const LatticeProfile& profile) const override {
+    return static_cast<double>(profile.base_triples);
+  }
+};
+
+/// C(V) = |V(G)|: the number of results of the view query.
+class AggValueCountCostModel : public CostModel {
+ public:
+  CostModelKind kind() const override { return CostModelKind::kAggValueCount; }
+  double ViewCost(uint32_t mask, const LatticeProfile& profile) const override {
+    return static_cast<double>(profile.ForMask(mask).result_rows);
+  }
+  double BaseCost(const LatticeProfile& profile) const override {
+    return static_cast<double>(profile.base_pattern_rows);
+  }
+};
+
+/// C(V) = |I_V ∪ B_V ∪ L_V|: the number of node values in the view graph.
+class NodeCountCostModel : public CostModel {
+ public:
+  CostModelKind kind() const override { return CostModelKind::kNodeCount; }
+  double ViewCost(uint32_t mask, const LatticeProfile& profile) const override {
+    return static_cast<double>(profile.ForMask(mask).encoded_nodes);
+  }
+  double BaseCost(const LatticeProfile& profile) const override {
+    return static_cast<double>(profile.base_nodes);
+  }
+};
+
+/// C(V) = f(encode(V)): a trained regression over the view encoding
+/// (predicates + statistics + dims + aggregate kind), following Ortiz et
+/// al. Predictions are clamped to be non-negative.
+class LearnedCostModel : public CostModel {
+ public:
+  /// `mlp` must accept vectors of `encoder.dim()` features; `facet` and the
+  /// statistics snapshot describe the deployment graph.
+  LearnedCostModel(std::shared_ptr<learned::Mlp> mlp,
+                   learned::FeatureEncoder encoder, const Facet* facet,
+                   const TripleStore* store);
+
+  CostModelKind kind() const override { return CostModelKind::kLearned; }
+  double ViewCost(uint32_t mask, const LatticeProfile& profile) const override;
+  double BaseCost(const LatticeProfile& profile) const override;
+
+  /// The feature vector used for a given mask (exposed for tests/benches).
+  std::vector<double> Features(uint32_t mask) const;
+
+  /// The sentinel feature vector representing "answer from the base graph"
+  /// (one grouped dimension beyond the facet's total); used both by
+  /// BaseCost() and by the training collector for base-graph samples.
+  std::vector<double> BaseFeatures() const;
+
+ private:
+  std::shared_ptr<learned::Mlp> mlp_;
+  learned::FeatureEncoder encoder_;
+  const Facet* facet_;
+  learned::ViewFeatureInput base_input_;  // predicate stats snapshot
+};
+
+/// The user acts as the cost function: explicit per-view costs, with an
+/// optional default for unlisted views.
+class UserDefinedCostModel : public CostModel {
+ public:
+  explicit UserDefinedCostModel(std::unordered_map<uint32_t, double> costs,
+                                double default_cost = 1e12,
+                                double base_cost = 1e12)
+      : costs_(std::move(costs)),
+        default_cost_(default_cost),
+        base_cost_(base_cost) {}
+
+  CostModelKind kind() const override { return CostModelKind::kUserDefined; }
+  double ViewCost(uint32_t mask, const LatticeProfile&) const override {
+    auto it = costs_.find(mask);
+    return it == costs_.end() ? default_cost_ : it->second;
+  }
+  double BaseCost(const LatticeProfile&) const override { return base_cost_; }
+
+ private:
+  std::unordered_map<uint32_t, double> costs_;
+  double default_cost_;
+  double base_cost_;
+};
+
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_COST_MODEL_H_

@@ -1,0 +1,256 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "rdf/turtle_parser.h"
+#include "rdf/turtle_writer.h"
+#include "sparql/parser.h"
+
+namespace sofos {
+namespace core {
+
+std::string WorkloadReport::Summary() const {
+  return StrFormat(
+      "queries=%zu mean=%s median=%s p95=%s hits=%llu scanned=%llu",
+      outcomes.size(), FormatMicros(mean_micros).c_str(),
+      FormatMicros(median_micros).c_str(), FormatMicros(p95_micros).c_str(),
+      static_cast<unsigned long long>(view_hits),
+      static_cast<unsigned long long>(total_rows_scanned));
+}
+
+Status SofosEngine::LoadStore(TripleStore&& store) {
+  if (!store.finalized()) {
+    return Status::InvalidArgument("LoadStore requires a finalized store");
+  }
+  store_ = std::move(store);
+  base_snapshot_ = store_.triples();
+  base_bytes_ = store_.MemoryBytes();
+  materialized_.clear();
+  profile_.reset();
+  if (facet_.has_value()) {
+    materializer_ = std::make_unique<Materializer>(&store_, &*facet_);
+  }
+  return Status::OK();
+}
+
+Status SofosEngine::LoadGraphFile(const std::string& path) {
+  TripleStore store;
+  TurtleParser parser;
+  SOFOS_RETURN_IF_ERROR(parser.ParseFile(path, &store));
+  store.Finalize();
+  return LoadStore(std::move(store));
+}
+
+Status SofosEngine::ExportGraphFile(const std::string& path) const {
+  TurtleWriter writer;
+  return writer.WriteNTriplesFile(store_, path);
+}
+
+Status SofosEngine::SetFacet(Facet facet) {
+  facet_ = std::move(facet);
+  lattice_.emplace(&*facet_);
+  rewriter_.emplace(&*facet_);
+  materializer_ = std::make_unique<Materializer>(&store_, &*facet_);
+  profile_.reset();
+  return Status::OK();
+}
+
+Result<const LatticeProfile*> SofosEngine::Profile(const ProfileOptions& options) {
+  if (!facet_.has_value()) return Status::Internal("no facet set");
+  SOFOS_ASSIGN_OR_RETURN(LatticeProfile profile,
+                         ProfileLattice(&store_, *facet_, options));
+  profile_ = std::move(profile);
+  return &*profile_;
+}
+
+Result<std::unique_ptr<CostModel>> SofosEngine::MakeModel(
+    CostModelKind kind) const {
+  switch (kind) {
+    case CostModelKind::kRandom:
+      return std::unique_ptr<CostModel>(new RandomCostModel());
+    case CostModelKind::kTripleCount:
+      return std::unique_ptr<CostModel>(new TripleCountCostModel());
+    case CostModelKind::kAggValueCount:
+      return std::unique_ptr<CostModel>(new AggValueCountCostModel());
+    case CostModelKind::kNodeCount:
+      return std::unique_ptr<CostModel>(new NodeCountCostModel());
+    case CostModelKind::kLearned: {
+      if (learned_mlp_ == nullptr) {
+        return Status::InvalidArgument(
+            "the learned cost model requires training first "
+            "(core/training.h: TrainLearnedModel)");
+      }
+      if (!facet_.has_value()) return Status::Internal("no facet set");
+      return std::unique_ptr<CostModel>(
+          new LearnedCostModel(learned_mlp_, learned::FeatureEncoder(), &*facet_,
+                               &store_));
+    }
+    case CostModelKind::kUserDefined:
+      return Status::InvalidArgument(
+          "kUserDefined has no automatic construction: build a "
+          "UserDefinedCostModel with explicit costs, or use UserSelection()");
+  }
+  return Status::Internal("unhandled cost model kind");
+}
+
+void SofosEngine::SetLearnedModel(std::shared_ptr<learned::Mlp> mlp) {
+  learned_mlp_ = std::move(mlp);
+}
+
+Result<SelectionResult> SofosEngine::SelectViews(const CostModel& model, size_t k,
+                                                 const QueryWeights* weights,
+                                                 uint64_t seed) const {
+  if (!facet_.has_value()) return Status::Internal("no facet set");
+  if (!profile_.has_value()) {
+    return Status::Internal("SelectViews requires Profile() first");
+  }
+  GreedySelector selector(&*lattice_, &*profile_, &model);
+  return selector.SelectTopK(k, weights, seed);
+}
+
+Result<std::vector<MaterializedView>> SofosEngine::MaterializeSelection(
+    const SelectionResult& selection) {
+  return MaterializeViews(selection.views);
+}
+
+Result<std::vector<MaterializedView>> SofosEngine::MaterializeViews(
+    const std::vector<uint32_t>& masks) {
+  if (materializer_ == nullptr) return Status::Internal("no facet set");
+  for (uint32_t mask : masks) {
+    for (const MaterializedView& existing : materialized_) {
+      if (existing.mask == mask) {
+        return Status::AlreadyExists("view " + facet_->MaskLabel(mask) +
+                                     " is already materialized");
+      }
+    }
+  }
+  SOFOS_ASSIGN_OR_RETURN(std::vector<MaterializedView> views,
+                         materializer_->MaterializeAll(masks));
+  for (const auto& view : views) materialized_.push_back(view);
+  return views;
+}
+
+Status SofosEngine::UpdateBaseGraph(
+    const std::function<void(TripleStore*)>& update,
+    const ProfileOptions& profile_options) {
+  std::vector<uint32_t> masks = MaterializedMasks();
+
+  // Strip view encodings so the update sees (and the snapshot captures)
+  // base data only.
+  store_.ReplaceTriples(base_snapshot_);
+  store_.Finalize();
+  update(&store_);
+  store_.Finalize();
+  base_snapshot_ = store_.triples();
+  base_bytes_ = store_.MemoryBytes();
+  materialized_.clear();
+
+  if (facet_.has_value()) {
+    SOFOS_RETURN_IF_ERROR(Profile(profile_options).status());
+    if (!masks.empty()) {
+      SOFOS_RETURN_IF_ERROR(MaterializeViews(masks).status());
+    }
+  }
+  return Status::OK();
+}
+
+Status SofosEngine::DropMaterializedViews() {
+  store_.ReplaceTriples(base_snapshot_);
+  store_.Finalize();
+  materialized_.clear();
+  return Status::OK();
+}
+
+std::vector<uint32_t> SofosEngine::MaterializedMasks() const {
+  std::vector<uint32_t> masks;
+  masks.reserve(materialized_.size());
+  for (const auto& view : materialized_) masks.push_back(view.mask);
+  return masks;
+}
+
+Result<QueryOutcome> SofosEngine::Answer(const WorkloadQuery& query,
+                                         bool allow_views,
+                                         const CostModel* routing_model) {
+  if (!facet_.has_value()) return Status::Internal("no facet set");
+  QueryOutcome outcome;
+  outcome.query_id = query.id;
+  outcome.executed_sparql = query.sparql;
+
+  if (allow_views && !materialized_.empty() && profile_.has_value()) {
+    std::optional<uint32_t> best = rewriter_->PickBestView(
+        query.signature, MaterializedMasks(), *profile_, routing_model);
+    if (best.has_value()) {
+      SOFOS_ASSIGN_OR_RETURN(std::string rewritten,
+                             rewriter_->RewriteToView(query.signature, *best));
+      outcome.used_view = true;
+      outcome.view_mask = *best;
+      outcome.executed_sparql = std::move(rewritten);
+    }
+  }
+
+  sparql::QueryEngine engine(&store_);
+  WallTimer timer;
+  SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result,
+                         engine.Execute(outcome.executed_sparql));
+  outcome.micros = timer.ElapsedMicros();
+  outcome.rows_scanned = result.stats.rows_scanned;
+  outcome.result_rows = result.NumRows();
+  outcome.result = std::move(result);
+  return outcome;
+}
+
+Result<WorkloadReport> SofosEngine::RunWorkload(
+    const std::vector<WorkloadQuery>& queries, bool allow_views,
+    const CostModel* routing_model) {
+  WorkloadReport report;
+  report.outcomes.reserve(queries.size());
+  for (const WorkloadQuery& query : queries) {
+    SOFOS_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                           Answer(query, allow_views, routing_model));
+    report.total_micros += outcome.micros;
+    report.total_rows_scanned += outcome.rows_scanned;
+    if (outcome.used_view) ++report.view_hits;
+    report.outcomes.push_back(std::move(outcome));
+  }
+  if (!report.outcomes.empty()) {
+    std::vector<double> times;
+    times.reserve(report.outcomes.size());
+    for (const auto& o : report.outcomes) times.push_back(o.micros);
+    std::sort(times.begin(), times.end());
+    report.mean_micros = report.total_micros / static_cast<double>(times.size());
+    report.median_micros = times[times.size() / 2];
+    report.p95_micros = times[std::min(times.size() - 1,
+                                       static_cast<size_t>(times.size() * 0.95))];
+  }
+  return report;
+}
+
+Result<QueryOutcome> SofosEngine::AnswerSparql(const std::string& sparql,
+                                               bool allow_views,
+                                               const CostModel* routing_model) {
+  if (!facet_.has_value()) return Status::Internal("no facet set");
+  WorkloadQuery query;
+  query.id = "adhoc";
+  query.sparql = sparql;
+
+  // Surface parse errors immediately (they are user errors, not routing
+  // decisions); shape mismatches merely disable view routing.
+  SOFOS_ASSIGN_OR_RETURN(sparql::Query parsed, sparql::Parser::Parse(sparql));
+  auto signature = rewriter_->AnalyzeQuery(parsed);
+  if (signature.ok()) {
+    query.signature = std::move(signature).value();
+    return Answer(query, allow_views, routing_model);
+  }
+  return Answer(query, /*allow_views=*/false, routing_model);
+}
+
+double SofosEngine::StorageAmplification() const {
+  if (base_snapshot_.empty()) return 1.0;
+  return static_cast<double>(store_.NumTriples()) /
+         static_cast<double>(base_snapshot_.size());
+}
+
+}  // namespace core
+}  // namespace sofos

@@ -1,0 +1,182 @@
+#ifndef SOFOS_CORE_ENGINE_H_
+#define SOFOS_CORE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cost_model.h"
+#include "core/facet.h"
+#include "core/lattice.h"
+#include "core/materializer.h"
+#include "core/profiler.h"
+#include "core/rewriter.h"
+#include "core/selection.h"
+#include "core/workload_types.h"
+#include "rdf/triple_store.h"
+#include "sparql/query_engine.h"
+
+namespace sofos {
+namespace core {
+
+/// Result of answering one workload query through the online module.
+struct QueryOutcome {
+  std::string query_id;
+  bool used_view = false;
+  uint32_t view_mask = 0;          // valid when used_view
+  std::string executed_sparql;     // the query actually run (rewritten or not)
+  double micros = 0.0;
+  uint64_t rows_scanned = 0;
+  uint64_t result_rows = 0;
+  sparql::QueryResult result;      // decoded answers (for verification)
+};
+
+/// Aggregated workload statistics (GUI panel ④ "Query performance
+/// analyzer").
+struct WorkloadReport {
+  std::vector<QueryOutcome> outcomes;
+  double total_micros = 0.0;
+  double mean_micros = 0.0;
+  double median_micros = 0.0;
+  double p95_micros = 0.0;
+  uint64_t view_hits = 0;
+  uint64_t total_rows_scanned = 0;
+
+  std::string Summary() const;
+};
+
+/// The SOFOS system facade (paper Figure 2): owns the knowledge graph, the
+/// facet, the offline module (profiling, view selection, materialization)
+/// and the online module (query routing, rewriting, measurement).
+///
+/// Typical flow:
+///   SofosEngine engine;
+///   engine.LoadStore(std::move(store));           // finalized graph G
+///   engine.SetFacet(facet);
+///   engine.Profile();                             // lattice statistics
+///   auto model = engine.MakeModel(CostModelKind::kTripleCount);
+///   auto sel = engine.SelectViews(**model, k);
+///   engine.MaterializeSelection(*sel);            // G → G+
+///   auto report = engine.RunWorkload(queries, /*allow_views=*/true);
+class SofosEngine {
+ public:
+  SofosEngine() = default;
+
+  /// Takes ownership of a finalized base graph G and snapshots it so that
+  /// materialized views can be dropped later.
+  Status LoadStore(TripleStore&& store);
+
+  /// Loads a Turtle/N-Triples file as the base graph (convenience wrapper
+  /// around TurtleParser + LoadStore).
+  Status LoadGraphFile(const std::string& path);
+
+  /// Serializes the *current* graph — G, or G+ with all view encodings —
+  /// as canonical N-Triples. A reloaded G+ answers rewritten queries
+  /// identically, so materializations can be shipped to another process.
+  Status ExportGraphFile(const std::string& path) const;
+
+  Status SetFacet(Facet facet);
+
+  TripleStore* store() { return &store_; }
+  const Facet& facet() const { return *facet_; }
+  const Lattice& lattice() const { return *lattice_; }
+  bool has_facet() const { return facet_.has_value(); }
+
+  /// ---- Offline module ----
+
+  /// Computes (or recomputes) the lattice profile.
+  Result<const LatticeProfile*> Profile(const ProfileOptions& options = {});
+  const LatticeProfile* profile() const {
+    return profile_.has_value() ? &*profile_ : nullptr;
+  }
+
+  /// Instantiates a cost model. kLearned requires SetLearnedModel() first;
+  /// kUserDefined requires explicit costs via MakeUserModel.
+  Result<std::unique_ptr<CostModel>> MakeModel(CostModelKind kind) const;
+
+  /// Registers a trained MLP for kLearned (see core/training.h).
+  void SetLearnedModel(std::shared_ptr<learned::Mlp> mlp);
+  bool has_learned_model() const { return learned_mlp_ != nullptr; }
+
+  /// Runs greedy selection under `model` with budget `k`.
+  Result<SelectionResult> SelectViews(const CostModel& model, size_t k,
+                                      const QueryWeights* weights = nullptr,
+                                      uint64_t seed = 42) const;
+
+  /// Materializes the selected views into G+ and records them for routing.
+  Result<std::vector<MaterializedView>> MaterializeSelection(
+      const SelectionResult& selection);
+
+  /// Materializes explicit masks (the "user selected views" demo step).
+  Result<std::vector<MaterializedView>> MaterializeViews(
+      const std::vector<uint32_t>& masks);
+
+  /// Rolls G+ back to the base snapshot G and forgets materializations.
+  Status DropMaterializedViews();
+
+  /// View maintenance (extension beyond the demo): applies updates to the
+  /// *base* graph and refreshes every materialized view against the new
+  /// data. `update` receives the store holding exactly the base triples
+  /// (views stripped) and may Add() to it; afterwards the base snapshot is
+  /// re-captured, the lattice is re-profiled with `profile_options`, and
+  /// all previously materialized views are recomputed. Full recomputation —
+  /// correct, not incremental-delta; documented trade-off.
+  Status UpdateBaseGraph(const std::function<void(TripleStore*)>& update,
+                         const ProfileOptions& profile_options = {});
+
+  const std::vector<MaterializedView>& materialized() const {
+    return materialized_;
+  }
+  std::vector<uint32_t> MaterializedMasks() const;
+
+  /// ---- Online module ----
+
+  /// Answers one query: picks the best usable materialized view (when
+  /// `allow_views`), rewrites, executes and measures. `routing_model`
+  /// overrides the default routing heuristic (fewest result rows).
+  Result<QueryOutcome> Answer(const WorkloadQuery& query, bool allow_views,
+                              const CostModel* routing_model = nullptr);
+
+  Result<WorkloadReport> RunWorkload(const std::vector<WorkloadQuery>& queries,
+                                     bool allow_views,
+                                     const CostModel* routing_model = nullptr);
+
+  /// Ad-hoc entry point for raw SPARQL text: parses the query, extracts its
+  /// facet signature (Rewriter::AnalyzeQuery), and routes it like Answer().
+  /// Queries that do not match the facet's analytical shape (different
+  /// pattern variables, non-dimension grouping, ...) are executed
+  /// unrewritten against the current graph — never an error, possibly
+  /// slower. This is the paper's online module for a user-typed query.
+  Result<QueryOutcome> AnswerSparql(const std::string& sparql,
+                                    bool allow_views = true,
+                                    const CostModel* routing_model = nullptr);
+
+  /// ---- Storage metrics ----
+
+  uint64_t BaseTriples() const { return base_snapshot_.size(); }
+  uint64_t CurrentTriples() const { return store_.NumTriples(); }
+  uint64_t BaseBytes() const { return base_bytes_; }
+  uint64_t CurrentBytes() const { return store_.MemoryBytes(); }
+  /// Triples of G+ relative to G (>= 1; the demo's "space amplification").
+  double StorageAmplification() const;
+
+ private:
+  TripleStore store_;
+  std::vector<Triple> base_snapshot_;
+  uint64_t base_bytes_ = 0;
+  std::optional<Facet> facet_;
+  std::optional<Lattice> lattice_;
+  std::optional<LatticeProfile> profile_;
+  std::optional<Rewriter> rewriter_;
+  std::unique_ptr<Materializer> materializer_;
+  std::vector<MaterializedView> materialized_;
+  std::shared_ptr<learned::Mlp> learned_mlp_;
+};
+
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_ENGINE_H_

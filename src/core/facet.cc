@@ -1,0 +1,166 @@
+#include "core/facet.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "sparql/parser.h"
+
+namespace sofos {
+namespace core {
+
+using sparql::AggKind;
+using sparql::Expr;
+using sparql::Query;
+
+Result<Facet> Facet::FromSparql(std::string_view sparql, std::string name,
+                                std::vector<std::string> dim_labels) {
+  SOFOS_ASSIGN_OR_RETURN(Query query, sparql::Parser::Parse(sparql));
+
+  if (!query.filters.empty() || !query.order_by.empty() || query.limit >= 0 ||
+      query.offset > 0 || !query.having.empty()) {
+    return Status::InvalidArgument(
+        "a facet template must not carry FILTER/HAVING/ORDER/LIMIT modifiers");
+  }
+  if (query.group_by.empty()) {
+    return Status::InvalidArgument("a facet template requires a GROUP BY clause");
+  }
+  if (query.group_by.size() > 16) {
+    return Status::InvalidArgument("facets support at most 16 dimensions");
+  }
+
+  Facet facet;
+  facet.name_ = std::move(name);
+  facet.pattern_ = query.where;
+
+  // Exactly one aggregate select item defines agg(u); the remaining select
+  // items must be the grouped dimensions.
+  int num_aggs = 0;
+  for (const auto& item : query.select) {
+    if (item.expr->kind == Expr::Kind::kAggregate) {
+      ++num_aggs;
+      facet.agg_kind_ = item.expr->agg;
+      if (item.expr->count_star || item.expr->agg_arg == nullptr ||
+          item.expr->agg_arg->kind != Expr::Kind::kVar) {
+        return Status::InvalidArgument(
+            "the facet aggregate must be over a single variable, e.g. SUM(?u)");
+      }
+      facet.agg_var_ = item.expr->agg_arg->var;
+    } else if (item.expr->kind == Expr::Kind::kVar) {
+      // validated against GROUP BY below
+    } else {
+      return Status::InvalidArgument(
+          "facet select items must be grouped variables or one aggregate");
+    }
+  }
+  if (num_aggs != 1) {
+    return Status::InvalidArgument(
+        "a facet template requires exactly one aggregate select item");
+  }
+
+  // Dimensions in GROUP BY order; each must occur in the pattern.
+  std::vector<std::string> pattern_vars;
+  for (const auto& tp : facet.pattern_) {
+    if (tp.s.is_var()) pattern_vars.push_back(tp.s.var());
+    if (tp.p.is_var()) pattern_vars.push_back(tp.p.var());
+    if (tp.o.is_var()) pattern_vars.push_back(tp.o.var());
+  }
+  auto in_pattern = [&](const std::string& v) {
+    return std::find(pattern_vars.begin(), pattern_vars.end(), v) !=
+           pattern_vars.end();
+  };
+  for (size_t i = 0; i < query.group_by.size(); ++i) {
+    const std::string& var = query.group_by[i];
+    if (!in_pattern(var)) {
+      return Status::InvalidArgument("facet dimension ?" + var +
+                                     " does not occur in the pattern");
+    }
+    FacetDim dim;
+    dim.var = var;
+    dim.label = i < dim_labels.size() ? dim_labels[i] : var;
+    facet.dims_.push_back(std::move(dim));
+  }
+  if (!in_pattern(facet.agg_var_)) {
+    return Status::InvalidArgument("facet aggregate variable ?" + facet.agg_var_ +
+                                   " does not occur in the pattern");
+  }
+  return facet;
+}
+
+int Facet::DimIndex(const std::string& var) const {
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].var == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Facet::MaskLabel(uint32_t mask) const {
+  if (mask == 0) return "{} (apex)";
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if ((mask >> i) & 1u) {
+      if (!first) out += ",";
+      out += dims_[i].var;
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string Facet::PatternText() const {
+  std::string out;
+  for (const auto& tp : pattern_) {
+    out += "  " + tp.ToString() + " .\n";
+  }
+  return out;
+}
+
+std::string Facet::ViewQuerySparql(uint32_t mask) const {
+  std::string select = "SELECT";
+  std::string group;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if ((mask >> i) & 1u) {
+      select += " ?" + dims_[i].var;
+      group += " ?" + dims_[i].var;
+    }
+  }
+  // For AVG facets the stored value is the SUM; roll-ups recompute the
+  // average as SUM(value)/SUM(rows).
+  AggKind stored = agg_kind_ == AggKind::kAvg ? AggKind::kSum : agg_kind_;
+  select += " (" + sparql::AggKindName(stored) + "(?" + agg_var_ + ") AS ?agg)";
+  select += " (COUNT(?" + agg_var_ + ") AS ?rows)";
+
+  std::string out = select + " WHERE {\n" + PatternText() + "}";
+  if (!group.empty()) out += " GROUP BY" + group;
+  return out;
+}
+
+std::string Facet::CanonicalQuerySparql(uint32_t mask) const {
+  std::string select = "SELECT";
+  std::string group;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if ((mask >> i) & 1u) {
+      select += " ?" + dims_[i].var;
+      group += " ?" + dims_[i].var;
+    }
+  }
+  select += " (" + sparql::AggKindName(agg_kind_) + "(?" + agg_var_ + ") AS ?agg)";
+  std::string out = select + " WHERE {\n" + PatternText() + "}";
+  if (!group.empty()) out += " GROUP BY" + group;
+  return out;
+}
+
+std::vector<std::string> Facet::PatternPredicates() const {
+  std::vector<std::string> out;
+  for (const auto& tp : pattern_) {
+    if (!tp.p.is_var() && tp.p.term().is_iri()) {
+      const std::string& iri = tp.p.term().lexical();
+      if (std::find(out.begin(), out.end(), iri) == out.end()) out.push_back(iri);
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace sofos

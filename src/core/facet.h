@@ -1,0 +1,85 @@
+#ifndef SOFOS_CORE_FACET_H_
+#define SOFOS_CORE_FACET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sparql/ast.h"
+
+namespace sofos {
+namespace core {
+
+/// One grouping dimension of an analytical facet.
+struct FacetDim {
+  std::string var;    // SPARQL variable name (without '?')
+  std::string label;  // human-readable label for the demo UI / reports
+};
+
+/// An analytical facet F = ⟨X, P, agg(u)⟩ (paper §3): the grouping
+/// variables X, a basic graph pattern P, and an aggregation agg over a
+/// pattern variable u. The facet induces the lattice of views V(F) in which
+/// each view aggregates over a subset X' ⊆ X.
+///
+/// A facet is immutable after construction; dimension order defines lattice
+/// bit order (bit i = dims()[i]).
+class Facet {
+ public:
+  /// Parses a facet from its SPARQL template, e.g.
+  ///   SELECT ?country ?language (SUM(?pop) AS ?agg)
+  ///   WHERE { ... } GROUP BY ?country ?language
+  /// Requirements: exactly one aggregate select item, every other select
+  /// item a grouped variable, 1..16 dimensions, no FILTER/ORDER/LIMIT (a
+  /// facet describes data, not a concrete query).
+  static Result<Facet> FromSparql(std::string_view sparql, std::string name,
+                                  std::vector<std::string> dim_labels = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<FacetDim>& dims() const { return dims_; }
+  size_t num_dims() const { return dims_.size(); }
+  const std::vector<sparql::TriplePattern>& pattern() const { return pattern_; }
+  sparql::AggKind agg_kind() const { return agg_kind_; }
+  /// The aggregated variable u.
+  const std::string& agg_var() const { return agg_var_; }
+
+  /// Bitmask with every dimension set (the lattice root / finest view).
+  uint32_t FullMask() const { return (1u << dims_.size()) - 1; }
+
+  /// Index of a dimension variable, or -1.
+  int DimIndex(const std::string& var) const;
+
+  /// Human-readable view label, e.g. "{country,language}" or "{} (apex)".
+  std::string MaskLabel(uint32_t mask) const;
+
+  /// SPARQL computing the view for dimension subset `mask` over the base
+  /// graph. Every view query also computes the contributing row count
+  /// (COUNT(?u) AS ?rows) so that roll-ups of COUNT and AVG stay exact; for
+  /// AVG facets the stored ?agg is the SUM (AVG = agg/rows at query time).
+  std::string ViewQuerySparql(uint32_t mask) const;
+
+  /// SPARQL of a canonical analytical query grouping by `mask` over the
+  /// base graph (used for profiling and timing).
+  std::string CanonicalQuerySparql(uint32_t mask) const;
+
+  /// The facet re-rendered as its SPARQL template.
+  std::string ToSparql() const { return CanonicalQuerySparql(FullMask()); }
+
+  /// Distinct predicate IRIs of the facet pattern (for learned features).
+  std::vector<std::string> PatternPredicates() const;
+
+ private:
+  std::string name_;
+  std::vector<FacetDim> dims_;
+  std::vector<sparql::TriplePattern> pattern_;
+  sparql::AggKind agg_kind_ = sparql::AggKind::kCount;
+  std::string agg_var_;
+
+  /// The pattern rendered as SPARQL triples (cached).
+  std::string PatternText() const;
+};
+
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_FACET_H_

@@ -1,0 +1,69 @@
+#include "core/lattice.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sofos {
+namespace core {
+
+std::vector<uint32_t> Lattice::AllMasks() const {
+  std::vector<uint32_t> masks(size());
+  for (size_t i = 0; i < masks.size(); ++i) masks[i] = static_cast<uint32_t>(i);
+  return masks;
+}
+
+std::vector<uint32_t> Lattice::Children(uint32_t mask) const {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < facet_->num_dims(); ++i) {
+    uint32_t bit = 1u << i;
+    if (mask & bit) out.push_back(mask & ~bit);
+  }
+  return out;
+}
+
+std::vector<uint32_t> Lattice::Parents(uint32_t mask) const {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < facet_->num_dims(); ++i) {
+    uint32_t bit = 1u << i;
+    if (!(mask & bit)) out.push_back(mask | bit);
+  }
+  return out;
+}
+
+std::vector<uint32_t> Lattice::AnswerableBy(uint32_t mask) const {
+  // Enumerate all submasks of `mask` (standard subset-enumeration trick).
+  std::vector<uint32_t> out;
+  uint32_t sub = mask;
+  while (true) {
+    out.push_back(sub);
+    if (sub == 0) break;
+    sub = (sub - 1) & mask;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Lattice::Render(const std::vector<uint32_t>& selected) const {
+  auto is_selected = [&](uint32_t mask) {
+    return std::find(selected.begin(), selected.end(), mask) != selected.end();
+  };
+  std::string out;
+  int dims = static_cast<int>(facet_->num_dims());
+  for (int level = dims; level >= 0; --level) {
+    out += StrFormat("level %d: ", level);
+    bool first = true;
+    for (uint32_t mask = 0; mask < size(); ++mask) {
+      if (Level(mask) != level) continue;
+      if (!first) out += "  ";
+      first = false;
+      if (is_selected(mask)) out += "*";
+      out += facet_->MaskLabel(mask);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace sofos

@@ -1,0 +1,60 @@
+#ifndef SOFOS_CORE_LATTICE_H_
+#define SOFOS_CORE_LATTICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/facet.h"
+
+namespace sofos {
+namespace core {
+
+/// The lattice of views V(F) induced by a facet (paper §3): one view per
+/// subset of the grouping variables, ordered by set inclusion. The root
+/// (FullMask) is the finest view; the apex (mask 0) is the grand total.
+///
+/// Views are identified by bitmask throughout sofos; the lattice provides
+/// the order-theoretic helpers used by view selection and query routing.
+class Lattice {
+ public:
+  explicit Lattice(const Facet* facet) : facet_(facet) {}
+
+  const Facet& facet() const { return *facet_; }
+
+  /// Number of views, 2^d.
+  size_t size() const { return 1ull << facet_->num_dims(); }
+
+  /// All masks, apex first (0 .. 2^d - 1).
+  std::vector<uint32_t> AllMasks() const;
+
+  /// True iff a view with dimension set `view_mask` can answer a query that
+  /// needs the dimensions `needed_mask` (grouping ∪ filtering): the view
+  /// must retain every needed dimension.
+  static bool CanAnswer(uint32_t view_mask, uint32_t needed_mask) {
+    return (view_mask & needed_mask) == needed_mask;
+  }
+
+  /// Direct children: masks with exactly one dimension removed.
+  std::vector<uint32_t> Children(uint32_t mask) const;
+
+  /// Direct parents: masks with exactly one dimension added.
+  std::vector<uint32_t> Parents(uint32_t mask) const;
+
+  /// All views answerable by `mask` (its downset, including itself).
+  std::vector<uint32_t> AnswerableBy(uint32_t mask) const;
+
+  /// Number of grouped dimensions in `mask`.
+  static int Level(uint32_t mask) { return __builtin_popcount(mask); }
+
+  /// ASCII rendering of the lattice by level with a marker on selected
+  /// views — the textual twin of the demo GUI's lattice panel (Figure 3 ①/③).
+  std::string Render(const std::vector<uint32_t>& selected = {}) const;
+
+ private:
+  const Facet* facet_;
+};
+
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_LATTICE_H_

@@ -1,0 +1,105 @@
+#include "core/materializer.h"
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "rdf/vocab.h"
+#include "sparql/query_engine.h"
+
+namespace sofos {
+namespace core {
+
+Result<MaterializedView> Materializer::Materialize(uint32_t mask) {
+  SOFOS_ASSIGN_OR_RETURN(std::vector<MaterializedView> views,
+                         MaterializeAll({mask}));
+  return views[0];
+}
+
+Result<std::vector<MaterializedView>> Materializer::MaterializeAll(
+    const std::vector<uint32_t>& masks) {
+  if (!store_->finalized()) {
+    return Status::Internal("materializer requires a finalized store");
+  }
+
+  // Phase 1: compute every view over the current graph. All queries run
+  // before any encoding is appended so that each view is defined over the
+  // same graph state (and the store stays finalized while querying).
+  sparql::QueryEngine engine(store_);
+  std::vector<sparql::QueryResult> results;
+  std::vector<double> query_micros;
+  results.reserve(masks.size());
+  for (uint32_t mask : masks) {
+    WallTimer timer;
+    SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result,
+                           engine.Execute(facet_->ViewQuerySparql(mask)));
+    query_micros.push_back(timer.ElapsedMicros());
+    results.push_back(std::move(result));
+  }
+
+  // Phase 2: append the blank-node encodings.
+  std::vector<MaterializedView> views;
+  views.reserve(masks.size());
+  for (size_t i = 0; i < masks.size(); ++i) {
+    WallTimer timer;
+    views.push_back(Encode(masks[i], results[i]));
+    views.back().build_micros = query_micros[i] + timer.ElapsedMicros();
+  }
+
+  // Phase 3: one re-finalization for the whole batch.
+  WallTimer timer;
+  store_->Finalize();
+  if (!views.empty()) {
+    double each = timer.ElapsedMicros() / static_cast<double>(views.size());
+    for (auto& view : views) view.build_micros += each;
+  }
+  return views;
+}
+
+MaterializedView Materializer::Encode(uint32_t mask,
+                                      const sparql::QueryResult& result) {
+  MaterializedView view;
+  view.mask = mask;
+  view.view_iri = vocab::ViewIri(facet_->name(), mask);
+
+  const Term view_pred = Term::Iri(std::string(vocab::kSofosView));
+  const Term value_pred = Term::Iri(std::string(vocab::kSofosValue));
+  const Term rows_pred = Term::Iri(std::string(vocab::kSofosRows));
+  const Term view_iri_term = Term::Iri(view.view_iri);
+
+  // Dim predicates for the grouped dimensions, in result column order: the
+  // view query selects grouped dims first, then ?agg, then ?rows.
+  std::vector<Term> dim_preds;
+  for (size_t d = 0; d < facet_->num_dims(); ++d) {
+    if ((mask >> d) & 1u) {
+      dim_preds.push_back(Term::Iri(vocab::DimPredicate(facet_->dims()[d].var)));
+    }
+  }
+
+  uint64_t before = store_->NumTriples();
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    Term blank = Term::Blank(
+        StrFormat("mv_%s_%u_%llu", facet_->name().c_str(), mask,
+                  static_cast<unsigned long long>(next_blank_++)));
+    store_->Add(blank, view_pred, view_iri_term);
+    for (size_t d = 0; d < dim_preds.size(); ++d) {
+      if (result.bound[r][d]) {
+        store_->Add(blank, dim_preds[d], result.rows[r][d]);
+      }
+    }
+    size_t agg_col = dim_preds.size();
+    size_t rows_col = agg_col + 1;
+    if (result.bound[r][agg_col]) {
+      store_->Add(blank, value_pred, result.rows[r][agg_col]);
+    }
+    if (result.bound[r][rows_col]) {
+      store_->Add(blank, rows_pred, result.rows[r][rows_col]);
+    }
+    ++view.nodes_added;
+  }
+  view.rows = result.NumRows();
+  // The append log only grows (blank nodes are fresh, no dedup possible).
+  view.triples_added = store_->NumTriples() - before;
+  return view;
+}
+
+}  // namespace core
+}  // namespace sofos

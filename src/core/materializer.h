@@ -1,0 +1,63 @@
+#ifndef SOFOS_CORE_MATERIALIZER_H_
+#define SOFOS_CORE_MATERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/facet.h"
+#include "rdf/triple_store.h"
+#include "sparql/query_engine.h"
+
+namespace sofos {
+namespace core {
+
+/// Record of one materialized view inside the expanded graph G+.
+struct MaterializedView {
+  uint32_t mask = 0;
+  std::string view_iri;
+  uint64_t rows = 0;           // result rows encoded
+  uint64_t triples_added = 0;  // RDF triples added to G+
+  uint64_t nodes_added = 0;    // fresh blank nodes
+  double build_micros = 0.0;
+};
+
+/// Materializes lattice views into the store, generalizing the MARVEL
+/// encoding (paper §3.1): each view row becomes a fresh blank node
+///
+///   _:v  sofos:view       <http://sofos.ics.forth.gr/view/<facet>/<mask>>
+///   _:v  sofos:dim_<x>    <binding of grouped dimension x>   (per dim)
+///   _:v  sofos:value      "<aggregate value>"                (SUM for AVG)
+///   _:v  sofos:rows       "<contributing row count>"
+///
+/// The sofos: vocabulary is disjoint from application predicates, so
+/// original queries over G+ keep their answers; the rows counter makes
+/// COUNT and AVG roll-ups exact.
+class Materializer {
+ public:
+  Materializer(TripleStore* store, const Facet* facet)
+      : store_(store), facet_(facet) {}
+
+  /// Computes the view query over the current graph and appends its
+  /// encoding. The store is left finalized.
+  Result<MaterializedView> Materialize(uint32_t mask);
+
+  /// Materializes a batch with a single re-finalization at the end
+  /// (cheaper than per-view Finalize for multi-view selections).
+  Result<std::vector<MaterializedView>> MaterializeAll(
+      const std::vector<uint32_t>& masks);
+
+ private:
+  /// Appends the blank-node encoding of one computed view result.
+  MaterializedView Encode(uint32_t mask, const sparql::QueryResult& result);
+
+  TripleStore* store_;
+  const Facet* facet_;
+  uint64_t next_blank_ = 0;
+};
+
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_MATERIALIZER_H_

@@ -1,0 +1,61 @@
+#ifndef SOFOS_CORE_PROFILER_H_
+#define SOFOS_CORE_PROFILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/facet.h"
+#include "rdf/triple_store.h"
+
+namespace sofos {
+namespace core {
+
+/// Size/shape statistics of one candidate view, the raw material for every
+/// cost model (paper §3.1). "Encoded" figures describe the RDF graph the
+/// materialization of this view would add to G+.
+struct ViewStats {
+  uint32_t mask = 0;
+  uint64_t result_rows = 0;      // |V(G)|: number of aggregated values
+  uint64_t encoded_triples = 0;  // |G_V|: triples of the view's RDF encoding
+  uint64_t encoded_nodes = 0;    // |I_V ∪ B_V ∪ L_V|: distinct terms
+  uint64_t encoded_bytes = 0;    // approximate storage footprint
+  double eval_micros = 0.0;      // time to compute the view over G
+  bool estimated = false;        // true when derived from a sample
+};
+
+/// How the lattice statistics are obtained: kExact executes every view
+/// query over the base graph; kSampled executes only the root view and
+/// derives the rest from a row sample with naive linear scale-up (the E9
+/// ablation quantifies the error this introduces).
+enum class ProfileMode { kExact, kSampled };
+
+struct ProfileOptions {
+  ProfileMode mode = ProfileMode::kExact;
+  double sample_rate = 0.1;  // kSampled: fraction of root rows kept
+  uint64_t seed = 42;
+};
+
+/// Per-facet lattice statistics plus the base-graph figures cost models
+/// compare against.
+struct LatticeProfile {
+  std::vector<ViewStats> views;  // indexed by mask, size 2^d
+  uint64_t base_triples = 0;     // |G|
+  uint64_t base_nodes = 0;       // graph nodes of G
+  uint64_t base_pattern_rows = 0;  // bindings of the facet pattern P over G
+  double profile_micros = 0.0;
+  ProfileMode mode = ProfileMode::kExact;
+  double sample_rate = 1.0;
+
+  const ViewStats& ForMask(uint32_t mask) const { return views[mask]; }
+};
+
+/// Computes the lattice profile for `facet` over `store` (which must be
+/// finalized; its dictionary may grow through aggregate interning).
+Result<LatticeProfile> ProfileLattice(TripleStore* store, const Facet& facet,
+                                      const ProfileOptions& options = {});
+
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_PROFILER_H_

@@ -1,0 +1,187 @@
+#include "core/rewriter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+#include "rdf/vocab.h"
+
+namespace sofos {
+namespace core {
+
+using sparql::AggKind;
+using sparql::Expr;
+
+std::optional<uint32_t> Rewriter::PickBestView(
+    const QuerySignature& signature, const std::vector<uint32_t>& available,
+    const LatticeProfile& profile, const CostModel* model) const {
+  uint32_t needed = signature.NeededMask();
+  std::optional<uint32_t> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (uint32_t mask : available) {
+    if ((mask & needed) != needed) continue;
+    double cost = model != nullptr
+                      ? model->ViewCost(mask, profile)
+                      : static_cast<double>(profile.ForMask(mask).result_rows);
+    if (cost < best_cost || (cost == best_cost && best.has_value() && mask < *best)) {
+      best_cost = cost;
+      best = mask;
+    }
+  }
+  return best;
+}
+
+Result<std::string> Rewriter::RewriteToView(const QuerySignature& signature,
+                                            uint32_t mask) const {
+  uint32_t needed = signature.NeededMask();
+  if ((mask & needed) != needed) {
+    return Status::InvalidArgument(StrFormat(
+        "view %s cannot answer a query needing %s",
+        facet_->MaskLabel(mask).c_str(), facet_->MaskLabel(needed).c_str()));
+  }
+
+  // SELECT clause: grouped dims + the rolled-up aggregate.
+  std::string select = "SELECT";
+  std::string group;
+  for (size_t d = 0; d < facet_->num_dims(); ++d) {
+    if ((signature.group_mask >> d) & 1u) {
+      select += " ?" + facet_->dims()[d].var;
+      group += " ?" + facet_->dims()[d].var;
+    }
+  }
+  std::string rollup;
+  bool need_rows = false;
+  switch (facet_->agg_kind()) {
+    case AggKind::kSum:
+    case AggKind::kCount:
+      rollup = "(SUM(?__v) AS ?agg)";
+      break;
+    case AggKind::kMin:
+      rollup = "(MIN(?__v) AS ?agg)";
+      break;
+    case AggKind::kMax:
+      rollup = "(MAX(?__v) AS ?agg)";
+      break;
+    case AggKind::kAvg:
+      rollup = "((SUM(?__v) / SUM(?__n)) AS ?agg)";
+      need_rows = true;
+      break;
+  }
+  select += " " + rollup;
+
+  // WHERE clause over the view encoding. Dimensions needed by the query are
+  // bound to their canonical variable names; other view dimensions stay
+  // untouched (their triples exist but are not constrained).
+  std::string where = " WHERE {\n";
+  where += "  ?__b <" + std::string(vocab::kSofosView) + "> <" +
+           vocab::ViewIri(facet_->name(), mask) + "> .\n";
+  for (size_t d = 0; d < facet_->num_dims(); ++d) {
+    if ((needed >> d) & 1u) {
+      where += "  ?__b <" + vocab::DimPredicate(facet_->dims()[d].var) + "> ?" +
+               facet_->dims()[d].var + " .\n";
+    }
+  }
+  where += "  ?__b <" + std::string(vocab::kSofosValue) + "> ?__v .\n";
+  if (need_rows) {
+    where += "  ?__b <" + std::string(vocab::kSofosRows) + "> ?__n .\n";
+  }
+  for (const DimConstraint& c : signature.constraints) {
+    if (c.usage == DimUsage::kFilteredEq || c.usage == DimUsage::kFilteredRange) {
+      where += "  FILTER(" + c.filter_sparql + ")\n";
+    }
+  }
+  where += "}";
+
+  std::string out = select + where;
+  if (!group.empty()) out += " GROUP BY" + group;
+  return out;
+}
+
+Result<QuerySignature> Rewriter::AnalyzeQuery(const sparql::Query& query) const {
+  // The query must be an instance of the facet template: same basic graph
+  // pattern (as a set) and the facet's aggregate over the facet's variable.
+  // Anything else is not answerable from the facet's views — routing a
+  // structurally different query to a view would silently change answers.
+  {
+    std::vector<std::string> query_pattern, facet_pattern;
+    for (const auto& tp : query.where) query_pattern.push_back(tp.ToString());
+    for (const auto& tp : facet_->pattern()) facet_pattern.push_back(tp.ToString());
+    std::sort(query_pattern.begin(), query_pattern.end());
+    std::sort(facet_pattern.begin(), facet_pattern.end());
+    if (query_pattern != facet_pattern) {
+      return Status::InvalidArgument(
+          "query pattern does not match the facet template of " +
+          facet_->name());
+    }
+  }
+  {
+    const sparql::Expr* agg = nullptr;
+    for (const auto& item : query.select) {
+      if (item.expr != nullptr && item.expr->ContainsAggregate()) {
+        if (agg != nullptr || item.expr->kind != sparql::Expr::Kind::kAggregate) {
+          return Status::InvalidArgument(
+              "facet queries carry exactly one plain aggregate");
+        }
+        agg = item.expr.get();
+      }
+    }
+    if (agg == nullptr || agg->count_star || agg->agg != facet_->agg_kind() ||
+        agg->agg_arg == nullptr ||
+        agg->agg_arg->kind != sparql::Expr::Kind::kVar ||
+        agg->agg_arg->var != facet_->agg_var()) {
+      return Status::InvalidArgument(
+          "query aggregate does not match the facet's " +
+          sparql::AggKindName(facet_->agg_kind()) + "(?" + facet_->agg_var() +
+          ")");
+    }
+  }
+
+  QuerySignature signature;
+  for (const std::string& var : query.group_by) {
+    int dim = facet_->DimIndex(var);
+    if (dim < 0) {
+      return Status::InvalidArgument(
+          "GROUP BY variable ?" + var + " is not a dimension of facet " +
+          facet_->name());
+    }
+    signature.group_mask |= 1u << dim;
+  }
+  for (const auto& filter : query.filters) {
+    std::vector<std::string> vars;
+    filter->CollectVars(&vars);
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    if (vars.size() != 1) {
+      return Status::InvalidArgument(
+          "facet query filters must constrain exactly one dimension: " +
+          filter->ToString());
+    }
+    int dim = facet_->DimIndex(vars[0]);
+    if (dim < 0) {
+      return Status::InvalidArgument("FILTER variable ?" + vars[0] +
+                                     " is not a dimension of facet " +
+                                     facet_->name());
+    }
+    signature.filter_mask |= 1u << dim;
+    DimConstraint constraint;
+    constraint.dim = dim;
+    // Equality against a constant is the common case; anything else is
+    // treated as a range-style constraint. Either way the original filter
+    // expression is reused verbatim in the rewrite.
+    constraint.usage = (filter->kind == Expr::Kind::kBinary &&
+                        filter->bop == sparql::BinaryOp::kEq)
+                           ? DimUsage::kFilteredEq
+                           : DimUsage::kFilteredRange;
+    std::string text = filter->ToString();
+    // Strip one layer of outer parentheses for readability.
+    if (text.size() > 2 && text.front() == '(' && text.back() == ')') {
+      text = text.substr(1, text.size() - 2);
+    }
+    constraint.filter_sparql = text;
+    signature.constraints.push_back(std::move(constraint));
+  }
+  return signature;
+}
+
+}  // namespace core
+}  // namespace sofos

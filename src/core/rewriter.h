@@ -1,0 +1,57 @@
+#ifndef SOFOS_CORE_REWRITER_H_
+#define SOFOS_CORE_REWRITER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cost_model.h"
+#include "core/facet.h"
+#include "core/profiler.h"
+#include "core/workload_types.h"
+#include "sparql/ast.h"
+
+namespace sofos {
+namespace core {
+
+/// The query-rewriting half of the Sofos online module (paper §3.2): given
+/// an analytical query targeting the facet, pick the best usable
+/// materialized view and translate the query into one over the view's
+/// blank-node encoding in the expanded graph G+. "The translation
+/// straightforwardly substitutes aggregate variables with the blank nodes
+/// representing the aggregation and reformulates triple patterns
+/// accordingly."
+class Rewriter {
+ public:
+  explicit Rewriter(const Facet* facet) : facet_(facet) {}
+
+  /// Chooses the cheapest view in `available` that can answer `signature`
+  /// (needs ⊆ view dims), ranked by `model` over `profile`; falls back to
+  /// result-row count when model is null. Returns nullopt when no view
+  /// qualifies (the query must then run on the base graph).
+  std::optional<uint32_t> PickBestView(const QuerySignature& signature,
+                                       const std::vector<uint32_t>& available,
+                                       const LatticeProfile& profile,
+                                       const CostModel* model = nullptr) const;
+
+  /// Rewrites the query described by `signature` into SPARQL over the
+  /// materialized encoding of view `mask`. Roll-up: SUM→SUM(value),
+  /// COUNT→SUM(value), MIN/MAX→MIN/MAX(value), AVG→SUM(value)/SUM(rows).
+  Result<std::string> RewriteToView(const QuerySignature& signature,
+                                    uint32_t mask) const;
+
+  /// Extracts the signature of a parsed analytical query written against
+  /// the facet's canonical variable names (the form the demo's workload
+  /// generator produces): GROUP BY vars must be facet dims, FILTERs must
+  /// constrain single dims.
+  Result<QuerySignature> AnalyzeQuery(const sparql::Query& query) const;
+
+ private:
+  const Facet* facet_;
+};
+
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_REWRITER_H_

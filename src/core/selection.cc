@@ -1,0 +1,192 @@
+#include "core/selection.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace sofos {
+namespace core {
+
+bool SelectionResult::Contains(uint32_t mask) const {
+  return std::find(views.begin(), views.end(), mask) != views.end();
+}
+
+std::string SelectionResult::ToString(const Facet& facet) const {
+  std::string out = model_name + ": [";
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (i) out += ", ";
+    out += facet.MaskLabel(views[i]);
+  }
+  out += "]";
+  return out;
+}
+
+QueryWeights UniformWeights(size_t lattice_size) {
+  return QueryWeights(lattice_size, 1.0 / static_cast<double>(lattice_size));
+}
+
+SelectionResult GreedySelector::SelectTopK(size_t k, const QueryWeights* weights,
+                                           uint64_t seed) const {
+  return SelectImpl(k, std::numeric_limits<uint64_t>::max(), weights, seed);
+}
+
+SelectionResult GreedySelector::SelectWithinBytes(uint64_t byte_budget,
+                                                  const QueryWeights* weights,
+                                                  uint64_t seed) const {
+  return SelectImpl(lattice_->size(), byte_budget, weights, seed);
+}
+
+SelectionResult GreedySelector::SelectImpl(size_t max_views, uint64_t byte_budget,
+                                           const QueryWeights* weights,
+                                           uint64_t seed) const {
+  WallTimer timer;
+  SelectionResult result;
+  result.model_name = model_->name();
+  const size_t n = lattice_->size();
+  max_views = std::min(max_views, n);
+
+  // Constant models carry no information: random k-subset (paper §3.1).
+  if (model_->IsConstant()) {
+    Rng rng(seed);
+    std::vector<size_t> picks = rng.SampleIndices(n, max_views);
+    uint64_t used = 0;
+    for (size_t pick : picks) {
+      uint32_t mask = static_cast<uint32_t>(pick);
+      uint64_t bytes = profile_->ForMask(mask).encoded_bytes;
+      if (used + bytes > byte_budget) continue;
+      used += bytes;
+      result.views.push_back(mask);
+      result.benefits.push_back(0.0);
+    }
+    result.selection_micros = timer.ElapsedMicros();
+    return result;
+  }
+
+  QueryWeights uniform;
+  if (weights == nullptr) {
+    uniform = UniformWeights(n);
+    weights = &uniform;
+  }
+
+  // cur[w] = cheapest current way to answer a query needing exactly w.
+  std::vector<double> cur(n, model_->BaseCost(*profile_));
+  std::vector<bool> selected(n, false);
+  uint64_t used_bytes = 0;
+
+  for (size_t round = 0; round < max_views; ++round) {
+    double best_benefit = -1.0;
+    double best_cost = 0.0;
+    int best_mask = -1;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (selected[v]) continue;
+      uint64_t bytes = profile_->ForMask(v).encoded_bytes;
+      if (used_bytes + bytes > byte_budget) continue;
+      double cost_v = model_->ViewCost(v, *profile_);
+      double benefit = 0.0;
+      for (uint32_t w : lattice_->AnswerableBy(v)) {
+        double gain = cur[w] - cost_v;
+        if (gain > 0) benefit += (*weights)[w] * gain;
+      }
+      // Ties break toward the cheaper view, then the smaller mask, keeping
+      // selection fully deterministic.
+      if (benefit > best_benefit ||
+          (benefit == best_benefit && best_mask >= 0 && cost_v < best_cost)) {
+        best_benefit = benefit;
+        best_cost = cost_v;
+        best_mask = static_cast<int>(v);
+      }
+    }
+    if (best_mask < 0) break;  // nothing fits the byte budget
+
+    uint32_t mask = static_cast<uint32_t>(best_mask);
+    selected[mask] = true;
+    used_bytes += profile_->ForMask(mask).encoded_bytes;
+    result.views.push_back(mask);
+    result.benefits.push_back(best_benefit);
+    double cost_v = model_->ViewCost(mask, *profile_);
+    for (uint32_t w : lattice_->AnswerableBy(mask)) {
+      cur[w] = std::min(cur[w], cost_v);
+    }
+  }
+  result.selection_micros = timer.ElapsedMicros();
+  return result;
+}
+
+SelectionResult UserSelection(std::vector<uint32_t> masks) {
+  SelectionResult result;
+  result.model_name = "user";
+  result.views = std::move(masks);
+  result.benefits.assign(result.views.size(), 0.0);
+  return result;
+}
+
+Result<SelectionResult> OracleSelection(
+    const Lattice& lattice, size_t k,
+    const std::vector<std::vector<double>>& answer_cost,
+    const QueryWeights* weights) {
+  const size_t n = lattice.size();
+  if (answer_cost.size() != n) {
+    return Status::InvalidArgument("answer_cost must have one row per view");
+  }
+  for (const auto& row : answer_cost) {
+    if (row.size() != n + 1) {
+      return Status::InvalidArgument(
+          "answer_cost rows must have 2^d + 1 columns (views + base)");
+    }
+  }
+  k = std::min(k, n);
+  QueryWeights uniform;
+  if (weights == nullptr) {
+    uniform = UniformWeights(n);
+    weights = &uniform;
+  }
+
+  WallTimer timer;
+  std::vector<size_t> best;
+  double best_score = std::numeric_limits<double>::infinity();
+
+  // Enumerate all C(n, k) subsets with a standard combination counter.
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    double score = 0.0;
+    for (uint32_t w = 0; w < n; ++w) {
+      double cheapest = answer_cost[w][n];  // base graph
+      for (size_t i = 0; i < k; ++i) {
+        uint32_t v = static_cast<uint32_t>(idx[i]);
+        if (Lattice::CanAnswer(v, w)) {
+          cheapest = std::min(cheapest, answer_cost[w][v]);
+        }
+      }
+      score += (*weights)[w] * cheapest;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = idx;
+    }
+    // Advance to the next combination; stop when exhausted.
+    bool advanced = false;
+    for (size_t i = k; i-- > 0;) {
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+
+  SelectionResult result;
+  result.model_name = "oracle";
+  for (size_t m : best) result.views.push_back(static_cast<uint32_t>(m));
+  result.benefits.assign(result.views.size(), best_score);
+  result.selection_micros = timer.ElapsedMicros();
+  return result;
+}
+
+}  // namespace core
+}  // namespace sofos

@@ -1,0 +1,90 @@
+#ifndef SOFOS_CORE_SELECTION_H_
+#define SOFOS_CORE_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/cost_model.h"
+#include "core/lattice.h"
+#include "core/profiler.h"
+
+namespace sofos {
+namespace core {
+
+/// Outcome of a view-selection run.
+struct SelectionResult {
+  std::vector<uint32_t> views;   // chosen masks, in pick order
+  std::vector<double> benefits;  // greedy benefit at each pick (0 for random/user)
+  double selection_micros = 0.0;
+  std::string model_name;
+
+  bool Contains(uint32_t mask) const;
+  std::string ToString(const Facet& facet) const;
+};
+
+/// Per-view query weights for workload-aware selection: weight[mask] is the
+/// probability that an incoming query needs exactly the dimensions `mask`.
+/// Uniform weights reproduce the classic HRU setting.
+using QueryWeights = std::vector<double>;
+
+QueryWeights UniformWeights(size_t lattice_size);
+
+/// Greedy benefit-based view selection (Harinarayan–Rajaraman–Ullman 1996,
+/// adapted to cost models over RDF views — paper §3: "to select the best
+/// set of views, we adopt a greedy approach").
+///
+/// Benefit of candidate V given already-selected set S:
+///   B(V, S) = Σ_{w ⊆ V} weight(w) · max(0, cur(w) − C(V))
+/// where cur(w) is the cheapest current way to answer w (selected views or
+/// the base graph). Each round picks the highest-benefit view; ties break
+/// deterministically toward the smaller mask.
+///
+/// For constant cost models (Random) the estimates carry no signal; per the
+/// paper, the selector then returns a seeded random k-subset.
+class GreedySelector {
+ public:
+  GreedySelector(const Lattice* lattice, const LatticeProfile* profile,
+                 const CostModel* model)
+      : lattice_(lattice), profile_(profile), model_(model) {}
+
+  /// Selects exactly `k` views (or the whole lattice if k >= 2^d).
+  SelectionResult SelectTopK(size_t k, const QueryWeights* weights = nullptr,
+                             uint64_t seed = 42) const;
+
+  /// Selects views while their total encoded size fits `byte_budget` (the
+  /// space-budget variant mentioned in §3: "this budget can be adapted to
+  /// regulate the space consumption").
+  SelectionResult SelectWithinBytes(uint64_t byte_budget,
+                                    const QueryWeights* weights = nullptr,
+                                    uint64_t seed = 42) const;
+
+ private:
+  SelectionResult SelectImpl(size_t max_views, uint64_t byte_budget,
+                             const QueryWeights* weights, uint64_t seed) const;
+
+  const Lattice* lattice_;
+  const LatticeProfile* profile_;
+  const CostModel* model_;
+};
+
+/// The "User defined" strategy (paper §3.1): the user picks the views.
+SelectionResult UserSelection(std::vector<uint32_t> masks);
+
+/// Exhaustive oracle over all k-subsets of the lattice, scored by a
+/// caller-provided answering-cost matrix:
+///   answer_cost[needed_mask][view_mask] = cost of answering a query that
+///   needs `needed_mask` from `view_mask`, and answer_cost[needed][lattice
+///   size] = cost from the base graph.
+/// Used by the E5 "hands-on challenge" bench with *measured* runtimes to
+/// quantify each cost model's regret. Complexity: C(2^d, k) subsets.
+Result<SelectionResult> OracleSelection(
+    const Lattice& lattice, size_t k,
+    const std::vector<std::vector<double>>& answer_cost,
+    const QueryWeights* weights = nullptr);
+
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_SELECTION_H_

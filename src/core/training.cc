@@ -1,0 +1,122 @@
+#include "core/training.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+#include "sparql/query_engine.h"
+
+namespace sofos {
+namespace core {
+
+namespace {
+
+/// Median-of-n timing of one SPARQL query.
+Result<double> MedianMicros(sparql::QueryEngine* engine, const std::string& query,
+                            int repetitions) {
+  std::vector<double> times;
+  for (int i = 0; i < std::max(1, repetitions); ++i) {
+    WallTimer timer;
+    SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result, engine->Execute(query));
+    (void)result;
+    times.push_back(timer.ElapsedMicros());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+Result<std::vector<TrainingSample>> CollectRuntimeSamples(
+    SofosEngine* engine, const LearnedTrainingOptions& options) {
+  if (!engine->has_facet()) return Status::Internal("no facet set");
+  if (engine->profile() == nullptr) {
+    return Status::Internal("CollectRuntimeSamples requires Profile() first");
+  }
+  if (!engine->materialized().empty()) {
+    return Status::InvalidArgument(
+        "training must start from an unexpanded graph (drop views first)");
+  }
+  const Facet& facet = engine->facet();
+  const Lattice& lattice = engine->lattice();
+
+  // The feature extractor is the same one the LearnedCostModel will use; a
+  // throwaway zero-weight model gives access to Features().
+  auto scratch_mlp = std::make_shared<learned::Mlp>(
+      std::vector<int>{learned::FeatureEncoder().dim(), 1}, options.seed);
+  LearnedCostModel featurizer(scratch_mlp, learned::FeatureEncoder(), &facet,
+                              engine->store());
+
+  // Materialize the full lattice (the demo's "Exploration of the Full
+  // Lattice" step) and measure each view's canonical query answered from
+  // its own materialization.
+  std::vector<uint32_t> all_masks = lattice.AllMasks();
+  SOFOS_ASSIGN_OR_RETURN(auto views, engine->MaterializeViews(all_masks));
+  (void)views;
+
+  Rewriter rewriter(&facet);
+  sparql::QueryEngine qe(engine->store());
+  std::vector<TrainingSample> samples;
+
+  for (uint32_t mask : all_masks) {
+    QuerySignature signature;
+    signature.group_mask = mask;
+    SOFOS_ASSIGN_OR_RETURN(std::string rewritten,
+                           rewriter.RewriteToView(signature, mask));
+    SOFOS_ASSIGN_OR_RETURN(double micros,
+                           MedianMicros(&qe, rewritten, options.repetitions));
+    TrainingSample sample;
+    sample.mask = mask;
+    sample.features = featurizer.Features(mask);
+    sample.label_log_micros = std::log1p(micros);
+    samples.push_back(std::move(sample));
+  }
+
+  // Base-graph samples: canonical queries executed over the raw pattern,
+  // encoded with the sentinel "base" features. These teach the model that
+  // bypassing views is slow.
+  for (uint32_t mask : {facet.FullMask(), 0u}) {
+    SOFOS_ASSIGN_OR_RETURN(
+        double micros,
+        MedianMicros(&qe, facet.CanonicalQuerySparql(mask), options.repetitions));
+    TrainingSample sample;
+    sample.mask = mask;
+    sample.is_base = true;
+    sample.features = featurizer.BaseFeatures();
+    sample.label_log_micros = std::log1p(micros);
+    samples.push_back(std::move(sample));
+  }
+
+  SOFOS_RETURN_IF_ERROR(engine->DropMaterializedViews());
+  return samples;
+}
+
+Result<std::shared_ptr<learned::Mlp>> TrainLearnedModel(
+    SofosEngine* engine, const LearnedTrainingOptions& options) {
+  SOFOS_ASSIGN_OR_RETURN(std::vector<TrainingSample> samples,
+                         CollectRuntimeSamples(engine, options));
+  if (samples.empty()) return Status::Internal("no training samples collected");
+
+  std::vector<int> sizes;
+  sizes.push_back(static_cast<int>(samples[0].features.size()));
+  for (int h : options.hidden) sizes.push_back(h);
+  sizes.push_back(1);
+
+  auto mlp = std::make_shared<learned::Mlp>(sizes, options.seed);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (const auto& sample : samples) {
+    xs.push_back(sample.features);
+    ys.push_back(sample.label_log_micros);
+  }
+  learned::TrainConfig config = options.train;
+  config.epochs = options.epochs;
+  config.seed = options.seed;
+  SOFOS_ASSIGN_OR_RETURN(double mse, mlp->Train(xs, ys, config));
+  (void)mse;
+  engine->SetLearnedModel(mlp);
+  return mlp;
+}
+
+}  // namespace core
+}  // namespace sofos

@@ -1,0 +1,50 @@
+#ifndef SOFOS_CORE_TRAINING_H_
+#define SOFOS_CORE_TRAINING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "learned/mlp.h"
+
+namespace sofos {
+namespace core {
+
+/// Offline training of the learned cost model (paper §3.1): "In the offline
+/// training phase, the model takes the encoding of either a given workload
+/// or randomly generated queries and their running time."
+struct LearnedTrainingOptions {
+  /// Hidden layer widths of the regression network.
+  std::vector<int> hidden = {32, 16};
+  int epochs = 300;
+  /// Timing repetitions per sample; the median is used as the label.
+  int repetitions = 3;
+  uint64_t seed = 42;
+  learned::TrainConfig train;  // optimizer settings (learning rate etc.)
+};
+
+/// One (features, label) pair; labels are log1p(micros) for scale stability.
+struct TrainingSample {
+  uint32_t mask = 0;       // view the timing belongs to; FullMask+sentinel for base
+  bool is_base = false;    // base-graph sample
+  std::vector<double> features;
+  double label_log_micros = 0.0;
+};
+
+/// Materializes the full lattice, measures the canonical query of every
+/// view answered from its own materialization (plus base-graph samples),
+/// drops the views again, and returns the samples. The engine must have a
+/// store, facet and profile.
+Result<std::vector<TrainingSample>> CollectRuntimeSamples(
+    SofosEngine* engine, const LearnedTrainingOptions& options);
+
+/// CollectRuntimeSamples + Mlp training; registers the model on the engine
+/// (after which MakeModel(kLearned) works) and also returns it.
+Result<std::shared_ptr<learned::Mlp>> TrainLearnedModel(
+    SofosEngine* engine, const LearnedTrainingOptions& options = {});
+
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_TRAINING_H_

@@ -1,0 +1,51 @@
+#ifndef SOFOS_CORE_WORKLOAD_TYPES_H_
+#define SOFOS_CORE_WORKLOAD_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sofos {
+namespace core {
+
+/// How a single facet dimension is constrained by a query.
+enum class DimUsage {
+  kUnused = 0,
+  kGrouped,     // appears in GROUP BY (and SELECT)
+  kFilteredEq,  // constrained by FILTER(?dim = <constant>)
+  kFilteredRange,  // constrained by FILTER(lo <= ?dim && ?dim <= hi)
+};
+
+/// One dimension constraint of an analytical query.
+struct DimConstraint {
+  int dim = -1;
+  DimUsage usage = DimUsage::kUnused;
+  /// SPARQL rendering of the filter condition over ?<dim var>, e.g.
+  /// "?country = <http://...>" or "?year >= 2015 && ?year <= 2017".
+  /// Empty for kGrouped/kUnused.
+  std::string filter_sparql;
+};
+
+/// Structural summary of an analytical query against a facet: which
+/// dimensions it groups by and which it filters. A view with dimension set
+/// S answers the query iff (group_mask | filter_mask) ⊆ S.
+struct QuerySignature {
+  uint32_t group_mask = 0;
+  uint32_t filter_mask = 0;
+  std::vector<DimConstraint> constraints;  // filtered dims only
+
+  uint32_t NeededMask() const { return group_mask | filter_mask; }
+};
+
+/// A concrete analytical query of a workload: the SPARQL text targeting the
+/// base graph plus its signature (used for view routing and rewriting).
+struct WorkloadQuery {
+  std::string id;
+  std::string sparql;
+  QuerySignature signature;
+};
+
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_WORKLOAD_TYPES_H_

@@ -1,0 +1,33 @@
+#ifndef SOFOS_DATAGEN_DATASET_H_
+#define SOFOS_DATAGEN_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace sofos {
+namespace datagen {
+
+/// A generated dataset plus the analytical facet the SOFOS demo attaches to
+/// it (paper §4 "Configuration": each dataset comes with query facets, each
+/// given as a SPARQL query template).
+struct DatasetSpec {
+  std::string name;
+  std::string description;
+
+  /// The facet as a SPARQL analytical query template
+  /// SELECT dims... (agg(?u) AS ?agg) WHERE { P } GROUP BY dims...
+  std::string facet_sparql;
+
+  /// The facet's grouping dimensions, in lattice bit order.
+  std::vector<std::string> dim_vars;
+
+  /// Human-readable label per dimension, parallel to dim_vars.
+  std::vector<std::string> dim_labels;
+};
+
+}  // namespace datagen
+}  // namespace sofos
+
+#endif  // SOFOS_DATAGEN_DATASET_H_

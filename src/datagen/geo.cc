@@ -1,0 +1,111 @@
+#include "datagen/geo.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace sofos {
+namespace datagen {
+
+namespace {
+
+Term Geo(const std::string& local) { return Term::Iri(std::string(kGeoNs) + local); }
+
+const char* kContinents[] = {"Europe", "Asia", "Africa", "NorthAmerica",
+                             "SouthAmerica", "Oceania"};
+
+}  // namespace
+
+DatasetSpec GenerateGeoPop(const GeoPopConfig& config, TripleStore* store) {
+  Rng rng(config.seed);
+
+  const Term p_part_of = Geo("partOf");
+  const Term p_name = Geo("name");
+  const Term p_country = Geo("country");
+  const Term p_language = Geo("language");
+  const Term p_year = Geo("year");
+  const Term p_population = Geo("population");
+  const Term p_spoken_in = Geo("spokenIn");
+  const Term p_type = Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  const Term c_country = Geo("Country");
+  const Term c_language_cls = Geo("Language");
+  const Term c_observation = Geo("Observation");
+
+  // Languages with Zipf-skewed popularity: low ranks are spoken in many
+  // countries (like English/French in DBpedia), high ranks in few.
+  std::vector<Term> languages;
+  for (int l = 0; l < config.num_languages; ++l) {
+    Term lang = Geo("lang/L" + std::to_string(l));
+    languages.push_back(lang);
+    store->Add(lang, p_type, c_language_cls);
+    store->Add(lang, p_name, Term::String("Language-" + std::to_string(l)));
+  }
+  ZipfSampler lang_sampler(static_cast<uint64_t>(config.num_languages),
+                           config.language_skew);
+
+  int obs_id = 0;
+  for (int c = 0; c < config.num_countries; ++c) {
+    Term country = Geo("country/C" + std::to_string(c));
+    const char* continent = kContinents[rng.Uniform(6)];
+    store->Add(country, p_type, c_country);
+    store->Add(country, p_name, Term::String("Country-" + std::to_string(c)));
+    store->Add(country, p_part_of, Geo("continent/" + std::string(continent)));
+
+    // 1-3 official languages per country, Zipf-sampled.
+    int num_langs = 1 + static_cast<int>(rng.Uniform(3));
+    std::vector<size_t> lang_ids;
+    while (static_cast<int>(lang_ids.size()) < num_langs) {
+      size_t pick = lang_sampler.Sample(&rng);
+      bool dup = false;
+      for (size_t seen : lang_ids) dup |= (seen == pick);
+      if (!dup) lang_ids.push_back(pick);
+    }
+
+    // Base population per country: log-uniformly spread between ~100k and
+    // ~100M so that aggregates have realistic skew.
+    double base_pop = std::pow(10.0, rng.UniformDouble(5.0, 8.0));
+
+    for (size_t lang_idx : lang_ids) {
+      const Term& lang = languages[lang_idx];
+      store->Add(lang, p_spoken_in, country);
+      // Speaker share of this language within the country.
+      double share = rng.UniformDouble(0.05, 1.0);
+      for (int year = config.year_min; year <= config.year_max; ++year) {
+        // ~1% yearly growth plus noise.
+        double growth =
+            std::pow(1.01, year - config.year_min) * rng.UniformDouble(0.97, 1.03);
+        int64_t pop = static_cast<int64_t>(base_pop * share * growth);
+        Term obs = Term::Blank("obs" + std::to_string(obs_id++));
+        store->Add(obs, p_type, c_observation);
+        store->Add(obs, p_country, country);
+        store->Add(obs, p_language, lang);
+        store->Add(obs, p_year, Term::Integer(year));
+        store->Add(obs, p_population, Term::Integer(pop));
+      }
+    }
+  }
+  store->Finalize();
+
+  DatasetSpec spec;
+  spec.name = "geopop";
+  spec.description =
+      "DBpedia-style geography KG (paper Figure 1): population observations "
+      "per country, language and year, with continent membership";
+  spec.facet_sparql = StrFormat(
+      "PREFIX geo: <%s>\n"
+      "SELECT ?continent ?country ?language ?year (SUM(?pop) AS ?agg) WHERE {\n"
+      "  ?obs geo:country ?country .\n"
+      "  ?obs geo:language ?language .\n"
+      "  ?obs geo:year ?year .\n"
+      "  ?obs geo:population ?pop .\n"
+      "  ?country geo:partOf ?continent .\n"
+      "} GROUP BY ?continent ?country ?language ?year",
+      kGeoNs);
+  spec.dim_vars = {"continent", "country", "language", "year"};
+  spec.dim_labels = {"Continent", "Country", "Language", "Year"};
+  return spec;
+}
+
+}  // namespace datagen
+}  // namespace sofos

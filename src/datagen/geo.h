@@ -1,0 +1,43 @@
+#ifndef SOFOS_DATAGEN_GEO_H_
+#define SOFOS_DATAGEN_GEO_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace sofos {
+namespace datagen {
+
+/// Configuration for the GeoPop generator (the DBpedia-style substitute
+/// reproducing the paper's running example, Figure 1: countries, continents,
+/// languages, years, population observations).
+struct GeoPopConfig {
+  int num_countries = 60;
+  int num_languages = 24;
+  int year_min = 2010;
+  int year_max = 2019;
+  /// Zipf exponent for language popularity (0 = uniform).
+  double language_skew = 1.1;
+  uint64_t seed = 42;
+};
+
+/// Namespace used for all GeoPop IRIs.
+inline constexpr const char* kGeoNs = "http://sofos.example.org/geo#";
+
+/// Generates a synthetic geography knowledge graph into `store` (left
+/// unfinalized is NOT the case: the store is finalized before returning)
+/// and returns the dataset spec with the population facet:
+///
+///   SELECT ?continent ?country ?language ?year (SUM(?pop) AS ?agg)
+///   WHERE { observation pattern } GROUP BY ?continent ?country ?language ?year
+///
+/// Every (country, language, year) combination yields one observation blank
+/// node carrying the population count for that slice — the exact data-cube
+/// shape the paper aggregates over ("the amount of population per country
+/// speaking each language").
+DatasetSpec GenerateGeoPop(const GeoPopConfig& config, TripleStore* store);
+
+}  // namespace datagen
+}  // namespace sofos
+
+#endif  // SOFOS_DATAGEN_GEO_H_

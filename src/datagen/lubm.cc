@@ -1,0 +1,147 @@
+#include "datagen/lubm.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace sofos {
+namespace datagen {
+
+namespace {
+
+Term L(const std::string& local) { return Term::Iri(std::string(kLubmNs) + local); }
+
+}  // namespace
+
+DatasetSpec GenerateLubm(const LubmConfig& config, TripleStore* store) {
+  Rng rng(config.seed);
+
+  const Term p_type = Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  const Term p_sub_org = L("subOrganizationOf");
+  const Term p_works_for = L("worksFor");
+  const Term p_member_of = L("memberOf");
+  const Term p_takes = L("takesCourse");
+  const Term p_teacher = L("teacherOf");
+  const Term p_advisor = L("advisor");
+  const Term p_offered_by = L("offeredBy");
+  const Term p_course_level = L("courseLevel");
+  const Term p_student_type = L("studentType");
+  const Term p_name = L("name");
+  const Term p_email = L("emailAddress");
+  const Term p_age = L("age");
+  const Term p_credits = L("credits");
+  const Term p_author = L("publicationAuthor");
+
+  const Term c_university = L("University");
+  const Term c_department = L("Department");
+  const Term c_professor = L("Professor");
+  const Term c_student = L("Student");
+  const Term c_course = L("Course");
+  const Term c_publication = L("Publication");
+
+  const Term lvl_under = Term::String("undergraduate");
+  const Term lvl_grad = Term::String("graduate");
+  const Term st_under = Term::String("undergrad");
+  const Term st_grad = Term::String("grad");
+
+  int pub_id = 0;
+  for (int u = 0; u < config.num_universities; ++u) {
+    std::string uname = "U" + std::to_string(u);
+    Term univ = L("univ/" + uname);
+    store->Add(univ, p_type, c_university);
+    store->Add(univ, p_name, Term::String("University-" + std::to_string(u)));
+
+    int departments = static_cast<int>(
+        rng.UniformInt(config.min_departments, config.max_departments));
+    for (int d = 0; d < departments; ++d) {
+      std::string dname = uname + "D" + std::to_string(d);
+      Term dept = L("dept/" + dname);
+      store->Add(dept, p_type, c_department);
+      store->Add(dept, p_sub_org, univ);
+      store->Add(dept, p_name, Term::String("Department-" + dname));
+
+      // Courses: ~70% undergraduate, 30% graduate (the UBA split).
+      int courses = static_cast<int>(
+          rng.UniformInt(config.min_courses, config.max_courses));
+      std::vector<Term> course_terms;
+      for (int c = 0; c < courses; ++c) {
+        Term course = L("course/" + dname + "C" + std::to_string(c));
+        course_terms.push_back(course);
+        store->Add(course, p_type, c_course);
+        store->Add(course, p_offered_by, dept);
+        store->Add(course, p_course_level, rng.Chance(0.7) ? lvl_under : lvl_grad);
+        store->Add(course, p_credits,
+                   Term::Integer(rng.UniformInt(2, 6)));
+      }
+
+      // Faculty: one professor per ~3 courses; each teaches 1-3 courses and
+      // writes publications.
+      int professors = std::max(1, courses / 3);
+      std::vector<Term> prof_terms;
+      for (int f = 0; f < professors; ++f) {
+        Term prof = L("prof/" + dname + "P" + std::to_string(f));
+        prof_terms.push_back(prof);
+        store->Add(prof, p_type, c_professor);
+        store->Add(prof, p_works_for, dept);
+        store->Add(prof, p_name, Term::String("Prof-" + dname + "-" + std::to_string(f)));
+        store->Add(prof, p_email,
+                   Term::String("prof" + std::to_string(f) + "@" + dname + ".edu"));
+        int teaches = 1 + static_cast<int>(rng.Uniform(3));
+        for (int t = 0; t < teaches; ++t) {
+          store->Add(prof, p_teacher, rng.Pick(course_terms));
+        }
+        int pubs = static_cast<int>(rng.Uniform(4));
+        for (int p = 0; p < pubs; ++p) {
+          Term pub = L("pub/P" + std::to_string(pub_id++));
+          store->Add(pub, p_type, c_publication);
+          store->Add(pub, p_author, prof);
+        }
+      }
+
+      // Students: grad students take graduate + undergrad courses; each
+      // student registers for 2-4 courses.
+      int students = static_cast<int>(
+          rng.UniformInt(config.min_students, config.max_students));
+      for (int s = 0; s < students; ++s) {
+        Term student = L("student/" + dname + "S" + std::to_string(s));
+        bool grad = rng.Chance(0.25);
+        store->Add(student, p_type, c_student);
+        store->Add(student, p_member_of, dept);
+        store->Add(student, p_student_type, grad ? st_grad : st_under);
+        store->Add(student, p_age,
+                   Term::Integer(grad ? rng.UniformInt(22, 30)
+                                      : rng.UniformInt(18, 23)));
+        if (grad && !prof_terms.empty()) {
+          store->Add(student, p_advisor, rng.Pick(prof_terms));
+        }
+        int registrations = 2 + static_cast<int>(rng.Uniform(3));
+        for (int r = 0; r < registrations; ++r) {
+          store->Add(student, p_takes, rng.Pick(course_terms));
+        }
+      }
+    }
+  }
+  store->Finalize();
+
+  DatasetSpec spec;
+  spec.name = "lubm";
+  spec.description =
+      "LUBM-style university KG: course registrations by university, "
+      "department, course level and student type";
+  spec.facet_sparql = StrFormat(
+      "PREFIX lubm: <%s>\n"
+      "SELECT ?university ?department ?level ?stype (COUNT(?student) AS ?agg) "
+      "WHERE {\n"
+      "  ?student lubm:takesCourse ?course .\n"
+      "  ?student lubm:studentType ?stype .\n"
+      "  ?course lubm:courseLevel ?level .\n"
+      "  ?course lubm:offeredBy ?department .\n"
+      "  ?department lubm:subOrganizationOf ?university .\n"
+      "} GROUP BY ?university ?department ?level ?stype",
+      kLubmNs);
+  spec.dim_vars = {"university", "department", "level", "stype"};
+  spec.dim_labels = {"University", "Department", "CourseLevel", "StudentType"};
+  return spec;
+}
+
+}  // namespace datagen
+}  // namespace sofos

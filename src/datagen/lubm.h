@@ -1,0 +1,45 @@
+#ifndef SOFOS_DATAGEN_LUBM_H_
+#define SOFOS_DATAGEN_LUBM_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace sofos {
+namespace datagen {
+
+/// Scaled-down deterministic reimplementation of the LUBM university
+/// benchmark schema (Guo, Pan & Heflin, JWS 2005) — the first of the three
+/// demo datasets (paper §4). The generator follows the original UBA tool's
+/// entity ratios at laptop scale.
+struct LubmConfig {
+  int num_universities = 3;
+  int min_departments = 5;
+  int max_departments = 12;
+  /// Students per department range (undergrad + grad).
+  int min_students = 30;
+  int max_students = 80;
+  /// Courses per department range.
+  int min_courses = 10;
+  int max_courses = 20;
+  uint64_t seed = 42;
+};
+
+inline constexpr const char* kLubmNs = "http://sofos.example.org/lubm#";
+
+/// Generates a university KG and returns its enrollment facet:
+///
+///   SELECT ?university ?department ?level ?stype (COUNT(?student) AS ?agg)
+///   WHERE { registration pattern } GROUP BY ...
+///
+/// which counts course registrations by university, department, course
+/// level (undergraduate/graduate course) and student type. The graph also
+/// carries non-facet triples (names, emails, advisors, teachers,
+/// publications) so that view materialization competes with realistic
+/// background data.
+DatasetSpec GenerateLubm(const LubmConfig& config, TripleStore* store);
+
+}  // namespace datagen
+}  // namespace sofos
+
+#endif  // SOFOS_DATAGEN_LUBM_H_

@@ -1,0 +1,103 @@
+#include "datagen/registry.h"
+
+#include "datagen/geo.h"
+#include "datagen/lubm.h"
+#include "datagen/swdf.h"
+
+namespace sofos {
+namespace datagen {
+
+Result<Scale> ParseScale(const std::string& name) {
+  if (name == "tiny") return Scale::kTiny;
+  if (name == "demo") return Scale::kDemo;
+  if (name == "full") return Scale::kFull;
+  return Status::InvalidArgument("unknown scale '" + name +
+                                 "' (expected tiny|demo|full)");
+}
+
+std::string ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return "tiny";
+    case Scale::kDemo:
+      return "demo";
+    case Scale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+std::vector<std::string> DatasetNames() { return {"lubm", "geopop", "swdf"}; }
+
+Result<DatasetSpec> GenerateByName(const std::string& name, Scale scale,
+                                   uint64_t seed, TripleStore* store) {
+  if (name == "geopop") {
+    GeoPopConfig config;
+    config.seed = seed;
+    switch (scale) {
+      case Scale::kTiny:
+        config.num_countries = 12;
+        config.num_languages = 8;
+        config.year_min = 2016;
+        config.year_max = 2019;
+        break;
+      case Scale::kDemo:
+        break;  // defaults
+      case Scale::kFull:
+        config.num_countries = 180;
+        config.num_languages = 60;
+        config.year_min = 2000;
+        config.year_max = 2019;
+        break;
+    }
+    return GenerateGeoPop(config, store);
+  }
+  if (name == "lubm") {
+    LubmConfig config;
+    config.seed = seed;
+    switch (scale) {
+      case Scale::kTiny:
+        config.num_universities = 1;
+        config.min_departments = 3;
+        config.max_departments = 5;
+        config.min_students = 10;
+        config.max_students = 25;
+        break;
+      case Scale::kDemo:
+        break;
+      case Scale::kFull:
+        config.num_universities = 8;
+        config.min_students = 60;
+        config.max_students = 150;
+        break;
+    }
+    return GenerateLubm(config, store);
+  }
+  if (name == "swdf") {
+    SwdfConfig config;
+    config.seed = seed;
+    switch (scale) {
+      case Scale::kTiny:
+        config.num_conferences = 2;
+        config.num_years = 3;
+        config.num_authors = 80;
+        config.num_countries = 8;
+        config.max_papers_per_track = 10;
+        break;
+      case Scale::kDemo:
+        break;
+      case Scale::kFull:
+        config.num_conferences = 12;
+        config.num_years = 8;
+        config.num_authors = 1500;
+        config.num_countries = 40;
+        break;
+    }
+    return GenerateSwdf(config, store);
+  }
+  return Status::NotFound("unknown dataset '" + name +
+                          "' (expected lubm|geopop|swdf)");
+}
+
+}  // namespace datagen
+}  // namespace sofos

@@ -1,0 +1,31 @@
+#ifndef SOFOS_DATAGEN_REGISTRY_H_
+#define SOFOS_DATAGEN_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/dataset.h"
+
+namespace sofos {
+namespace datagen {
+
+/// Scale knob shared by benches and the CLI: "tiny" keeps every experiment
+/// sub-second, "demo" approximates the live demonstration, "full" is for
+/// longer benchmark runs.
+enum class Scale { kTiny, kDemo, kFull };
+
+Result<Scale> ParseScale(const std::string& name);
+std::string ScaleName(Scale scale);
+
+/// Names of all registered datasets ("lubm", "geopop", "swdf").
+std::vector<std::string> DatasetNames();
+
+/// Generates dataset `name` at `scale` with `seed` into `store` (finalized).
+Result<DatasetSpec> GenerateByName(const std::string& name, Scale scale,
+                                   uint64_t seed, TripleStore* store);
+
+}  // namespace datagen
+}  // namespace sofos
+
+#endif  // SOFOS_DATAGEN_REGISTRY_H_

@@ -1,0 +1,121 @@
+#include "datagen/swdf.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace sofos {
+namespace datagen {
+
+namespace {
+
+Term S(const std::string& local) { return Term::Iri(std::string(kSwdfNs) + local); }
+
+}  // namespace
+
+DatasetSpec GenerateSwdf(const SwdfConfig& config, TripleStore* store) {
+  Rng rng(config.seed);
+
+  const Term p_type = Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  const Term p_of_conf = S("ofConference");
+  const Term p_year = S("year");
+  const Term p_at_edition = S("atEdition");
+  const Term p_in_track = S("inTrack");
+  const Term p_creator = S("creator");
+  const Term p_based_near = S("basedNear");
+  const Term p_name = S("name");
+  const Term p_title = S("title");
+  const Term p_pages = S("pages");
+
+  const Term c_conference = S("Conference");
+  const Term c_edition = S("Edition");
+  const Term c_track = S("Track");
+  const Term c_paper = S("Paper");
+  const Term c_person = S("Person");
+
+  // Authors with Zipf-skewed productivity, each based in one country.
+  std::vector<Term> authors;
+  for (int a = 0; a < config.num_authors; ++a) {
+    Term author = S("person/A" + std::to_string(a));
+    authors.push_back(author);
+    store->Add(author, p_type, c_person);
+    store->Add(author, p_name, Term::String("Author-" + std::to_string(a)));
+    store->Add(author, p_based_near,
+               S("country/K" + std::to_string(rng.Uniform(
+                                   static_cast<uint64_t>(config.num_countries)))));
+  }
+  ZipfSampler author_sampler(static_cast<uint64_t>(config.num_authors),
+                             config.author_skew);
+
+  const char* kTrackNames[] = {"Research", "InUse", "Resources", "Demo",
+                               "Industry", "Workshop"};
+  int paper_id = 0;
+  for (int c = 0; c < config.num_conferences; ++c) {
+    Term conf = S("conf/C" + std::to_string(c));
+    store->Add(conf, p_type, c_conference);
+    store->Add(conf, p_name, Term::String("Conf-" + std::to_string(c)));
+
+    for (int y = 0; y < config.num_years; ++y) {
+      int year = config.first_year + y;
+      Term edition = S("edition/C" + std::to_string(c) + "Y" + std::to_string(year));
+      store->Add(edition, p_type, c_edition);
+      store->Add(edition, p_of_conf, conf);
+      store->Add(edition, p_year, Term::Integer(year));
+
+      int tracks = static_cast<int>(
+          rng.UniformInt(config.min_tracks, config.max_tracks));
+      for (int t = 0; t < tracks; ++t) {
+        Term track = S("track/" + std::string(kTrackNames[t % 6]));
+        store->Add(track, p_type, c_track);
+
+        int papers = static_cast<int>(rng.UniformInt(
+            config.min_papers_per_track, config.max_papers_per_track));
+        for (int p = 0; p < papers; ++p) {
+          Term paper = S("paper/P" + std::to_string(paper_id));
+          store->Add(paper, p_type, c_paper);
+          store->Add(paper, p_at_edition, edition);
+          store->Add(paper, p_in_track, track);
+          store->Add(paper, p_title,
+                     Term::String("Paper-" + std::to_string(paper_id)));
+          store->Add(paper, p_pages, Term::Integer(rng.UniformInt(4, 16)));
+          ++paper_id;
+
+          // 1-4 authors, Zipf-sampled without replacement.
+          int num_authors = 1 + static_cast<int>(rng.Uniform(4));
+          std::vector<size_t> picked;
+          int guard = 0;
+          while (static_cast<int>(picked.size()) < num_authors && guard++ < 50) {
+            size_t pick = author_sampler.Sample(&rng);
+            bool dup = false;
+            for (size_t seen : picked) dup |= (seen == pick);
+            if (!dup) picked.push_back(pick);
+          }
+          for (size_t a : picked) store->Add(paper, p_creator, authors[a]);
+        }
+      }
+    }
+  }
+  store->Finalize();
+
+  DatasetSpec spec;
+  spec.name = "swdf";
+  spec.description =
+      "Semantic Web Dogfood-style bibliographic KG: author contributions "
+      "per conference, year, track and author country";
+  spec.facet_sparql = StrFormat(
+      "PREFIX swdf: <%s>\n"
+      "SELECT ?conference ?year ?track ?country (COUNT(?paper) AS ?agg) WHERE {\n"
+      "  ?paper swdf:atEdition ?edition .\n"
+      "  ?edition swdf:ofConference ?conference .\n"
+      "  ?edition swdf:year ?year .\n"
+      "  ?paper swdf:inTrack ?track .\n"
+      "  ?paper swdf:creator ?author .\n"
+      "  ?author swdf:basedNear ?country .\n"
+      "} GROUP BY ?conference ?year ?track ?country",
+      kSwdfNs);
+  spec.dim_vars = {"conference", "year", "track", "country"};
+  spec.dim_labels = {"Conference", "Year", "Track", "AuthorCountry"};
+  return spec;
+}
+
+}  // namespace datagen
+}  // namespace sofos

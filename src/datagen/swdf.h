@@ -1,0 +1,44 @@
+#ifndef SOFOS_DATAGEN_SWDF_H_
+#define SOFOS_DATAGEN_SWDF_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace sofos {
+namespace datagen {
+
+/// Semantic Web Dogfood-style bibliographic generator — the third demo
+/// dataset (paper §4): conference editions, tracks, papers, authors and
+/// their countries.
+struct SwdfConfig {
+  int num_conferences = 6;
+  int num_years = 5;           // editions per conference
+  int first_year = 2015;
+  int min_tracks = 3;
+  int max_tracks = 6;
+  int min_papers_per_track = 5;
+  int max_papers_per_track = 25;
+  int num_authors = 400;
+  int num_countries = 20;
+  /// Zipf exponent for author productivity.
+  double author_skew = 1.0;
+  uint64_t seed = 42;
+};
+
+inline constexpr const char* kSwdfNs = "http://sofos.example.org/swdf#";
+
+/// Generates the bibliographic KG and returns the publication facet:
+///
+///   SELECT ?conference ?year ?track ?country (COUNT(?paper) AS ?agg)
+///   WHERE { authorship pattern } GROUP BY ...
+///
+/// counting author-contributions per conference, year, track and author
+/// country (a paper with k authors contributes k rows, as in real SWDF
+/// affiliation analytics).
+DatasetSpec GenerateSwdf(const SwdfConfig& config, TripleStore* store);
+
+}  // namespace datagen
+}  // namespace sofos
+
+#endif  // SOFOS_DATAGEN_SWDF_H_

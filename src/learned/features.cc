@@ -1,0 +1,82 @@
+#include "learned/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace sofos {
+namespace learned {
+
+namespace {
+
+/// log1p normalized against the whole graph so features stay in ~[0, 1].
+double NormLog(uint64_t value, uint64_t total) {
+  double denom = std::log1p(static_cast<double>(total));
+  if (denom <= 0.0) return 0.0;
+  return std::log1p(static_cast<double>(value)) / denom;
+}
+
+}  // namespace
+
+FeatureEncoder::FeatureEncoder(int predicate_buckets)
+    : predicate_buckets_(std::max(1, predicate_buckets)) {
+  dim_ = predicate_buckets_ * 2  // presence + normalized frequency
+         + kMaxDims + 1          // dim one-hot + grouped fraction
+         + kNumAggKinds          // aggregate one-hot
+         + 4;                    // selectivity + graph-size summary features
+}
+
+std::vector<double> FeatureEncoder::Encode(const ViewFeatureInput& input) const {
+  std::vector<double> f(static_cast<size_t>(dim_), 0.0);
+  size_t pos = 0;
+
+  // Hashed predicate buckets.
+  for (size_t i = 0; i < input.predicates.size(); ++i) {
+    size_t bucket = static_cast<size_t>(
+        Fnv1a64(input.predicates[i]) % static_cast<uint64_t>(predicate_buckets_));
+    f[bucket * 2] = 1.0;
+    uint64_t count =
+        i < input.predicate_counts.size() ? input.predicate_counts[i] : 0;
+    f[bucket * 2 + 1] =
+        std::max(f[bucket * 2 + 1], NormLog(count, input.graph_triples));
+  }
+  pos = static_cast<size_t>(predicate_buckets_) * 2;
+
+  // Grouped-dimension indicators.
+  int dims = std::min(input.num_group_dims, kMaxDims);
+  for (int d = 0; d < dims; ++d) f[pos + static_cast<size_t>(d)] = 1.0;
+  pos += kMaxDims;
+  f[pos++] = input.total_dims > 0
+                 ? static_cast<double>(input.num_group_dims) / input.total_dims
+                 : 0.0;
+
+  // Aggregate kind one-hot.
+  if (input.agg_kind >= 0 && input.agg_kind < kNumAggKinds) {
+    f[pos + static_cast<size_t>(input.agg_kind)] = 1.0;
+  }
+  pos += kNumAggKinds;
+
+  // Selectivity summaries: average distinct subject/object ratios.
+  double subj = 0.0, obj = 0.0;
+  size_t n = input.predicates.size();
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t count = i < input.predicate_counts.size() ? input.predicate_counts[i] : 0;
+    if (count == 0) continue;
+    if (i < input.predicate_distinct_subjects.size()) {
+      subj += static_cast<double>(input.predicate_distinct_subjects[i]) / count;
+    }
+    if (i < input.predicate_distinct_objects.size()) {
+      obj += static_cast<double>(input.predicate_distinct_objects[i]) / count;
+    }
+  }
+  f[pos++] = n > 0 ? subj / static_cast<double>(n) : 0.0;
+  f[pos++] = n > 0 ? obj / static_cast<double>(n) : 0.0;
+  f[pos++] = NormLog(input.graph_triples, input.graph_triples);  // == 1 when nonempty
+  f[pos++] = NormLog(input.graph_nodes, input.graph_triples);
+
+  return f;
+}
+
+}  // namespace learned
+}  // namespace sofos

@@ -1,0 +1,59 @@
+#ifndef SOFOS_LEARNED_FEATURES_H_
+#define SOFOS_LEARNED_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sofos {
+namespace learned {
+
+/// Raw, engine-level description of a candidate view/query, assembled by
+/// the core library from the facet and the store statistics. Mirrors the
+/// encoding of the paper's learned cost model (§3.1): "relationships, the
+/// attributes, and the type of aggregates in the query, along with
+/// statistics about the relationship frequency and the attribute frequency".
+struct ViewFeatureInput {
+  /// Predicate IRIs appearing in the view's graph pattern.
+  std::vector<std::string> predicates;
+  /// Per-predicate frequency statistics, parallel to `predicates`.
+  std::vector<uint64_t> predicate_counts;
+  std::vector<uint64_t> predicate_distinct_subjects;
+  std::vector<uint64_t> predicate_distinct_objects;
+
+  int num_group_dims = 0;  // |X'| of the view
+  int total_dims = 0;      // |X| of the facet
+  int agg_kind = 0;        // AggKind as int (0..4)
+
+  uint64_t graph_triples = 0;
+  uint64_t graph_nodes = 0;
+};
+
+/// Turns a ViewFeatureInput into a fixed-width double vector:
+///   * `predicate_buckets` hashed slots, each holding [presence,
+///     normalized log frequency] (the hashing trick keeps the input width
+///     independent of the vocabulary),
+///   * per-view dimension indicators (up to kMaxDims one-hot + a fraction),
+///   * aggregate-kind one-hot (5),
+///   * normalized log selectivity statistics and global graph size.
+class FeatureEncoder {
+ public:
+  static constexpr int kMaxDims = 8;
+  static constexpr int kNumAggKinds = 5;
+
+  explicit FeatureEncoder(int predicate_buckets = 8);
+
+  /// Width of encoded vectors.
+  int dim() const { return dim_; }
+
+  std::vector<double> Encode(const ViewFeatureInput& input) const;
+
+ private:
+  int predicate_buckets_;
+  int dim_;
+};
+
+}  // namespace learned
+}  // namespace sofos
+
+#endif  // SOFOS_LEARNED_FEATURES_H_

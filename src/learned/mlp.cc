@@ -1,0 +1,223 @@
+#include "learned/mlp.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sofos {
+namespace learned {
+
+Mlp::Mlp(std::vector<int> layer_sizes, uint64_t init_seed)
+    : layer_sizes_(std::move(layer_sizes)) {
+  assert(layer_sizes_.size() >= 2);
+  assert(layer_sizes_.back() == 1);
+  Rng rng(init_seed);
+  for (size_t i = 0; i + 1 < layer_sizes_.size(); ++i) {
+    Layer layer;
+    layer.in = layer_sizes_[i];
+    layer.out = layer_sizes_[i + 1];
+    layer.w.resize(static_cast<size_t>(layer.in) * layer.out);
+    layer.b.assign(static_cast<size_t>(layer.out), 0.0);
+    // He initialization (appropriate for ReLU activations).
+    double stddev = std::sqrt(2.0 / layer.in);
+    for (auto& w : layer.w) w = rng.Normal(0.0, stddev);
+    layer.mw.assign(layer.w.size(), 0.0);
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.mb.assign(layer.b.size(), 0.0);
+    layer.vb.assign(layer.b.size(), 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::Forward(const std::vector<double>& x,
+                  std::vector<std::vector<double>>* activations) const {
+  activations->clear();
+  activations->push_back(x);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const std::vector<double>& in = activations->back();
+    std::vector<double> out(static_cast<size_t>(layer.out), 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double acc = layer.b[static_cast<size_t>(o)];
+      const double* wrow = &layer.w[static_cast<size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) acc += wrow[i] * in[static_cast<size_t>(i)];
+      // ReLU on hidden layers, identity on the output layer.
+      bool last = l + 1 == layers_.size();
+      out[static_cast<size_t>(o)] = last ? acc : (acc > 0.0 ? acc : 0.0);
+    }
+    activations->push_back(std::move(out));
+  }
+}
+
+double Mlp::Predict(const std::vector<double>& features) const {
+  assert(static_cast<int>(features.size()) == input_dim());
+  std::vector<std::vector<double>> acts;
+  Forward(features, &acts);
+  return acts.back()[0];
+}
+
+double Mlp::Loss(const std::vector<std::vector<double>>& xs,
+                 const std::vector<double>& ys) const {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double d = Predict(xs[i]) - ys[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(xs.size());
+}
+
+Result<double> Mlp::Train(const std::vector<std::vector<double>>& xs,
+                          const std::vector<double>& ys,
+                          const TrainConfig& config) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("feature/label count mismatch");
+  }
+  if (xs.empty()) return Status::InvalidArgument("empty training set");
+  for (const auto& x : xs) {
+    if (static_cast<int>(x.size()) != input_dim()) {
+      return Status::InvalidArgument(StrFormat(
+          "feature vector has dimension %zu, expected %d", x.size(), input_dim()));
+    }
+  }
+
+  Rng rng(config.seed);
+  std::vector<size_t> order(xs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Per-layer gradient buffers, reused across batches.
+  std::vector<std::vector<double>> gw(layers_.size()), gb(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    gw[l].assign(layers_[l].w.size(), 0.0);
+    gb[l].assign(layers_[l].b.size(), 0.0);
+  }
+
+  std::vector<std::vector<double>> acts;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(config.batch_size));
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        std::fill(gw[l].begin(), gw[l].end(), 0.0);
+        std::fill(gb[l].begin(), gb[l].end(), 0.0);
+      }
+
+      for (size_t bi = start; bi < end; ++bi) {
+        const auto& x = xs[order[bi]];
+        double y = ys[order[bi]];
+        Forward(x, &acts);
+        double pred = acts.back()[0];
+        // dL/dpred for MSE (per-example, averaged over the batch below).
+        double delta_out = 2.0 * (pred - y);
+
+        // Backprop. delta holds dL/d(pre-activation) of the current layer.
+        std::vector<double> delta = {delta_out};
+        for (size_t li = layers_.size(); li-- > 0;) {
+          Layer& layer = layers_[li];
+          const std::vector<double>& in = acts[li];
+          std::vector<double> next_delta(static_cast<size_t>(layer.in), 0.0);
+          for (int o = 0; o < layer.out; ++o) {
+            double d = delta[static_cast<size_t>(o)];
+            double* grow = &gw[li][static_cast<size_t>(o) * layer.in];
+            const double* wrow = &layer.w[static_cast<size_t>(o) * layer.in];
+            for (int i = 0; i < layer.in; ++i) {
+              grow[i] += d * in[static_cast<size_t>(i)];
+              next_delta[static_cast<size_t>(i)] += d * wrow[i];
+            }
+            gb[li][static_cast<size_t>(o)] += d;
+          }
+          if (li > 0) {
+            // ReLU derivative w.r.t. the previous layer's activations.
+            for (int i = 0; i < layer.in; ++i) {
+              if (acts[li][static_cast<size_t>(i)] <= 0.0) {
+                next_delta[static_cast<size_t>(i)] = 0.0;
+              }
+            }
+          }
+          delta = std::move(next_delta);
+        }
+      }
+
+      // Adam update with batch-averaged gradients.
+      double scale = 1.0 / static_cast<double>(end - start);
+      ++adam_t_;
+      double bc1 = 1.0 - std::pow(config.beta1, static_cast<double>(adam_t_));
+      double bc2 = 1.0 - std::pow(config.beta2, static_cast<double>(adam_t_));
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (size_t i = 0; i < layer.w.size(); ++i) {
+          double g = gw[l][i] * scale + config.l2 * layer.w[i];
+          layer.mw[i] = config.beta1 * layer.mw[i] + (1 - config.beta1) * g;
+          layer.vw[i] = config.beta2 * layer.vw[i] + (1 - config.beta2) * g * g;
+          double mhat = layer.mw[i] / bc1;
+          double vhat = layer.vw[i] / bc2;
+          layer.w[i] -= config.learning_rate * mhat /
+                        (std::sqrt(vhat) + config.epsilon);
+        }
+        for (size_t i = 0; i < layer.b.size(); ++i) {
+          double g = gb[l][i] * scale;
+          layer.mb[i] = config.beta1 * layer.mb[i] + (1 - config.beta1) * g;
+          layer.vb[i] = config.beta2 * layer.vb[i] + (1 - config.beta2) * g * g;
+          double mhat = layer.mb[i] / bc1;
+          double vhat = layer.vb[i] / bc2;
+          layer.b[i] -= config.learning_rate * mhat /
+                        (std::sqrt(vhat) + config.epsilon);
+        }
+      }
+    }
+    if (config.verbose && (epoch % 50 == 0 || epoch + 1 == config.epochs)) {
+      SOFOS_LOG(Info) << "mlp epoch " << epoch << " mse=" << Loss(xs, ys);
+    }
+  }
+  return Loss(xs, ys);
+}
+
+std::string Mlp::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "mlp v1\n" << layer_sizes_.size();
+  for (int s : layer_sizes_) out << ' ' << s;
+  out << '\n';
+  for (const Layer& layer : layers_) {
+    for (double w : layer.w) out << w << ' ';
+    out << '\n';
+    for (double b : layer.b) out << b << ' ';
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<Mlp> Mlp::Deserialize(const std::string& data) {
+  std::istringstream in(data);
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "mlp" || version != "v1") {
+    return Status::ParseError("not a serialized sofos MLP");
+  }
+  size_t num_sizes = 0;
+  in >> num_sizes;
+  if (!in || num_sizes < 2 || num_sizes > 64) {
+    return Status::ParseError("corrupt MLP header");
+  }
+  std::vector<int> sizes(num_sizes);
+  for (auto& s : sizes) {
+    in >> s;
+    if (!in || s <= 0) return Status::ParseError("corrupt MLP layer sizes");
+  }
+  if (sizes.back() != 1) return Status::ParseError("MLP output dim must be 1");
+  Mlp mlp(sizes);
+  for (Layer& layer : mlp.layers_) {
+    for (double& w : layer.w) in >> w;
+    for (double& b : layer.b) in >> b;
+    if (!in) return Status::ParseError("corrupt MLP weights");
+  }
+  return mlp;
+}
+
+}  // namespace learned
+}  // namespace sofos

@@ -1,0 +1,82 @@
+#ifndef SOFOS_LEARNED_MLP_H_
+#define SOFOS_LEARNED_MLP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace sofos {
+namespace learned {
+
+/// Training hyper-parameters for the regression model.
+struct TrainConfig {
+  int epochs = 200;
+  int batch_size = 16;
+  double learning_rate = 1e-3;  // Adam step size
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double l2 = 0.0;         // weight decay
+  uint64_t seed = 42;      // shuffling + init
+  bool verbose = false;    // log per-epoch loss
+};
+
+/// A from-scratch fully-connected feed-forward regression network
+/// (dense layers + ReLU, scalar output, MSE loss, Adam optimizer).
+///
+/// This is the substrate for the paper's "learned cost" model (§3.1), which
+/// adapts the deep-regression cardinality/latency estimator of Ortiz et al.
+/// (arXiv:1905.06425): the offline phase trains on encoded queries and their
+/// measured running times; the online phase predicts the running time of a
+/// candidate view.
+class Mlp {
+ public:
+  /// `layer_sizes` = {input_dim, hidden..., 1}. Must end with 1 and have at
+  /// least two entries.
+  Mlp(std::vector<int> layer_sizes, uint64_t init_seed = 42);
+
+  int input_dim() const { return layer_sizes_.front(); }
+
+  /// Forward pass for a single example.
+  double Predict(const std::vector<double>& features) const;
+
+  /// Mean squared error over a dataset.
+  double Loss(const std::vector<std::vector<double>>& xs,
+              const std::vector<double>& ys) const;
+
+  /// Trains with mini-batch Adam; returns the final training MSE.
+  Result<double> Train(const std::vector<std::vector<double>>& xs,
+                       const std::vector<double>& ys, const TrainConfig& config);
+
+  /// Serializes architecture + weights to a portable text format.
+  std::string Serialize() const;
+  static Result<Mlp> Deserialize(const std::string& data);
+
+  const std::vector<int>& layer_sizes() const { return layer_sizes_; }
+
+ private:
+  struct Layer {
+    int in = 0, out = 0;
+    std::vector<double> w;  // out x in, row-major
+    std::vector<double> b;  // out
+    // Adam state.
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  /// Forward keeping activations (for backprop). activations[0] = input,
+  /// activations[i+1] = output of layer i (post-ReLU except the last).
+  void Forward(const std::vector<double>& x,
+               std::vector<std::vector<double>>* activations) const;
+
+  std::vector<int> layer_sizes_;
+  std::vector<Layer> layers_;
+  int64_t adam_t_ = 0;
+};
+
+}  // namespace learned
+}  // namespace sofos
+
+#endif  // SOFOS_LEARNED_MLP_H_

@@ -1,0 +1,38 @@
+#include "rdf/dictionary.h"
+
+#include <cassert>
+
+namespace sofos {
+
+TermId Dictionary::Intern(const Term& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  terms_.push_back(term);
+  TermId id = static_cast<TermId>(terms_.size());  // ids start at 1
+  index_.emplace(term, id);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Term& Dictionary::term(TermId id) const {
+  assert(id != kNullTermId && id <= terms_.size());
+  return terms_[id - 1];
+}
+
+uint64_t Dictionary::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const Term& t : terms_) {
+    bytes += sizeof(Term) + t.lexical().capacity() + t.lang().capacity();
+  }
+  // Hash index: bucket array + node overhead per entry (approximation).
+  bytes += index_.bucket_count() * sizeof(void*);
+  bytes += index_.size() * (sizeof(Term) + sizeof(TermId) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace sofos

@@ -1,0 +1,55 @@
+#ifndef SOFOS_RDF_DICTIONARY_H_
+#define SOFOS_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace sofos {
+
+/// Dense integer handle for an interned RDF term. Id 0 is reserved as the
+/// null/wildcard id (`kNullTermId`); valid ids start at 1.
+using TermId = uint32_t;
+inline constexpr TermId kNullTermId = 0;
+
+/// Bidirectional Term <-> TermId mapping. Interning is append-only: a term,
+/// once interned, keeps its id for the lifetime of the dictionary, so ids
+/// may be stored in indexes and materialized views safely.
+///
+/// Not thread-safe; sofos is a single-threaded research system.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Movable but not copyable (the id-to-term vector can be large).
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id of `term`, interning it first if needed.
+  TermId Intern(const Term& term);
+
+  /// Returns the id of `term` if already interned.
+  std::optional<TermId> Lookup(const Term& term) const;
+
+  /// The term for a valid id (1 <= id <= size()).
+  const Term& term(TermId id) const;
+
+  /// Number of interned terms.
+  size_t size() const { return terms_.size(); }
+
+  /// Rough heap footprint, used for storage-amplification metrics.
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> index_;
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_RDF_DICTIONARY_H_

@@ -1,0 +1,41 @@
+#ifndef SOFOS_RDF_TRIPLE_H_
+#define SOFOS_RDF_TRIPLE_H_
+
+#include <tuple>
+
+#include "rdf/dictionary.h"
+
+namespace sofos {
+
+/// A dictionary-encoded RDF triple: 12 bytes.
+struct Triple {
+  TermId s = kNullTermId;
+  TermId p = kNullTermId;
+  TermId o = kNullTermId;
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+  bool operator!=(const Triple& other) const { return !(*this == other); }
+  bool operator<(const Triple& other) const {
+    return std::tie(s, p, o) < std::tie(other.s, other.p, other.o);
+  }
+};
+
+/// A triple pattern over ids, kNullTermId meaning "wildcard". This is the
+/// storage-level counterpart of a SPARQL triple pattern whose variables have
+/// been stripped of names.
+struct TripleIdPattern {
+  TermId s = kNullTermId;
+  TermId p = kNullTermId;
+  TermId o = kNullTermId;
+
+  bool Matches(const Triple& t) const {
+    return (s == kNullTermId || s == t.s) && (p == kNullTermId || p == t.p) &&
+           (o == kNullTermId || o == t.o);
+  }
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_RDF_TRIPLE_H_

@@ -1,0 +1,210 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sofos {
+
+namespace {
+
+// Field extraction per order: order -> (first, second, third) selectors.
+struct FieldPerm {
+  int a, b, c;  // 0 = s, 1 = p, 2 = o
+};
+
+constexpr FieldPerm kPerms[] = {
+    {0, 1, 2},  // SPO
+    {0, 2, 1},  // SOP
+    {1, 0, 2},  // PSO
+    {1, 2, 0},  // POS
+    {2, 0, 1},  // OSP
+    {2, 1, 0},  // OPS
+};
+
+inline TermId Field(const Triple& t, int f) {
+  switch (f) {
+    case 0:
+      return t.s;
+    case 1:
+      return t.p;
+    default:
+      return t.o;
+  }
+}
+
+inline void SetField(Triple* t, int f, TermId v) {
+  switch (f) {
+    case 0:
+      t->s = v;
+      break;
+    case 1:
+      t->p = v;
+      break;
+    default:
+      t->o = v;
+  }
+}
+
+struct PermLess {
+  FieldPerm perm;
+  bool operator()(const Triple& x, const Triple& y) const {
+    TermId xa = Field(x, perm.a), ya = Field(y, perm.a);
+    if (xa != ya) return xa < ya;
+    TermId xb = Field(x, perm.b), yb = Field(y, perm.b);
+    if (xb != yb) return xb < yb;
+    return Field(x, perm.c) < Field(y, perm.c);
+  }
+};
+
+}  // namespace
+
+void TripleStore::Add(TermId s, TermId p, TermId o) {
+  assert(s != kNullTermId && p != kNullTermId && o != kNullTermId);
+  triples_.push_back(Triple{s, p, o});
+  finalized_ = false;
+}
+
+void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
+  Add(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+}
+
+void TripleStore::ReplaceTriples(std::vector<Triple> triples) {
+  triples_ = std::move(triples);
+  finalized_ = false;
+}
+
+void TripleStore::Finalize() {
+  if (finalized_) return;
+
+  std::sort(triples_.begin(), triples_.end());
+  triples_.erase(std::unique(triples_.begin(), triples_.end()), triples_.end());
+
+  for (int order = 0; order < kNumOrders; ++order) {
+    indexes_[order] = triples_;
+    if (order != kSPO) {
+      std::sort(indexes_[order].begin(), indexes_[order].end(),
+                PermLess{kPerms[order]});
+    }
+  }
+
+  // Per-predicate statistics from the PSO and POS indexes: triples per
+  // predicate, distinct subjects per predicate (runs of s within a predicate
+  // block of PSO), distinct objects per predicate (runs of o within POS).
+  predicate_stats_.clear();
+  const auto& pso = indexes_[kPSO];
+  for (size_t i = 0; i < pso.size();) {
+    TermId pred = pso[i].p;
+    PredicateStats& st = predicate_stats_[pred];
+    TermId last_s = kNullTermId;
+    while (i < pso.size() && pso[i].p == pred) {
+      ++st.triples;
+      if (pso[i].s != last_s) {
+        ++st.distinct_subjects;
+        last_s = pso[i].s;
+      }
+      ++i;
+    }
+  }
+  const auto& pos = indexes_[kPOS];
+  for (size_t i = 0; i < pos.size();) {
+    TermId pred = pos[i].p;
+    PredicateStats& st = predicate_stats_[pred];
+    TermId last_o = kNullTermId;
+    while (i < pos.size() && pos[i].p == pred) {
+      if (pos[i].o != last_o) {
+        ++st.distinct_objects;
+        last_o = pos[i].o;
+      }
+      ++i;
+    }
+  }
+
+  // Node count: distinct ids appearing as subject or object. Subjects are
+  // the run-heads of SPO; objects the run-heads of OSP; merge-count them.
+  num_nodes_ = 0;
+  const auto& spo = indexes_[kSPO];
+  const auto& osp = indexes_[kOSP];
+  size_t i = 0, j = 0;
+  TermId prev = kNullTermId;
+  bool have_prev = false;
+  while (i < spo.size() || j < osp.size()) {
+    TermId next;
+    if (j >= osp.size() || (i < spo.size() && spo[i].s <= osp[j].o)) {
+      next = spo[i].s;
+      ++i;
+    } else {
+      next = osp[j].o;
+      ++j;
+    }
+    if (!have_prev || next != prev) {
+      ++num_nodes_;
+      prev = next;
+      have_prev = true;
+    }
+  }
+
+  finalized_ = true;
+}
+
+TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o) const {
+  assert(finalized_ && "Scan() requires a finalized store");
+
+  // Pick the index whose sort order puts the bound components first.
+  int order;
+  if (s != kNullTermId) {
+    if (p != kNullTermId) {
+      order = kSPO;  // covers s, sp, spo
+    } else if (o != kNullTermId) {
+      order = kSOP;
+    } else {
+      order = kSPO;
+    }
+  } else if (p != kNullTermId) {
+    order = (o != kNullTermId) ? kPOS : kPSO;
+  } else if (o != kNullTermId) {
+    order = kOSP;
+  } else {
+    const auto& all = indexes_[kSPO];
+    return ScanRange(all.data(), all.data() + all.size());
+  }
+
+  const FieldPerm& perm = kPerms[order];
+  constexpr TermId kMax = std::numeric_limits<TermId>::max();
+  Triple lo{s, p, o}, hi{s, p, o};
+  // Unbound fields become (0, max) so the bound prefix delimits the range.
+  if (Field(lo, perm.a) == kNullTermId) {
+    SetField(&lo, perm.a, 0);
+    SetField(&hi, perm.a, kMax);
+  }
+  if (Field(lo, perm.b) == kNullTermId) {
+    SetField(&lo, perm.b, 0);
+    SetField(&hi, perm.b, kMax);
+  }
+  if (Field(lo, perm.c) == kNullTermId) {
+    SetField(&lo, perm.c, 0);
+    SetField(&hi, perm.c, kMax);
+  }
+
+  const auto& index = indexes_[order];
+  PermLess less{perm};
+  auto begin = std::lower_bound(index.begin(), index.end(), lo, less);
+  auto end = std::upper_bound(begin, index.end(), hi, less);
+  return ScanRange(index.data() + (begin - index.begin()),
+                   index.data() + (end - index.begin()));
+}
+
+const PredicateStats* TripleStore::StatsFor(TermId predicate) const {
+  auto it = predicate_stats_.find(predicate);
+  if (it == predicate_stats_.end()) return nullptr;
+  return &it->second;
+}
+
+uint64_t TripleStore::MemoryBytes() const {
+  uint64_t bytes = dict_.MemoryBytes();
+  bytes += triples_.capacity() * sizeof(Triple);
+  for (const auto& index : indexes_) bytes += index.capacity() * sizeof(Triple);
+  return bytes;
+}
+
+}  // namespace sofos

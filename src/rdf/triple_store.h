@@ -1,0 +1,134 @@
+#ifndef SOFOS_RDF_TRIPLE_STORE_H_
+#define SOFOS_RDF_TRIPLE_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace sofos {
+
+/// Per-predicate statistics gathered at Finalize() time; used by the query
+/// planner for selectivity estimation and by the cost models.
+struct PredicateStats {
+  uint64_t triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+};
+
+/// In-memory RDF triple store with dictionary encoding and six sorted
+/// permutation indexes (SPO, SOP, PSO, POS, OSP, OPS — the RDF-3X layout).
+/// Any triple pattern whose bound components form a prefix of one of the six
+/// orders resolves to a binary-searched contiguous range, which makes both
+/// scans and exact pattern counting cheap.
+///
+/// Usage: Add() triples (interning terms through the embedded Dictionary),
+/// then Finalize() to (re)build the indexes; Scan()/Count() require a
+/// finalized store. Adding after Finalize() is allowed — the store becomes
+/// unfinalized and must be finalized again (materialization of views relies
+/// on this: the expanded graph G+ is the same store re-finalized).
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  /// Interns `term` in the embedded dictionary.
+  TermId Intern(const Term& term) { return dict_.Intern(term); }
+
+  /// Adds a triple by id. Ids must come from this store's dictionary.
+  void Add(TermId s, TermId p, TermId o);
+
+  /// Convenience: interns the three terms and adds the triple.
+  void Add(const Term& s, const Term& p, const Term& o);
+
+  /// Sorts and deduplicates the triples and rebuilds all six indexes and the
+  /// statistics. Idempotent. O(n log n).
+  void Finalize();
+
+  /// Replaces the triple set wholesale (dictionary is kept; superfluous
+  /// terms stay interned and harmless). Used to roll an expanded graph G+
+  /// back to a base snapshot G between experiments. Leaves the store
+  /// unfinalized.
+  void ReplaceTriples(std::vector<Triple> triples);
+
+  bool finalized() const { return finalized_; }
+
+  /// A contiguous range of matching triples (valid until the next Finalize).
+  class ScanRange {
+   public:
+    ScanRange() = default;
+    ScanRange(const Triple* begin, const Triple* end) : begin_(begin), end_(end) {}
+    const Triple* begin() const { return begin_; }
+    const Triple* end() const { return end_; }
+    size_t size() const { return static_cast<size_t>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+
+   private:
+    const Triple* begin_ = nullptr;
+    const Triple* end_ = nullptr;
+  };
+
+  /// Returns all triples matching the pattern (kNullTermId = wildcard).
+  /// Requires finalized(). The range is sorted in the order of the index
+  /// that serves the bound prefix.
+  ScanRange Scan(TermId s, TermId p, TermId o) const;
+  ScanRange Scan(const TripleIdPattern& pattern) const {
+    return Scan(pattern.s, pattern.p, pattern.o);
+  }
+
+  /// Exact number of triples matching the pattern. Requires finalized().
+  uint64_t Count(TermId s, TermId p, TermId o) const { return Scan(s, p, o).size(); }
+
+  /// True iff the exact triple is present. Requires finalized().
+  bool Contains(TermId s, TermId p, TermId o) const {
+    return Count(s, p, o) > 0;
+  }
+
+  size_t NumTriples() const { return triples_.size(); }
+  size_t NumTerms() const { return dict_.size(); }
+
+  /// Distinct terms used in subject or object position (graph nodes, the
+  /// |I ∪ B ∪ L| of the paper's node-count cost model). Requires finalized().
+  uint64_t NumNodes() const { return num_nodes_; }
+
+  /// Distinct predicates. Requires finalized().
+  uint64_t NumPredicates() const { return predicate_stats_.size(); }
+
+  const PredicateStats* StatsFor(TermId predicate) const;
+  const std::unordered_map<TermId, PredicateStats>& predicate_stats() const {
+    return predicate_stats_;
+  }
+
+  /// Rough heap footprint of indexes + dictionary, for storage metrics.
+  uint64_t MemoryBytes() const;
+
+  Dictionary* mutable_dictionary() { return &dict_; }
+  const Dictionary& dictionary() const { return dict_; }
+
+  /// All triples in SPO order. Requires finalized().
+  const std::vector<Triple>& triples() const { return triples_; }
+
+ private:
+  enum Order : int { kSPO = 0, kSOP, kPSO, kPOS, kOSP, kOPS, kNumOrders };
+
+  Dictionary dict_;
+  std::vector<Triple> triples_;  // canonical, SPO-sorted after Finalize
+  // indexes_[kSPO] aliases triples_ conceptually but is stored separately to
+  // keep the code uniform; the five extra orders are rebuilt in Finalize.
+  std::array<std::vector<Triple>, kNumOrders> indexes_;
+  std::unordered_map<TermId, PredicateStats> predicate_stats_;
+  uint64_t num_nodes_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_RDF_TRIPLE_STORE_H_

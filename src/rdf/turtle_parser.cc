@@ -1,0 +1,376 @@
+#include "rdf/turtle_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/result.h"
+#include "common/string_util.h"
+#include "rdf/vocab.h"
+
+namespace sofos {
+
+namespace {
+
+bool IsPnameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+bool IsBlankLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Status TurtleParser::Parse(std::string_view text, TripleStore* store) {
+  text_ = text;
+  pos_ = 0;
+  line_ = 1;
+  column_ = 1;
+  prefixes_.clear();
+  store_ = store;
+
+  while (true) {
+    SkipWhitespaceAndComments();
+    if (AtEnd()) break;
+    SOFOS_RETURN_IF_ERROR(ParseStatement());
+  }
+  return Status::OK();
+}
+
+Status TurtleParser::ParseFile(const std::string& path, TripleStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  return Parse(content, store).WithContext(path);
+}
+
+char TurtleParser::Get() {
+  char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool TurtleParser::TryConsume(char c) {
+  if (AtEnd() || Peek() != c) return false;
+  Get();
+  return true;
+}
+
+Status TurtleParser::Expect(char c) {
+  if (AtEnd()) return Error(std::string("expected '") + c + "' but found end of input");
+  if (Peek() != c) {
+    return Error(std::string("expected '") + c + "' but found '" + Peek() + "'");
+  }
+  Get();
+  return Status::OK();
+}
+
+Status TurtleParser::Error(const std::string& message) const {
+  return Status::ParseError(StrFormat("turtle:%d:%d: %s", line_, column_,
+                                      message.c_str()));
+}
+
+void TurtleParser::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == '#') {
+      while (!AtEnd() && Peek() != '\n') Get();
+    } else if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      Get();
+    } else {
+      break;
+    }
+  }
+}
+
+Status TurtleParser::ParseStatement() {
+  // Directives.
+  if (Peek() == '@') {
+    Get();
+    std::string word;
+    while (!AtEnd() && std::isalpha(static_cast<unsigned char>(Peek()))) {
+      word += Get();
+    }
+    if (StrEqualsIgnoreCase(word, "prefix")) return ParsePrefixDirective(false);
+    if (StrEqualsIgnoreCase(word, "base")) {
+      return Error("@base is not supported by the sofos Turtle subset");
+    }
+    return Error("unknown directive @" + word);
+  }
+  // SPARQL-style PREFIX (case-insensitive, no trailing dot).
+  if ((Peek() == 'P' || Peek() == 'p') && text_.substr(pos_, 6).size() == 6 &&
+      StrEqualsIgnoreCase(text_.substr(pos_, 6), "PREFIX")) {
+    for (int i = 0; i < 6; ++i) Get();
+    return ParsePrefixDirective(true);
+  }
+  if (Peek() == '(' || Peek() == '[') {
+    return Error(std::string("Turtle construct '") + Peek() +
+                 "' (collections/anonymous nodes) is not supported");
+  }
+
+  Term subject;
+  SOFOS_RETURN_IF_ERROR(ParseTermInto(&subject, /*allow_literal=*/false));
+
+  // predicateObjectList: verb objectList (';' verb objectList)* '.'
+  while (true) {
+    SkipWhitespaceAndComments();
+    if (AtEnd()) return Error("unexpected end of input in statement");
+
+    Term predicate;
+    if (Peek() == 'a') {
+      // `a` must be followed by whitespace to be the rdf:type keyword.
+      size_t next = pos_ + 1;
+      if (next >= text_.size() || text_[next] == ' ' || text_[next] == '\t' ||
+          text_[next] == '\n' || text_[next] == '\r') {
+        Get();
+        predicate = Term::Iri(std::string(vocab::kRdfType));
+      } else {
+        SOFOS_RETURN_IF_ERROR(ParseTermInto(&predicate, /*allow_literal=*/false));
+      }
+    } else {
+      SOFOS_RETURN_IF_ERROR(ParseTermInto(&predicate, /*allow_literal=*/false));
+    }
+    if (!predicate.is_iri()) return Error("predicate must be an IRI");
+
+    // objectList
+    while (true) {
+      Term object;
+      SOFOS_RETURN_IF_ERROR(ParseTermInto(&object, /*allow_literal=*/true));
+      store_->Add(subject, predicate, object);
+      SkipWhitespaceAndComments();
+      if (!TryConsume(',')) break;
+    }
+
+    SkipWhitespaceAndComments();
+    if (TryConsume(';')) {
+      SkipWhitespaceAndComments();
+      // Turtle allows a dangling ';' before the final '.'.
+      if (!AtEnd() && Peek() == '.') {
+        Get();
+        return Status::OK();
+      }
+      continue;
+    }
+    return Expect('.');
+  }
+}
+
+Status TurtleParser::ParsePrefixDirective(bool sparql_style) {
+  SkipWhitespaceAndComments();
+  std::string ns;
+  while (!AtEnd() && IsPnameChar(Peek())) ns += Get();
+  SOFOS_RETURN_IF_ERROR(Expect(':'));
+  SkipWhitespaceAndComments();
+  std::string iri;
+  SOFOS_RETURN_IF_ERROR(ParseIriRef(&iri));
+  prefixes_[ns] = iri;
+  if (!sparql_style) {
+    SkipWhitespaceAndComments();
+    return Expect('.');
+  }
+  return Status::OK();
+}
+
+Status TurtleParser::ParseIriRef(std::string* out) {
+  SOFOS_RETURN_IF_ERROR(Expect('<'));
+  out->clear();
+  while (!AtEnd() && Peek() != '>') {
+    char c = Get();
+    if (c == '\n') return Error("newline inside IRI");
+    *out += c;
+  }
+  return Expect('>');
+}
+
+Status TurtleParser::ParsePrefixedName(std::string* out) {
+  std::string ns;
+  while (!AtEnd() && IsPnameChar(Peek()) && Peek() != ':') {
+    // '.' cannot end a prefix label; simplest correct handling is to allow
+    // it mid-name only.
+    ns += Get();
+  }
+  SOFOS_RETURN_IF_ERROR(Expect(':'));
+  std::string local;
+  while (!AtEnd() && IsPnameChar(Peek())) local += Get();
+  // A trailing '.' belongs to the statement terminator, not the name.
+  while (!local.empty() && local.back() == '.') {
+    local.pop_back();
+    --pos_;
+    --column_;
+  }
+  auto it = prefixes_.find(ns);
+  if (it == prefixes_.end()) return Error("undefined prefix '" + ns + ":'");
+  *out = it->second + local;
+  return Status::OK();
+}
+
+Status TurtleParser::ParseTermInto(Term* out, bool allow_literal) {
+  SkipWhitespaceAndComments();
+  if (AtEnd()) return Error("unexpected end of input; expected an RDF term");
+  char c = Peek();
+
+  if (c == '<') {
+    std::string iri;
+    SOFOS_RETURN_IF_ERROR(ParseIriRef(&iri));
+    *out = Term::Iri(std::move(iri));
+    return Status::OK();
+  }
+
+  if (c == '_') {
+    Get();
+    SOFOS_RETURN_IF_ERROR(Expect(':'));
+    std::string label;
+    while (!AtEnd() && IsBlankLabelChar(Peek())) label += Get();
+    if (label.empty()) return Error("empty blank node label");
+    *out = Term::Blank(std::move(label));
+    return Status::OK();
+  }
+
+  if (c == '(' || c == '[') {
+    return Error(std::string("Turtle construct '") + c +
+                 "' (collections/anonymous nodes) is not supported");
+  }
+
+  if (c == '"') {
+    if (!allow_literal) return Error("literal not allowed in this position");
+    return ParseLiteral(out);
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' || c == '-' ||
+      ((c == 't' || c == 'f') && allow_literal &&
+       (StrStartsWith(text_.substr(pos_), "true") ||
+        StrStartsWith(text_.substr(pos_), "false")))) {
+    if (!allow_literal) return Error("literal not allowed in this position");
+    // Booleans could also be prefixed names (e.g. `true:x`); disambiguate by
+    // checking the following character.
+    if (c == 't' || c == 'f') {
+      size_t len = (c == 't') ? 4 : 5;
+      if (pos_ + len < text_.size() && IsPnameChar(text_[pos_ + len])) {
+        std::string iri;
+        SOFOS_RETURN_IF_ERROR(ParsePrefixedName(&iri));
+        *out = Term::Iri(std::move(iri));
+        return Status::OK();
+      }
+    }
+    return ParseNumberOrBoolean(out);
+  }
+
+  // Prefixed name.
+  std::string iri;
+  SOFOS_RETURN_IF_ERROR(ParsePrefixedName(&iri));
+  *out = Term::Iri(std::move(iri));
+  return Status::OK();
+}
+
+Status TurtleParser::ParseLiteral(Term* out) {
+  SOFOS_RETURN_IF_ERROR(Expect('"'));
+  std::string raw;
+  while (true) {
+    if (AtEnd()) return Error("unterminated string literal");
+    char c = Get();
+    if (c == '"') break;
+    if (c == '\\') {
+      if (AtEnd()) return Error("dangling escape in string literal");
+      raw += c;
+      raw += Get();
+      continue;
+    }
+    raw += c;
+  }
+  auto unescaped = UnescapeTurtleString(raw);
+  if (!unescaped.ok()) return Error(unescaped.status().message());
+
+  if (TryConsume('@')) {
+    std::string lang;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '-')) {
+      lang += Get();
+    }
+    if (lang.empty()) return Error("empty language tag");
+    *out = Term::LangString(std::move(unescaped).value(), std::move(lang));
+    return Status::OK();
+  }
+
+  if (!AtEnd() && Peek() == '^') {
+    Get();
+    SOFOS_RETURN_IF_ERROR(Expect('^'));
+    std::string dt;
+    if (!AtEnd() && Peek() == '<') {
+      SOFOS_RETURN_IF_ERROR(ParseIriRef(&dt));
+    } else {
+      SOFOS_RETURN_IF_ERROR(ParsePrefixedName(&dt));
+    }
+    auto typed = Term::TypedLiteral(std::move(unescaped).value(), dt);
+    if (!typed.ok()) return Error(typed.status().message());
+    *out = std::move(typed).value();
+    return Status::OK();
+  }
+
+  *out = Term::String(std::move(unescaped).value());
+  return Status::OK();
+}
+
+Status TurtleParser::ParseNumberOrBoolean(Term* out) {
+  char c = Peek();
+  if (c == 't' || c == 'f') {
+    size_t len = (c == 't') ? 4 : 5;
+    std::string word(text_.substr(pos_, len));
+    if (word == "true" || word == "false") {
+      for (size_t i = 0; i < len; ++i) Get();
+      *out = Term::Boolean(word == "true");
+      return Status::OK();
+    }
+    return Error("malformed boolean literal");
+  }
+
+  std::string num;
+  if (Peek() == '+' || Peek() == '-') num += Get();
+  bool has_dot = false;
+  bool has_exp = false;
+  while (!AtEnd()) {
+    char d = Peek();
+    if (std::isdigit(static_cast<unsigned char>(d))) {
+      num += Get();
+    } else if (d == '.' && !has_dot && !has_exp) {
+      // A '.' followed by a non-digit is the statement terminator.
+      if (pos_ + 1 >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        break;
+      }
+      has_dot = true;
+      num += Get();
+    } else if ((d == 'e' || d == 'E') && !has_exp) {
+      has_exp = true;
+      num += Get();
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) num += Get();
+    } else {
+      break;
+    }
+  }
+  if (num.empty() || num == "+" || num == "-") {
+    return Error("malformed numeric literal");
+  }
+  if (has_dot || has_exp) {
+    auto value = ParseDouble(num);
+    if (!value.ok()) return Error(value.status().message());
+    auto term = Term::TypedLiteral(num, vocab::kXsdDouble);
+    if (!term.ok()) return Error(term.status().message());
+    *out = std::move(term).value();
+  } else {
+    auto value = ParseInt64(num);
+    if (!value.ok()) return Error(value.status().message());
+    *out = Term::Integer(value.value());
+  }
+  return Status::OK();
+}
+
+}  // namespace sofos

@@ -1,0 +1,67 @@
+#ifndef SOFOS_RDF_TURTLE_PARSER_H_
+#define SOFOS_RDF_TURTLE_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "rdf/triple_store.h"
+
+namespace sofos {
+
+/// Parser for the Turtle subset sofos uses for data exchange:
+///
+///   * `@prefix ns: <iri> .` and SPARQL-style `PREFIX ns: <iri>`
+///   * subject/predicate/object statements with `;` and `,` lists
+///   * the `a` keyword for rdf:type
+///   * IRIs `<...>`, prefixed names `ns:local`, blank nodes `_:label`
+///   * literals: `"..."` with escapes, optional `@lang` or `^^<datatype>`
+///     (or `^^ns:local`), bare integers, decimals, doubles and booleans
+///   * `#` comments
+///
+/// N-Triples documents are valid input (they are a Turtle subset). Turtle
+/// collections `( )` and anonymous nodes `[ ]` are intentionally not
+/// supported and produce a ParseError naming the construct.
+class TurtleParser {
+ public:
+  /// Parses `text` and adds all triples to `store` (which is left
+  /// unfinalized). Errors carry 1-based line/column positions.
+  Status Parse(std::string_view text, TripleStore* store);
+
+  /// Convenience wrapper reading from a file.
+  Status ParseFile(const std::string& path, TripleStore* store);
+
+  /// Prefixes visible after the last Parse() call (useful for tests).
+  const std::unordered_map<std::string, std::string>& prefixes() const {
+    return prefixes_;
+  }
+
+ private:
+  Status ParseStatement();
+  Status ParsePrefixDirective(bool sparql_style);
+  Status ParseTermInto(Term* out, bool allow_literal);
+  Status ParseIriRef(std::string* out);
+  Status ParsePrefixedName(std::string* out);
+  Status ParseLiteral(Term* out);
+  Status ParseNumberOrBoolean(Term* out);
+
+  void SkipWhitespaceAndComments();
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char Get();
+  bool TryConsume(char c);
+  Status Expect(char c);
+  Status Error(const std::string& message) const;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  std::unordered_map<std::string, std::string> prefixes_;
+  TripleStore* store_ = nullptr;
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_RDF_TURTLE_PARSER_H_

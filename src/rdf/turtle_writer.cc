@@ -1,0 +1,82 @@
+#include "rdf/turtle_writer.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace sofos {
+
+void TurtleWriter::AddPrefix(std::string prefix, std::string iri) {
+  prefixes_.push_back(PrefixEntry{std::move(prefix), std::move(iri)});
+}
+
+std::string TurtleWriter::WriteNTriples(const TripleStore& store) const {
+  std::string out;
+  const Dictionary& dict = store.dictionary();
+  for (const Triple& t : store.triples()) {
+    out += dict.term(t.s).ToNTriples();
+    out += ' ';
+    out += dict.term(t.p).ToNTriples();
+    out += ' ';
+    out += dict.term(t.o).ToNTriples();
+    out += " .\n";
+  }
+  return out;
+}
+
+std::string TurtleWriter::Abbreviate(const Term& term) const {
+  if (term.is_iri()) {
+    for (const PrefixEntry& entry : prefixes_) {
+      if (StrStartsWith(term.lexical(), entry.iri)) {
+        std::string local = term.lexical().substr(entry.iri.size());
+        // Only abbreviate when the local part is a simple name.
+        bool simple = !local.empty();
+        for (char c : local) {
+          if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-')) {
+            simple = false;
+            break;
+          }
+        }
+        if (simple) return entry.prefix + ":" + local;
+      }
+    }
+  }
+  return term.ToNTriples();
+}
+
+std::string TurtleWriter::WriteTurtle(const TripleStore& store) const {
+  std::string out;
+  for (const PrefixEntry& entry : prefixes_) {
+    out += "@prefix " + entry.prefix + ": <" + entry.iri + "> .\n";
+  }
+  if (!prefixes_.empty()) out += '\n';
+
+  const Dictionary& dict = store.dictionary();
+  const auto& triples = store.triples();  // SPO sorted: subjects contiguous
+  for (size_t i = 0; i < triples.size();) {
+    TermId subject = triples[i].s;
+    out += Abbreviate(dict.term(subject));
+    bool first = true;
+    while (i < triples.size() && triples[i].s == subject) {
+      out += first ? " " : " ;\n    ";
+      first = false;
+      out += Abbreviate(dict.term(triples[i].p));
+      out += ' ';
+      out += Abbreviate(dict.term(triples[i].o));
+      ++i;
+    }
+    out += " .\n";
+  }
+  return out;
+}
+
+Status TurtleWriter::WriteNTriplesFile(const TripleStore& store,
+                                       const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open file for writing: " + path);
+  out << WriteNTriples(store);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace sofos

@@ -1,0 +1,43 @@
+#ifndef SOFOS_RDF_TURTLE_WRITER_H_
+#define SOFOS_RDF_TURTLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/triple_store.h"
+
+namespace sofos {
+
+/// Serializes a finalized TripleStore back to text. N-Triples output is
+/// canonical (SPO-sorted, one triple per line) which makes round-trip
+/// property tests straightforward; Turtle output groups predicates by
+/// subject with `;` for readability.
+class TurtleWriter {
+ public:
+  struct PrefixEntry {
+    std::string prefix;  // e.g. "geo"
+    std::string iri;     // e.g. "http://sofos.example.org/geo#"
+  };
+
+  /// Registers a namespace abbreviation used by WriteTurtle.
+  void AddPrefix(std::string prefix, std::string iri);
+
+  /// One N-Triples line per triple, in canonical SPO order.
+  std::string WriteNTriples(const TripleStore& store) const;
+
+  /// Turtle with prefix directives and subject grouping.
+  std::string WriteTurtle(const TripleStore& store) const;
+
+  /// Writes WriteNTriples() output to `path`.
+  Status WriteNTriplesFile(const TripleStore& store, const std::string& path) const;
+
+ private:
+  std::string Abbreviate(const Term& term) const;
+
+  std::vector<PrefixEntry> prefixes_;
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_RDF_TURTLE_WRITER_H_

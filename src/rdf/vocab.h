@@ -1,0 +1,52 @@
+#ifndef SOFOS_RDF_VOCAB_H_
+#define SOFOS_RDF_VOCAB_H_
+
+#include <string>
+#include <string_view>
+
+namespace sofos {
+namespace vocab {
+
+// XML Schema datatypes understood natively by the term model.
+inline constexpr std::string_view kXsdNs = "http://www.w3.org/2001/XMLSchema#";
+inline constexpr std::string_view kXsdString = "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr std::string_view kXsdInteger = "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr std::string_view kXsdDouble = "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr std::string_view kXsdBoolean = "http://www.w3.org/2001/XMLSchema#boolean";
+
+inline constexpr std::string_view kRdfNs = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfLangString =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+
+// SOFOS materialization vocabulary (paper §3.1: materialized views are
+// encoded back into the RDF graph through fresh blank nodes).
+inline constexpr std::string_view kSofosNs = "http://sofos.ics.forth.gr/vocab#";
+inline constexpr std::string_view kSofosView = "http://sofos.ics.forth.gr/vocab#view";
+inline constexpr std::string_view kSofosValue = "http://sofos.ics.forth.gr/vocab#value";
+inline constexpr std::string_view kSofosRows = "http://sofos.ics.forth.gr/vocab#rows";
+
+/// Predicate attaching the binding of grouped dimension `var` to a view row
+/// blank node: sofos:dim_<var>.
+inline std::string DimPredicate(std::string_view var) {
+  std::string out(kSofosNs);
+  out += "dim_";
+  out += var;
+  return out;
+}
+
+/// IRI identifying the materialized view of facet `facet_name` whose grouped
+/// dimension set is encoded by `dim_mask` (bit i = facet dimension i kept).
+inline std::string ViewIri(std::string_view facet_name, uint32_t dim_mask) {
+  std::string out("http://sofos.ics.forth.gr/view/");
+  out += facet_name;
+  out += "/";
+  out += std::to_string(dim_mask);
+  return out;
+}
+
+}  // namespace vocab
+}  // namespace sofos
+
+#endif  // SOFOS_RDF_VOCAB_H_

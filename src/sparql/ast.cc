@@ -1,0 +1,253 @@
+#include "sparql/ast.h"
+
+#include "common/string_util.h"
+
+namespace sofos {
+namespace sparql {
+
+std::string AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeVar(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::MakeLiteral(Term term) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(term);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->bop = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->uop = op;
+  e->operand = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::MakeAggregate(AggKind agg, ExprPtr arg, bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAggregate;
+  e->agg = agg;
+  e->agg_arg = std::move(arg);
+  e->agg_distinct = distinct;
+  return e;
+}
+
+ExprPtr Expr::MakeCountStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAggregate;
+  e->agg = AggKind::kCount;
+  e->count_star = true;
+  return e;
+}
+
+ExprPtr Expr::MakeFunction(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFunction;
+  e->func_name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->var = var;
+  e->literal = literal;
+  e->bop = bop;
+  if (lhs) e->lhs = lhs->Clone();
+  if (rhs) e->rhs = rhs->Clone();
+  e->uop = uop;
+  if (operand) e->operand = operand->Clone();
+  e->agg = agg;
+  e->agg_distinct = agg_distinct;
+  e->count_star = count_star;
+  if (agg_arg) e->agg_arg = agg_arg->Clone();
+  e->agg_slot = agg_slot;
+  e->func_name = func_name;
+  for (const auto& a : args) e->args.push_back(a->Clone());
+  return e;
+}
+
+namespace {
+
+std::string BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return "||";
+    case BinaryOp::kAnd:
+      return "&&";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kVar:
+      return "?" + var;
+    case Kind::kLiteral:
+      return literal.ToNTriples();
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + BinaryOpSymbol(bop) + " " +
+             rhs->ToString() + ")";
+    case Kind::kUnary:
+      return (uop == UnaryOp::kNot ? "(!" : "(-") + operand->ToString() + ")";
+    case Kind::kAggregate: {
+      std::string inner = count_star ? "*"
+                                     : (agg_distinct ? "DISTINCT " : "") +
+                                           (agg_arg ? agg_arg->ToString() : "?");
+      return AggKindName(agg) + "(" + inner + ")";
+    }
+    case Kind::kFunction: {
+      std::string out = func_name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == Kind::kAggregate) return true;
+  if (lhs && lhs->ContainsAggregate()) return true;
+  if (rhs && rhs->ContainsAggregate()) return true;
+  if (operand && operand->ContainsAggregate()) return true;
+  for (const auto& a : args) {
+    if (a->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+void Expr::CollectVars(std::vector<std::string>* out) const {
+  switch (kind) {
+    case Kind::kVar:
+      out->push_back(var);
+      return;
+    case Kind::kLiteral:
+      return;
+    case Kind::kBinary:
+      lhs->CollectVars(out);
+      rhs->CollectVars(out);
+      return;
+    case Kind::kUnary:
+      operand->CollectVars(out);
+      return;
+    case Kind::kAggregate:
+      if (agg_arg) agg_arg->CollectVars(out);
+      return;
+    case Kind::kFunction:
+      for (const auto& a : args) a->CollectVars(out);
+      return;
+  }
+}
+
+std::string SelectItem::ToString() const {
+  if (expr && expr->kind == Expr::Kind::kVar && expr->var == alias) {
+    return "?" + alias;
+  }
+  return "(" + (expr ? expr->ToString() : "?") + " AS ?" + alias + ")";
+}
+
+bool Query::IsAggregateQuery() const {
+  if (!group_by.empty() || !having.empty()) return true;
+  for (const auto& item : select) {
+    if (item.expr && item.expr->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (select_all) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select.size(); ++i) {
+      if (i) out += " ";
+      out += select[i].ToString();
+    }
+  }
+  out += " WHERE {\n";
+  for (const auto& tp : where) {
+    out += "  " + tp.ToString() + " .\n";
+  }
+  for (const auto& f : filters) {
+    out += "  FILTER " + f->ToString() + "\n";
+  }
+  out += "}";
+  if (!group_by.empty()) {
+    out += " GROUP BY";
+    for (const auto& v : group_by) out += " ?" + v;
+  }
+  for (size_t i = 0; i < having.size(); ++i) {
+    out += i == 0 ? " HAVING " : " ";
+    out += having[i]->ToString();
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY";
+    for (const auto& key : order_by) {
+      out += key.ascending ? " ASC(" : " DESC(";
+      out += key.expr->ToString();
+      out += ")";
+    }
+  }
+  if (limit >= 0) out += StrFormat(" LIMIT %lld", static_cast<long long>(limit));
+  if (offset > 0) out += StrFormat(" OFFSET %lld", static_cast<long long>(offset));
+  return out;
+}
+
+}  // namespace sparql
+}  // namespace sofos

@@ -1,0 +1,184 @@
+#ifndef SOFOS_SPARQL_AST_H_
+#define SOFOS_SPARQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace sofos {
+namespace sparql {
+
+/// A subject/predicate/object position in a triple pattern: either a
+/// concrete RDF term or a variable.
+class PatternTerm {
+ public:
+  PatternTerm() = default;
+
+  static PatternTerm Var(std::string name) {
+    PatternTerm t;
+    t.is_var_ = true;
+    t.var_ = std::move(name);
+    return t;
+  }
+  static PatternTerm Const(Term term) {
+    PatternTerm t;
+    t.is_var_ = false;
+    t.term_ = std::move(term);
+    return t;
+  }
+
+  bool is_var() const { return is_var_; }
+  const std::string& var() const { return var_; }
+  const Term& term() const { return term_; }
+
+  /// SPARQL surface syntax for this position.
+  std::string ToString() const {
+    return is_var_ ? "?" + var_ : term_.ToNTriples();
+  }
+
+  bool operator==(const PatternTerm& other) const {
+    if (is_var_ != other.is_var_) return false;
+    return is_var_ ? var_ == other.var_ : term_ == other.term_;
+  }
+
+ private:
+  bool is_var_ = false;
+  Term term_;
+  std::string var_;
+};
+
+/// A SPARQL triple pattern (paper §3: a query is a set of triple patterns).
+struct TriplePattern {
+  PatternTerm s, p, o;
+
+  std::string ToString() const {
+    return s.ToString() + " " + p.ToString() + " " + o.ToString();
+  }
+  bool operator==(const TriplePattern& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+enum class BinaryOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+/// Aggregation expressions supported by analytical queries (paper §3:
+/// agg ∈ {SUM, AVG, COUNT, MAX, MIN}).
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+std::string AggKindName(AggKind kind);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression tree for FILTER / HAVING / projection expressions.
+struct Expr {
+  enum class Kind { kVar, kLiteral, kBinary, kUnary, kAggregate, kFunction };
+
+  Kind kind = Kind::kLiteral;
+
+  // kVar
+  std::string var;
+
+  // kLiteral
+  Term literal;
+
+  // kBinary
+  BinaryOp bop = BinaryOp::kAnd;
+  ExprPtr lhs, rhs;
+
+  // kUnary
+  UnaryOp uop = UnaryOp::kNot;
+  ExprPtr operand;
+
+  // kAggregate
+  AggKind agg = AggKind::kCount;
+  bool agg_distinct = false;
+  bool count_star = false;
+  ExprPtr agg_arg;   // null for COUNT(*)
+  int agg_slot = -1;  // assigned by the algebra builder
+
+  // kFunction — supported: STR, BOUND, REGEX, ABS
+  std::string func_name;
+  std::vector<ExprPtr> args;
+
+  static ExprPtr MakeVar(std::string name);
+  static ExprPtr MakeLiteral(Term term);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+  static ExprPtr MakeAggregate(AggKind agg, ExprPtr arg, bool distinct);
+  static ExprPtr MakeCountStar();
+  static ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args);
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+
+  /// SPARQL surface syntax (fully parenthesized).
+  std::string ToString() const;
+
+  /// True if any kAggregate node appears in the tree.
+  bool ContainsAggregate() const;
+
+  /// Appends the names of all non-aggregate variables referenced.
+  void CollectVars(std::vector<std::string>* out) const;
+};
+
+/// One item of the SELECT clause: either a bare variable (expr is a kVar and
+/// alias equals the variable name) or `(expr AS ?alias)`.
+struct SelectItem {
+  std::string alias;
+  ExprPtr expr;
+
+  std::string ToString() const;
+};
+
+struct OrderKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Parsed SPARQL SELECT query (the subset described in the README).
+struct Query {
+  std::unordered_map<std::string, std::string> prefixes;
+  bool distinct = false;
+  bool select_all = false;  // SELECT *
+  std::vector<SelectItem> select;
+  std::vector<TriplePattern> where;
+  std::vector<ExprPtr> filters;
+  std::vector<std::string> group_by;
+  std::vector<ExprPtr> having;
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;   // -1 = unlimited
+  int64_t offset = 0;
+
+  /// True if any select item / HAVING clause contains an aggregate or a
+  /// GROUP BY is present.
+  bool IsAggregateQuery() const;
+
+  /// Round-trips the query to SPARQL text (canonical form; used by the
+  /// rewriter and EXPLAIN output).
+  std::string ToString() const;
+};
+
+}  // namespace sparql
+}  // namespace sofos
+
+#endif  // SOFOS_SPARQL_AST_H_

@@ -1,0 +1,48 @@
+#ifndef SOFOS_SPARQL_BINDING_H_
+#define SOFOS_SPARQL_BINDING_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+
+namespace sofos {
+namespace sparql {
+
+/// A solution row: one TermId per variable slot, kNullTermId = unbound.
+using Row = std::vector<TermId>;
+
+/// Maps variable names to dense row slots.
+class VariableTable {
+ public:
+  /// Returns the slot of `name`, creating it if absent.
+  int GetOrAdd(const std::string& name) {
+    auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second;
+    int slot = static_cast<int>(names_.size());
+    names_.push_back(name);
+    slots_.emplace(name, slot);
+    return slot;
+  }
+
+  /// Returns the slot of `name` if present.
+  std::optional<int> Get(const std::string& name) const {
+    auto it = slots_.find(name);
+    if (it == slots_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> slots_;
+};
+
+}  // namespace sparql
+}  // namespace sofos
+
+#endif  // SOFOS_SPARQL_BINDING_H_

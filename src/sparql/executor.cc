@@ -1,0 +1,529 @@
+#include "sparql/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "sparql/expression.h"
+#include "sparql/value.h"
+
+namespace sofos {
+namespace sparql {
+
+namespace {
+
+uint64_t HashRow(const Row& row) {
+  return Fnv1a64(row.data(), row.size() * sizeof(TermId));
+}
+
+struct RowHash {
+  size_t operator()(const Row& row) const { return static_cast<size_t>(HashRow(row)); }
+};
+
+/// Binds the variable positions of `step` from `triple` into `row`.
+/// Returns false when a repeated variable binds inconsistently (e.g. the
+/// pattern `?x ?p ?x` against a triple whose s != o) or when the triple
+/// conflicts with values already present in the row.
+bool BindStep(const PatternStep& step, const Triple& triple, Row* row) {
+  const TermId fields[3] = {triple.s, triple.p, triple.o};
+  for (int i = 0; i < 3; ++i) {
+    int slot = step.slots[i];
+    if (slot < 0) continue;
+    TermId current = (*row)[static_cast<size_t>(slot)];
+    if (current == kNullTermId) {
+      (*row)[static_cast<size_t>(slot)] = fields[i];
+    } else if (current != fields[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Scan of the first pattern step.
+class ScanOp : public Operator {
+ public:
+  ScanOp(const TripleStore* store, const PatternStep* step, size_t width,
+         ExecStats* stats)
+      : step_(step), width_(width), stats_(stats) {
+    range_ = store->Scan(step->consts[0], step->consts[1], step->consts[2]);
+    next_ = range_.begin();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (next_ != range_.end()) {
+      const Triple& t = *next_++;
+      ++stats_->rows_scanned;
+      row->assign(width_, kNullTermId);
+      if (BindStep(*step_, t, row)) return true;
+    }
+    return false;
+  }
+
+ private:
+  const PatternStep* step_;
+  size_t width_;
+  ExecStats* stats_;
+  TripleStore::ScanRange range_;
+  const Triple* next_ = nullptr;
+};
+
+/// Index nested-loop join: for every input row, substitutes the bound
+/// variables into the pattern and scans the matching index range.
+class IndexJoinOp : public Operator {
+ public:
+  IndexJoinOp(std::unique_ptr<Operator> child, const TripleStore* store,
+              const PatternStep* step, ExecStats* stats)
+      : child_(std::move(child)), store_(store), step_(step), stats_(stats) {}
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      while (cursor_ != range_.end()) {
+        const Triple& t = *cursor_++;
+        ++stats_->rows_scanned;
+        *row = current_;
+        if (BindStep(*step_, t, row)) return true;
+      }
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(&current_));
+      if (!has) return false;
+      ++stats_->intermediate_rows;
+      TermId ids[3];
+      for (int i = 0; i < 3; ++i) {
+        if (step_->slots[i] >= 0) {
+          ids[i] = current_[static_cast<size_t>(step_->slots[i])];  // may be null
+        } else {
+          ids[i] = step_->consts[i];
+        }
+      }
+      range_ = store_->Scan(ids[0], ids[1], ids[2]);
+      cursor_ = range_.begin();
+    }
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  const TripleStore* store_;
+  const PatternStep* step_;
+  ExecStats* stats_;
+  Row current_;
+  TripleStore::ScanRange range_;
+  const Triple* cursor_ = nullptr;
+};
+
+/// FILTER evaluation; SPARQL semantics: an evaluation error removes the row.
+class FilterOp : public Operator {
+ public:
+  FilterOp(std::unique_ptr<Operator> child, std::vector<const Expr*> filters,
+           const Dictionary* dict, const VariableTable* vars, ExecStats* stats,
+           int agg_base = -1)
+      : child_(std::move(child)),
+        filters_(std::move(filters)),
+        eval_(dict, vars, agg_base),
+        stats_(stats) {}
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+      if (!has) return false;
+      bool pass = true;
+      for (const Expr* f : filters_) {
+        auto verdict = eval_.EvalBool(*f, *row);
+        if (!verdict.ok() || !verdict.value()) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) return true;
+      ++stats_->filtered_rows;
+    }
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<const Expr*> filters_;
+  ExprEvaluator eval_;
+  ExecStats* stats_;
+};
+
+/// Hash aggregation. Materializes all groups on the first Next() call and
+/// then streams [group vars..., agg results...] rows.
+class AggregateOp : public Operator {
+ public:
+  AggregateOp(std::unique_ptr<Operator> child, const Plan* plan,
+              const Dictionary* dict, Dictionary* mutable_dict, ExecStats* stats)
+      : child_(std::move(child)),
+        plan_(plan),
+        eval_(dict, &plan->pattern_vars),
+        dict_(mutable_dict),
+        stats_(stats) {}
+
+  Result<bool> Next(Row* row) override {
+    if (!materialized_) {
+      SOFOS_RETURN_IF_ERROR(Materialize());
+      materialized_ = true;
+    }
+    if (cursor_ >= results_.size()) return false;
+    *row = results_[cursor_++];
+    return true;
+  }
+
+ private:
+  struct Accum {
+    uint64_t count = 0;
+    int64_t isum = 0;
+    double dsum = 0.0;
+    bool saw_double = false;
+    bool has_best = false;
+    Value best;
+    std::unordered_set<TermId> distinct_ids;
+  };
+
+  Status Materialize() {
+    const size_t num_groups_vars = plan_->group_slots.size();
+    const size_t num_aggs = plan_->agg_specs.size();
+    // Group key -> accumulators. std::map keeps the output deterministic.
+    std::map<Row, std::vector<Accum>> groups;
+
+    Row in;
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+      if (!has) break;
+      ++stats_->intermediate_rows;
+      Row key(num_groups_vars);
+      for (size_t i = 0; i < num_groups_vars; ++i) {
+        key[i] = in[static_cast<size_t>(plan_->group_slots[i])];
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) it->second.resize(num_aggs);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        SOFOS_RETURN_IF_ERROR(Accumulate(*plan_->agg_specs[a], in, &it->second[a]));
+      }
+    }
+
+    // SPARQL: an aggregate query with no GROUP BY over an empty input still
+    // produces one group (COUNT = 0, SUM = 0, others unbound).
+    if (groups.empty() && num_groups_vars == 0) {
+      groups.try_emplace(Row{}).first->second.resize(num_aggs);
+    }
+
+    for (auto& [key, accums] : groups) {
+      Row out(num_groups_vars + num_aggs, kNullTermId);
+      std::copy(key.begin(), key.end(), out.begin());
+      for (size_t a = 0; a < num_aggs; ++a) {
+        SOFOS_ASSIGN_OR_RETURN(
+            TermId id, Finalize(*plan_->agg_specs[a], accums[a]));
+        out[num_groups_vars + a] = id;
+      }
+      results_.push_back(std::move(out));
+    }
+    return Status::OK();
+  }
+
+  Status Accumulate(const Expr& spec, const Row& in, Accum* acc) {
+    if (spec.count_star) {
+      ++acc->count;
+      return Status::OK();
+    }
+    auto value = eval_.Eval(*spec.agg_arg, in);
+    // SPARQL semantics: rows whose aggregate expression errors (including
+    // unbound) are skipped by the aggregate, not the whole group.
+    if (!value.ok() || value.value().is_unbound()) return Status::OK();
+    const Value& v = value.value();
+
+    if (spec.agg_distinct) {
+      SOFOS_ASSIGN_OR_RETURN(Term term, v.ToTerm());
+      TermId id = dict_->Intern(term);
+      if (!acc->distinct_ids.insert(id).second) return Status::OK();
+    }
+
+    ++acc->count;
+    switch (spec.agg) {
+      case AggKind::kCount:
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        if (!v.is_numeric()) break;  // non-numeric values are skipped
+        if (v.type() == Value::Type::kDouble) {
+          acc->saw_double = true;
+          acc->dsum += v.double_value();
+        } else {
+          acc->isum += v.int_value();
+        }
+        break;
+      case AggKind::kMin:
+        if (!acc->has_best || v.TotalCompare(acc->best) < 0) {
+          acc->best = v;
+          acc->has_best = true;
+        }
+        break;
+      case AggKind::kMax:
+        if (!acc->has_best || v.TotalCompare(acc->best) > 0) {
+          acc->best = v;
+          acc->has_best = true;
+        }
+        break;
+    }
+    return Status::OK();
+  }
+
+  Result<TermId> Finalize(const Expr& spec, const Accum& acc) {
+    Value result;
+    switch (spec.agg) {
+      case AggKind::kCount:
+        result = Value::Int(static_cast<int64_t>(acc.count));
+        break;
+      case AggKind::kSum:
+        if (acc.saw_double) {
+          result = Value::MakeDouble(acc.dsum + static_cast<double>(acc.isum));
+        } else {
+          result = Value::Int(acc.isum);  // SUM of empty input is 0
+        }
+        break;
+      case AggKind::kAvg:
+        if (acc.count == 0) return kNullTermId;
+        result = Value::MakeDouble(
+            (acc.dsum + static_cast<double>(acc.isum)) /
+            static_cast<double>(acc.count));
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        if (!acc.has_best) return kNullTermId;
+        result = acc.best;
+        break;
+    }
+    SOFOS_ASSIGN_OR_RETURN(Term term, result.ToTerm());
+    return dict_->Intern(term);
+  }
+
+  std::unique_ptr<Operator> child_;
+  const Plan* plan_;
+  ExprEvaluator eval_;
+  Dictionary* dict_;
+  ExecStats* stats_;
+  bool materialized_ = false;
+  std::vector<Row> results_;
+  size_t cursor_ = 0;
+};
+
+/// Projection into the output layout; expression results are interned.
+/// Expression evaluation errors yield unbound outputs (SPARQL semantics).
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, const Plan* plan,
+            const Dictionary* dict, Dictionary* mutable_dict,
+            const VariableTable* input_vars, int agg_base)
+      : child_(std::move(child)),
+        plan_(plan),
+        eval_(dict, input_vars, agg_base),
+        dict_(mutable_dict) {}
+
+  Result<bool> Next(Row* row) override {
+    Row in;
+    SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+    if (!has) return false;
+    row->assign(plan_->outputs.size(), kNullTermId);
+    for (size_t i = 0; i < plan_->outputs.size(); ++i) {
+      const Plan::OutputItem& item = plan_->outputs[i];
+      if (item.direct_slot >= 0) {
+        (*row)[i] = in[static_cast<size_t>(item.direct_slot)];
+        continue;
+      }
+      if (item.expr == nullptr) continue;
+      auto value = eval_.Eval(*item.expr, in);
+      if (!value.ok() || value.value().is_unbound()) continue;
+      auto term = value.value().ToTerm();
+      if (!term.ok()) continue;
+      (*row)[i] = dict_->Intern(term.value());
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  const Plan* plan_;
+  ExprEvaluator eval_;
+  Dictionary* dict_;
+};
+
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(std::unique_ptr<Operator> child) : child_(std::move(child)) {}
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+      if (!has) return false;
+      if (seen_.insert(*row).second) return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::unordered_set<Row, RowHash> seen_;
+};
+
+/// ORDER BY: materializes and sorts by evaluated keys using the total
+/// order (evaluation errors sort as unbound, i.e. first).
+class OrderByOp : public Operator {
+ public:
+  OrderByOp(std::unique_ptr<Operator> child, const Plan* plan,
+            const Dictionary* dict, int agg_base)
+      : child_(std::move(child)),
+        plan_(plan),
+        eval_(dict, &plan->output_vars, agg_base) {}
+
+  Result<bool> Next(Row* row) override {
+    if (!materialized_) {
+      SOFOS_RETURN_IF_ERROR(Materialize());
+      materialized_ = true;
+    }
+    if (cursor_ >= rows_.size()) return false;
+    *row = std::move(rows_[cursor_++].row);
+    return true;
+  }
+
+ private:
+  struct Keyed {
+    Row row;
+    std::vector<Value> keys;
+  };
+
+  Status Materialize() {
+    Row in;
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+      if (!has) break;
+      Keyed keyed;
+      keyed.row = in;
+      for (const auto& [expr, asc] : plan_->order_keys) {
+        (void)asc;
+        auto v = eval_.Eval(*expr, in);
+        keyed.keys.push_back(v.ok() ? v.value() : Value::Unbound());
+      }
+      rows_.push_back(std::move(keyed));
+    }
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Keyed& a, const Keyed& b) {
+                       for (size_t i = 0; i < plan_->order_keys.size(); ++i) {
+                         int c = a.keys[i].TotalCompare(b.keys[i]);
+                         if (c != 0) {
+                           return plan_->order_keys[i].second ? c < 0 : c > 0;
+                         }
+                       }
+                       return false;
+                     });
+    return Status::OK();
+  }
+
+  std::unique_ptr<Operator> child_;
+  const Plan* plan_;
+  ExprEvaluator eval_;
+  bool materialized_ = false;
+  std::vector<Keyed> rows_;
+  size_t cursor_ = 0;
+};
+
+class SliceOp : public Operator {
+ public:
+  SliceOp(std::unique_ptr<Operator> child, int64_t offset, int64_t limit)
+      : child_(std::move(child)), offset_(offset), limit_(limit) {}
+
+  Result<bool> Next(Row* row) override {
+    while (skipped_ < offset_) {
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+      if (!has) return false;
+      ++skipped_;
+    }
+    if (limit_ >= 0 && emitted_ >= limit_) return false;
+    SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    ++emitted_;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  int64_t offset_;
+  int64_t limit_;
+  int64_t skipped_ = 0;
+  int64_t emitted_ = 0;
+};
+
+/// Produces no rows; used for plans that are provably empty. Aggregate
+/// handling still applies above it, so COUNT over an impossible pattern
+/// correctly returns 0.
+class EmptyOp : public Operator {
+ public:
+  Result<bool> Next(Row*) override { return false; }
+};
+
+}  // namespace
+
+Executor::Executor(const Plan* plan, const TripleStore* store, Dictionary* dict)
+    : plan_(plan), store_(store), dict_(dict) {}
+
+std::unique_ptr<Operator> Executor::BuildPipeline(ExecStats* stats) {
+  std::unique_ptr<Operator> op;
+  const size_t width = plan_->pattern_vars.size();
+
+  if (plan_->empty_guaranteed) {
+    op = std::make_unique<EmptyOp>();
+  } else {
+    for (size_t i = 0; i < plan_->steps.size(); ++i) {
+      const PatternStep& step = plan_->steps[i];
+      if (i == 0) {
+        op = std::make_unique<ScanOp>(store_, &step, width, stats);
+      } else {
+        op = std::make_unique<IndexJoinOp>(std::move(op), store_, &step, stats);
+      }
+      if (!step.filters.empty()) {
+        op = std::make_unique<FilterOp>(std::move(op), step.filters, dict_,
+                                        &plan_->pattern_vars, stats);
+      }
+    }
+  }
+
+  int agg_base = -1;
+  const VariableTable* project_input = &plan_->pattern_vars;
+  if (plan_->is_aggregate) {
+    op = std::make_unique<AggregateOp>(std::move(op), plan_, dict_, dict_, stats);
+    agg_base = static_cast<int>(plan_->group_slots.size());
+    project_input = &plan_->group_vars;
+    if (!plan_->having.empty()) {
+      // HAVING is evaluated over the aggregate output layout: group vars
+      // first, then one slot per aggregate (reached via agg_base).
+      op = std::make_unique<FilterOp>(std::move(op), plan_->having, dict_,
+                                      &plan_->group_vars, stats, agg_base);
+    }
+  }
+
+  op = std::make_unique<ProjectOp>(std::move(op), plan_, dict_, dict_,
+                                   project_input, agg_base);
+  if (plan_->distinct) op = std::make_unique<DistinctOp>(std::move(op));
+  if (!plan_->order_keys.empty()) {
+    op = std::make_unique<OrderByOp>(std::move(op), plan_, dict_, agg_base);
+  }
+  if (plan_->limit >= 0 || plan_->offset > 0) {
+    op = std::make_unique<SliceOp>(std::move(op), plan_->offset, plan_->limit);
+  }
+  return op;
+}
+
+Status Executor::Run(std::vector<Row>* out, ExecStats* stats) {
+  WallTimer timer;
+  std::unique_ptr<Operator> root = BuildPipeline(stats);
+  Row row;
+  while (true) {
+    SOFOS_ASSIGN_OR_RETURN(bool has, root->Next(&row));
+    if (!has) break;
+    out->push_back(row);
+  }
+  stats->output_rows += out->size();
+  stats->exec_micros += timer.ElapsedMicros();
+  return Status::OK();
+}
+
+}  // namespace sparql
+}  // namespace sofos

@@ -1,0 +1,60 @@
+#ifndef SOFOS_SPARQL_EXECUTOR_H_
+#define SOFOS_SPARQL_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple_store.h"
+#include "sparql/binding.h"
+#include "sparql/planner.h"
+
+namespace sofos {
+namespace sparql {
+
+/// Execution counters. The paper's online module reports per-query work;
+/// these counters feed its statistics (Sofos GUI panel ④) and the learned
+/// cost model's training features.
+struct ExecStats {
+  uint64_t rows_scanned = 0;       // triples touched by scans and joins
+  uint64_t intermediate_rows = 0;  // rows flowing between pattern steps
+  uint64_t filtered_rows = 0;      // rows dropped by FILTER/HAVING
+  uint64_t output_rows = 0;
+  double plan_micros = 0.0;
+  double exec_micros = 0.0;
+};
+
+/// Pull-based (Volcano) operator interface. Next() produces rows until it
+/// returns false. Errors abort the query.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Result<bool> Next(Row* row) = 0;
+};
+
+/// Builds the operator tree for `plan` and runs it to completion.
+///
+/// The dictionary is mutable because aggregation and expression projection
+/// intern freshly computed literals (sums, averages); interning never
+/// invalidates the store's indexes.
+class Executor {
+ public:
+  Executor(const Plan* plan, const TripleStore* store, Dictionary* dict);
+
+  /// Runs the full pipeline and appends output rows (in output_vars layout).
+  Status Run(std::vector<Row>* out, ExecStats* stats);
+
+ private:
+  std::unique_ptr<Operator> BuildPipeline(ExecStats* stats);
+
+  const Plan* plan_;
+  const TripleStore* store_;
+  Dictionary* dict_;
+};
+
+}  // namespace sparql
+}  // namespace sofos
+
+#endif  // SOFOS_SPARQL_EXECUTOR_H_

@@ -1,0 +1,212 @@
+#include "sparql/expression.h"
+
+#include <cmath>
+#include <regex>
+
+#include "common/string_util.h"
+
+namespace sofos {
+namespace sparql {
+
+Value ExprEvaluator::Decode(TermId id) const {
+  if (id == kNullTermId) return Value::Unbound();
+  return Value::FromTerm(dict_->term(id));
+}
+
+Result<Value> ExprEvaluator::Eval(const Expr& expr, const Row& row) const {
+  switch (expr.kind) {
+    case Expr::Kind::kVar: {
+      auto slot = vars_->Get(expr.var);
+      if (!slot.has_value()) return Value::Unbound();
+      if (static_cast<size_t>(*slot) >= row.size()) return Value::Unbound();
+      return Decode(row[*slot]);
+    }
+    case Expr::Kind::kLiteral:
+      return Value::FromTerm(expr.literal);
+    case Expr::Kind::kBinary:
+      return EvalBinary(expr, row);
+    case Expr::Kind::kUnary: {
+      SOFOS_ASSIGN_OR_RETURN(Value v, Eval(*expr.operand, row));
+      if (expr.uop == UnaryOp::kNot) {
+        SOFOS_ASSIGN_OR_RETURN(bool b, v.EffectiveBool());
+        return Value::Bool(!b);
+      }
+      if (v.type() == Value::Type::kInt) return Value::Int(-v.int_value());
+      if (v.type() == Value::Type::kDouble) return Value::MakeDouble(-v.double_value());
+      return Status::TypeError("unary '-' on non-numeric value " + v.ToString());
+    }
+    case Expr::Kind::kAggregate: {
+      if (expr.agg_slot < 0 || agg_base_ < 0) {
+        return Status::Internal(
+            "aggregate expression evaluated outside an aggregation context");
+      }
+      size_t slot = static_cast<size_t>(agg_base_ + expr.agg_slot);
+      if (slot >= row.size()) return Status::Internal("aggregate slot out of range");
+      return Decode(row[slot]);
+    }
+    case Expr::Kind::kFunction:
+      return EvalFunction(expr, row);
+  }
+  return Status::Internal("corrupt expression node");
+}
+
+Result<bool> ExprEvaluator::EvalBool(const Expr& expr, const Row& row) const {
+  SOFOS_ASSIGN_OR_RETURN(Value v, Eval(expr, row));
+  return v.EffectiveBool();
+}
+
+Result<Value> ExprEvaluator::EvalBinary(const Expr& expr, const Row& row) const {
+  // Short-circuit logical operators (SPARQL tolerates an error on one side
+  // when the other side determines the outcome; we implement the strict
+  // variant: left side errors propagate).
+  if (expr.bop == BinaryOp::kAnd) {
+    SOFOS_ASSIGN_OR_RETURN(bool lhs, EvalBool(*expr.lhs, row));
+    if (!lhs) return Value::Bool(false);
+    SOFOS_ASSIGN_OR_RETURN(bool rhs, EvalBool(*expr.rhs, row));
+    return Value::Bool(rhs);
+  }
+  if (expr.bop == BinaryOp::kOr) {
+    SOFOS_ASSIGN_OR_RETURN(bool lhs, EvalBool(*expr.lhs, row));
+    if (lhs) return Value::Bool(true);
+    SOFOS_ASSIGN_OR_RETURN(bool rhs, EvalBool(*expr.rhs, row));
+    return Value::Bool(rhs);
+  }
+
+  SOFOS_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.lhs, row));
+  SOFOS_ASSIGN_OR_RETURN(Value rhs, Eval(*expr.rhs, row));
+
+  switch (expr.bop) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe: {
+      SOFOS_ASSIGN_OR_RETURN(int c, lhs.Compare(rhs, /*equality_only=*/true));
+      bool eq = c == 0;
+      return Value::Bool(expr.bop == BinaryOp::kEq ? eq : !eq);
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      SOFOS_ASSIGN_OR_RETURN(int c, lhs.Compare(rhs, /*equality_only=*/false));
+      switch (expr.bop) {
+        case BinaryOp::kLt:
+          return Value::Bool(c < 0);
+        case BinaryOp::kLe:
+          return Value::Bool(c <= 0);
+        case BinaryOp::kGt:
+          return Value::Bool(c > 0);
+        default:
+          return Value::Bool(c >= 0);
+      }
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv: {
+      if (!lhs.is_numeric() || !rhs.is_numeric()) {
+        return Status::TypeError("arithmetic on non-numeric values: " +
+                                 lhs.ToString() + ", " + rhs.ToString());
+      }
+      bool both_int =
+          lhs.type() == Value::Type::kInt && rhs.type() == Value::Type::kInt;
+      if (expr.bop == BinaryOp::kDiv) {
+        double denom = rhs.double_value();
+        if (denom == 0.0) return Status::TypeError("division by zero");
+        return Value::MakeDouble(lhs.double_value() / denom);
+      }
+      if (both_int) {
+        int64_t a = lhs.int_value(), b = rhs.int_value();
+        switch (expr.bop) {
+          case BinaryOp::kAdd:
+            return Value::Int(a + b);
+          case BinaryOp::kSub:
+            return Value::Int(a - b);
+          default:
+            return Value::Int(a * b);
+        }
+      }
+      double a = lhs.double_value(), b = rhs.double_value();
+      switch (expr.bop) {
+        case BinaryOp::kAdd:
+          return Value::MakeDouble(a + b);
+        case BinaryOp::kSub:
+          return Value::MakeDouble(a - b);
+        default:
+          return Value::MakeDouble(a * b);
+      }
+    }
+    default:
+      return Status::Internal("unhandled binary operator");
+  }
+}
+
+Result<Value> ExprEvaluator::EvalFunction(const Expr& expr, const Row& row) const {
+  const std::string& name = expr.func_name;
+
+  if (name == "BOUND") {
+    if (expr.args.size() != 1 || expr.args[0]->kind != Expr::Kind::kVar) {
+      return Status::TypeError("BOUND expects a single variable argument");
+    }
+    auto slot = vars_->Get(expr.args[0]->var);
+    bool bound = slot.has_value() && static_cast<size_t>(*slot) < row.size() &&
+                 row[*slot] != kNullTermId;
+    return Value::Bool(bound);
+  }
+
+  if (name == "STR") {
+    if (expr.args.size() != 1) return Status::TypeError("STR expects one argument");
+    SOFOS_ASSIGN_OR_RETURN(Value v, Eval(*expr.args[0], row));
+    switch (v.type()) {
+      case Value::Type::kUnbound:
+        return Status::TypeError("STR of unbound value");
+      case Value::Type::kBool:
+      case Value::Type::kInt:
+      case Value::Type::kDouble:
+        return Value::String(v.ToString());
+      default:
+        return Value::String(v.string_value());
+    }
+  }
+
+  if (name == "ABS") {
+    if (expr.args.size() != 1) return Status::TypeError("ABS expects one argument");
+    SOFOS_ASSIGN_OR_RETURN(Value v, Eval(*expr.args[0], row));
+    if (v.type() == Value::Type::kInt) {
+      return Value::Int(v.int_value() < 0 ? -v.int_value() : v.int_value());
+    }
+    if (v.type() == Value::Type::kDouble) {
+      return Value::MakeDouble(std::fabs(v.double_value()));
+    }
+    return Status::TypeError("ABS of non-numeric value " + v.ToString());
+  }
+
+  if (name == "REGEX") {
+    if (expr.args.size() < 2 || expr.args.size() > 3) {
+      return Status::TypeError("REGEX expects 2 or 3 arguments");
+    }
+    SOFOS_ASSIGN_OR_RETURN(Value text, Eval(*expr.args[0], row));
+    SOFOS_ASSIGN_OR_RETURN(Value pattern, Eval(*expr.args[1], row));
+    if (text.type() != Value::Type::kString ||
+        pattern.type() != Value::Type::kString) {
+      return Status::TypeError("REGEX expects string arguments");
+    }
+    auto flags = std::regex::ECMAScript;
+    if (expr.args.size() == 3) {
+      SOFOS_ASSIGN_OR_RETURN(Value f, Eval(*expr.args[2], row));
+      if (f.type() == Value::Type::kString && f.string_value().find('i') !=
+                                                  std::string::npos) {
+        flags |= std::regex::icase;
+      }
+    }
+    try {
+      std::regex re(pattern.string_value(), flags);
+      return Value::Bool(std::regex_search(text.string_value(), re));
+    } catch (const std::regex_error&) {
+      return Status::TypeError("malformed REGEX pattern: " + pattern.string_value());
+    }
+  }
+
+  return Status::Unimplemented("function " + name + " is not supported");
+}
+
+}  // namespace sparql
+}  // namespace sofos

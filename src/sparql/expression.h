@@ -1,0 +1,42 @@
+#ifndef SOFOS_SPARQL_EXPRESSION_H_
+#define SOFOS_SPARQL_EXPRESSION_H_
+
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "sparql/binding.h"
+#include "sparql/value.h"
+
+namespace sofos {
+namespace sparql {
+
+/// Evaluates expression trees against solution rows.
+///
+/// Aggregate nodes (Expr::kAggregate with agg_slot >= 0) read their
+/// precomputed result from the row at `agg_base + agg_slot`; the aggregate
+/// operator produces rows with that layout. Evaluating an aggregate node
+/// with agg_slot < 0 is an Internal error (the algebra builder assigns
+/// slots before execution).
+class ExprEvaluator {
+ public:
+  ExprEvaluator(const Dictionary* dict, const VariableTable* vars, int agg_base = -1)
+      : dict_(dict), vars_(vars), agg_base_(agg_base) {}
+
+  Result<Value> Eval(const Expr& expr, const Row& row) const;
+
+  /// Effective boolean value of the expression, for FILTER/HAVING.
+  Result<bool> EvalBool(const Expr& expr, const Row& row) const;
+
+ private:
+  Result<Value> EvalBinary(const Expr& expr, const Row& row) const;
+  Result<Value> EvalFunction(const Expr& expr, const Row& row) const;
+  Value Decode(TermId id) const;
+
+  const Dictionary* dict_;
+  const VariableTable* vars_;
+  int agg_base_;
+};
+
+}  // namespace sparql
+}  // namespace sofos
+
+#endif  // SOFOS_SPARQL_EXPRESSION_H_

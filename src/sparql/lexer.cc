@@ -1,0 +1,373 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace sofos {
+namespace sparql {
+
+std::string_view TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEof:
+      return "end of input";
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kVar:
+      return "variable";
+    case TokenType::kIriRef:
+      return "IRI";
+    case TokenType::kPname:
+      return "prefixed name";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kDouble:
+      return "double";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBrace:
+      return "'{'";
+    case TokenType::kRBrace:
+      return "'}'";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'!='";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kAndAnd:
+      return "'&&'";
+    case TokenType::kOrOr:
+      return "'||'";
+    case TokenType::kBang:
+      return "'!'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kLangTag:
+      return "language tag";
+    case TokenType::kDtypeSep:
+      return "'^^'";
+    case TokenType::kA:
+      return "'a'";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsPnameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view input) : input_(input) {}
+
+char Lexer::Peek(size_t ahead) const {
+  if (pos_ + ahead >= input_.size()) return '\0';
+  return input_[pos_ + ahead];
+}
+
+char Lexer::Get() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Status Lexer::MakeError(const std::string& message) const {
+  return Status::ParseError(
+      StrFormat("sparql:%d:%d: %s", line_, column_, message.c_str()));
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == '#') {
+      while (!AtEnd() && Peek() != '\n') Get();
+    } else if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      Get();
+    } else {
+      break;
+    }
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    SOFOS_ASSIGN_OR_RETURN(Token token, NextToken());
+    bool done = token.type == TokenType::kEof;
+    tokens.push_back(std::move(token));
+    if (done) return tokens;
+  }
+}
+
+Result<Token> Lexer::NextToken() {
+  SkipWhitespaceAndComments();
+  Token token;
+  token.line = line_;
+  token.column = column_;
+  if (AtEnd()) {
+    token.type = TokenType::kEof;
+    return token;
+  }
+
+  char c = Peek();
+
+  // Variables.
+  if (c == '?' || c == '$') {
+    Get();
+    std::string name;
+    while (!AtEnd() && IsIdentChar(Peek())) name += Get();
+    if (name.empty()) return MakeError("empty variable name");
+    token.type = TokenType::kVar;
+    token.text = std::move(name);
+    return token;
+  }
+
+  // IRI reference vs less-than: scan ahead for a '>' with no whitespace.
+  if (c == '<') {
+    size_t scan = pos_ + 1;
+    bool is_iri = false;
+    while (scan < input_.size()) {
+      char d = input_[scan];
+      if (d == '>') {
+        is_iri = true;
+        break;
+      }
+      if (d == ' ' || d == '\t' || d == '\n' || d == '\r' || d == '<') break;
+      ++scan;
+    }
+    if (is_iri) {
+      Get();  // '<'
+      std::string iri;
+      while (Peek() != '>') iri += Get();
+      Get();  // '>'
+      token.type = TokenType::kIriRef;
+      token.text = std::move(iri);
+      return token;
+    }
+    Get();
+    if (Peek() == '=') {
+      Get();
+      token.type = TokenType::kLe;
+    } else {
+      token.type = TokenType::kLt;
+    }
+    return token;
+  }
+
+  // Strings.
+  if (c == '"') {
+    Get();
+    std::string raw;
+    while (true) {
+      if (AtEnd()) return MakeError("unterminated string literal");
+      char d = Get();
+      if (d == '"') break;
+      if (d == '\\') {
+        if (AtEnd()) return MakeError("dangling escape in string literal");
+        raw += d;
+        raw += Get();
+        continue;
+      }
+      raw += d;
+    }
+    auto unescaped = UnescapeTurtleString(raw);
+    if (!unescaped.ok()) return MakeError(unescaped.status().message());
+    token.type = TokenType::kString;
+    token.text = std::move(unescaped).value();
+    return token;
+  }
+
+  // Numbers.
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    std::string num;
+    bool has_dot = false, has_exp = false;
+    while (!AtEnd()) {
+      char d = Peek();
+      if (std::isdigit(static_cast<unsigned char>(d))) {
+        num += Get();
+      } else if (d == '.' && !has_dot && !has_exp &&
+                 std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        has_dot = true;
+        num += Get();
+      } else if ((d == 'e' || d == 'E') && !has_exp &&
+                 (std::isdigit(static_cast<unsigned char>(Peek(1))) ||
+                  ((Peek(1) == '+' || Peek(1) == '-') &&
+                   std::isdigit(static_cast<unsigned char>(Peek(2)))))) {
+        has_exp = true;
+        num += Get();
+        if (Peek() == '+' || Peek() == '-') num += Get();
+      } else {
+        break;
+      }
+    }
+    token.type = (has_dot || has_exp) ? TokenType::kDouble : TokenType::kInteger;
+    token.text = std::move(num);
+    return token;
+  }
+
+  // Language tags (only valid right after a string; parser enforces that).
+  if (c == '@') {
+    Get();
+    std::string tag;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '-')) {
+      tag += Get();
+    }
+    if (tag.empty()) return MakeError("empty language tag");
+    token.type = TokenType::kLangTag;
+    token.text = std::move(tag);
+    return token;
+  }
+
+  // Identifiers, keywords, prefixed names, and the `a` keyword.
+  if (IsIdentStart(c)) {
+    std::string word;
+    while (!AtEnd() && IsPnameChar(Peek())) word += Get();
+    if (!AtEnd() && Peek() == ':') {
+      Get();
+      std::string local;
+      while (!AtEnd() && IsPnameChar(Peek())) local += Get();
+      token.type = TokenType::kPname;
+      token.text = word + ":" + local;
+      return token;
+    }
+    if (word == "a") {
+      token.type = TokenType::kA;
+      return token;
+    }
+    token.type = TokenType::kIdent;
+    token.text = std::move(word);
+    return token;
+  }
+
+  // Prefixed name with empty prefix (":local").
+  if (c == ':') {
+    Get();
+    std::string local;
+    while (!AtEnd() && IsPnameChar(Peek())) local += Get();
+    token.type = TokenType::kPname;
+    token.text = ":" + local;
+    return token;
+  }
+
+  Get();
+  switch (c) {
+    case '(':
+      token.type = TokenType::kLParen;
+      return token;
+    case ')':
+      token.type = TokenType::kRParen;
+      return token;
+    case '{':
+      token.type = TokenType::kLBrace;
+      return token;
+    case '}':
+      token.type = TokenType::kRBrace;
+      return token;
+    case '.':
+      token.type = TokenType::kDot;
+      return token;
+    case ';':
+      token.type = TokenType::kSemicolon;
+      return token;
+    case ',':
+      token.type = TokenType::kComma;
+      return token;
+    case '*':
+      token.type = TokenType::kStar;
+      return token;
+    case '+':
+      token.type = TokenType::kPlus;
+      return token;
+    case '-':
+      token.type = TokenType::kMinus;
+      return token;
+    case '/':
+      token.type = TokenType::kSlash;
+      return token;
+    case '=':
+      token.type = TokenType::kEq;
+      return token;
+    case '!':
+      if (Peek() == '=') {
+        Get();
+        token.type = TokenType::kNe;
+      } else {
+        token.type = TokenType::kBang;
+      }
+      return token;
+    case '>':
+      if (Peek() == '=') {
+        Get();
+        token.type = TokenType::kGe;
+      } else {
+        token.type = TokenType::kGt;
+      }
+      return token;
+    case '&':
+      if (Peek() == '&') {
+        Get();
+        token.type = TokenType::kAndAnd;
+        return token;
+      }
+      return MakeError("unexpected '&' (did you mean '&&'?)");
+    case '|':
+      if (Peek() == '|') {
+        Get();
+        token.type = TokenType::kOrOr;
+        return token;
+      }
+      return MakeError("unexpected '|' (did you mean '||'?)");
+    case '^':
+      if (Peek() == '^') {
+        Get();
+        token.type = TokenType::kDtypeSep;
+        return token;
+      }
+      return MakeError("unexpected '^' (did you mean '^^'?)");
+    default:
+      return MakeError(StrFormat("unexpected character '%c'", c));
+  }
+}
+
+}  // namespace sparql
+}  // namespace sofos

@@ -1,0 +1,85 @@
+#ifndef SOFOS_SPARQL_LEXER_H_
+#define SOFOS_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sofos {
+namespace sparql {
+
+enum class TokenType {
+  kEof,
+  kIdent,     // SELECT, WHERE, SUM, ... (keywords resolved by the parser)
+  kVar,       // ?name or $name (text = name without the sigil)
+  kIriRef,    // <...> (text = iri)
+  kPname,     // prefixed name (text = "ns:local", expanded by the parser)
+  kString,    // "..." (text = unescaped contents)
+  kInteger,   // 42
+  kDouble,    // 4.2, 1e3
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kDot,
+  kSemicolon,
+  kComma,
+  kStar,
+  kEq,        // =
+  kNe,        // !=
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kAndAnd,    // &&
+  kOrOr,      // ||
+  kBang,      // !
+  kPlus,
+  kMinus,
+  kSlash,
+  kLangTag,   // @en (text = tag)
+  kDtypeSep,  // ^^
+  kA,         // the bare keyword `a` (rdf:type)
+};
+
+std::string_view TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes a SPARQL query string. `<` is tokenized as kIriRef when it
+/// starts a well-formed IRI reference (no whitespace before the closing
+/// `>`), and as the less-than operator otherwise — this resolves the classic
+/// SPARQL lexing ambiguity without parser feedback.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input);
+
+  /// Tokenizes the whole input. The final token is always kEof.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> NextToken();
+  void SkipWhitespaceAndComments();
+  Status MakeError(const std::string& message) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+
+  char Peek(size_t ahead = 0) const;
+  char Get();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+};
+
+}  // namespace sparql
+}  // namespace sofos
+
+#endif  // SOFOS_SPARQL_LEXER_H_

@@ -1,0 +1,560 @@
+#include "sparql/parser.h"
+
+#include "common/string_util.h"
+#include "rdf/vocab.h"
+
+namespace sofos {
+namespace sparql {
+
+namespace {
+
+const char* kUnsupported[] = {"UNION",     "OPTIONAL", "CONSTRUCT", "DESCRIBE",
+                              "ASK",       "INSERT",   "DELETE",    "GRAPH",
+                              "SERVICE",   "MINUS",    "EXISTS",    "VALUES",
+                              "BIND"};
+
+bool IsAggName(const std::string& name, AggKind* kind) {
+  if (StrEqualsIgnoreCase(name, "COUNT")) {
+    *kind = AggKind::kCount;
+    return true;
+  }
+  if (StrEqualsIgnoreCase(name, "SUM")) {
+    *kind = AggKind::kSum;
+    return true;
+  }
+  if (StrEqualsIgnoreCase(name, "AVG")) {
+    *kind = AggKind::kAvg;
+    return true;
+  }
+  if (StrEqualsIgnoreCase(name, "MIN")) {
+    *kind = AggKind::kMin;
+    return true;
+  }
+  if (StrEqualsIgnoreCase(name, "MAX")) {
+    *kind = AggKind::kMax;
+    return true;
+  }
+  return false;
+}
+
+bool IsFuncName(const std::string& name) {
+  return StrEqualsIgnoreCase(name, "STR") || StrEqualsIgnoreCase(name, "BOUND") ||
+         StrEqualsIgnoreCase(name, "REGEX") || StrEqualsIgnoreCase(name, "ABS");
+}
+
+}  // namespace
+
+Result<Query> Parser::Parse(std::string_view text) {
+  Lexer lexer(text);
+  SOFOS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<ExprPtr> Parser::ParseExpression(std::string_view text) {
+  Lexer lexer(text);
+  SOFOS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  SOFOS_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseExpr());
+  if (!parser.Check(TokenType::kEof)) {
+    return parser.ErrorAt(parser.Peek(), "trailing input after expression");
+  }
+  return expr;
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t idx = pos_ + ahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;  // EOF token
+  return tokens_[idx];
+}
+
+const Token& Parser::Get() {
+  const Token& token = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool Parser::CheckKeyword(std::string_view keyword) const {
+  return Peek().type == TokenType::kIdent &&
+         StrEqualsIgnoreCase(Peek().text, keyword);
+}
+
+bool Parser::TryConsume(TokenType type) {
+  if (!Check(type)) return false;
+  Get();
+  return true;
+}
+
+bool Parser::TryConsumeKeyword(std::string_view keyword) {
+  if (!CheckKeyword(keyword)) return false;
+  Get();
+  return true;
+}
+
+Status Parser::Expect(TokenType type) {
+  if (Check(type)) {
+    Get();
+    return Status::OK();
+  }
+  return ErrorAt(Peek(), StrFormat("expected %s but found %s",
+                                   std::string(TokenTypeName(type)).c_str(),
+                                   std::string(TokenTypeName(Peek().type)).c_str()));
+}
+
+Status Parser::ExpectKeyword(std::string_view keyword) {
+  if (CheckKeyword(keyword)) {
+    Get();
+    return Status::OK();
+  }
+  return ErrorAt(Peek(), "expected keyword '" + std::string(keyword) + "'");
+}
+
+Status Parser::ErrorAt(const Token& token, const std::string& message) const {
+  return Status::ParseError(
+      StrFormat("sparql:%d:%d: %s", token.line, token.column, message.c_str()));
+}
+
+Result<std::string> Parser::ExpandPname(const Token& token) const {
+  size_t colon = token.text.find(':');
+  std::string prefix = token.text.substr(0, colon);
+  std::string local = token.text.substr(colon + 1);
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) {
+    return ErrorAt(token, "undefined prefix '" + prefix + ":'");
+  }
+  return it->second + local;
+}
+
+Result<Query> Parser::ParseQuery() {
+  Query query;
+  SOFOS_RETURN_IF_ERROR(ParsePrologue(&query));
+  SOFOS_RETURN_IF_ERROR(ParseSelectClause(&query));
+  SOFOS_RETURN_IF_ERROR(ParseWhereClause(&query));
+  SOFOS_RETURN_IF_ERROR(ParseSolutionModifiers(&query));
+  if (!Check(TokenType::kEof)) {
+    return ErrorAt(Peek(), "trailing input after query");
+  }
+  query.prefixes = prefixes_;
+  return query;
+}
+
+Status Parser::ParsePrologue(Query* query) {
+  (void)query;
+  while (CheckKeyword("PREFIX")) {
+    Get();
+    if (!Check(TokenType::kPname)) {
+      return ErrorAt(Peek(), "expected prefix name after PREFIX");
+    }
+    Token pname = Get();
+    size_t colon = pname.text.find(':');
+    if (colon == std::string::npos || colon + 1 != pname.text.size()) {
+      return ErrorAt(pname, "PREFIX declaration must end with ':'");
+    }
+    std::string ns = pname.text.substr(0, colon);
+    if (!Check(TokenType::kIriRef)) {
+      return ErrorAt(Peek(), "expected IRI in PREFIX declaration");
+    }
+    prefixes_[ns] = Get().text;
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseSelectClause(Query* query) {
+  for (const char* construct : kUnsupported) {
+    if (CheckKeyword(construct)) {
+      return ErrorAt(Peek(), std::string(construct) +
+                                 " is not supported by the sofos SPARQL subset");
+    }
+  }
+  SOFOS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  if (TryConsumeKeyword("DISTINCT")) query->distinct = true;
+
+  if (TryConsume(TokenType::kStar)) {
+    query->select_all = true;
+    return Status::OK();
+  }
+
+  while (true) {
+    if (Check(TokenType::kVar)) {
+      Token var = Get();
+      SelectItem item;
+      item.alias = var.text;
+      item.expr = Expr::MakeVar(var.text);
+      query->select.push_back(std::move(item));
+    } else if (Check(TokenType::kLParen)) {
+      Get();
+      SelectItem item;
+      SOFOS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      SOFOS_RETURN_IF_ERROR(ExpectKeyword("AS"));
+      if (!Check(TokenType::kVar)) {
+        return ErrorAt(Peek(), "expected variable after AS");
+      }
+      item.alias = Get().text;
+      SOFOS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      query->select.push_back(std::move(item));
+    } else {
+      break;
+    }
+  }
+  if (query->select.empty()) {
+    return ErrorAt(Peek(), "SELECT clause must name at least one variable");
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseWhereClause(Query* query) {
+  TryConsumeKeyword("WHERE");
+  SOFOS_RETURN_IF_ERROR(Expect(TokenType::kLBrace));
+
+  while (!Check(TokenType::kRBrace)) {
+    if (Check(TokenType::kEof)) {
+      return ErrorAt(Peek(), "unterminated WHERE block");
+    }
+    for (const char* construct : kUnsupported) {
+      if (CheckKeyword(construct)) {
+        return ErrorAt(Peek(), std::string(construct) +
+                                   " is not supported by the sofos SPARQL subset");
+      }
+    }
+    if (TryConsumeKeyword("FILTER")) {
+      SOFOS_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      SOFOS_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      SOFOS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      query->filters.push_back(std::move(expr));
+      TryConsume(TokenType::kDot);  // optional '.' after FILTER
+      continue;
+    }
+    SOFOS_RETURN_IF_ERROR(ParseTriplesBlock(query));
+  }
+  return Expect(TokenType::kRBrace);
+}
+
+Status Parser::ParseTriplesBlock(Query* query) {
+  SOFOS_ASSIGN_OR_RETURN(PatternTerm subject, ParsePatternTerm(false));
+
+  while (true) {
+    PatternTerm predicate;
+    if (TryConsume(TokenType::kA)) {
+      predicate = PatternTerm::Const(Term::Iri(std::string(vocab::kRdfType)));
+    } else {
+      SOFOS_ASSIGN_OR_RETURN(predicate, ParsePatternTerm(false));
+    }
+
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(PatternTerm object, ParsePatternTerm(true));
+      query->where.push_back(TriplePattern{subject, predicate, object});
+      if (!TryConsume(TokenType::kComma)) break;
+    }
+
+    if (TryConsume(TokenType::kSemicolon)) {
+      // Dangling ';' before '.' or '}' is tolerated (as in Turtle).
+      if (Check(TokenType::kDot) || Check(TokenType::kRBrace)) break;
+      continue;
+    }
+    break;
+  }
+  TryConsume(TokenType::kDot);
+  return Status::OK();
+}
+
+Result<PatternTerm> Parser::ParsePatternTerm(bool allow_literal) {
+  const Token& token = Peek();
+  switch (token.type) {
+    case TokenType::kVar:
+      return PatternTerm::Var(Get().text);
+    case TokenType::kIriRef:
+      return PatternTerm::Const(Term::Iri(Get().text));
+    case TokenType::kPname: {
+      Token pname = Get();
+      if (StrStartsWith(pname.text, "_:")) {
+        return PatternTerm::Const(Term::Blank(pname.text.substr(2)));
+      }
+      SOFOS_ASSIGN_OR_RETURN(std::string iri, ExpandPname(pname));
+      return PatternTerm::Const(Term::Iri(std::move(iri)));
+    }
+    case TokenType::kString:
+    case TokenType::kInteger:
+    case TokenType::kDouble:
+    case TokenType::kMinus:
+    case TokenType::kPlus: {
+      if (!allow_literal) {
+        return ErrorAt(token, "literal not allowed in this position");
+      }
+      SOFOS_ASSIGN_OR_RETURN(Term term, ParseTermLiteral());
+      return PatternTerm::Const(std::move(term));
+    }
+    case TokenType::kIdent:
+      if (StrEqualsIgnoreCase(token.text, "true") ||
+          StrEqualsIgnoreCase(token.text, "false")) {
+        if (!allow_literal) {
+          return ErrorAt(token, "literal not allowed in this position");
+        }
+        return PatternTerm::Const(
+            Term::Boolean(StrEqualsIgnoreCase(Get().text, "true")));
+      }
+      return ErrorAt(token, "unexpected identifier '" + token.text +
+                                "' in triple pattern");
+    default:
+      return ErrorAt(token, std::string("unexpected ") +
+                                std::string(TokenTypeName(token.type)) +
+                                " in triple pattern");
+  }
+}
+
+Result<Term> Parser::ParseTermLiteral() {
+  const Token& token = Peek();
+  if (token.type == TokenType::kString) {
+    std::string value = Get().text;
+    if (Check(TokenType::kLangTag)) {
+      return Term::LangString(std::move(value), Get().text);
+    }
+    if (TryConsume(TokenType::kDtypeSep)) {
+      std::string dt;
+      if (Check(TokenType::kIriRef)) {
+        dt = Get().text;
+      } else if (Check(TokenType::kPname)) {
+        SOFOS_ASSIGN_OR_RETURN(dt, ExpandPname(Get()));
+      } else {
+        return ErrorAt(Peek(), "expected datatype IRI after '^^'");
+      }
+      return Term::TypedLiteral(std::move(value), dt);
+    }
+    return Term::String(std::move(value));
+  }
+
+  bool negative = false;
+  if (token.type == TokenType::kMinus || token.type == TokenType::kPlus) {
+    negative = token.type == TokenType::kMinus;
+    Get();
+  }
+  const Token& num = Peek();
+  if (num.type == TokenType::kInteger) {
+    SOFOS_ASSIGN_OR_RETURN(int64_t value, ParseInt64(Get().text));
+    return Term::Integer(negative ? -value : value);
+  }
+  if (num.type == TokenType::kDouble) {
+    SOFOS_ASSIGN_OR_RETURN(double value, ParseDouble(Get().text));
+    return Term::Double(negative ? -value : value);
+  }
+  return ErrorAt(num, "expected a literal");
+}
+
+Status Parser::ParseSolutionModifiers(Query* query) {
+  if (TryConsumeKeyword("GROUP")) {
+    SOFOS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    while (Check(TokenType::kVar)) query->group_by.push_back(Get().text);
+    if (query->group_by.empty()) {
+      return ErrorAt(Peek(), "GROUP BY requires at least one variable");
+    }
+  }
+  if (TryConsumeKeyword("HAVING")) {
+    SOFOS_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+    SOFOS_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    SOFOS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    query->having.push_back(std::move(expr));
+    while (TryConsume(TokenType::kLParen)) {
+      SOFOS_ASSIGN_OR_RETURN(ExprPtr more, ParseExpr());
+      SOFOS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      query->having.push_back(std::move(more));
+    }
+  }
+  if (TryConsumeKeyword("ORDER")) {
+    SOFOS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    while (true) {
+      OrderKey key;
+      if (TryConsumeKeyword("ASC") || TryConsumeKeyword("DESC")) {
+        key.ascending = StrEqualsIgnoreCase(tokens_[pos_ - 1].text, "ASC");
+        SOFOS_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+        SOFOS_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+        SOFOS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      } else if (Check(TokenType::kVar)) {
+        key.expr = Expr::MakeVar(Get().text);
+      } else if (Check(TokenType::kLParen)) {
+        Get();
+        SOFOS_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+        SOFOS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      } else {
+        break;
+      }
+      query->order_by.push_back(std::move(key));
+    }
+    if (query->order_by.empty()) {
+      return ErrorAt(Peek(), "ORDER BY requires at least one sort key");
+    }
+  }
+  if (TryConsumeKeyword("LIMIT")) {
+    if (!Check(TokenType::kInteger)) {
+      return ErrorAt(Peek(), "expected integer after LIMIT");
+    }
+    SOFOS_ASSIGN_OR_RETURN(query->limit, ParseInt64(Get().text));
+  }
+  if (TryConsumeKeyword("OFFSET")) {
+    if (!Check(TokenType::kInteger)) {
+      return ErrorAt(Peek(), "expected integer after OFFSET");
+    }
+    SOFOS_ASSIGN_OR_RETURN(query->offset, ParseInt64(Get().text));
+  }
+  return Status::OK();
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOrExpr(); }
+
+Result<ExprPtr> Parser::ParseOrExpr() {
+  SOFOS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAndExpr());
+  while (TryConsume(TokenType::kOrOr)) {
+    SOFOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAndExpr());
+    lhs = Expr::MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAndExpr() {
+  SOFOS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseRelationalExpr());
+  while (TryConsume(TokenType::kAndAnd)) {
+    SOFOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRelationalExpr());
+    lhs = Expr::MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseRelationalExpr() {
+  SOFOS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditiveExpr());
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq:
+      op = BinaryOp::kEq;
+      break;
+    case TokenType::kNe:
+      op = BinaryOp::kNe;
+      break;
+    case TokenType::kLt:
+      op = BinaryOp::kLt;
+      break;
+    case TokenType::kLe:
+      op = BinaryOp::kLe;
+      break;
+    case TokenType::kGt:
+      op = BinaryOp::kGt;
+      break;
+    case TokenType::kGe:
+      op = BinaryOp::kGe;
+      break;
+    default:
+      return lhs;
+  }
+  Get();
+  SOFOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditiveExpr());
+  return Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> Parser::ParseAdditiveExpr() {
+  SOFOS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicativeExpr());
+  while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+    BinaryOp op = Get().type == TokenType::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+    SOFOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicativeExpr());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicativeExpr() {
+  SOFOS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnaryExpr());
+  while (Check(TokenType::kStar) || Check(TokenType::kSlash)) {
+    BinaryOp op = Get().type == TokenType::kStar ? BinaryOp::kMul : BinaryOp::kDiv;
+    SOFOS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnaryExpr());
+    lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseUnaryExpr() {
+  if (TryConsume(TokenType::kBang)) {
+    SOFOS_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnaryExpr());
+    return Expr::MakeUnary(UnaryOp::kNot, std::move(operand));
+  }
+  if (TryConsume(TokenType::kMinus)) {
+    SOFOS_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnaryExpr());
+    return Expr::MakeUnary(UnaryOp::kNeg, std::move(operand));
+  }
+  TryConsume(TokenType::kPlus);
+  return ParsePrimaryExpr();
+}
+
+Result<ExprPtr> Parser::ParsePrimaryExpr() {
+  const Token& token = Peek();
+  switch (token.type) {
+    case TokenType::kLParen: {
+      Get();
+      SOFOS_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      SOFOS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      return expr;
+    }
+    case TokenType::kVar:
+      return Expr::MakeVar(Get().text);
+    case TokenType::kIriRef:
+      return Expr::MakeLiteral(Term::Iri(Get().text));
+    case TokenType::kPname: {
+      Token pname = Get();
+      if (StrStartsWith(pname.text, "_:")) {
+        return Expr::MakeLiteral(Term::Blank(pname.text.substr(2)));
+      }
+      SOFOS_ASSIGN_OR_RETURN(std::string iri, ExpandPname(pname));
+      return Expr::MakeLiteral(Term::Iri(std::move(iri)));
+    }
+    case TokenType::kString:
+    case TokenType::kInteger:
+    case TokenType::kDouble: {
+      SOFOS_ASSIGN_OR_RETURN(Term term, ParseTermLiteral());
+      return Expr::MakeLiteral(std::move(term));
+    }
+    case TokenType::kIdent: {
+      std::string name = token.text;
+      if (StrEqualsIgnoreCase(name, "true") || StrEqualsIgnoreCase(name, "false")) {
+        Get();
+        return Expr::MakeLiteral(Term::Boolean(StrEqualsIgnoreCase(name, "true")));
+      }
+      AggKind agg;
+      if (IsAggName(name, &agg) || IsFuncName(name)) {
+        Get();
+        return ParseAggregateOrFunction(name);
+      }
+      return ErrorAt(token, "unexpected identifier '" + name + "' in expression");
+    }
+    default:
+      return ErrorAt(token, std::string("unexpected ") +
+                                std::string(TokenTypeName(token.type)) +
+                                " in expression");
+  }
+}
+
+Result<ExprPtr> Parser::ParseAggregateOrFunction(const std::string& name) {
+  SOFOS_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+  AggKind agg;
+  if (IsAggName(name, &agg)) {
+    if (agg == AggKind::kCount && TryConsume(TokenType::kStar)) {
+      SOFOS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      return Expr::MakeCountStar();
+    }
+    bool distinct = TryConsumeKeyword("DISTINCT");
+    SOFOS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+    SOFOS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    if (arg->ContainsAggregate()) {
+      return Status::ParseError("nested aggregates are not allowed");
+    }
+    return Expr::MakeAggregate(agg, std::move(arg), distinct);
+  }
+
+  std::vector<ExprPtr> args;
+  if (!Check(TokenType::kRParen)) {
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      args.push_back(std::move(arg));
+      if (!TryConsume(TokenType::kComma)) break;
+    }
+  }
+  SOFOS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+  return Expr::MakeFunction(StrToUpper(name), std::move(args));
+}
+
+}  // namespace sparql
+}  // namespace sofos

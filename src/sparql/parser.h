@@ -1,0 +1,75 @@
+#ifndef SOFOS_SPARQL_PARSER_H_
+#define SOFOS_SPARQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sparql/ast.h"
+#include "sparql/lexer.h"
+
+namespace sofos {
+namespace sparql {
+
+/// Recursive-descent parser for the sofos SPARQL subset:
+///
+///   PREFIX ns: <iri>
+///   SELECT [DISTINCT] (?var | (expr AS ?alias))+ | *
+///   WHERE { triple patterns with ';'/',' lists, `a`, FILTER (expr) }
+///   GROUP BY ?var... HAVING (expr) ORDER BY [ASC|DESC](expr) LIMIT n OFFSET n
+///
+/// Aggregates: COUNT(*), COUNT([DISTINCT] expr), SUM/AVG/MIN/MAX([DISTINCT] expr).
+/// Functions: STR, BOUND, REGEX, ABS. Unsupported SPARQL constructs (UNION,
+/// OPTIONAL, subqueries, property paths, ...) yield a ParseError naming the
+/// construct rather than a generic syntax error.
+class Parser {
+ public:
+  /// Parses a complete SELECT query.
+  static Result<Query> Parse(std::string_view text);
+
+  /// Parses a standalone expression (used by tests and the facet loader).
+  static Result<ExprPtr> ParseExpression(std::string_view text);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery();
+  Status ParsePrologue(Query* query);
+  Status ParseSelectClause(Query* query);
+  Status ParseWhereClause(Query* query);
+  Status ParseTriplesBlock(Query* query);
+  Status ParseSolutionModifiers(Query* query);
+  Result<PatternTerm> ParsePatternTerm(bool allow_literal);
+  Result<Term> ParseTermLiteral();
+
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOrExpr();
+  Result<ExprPtr> ParseAndExpr();
+  Result<ExprPtr> ParseRelationalExpr();
+  Result<ExprPtr> ParseAdditiveExpr();
+  Result<ExprPtr> ParseMultiplicativeExpr();
+  Result<ExprPtr> ParseUnaryExpr();
+  Result<ExprPtr> ParsePrimaryExpr();
+  Result<ExprPtr> ParseAggregateOrFunction(const std::string& name);
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Get();
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(std::string_view keyword) const;
+  bool TryConsume(TokenType type);
+  bool TryConsumeKeyword(std::string_view keyword);
+  Status Expect(TokenType type);
+  Status ExpectKeyword(std::string_view keyword);
+  Status ErrorAt(const Token& token, const std::string& message) const;
+  Result<std::string> ExpandPname(const Token& token) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace sparql
+}  // namespace sofos
+
+#endif  // SOFOS_SPARQL_PARSER_H_

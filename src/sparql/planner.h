@@ -1,0 +1,79 @@
+#ifndef SOFOS_SPARQL_PLANNER_H_
+#define SOFOS_SPARQL_PLANNER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "sparql/binding.h"
+
+namespace sofos {
+namespace sparql {
+
+/// One basic-graph-pattern step in execution order. The first step is an
+/// index scan; every later step is an index nested-loop join against the
+/// rows produced so far.
+struct PatternStep {
+  TriplePattern pattern;           // surface form, for EXPLAIN
+  std::array<int, 3> slots;        // var slot per position (-1 = constant)
+  std::array<TermId, 3> consts;    // constant id per position (kNullTermId = var)
+  uint64_t est_cardinality = 0;    // exact count of the pattern in isolation
+  bool connected = false;          // shares a variable with earlier steps
+  std::vector<const Expr*> filters;  // filters fully bound after this step
+};
+
+/// Physical plan for the linear pipeline:
+///   scan → (index join)* → [aggregate → having] → project → distinct →
+///   order → slice.
+struct Plan {
+  VariableTable pattern_vars;
+  std::vector<PatternStep> steps;
+  bool empty_guaranteed = false;  // constant term absent from the dictionary
+
+  // Aggregation (populated iff is_aggregate).
+  bool is_aggregate = false;
+  std::vector<const Expr*> agg_specs;  // kAggregate nodes, slot i = agg_specs[i]
+  std::vector<int> group_slots;        // pattern_vars slots of GROUP BY vars
+  std::vector<std::string> group_names;
+  VariableTable group_vars;            // layout of aggregate output rows
+  std::vector<const Expr*> having;
+
+  // Projection.
+  struct OutputItem {
+    std::string name;
+    const Expr* expr = nullptr;  // evaluated when direct_slot < 0
+    int direct_slot = -1;        // copy-through slot in the input layout
+  };
+  std::vector<OutputItem> outputs;
+  VariableTable output_vars;
+
+  bool distinct = false;
+  std::vector<std::pair<const Expr*, bool>> order_keys;  // expr, ascending
+  int64_t limit = -1;
+  int64_t offset = 0;
+
+  /// EXPLAIN-style rendering: one line per pipeline stage with estimates.
+  std::string ToString() const;
+};
+
+/// Builds a physical plan. Join order: start from the pattern with the
+/// smallest exact cardinality, then greedily add the connected pattern with
+/// the smallest cardinality (falling back to a cross product only when no
+/// remaining pattern shares a variable). Filters are pushed to the earliest
+/// step at which all their variables are bound.
+///
+/// `query` is mutated only to assign Expr::agg_slot on aggregate nodes; the
+/// plan stores pointers into the query, which must outlive it.
+class Planner {
+ public:
+  static Result<Plan> Build(Query* query, const TripleStore& store);
+};
+
+}  // namespace sparql
+}  // namespace sofos
+
+#endif  // SOFOS_SPARQL_PLANNER_H_

@@ -1,0 +1,106 @@
+#include "sparql/query_engine.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "sparql/parser.h"
+#include "sparql/planner.h"
+
+namespace sofos {
+namespace sparql {
+
+std::string QueryResult::ToTable(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < var_names.size(); ++i) {
+    if (i) out += " | ";
+    out += "?" + var_names[i];
+  }
+  out += '\n';
+  out += std::string(60, '-');
+  out += '\n';
+  size_t shown = 0;
+  for (size_t r = 0; r < rows.size() && shown < max_rows; ++r, ++shown) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c) out += " | ";
+      out += bound[r][c] ? rows[r][c].ToNTriples() : "UNBOUND";
+    }
+    out += '\n';
+  }
+  if (rows.size() > max_rows) {
+    out += "... (" + std::to_string(rows.size() - max_rows) + " more rows)\n";
+  }
+  return out;
+}
+
+void QueryResult::SortCanonical() {
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    for (size_t c = 0; c < rows[a].size(); ++c) {
+      if (bound[a][c] != bound[b][c]) return !bound[a][c];
+      if (bound[a][c] && rows[a][c] != rows[b][c]) return rows[a][c] < rows[b][c];
+    }
+    return false;
+  });
+  std::vector<std::vector<Term>> new_rows;
+  std::vector<std::vector<bool>> new_bound;
+  new_rows.reserve(rows.size());
+  new_bound.reserve(bound.size());
+  for (size_t i : order) {
+    new_rows.push_back(std::move(rows[i]));
+    new_bound.push_back(std::move(bound[i]));
+  }
+  rows = std::move(new_rows);
+  bound = std::move(new_bound);
+}
+
+Result<QueryResult> QueryEngine::Execute(std::string_view sparql) {
+  SOFOS_ASSIGN_OR_RETURN(Query query, Parser::Parse(sparql));
+  return Execute(&query);
+}
+
+Result<QueryResult> QueryEngine::Execute(Query* query) {
+  if (!store_->finalized()) {
+    return Status::Internal("query engine requires a finalized store");
+  }
+  QueryResult result;
+  WallTimer plan_timer;
+  SOFOS_ASSIGN_OR_RETURN(Plan plan, Planner::Build(query, *store_));
+  result.stats.plan_micros = plan_timer.ElapsedMicros();
+
+  std::vector<Row> raw;
+  Executor executor(&plan, store_, store_->mutable_dictionary());
+  SOFOS_RETURN_IF_ERROR(executor.Run(&raw, &result.stats));
+
+  result.var_names = plan.output_vars.names();
+  const Dictionary& dict = store_->dictionary();
+  result.rows.reserve(raw.size());
+  result.bound.reserve(raw.size());
+  for (const Row& row : raw) {
+    std::vector<Term> terms;
+    std::vector<bool> is_bound;
+    terms.reserve(row.size());
+    is_bound.reserve(row.size());
+    for (TermId id : row) {
+      if (id == kNullTermId) {
+        terms.emplace_back();
+        is_bound.push_back(false);
+      } else {
+        terms.push_back(dict.term(id));
+        is_bound.push_back(true);
+      }
+    }
+    result.rows.push_back(std::move(terms));
+    result.bound.push_back(std::move(is_bound));
+  }
+  return result;
+}
+
+Result<std::string> QueryEngine::Explain(std::string_view sparql) {
+  SOFOS_ASSIGN_OR_RETURN(Query query, Parser::Parse(sparql));
+  SOFOS_ASSIGN_OR_RETURN(Plan plan, Planner::Build(&query, *store_));
+  return plan.ToString();
+}
+
+}  // namespace sparql
+}  // namespace sofos

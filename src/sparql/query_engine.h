@@ -1,0 +1,64 @@
+#ifndef SOFOS_SPARQL_QUERY_ENGINE_H_
+#define SOFOS_SPARQL_QUERY_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "sparql/executor.h"
+
+namespace sofos {
+namespace sparql {
+
+/// Decoded query results: one row of Terms per solution. Unbound positions
+/// carry a default-constructed empty IRI with `bound[...] == false` encoded
+/// as an empty lexical (helpers below expose bound-ness explicitly).
+struct QueryResult {
+  std::vector<std::string> var_names;
+  std::vector<std::vector<Term>> rows;
+  std::vector<std::vector<bool>> bound;  // parallel to rows
+  ExecStats stats;
+
+  size_t NumRows() const { return rows.size(); }
+  size_t NumCols() const { return var_names.size(); }
+
+  /// Renders an aligned text table (for examples and the CLI).
+  std::string ToTable(size_t max_rows = 50) const;
+
+  /// Sorts rows by the total term order; makes result comparison in tests
+  /// independent of execution order.
+  void SortCanonical();
+};
+
+/// Facade tying parser, planner and executor together — the query-processing
+/// component of the Sofos online module (paper Figure 2).
+///
+/// The store must be finalized. Execution may intern new literal terms
+/// (aggregate results) into the store's dictionary but never adds triples.
+class QueryEngine {
+ public:
+  explicit QueryEngine(TripleStore* store) : store_(store) {}
+
+  /// Parses and runs a query.
+  Result<QueryResult> Execute(std::string_view sparql);
+
+  /// Runs a pre-parsed query. `query` may have aggregate slots assigned as
+  /// a side effect of planning.
+  Result<QueryResult> Execute(Query* query);
+
+  /// Returns the physical plan rendering for diagnostics.
+  Result<std::string> Explain(std::string_view sparql);
+
+  TripleStore* store() { return store_; }
+
+ private:
+  TripleStore* store_;
+};
+
+}  // namespace sparql
+}  // namespace sofos
+
+#endif  // SOFOS_SPARQL_QUERY_ENGINE_H_

@@ -1,0 +1,121 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "sparql/query_engine.h"
+
+namespace sofos {
+namespace workload {
+
+using core::DimConstraint;
+using core::DimUsage;
+using core::QuerySignature;
+using core::WorkloadQuery;
+
+Result<std::vector<Term>> WorkloadGenerator::DimValues(int dim, int max_constants) {
+  const std::string& var = facet_->dims()[static_cast<size_t>(dim)].var;
+  std::string pattern;
+  for (const auto& tp : facet_->pattern()) {
+    pattern += "  " + tp.ToString() + " .\n";
+  }
+  std::string query = "SELECT DISTINCT ?" + var + " WHERE {\n" + pattern +
+                      "} LIMIT " + std::to_string(max_constants);
+  sparql::QueryEngine engine(store_);
+  SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result, engine.Execute(query));
+  std::vector<Term> values;
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    if (result.bound[r][0]) values.push_back(result.rows[r][0]);
+  }
+  return values;
+}
+
+Result<std::vector<WorkloadQuery>> WorkloadGenerator::Generate(
+    const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  const size_t num_dims = facet_->num_dims();
+
+  // Sample the constant pools once per dimension.
+  std::vector<std::vector<Term>> pools(num_dims);
+  for (size_t d = 0; d < num_dims; ++d) {
+    SOFOS_ASSIGN_OR_RETURN(pools[d],
+                           DimValues(static_cast<int>(d), options.max_constants));
+  }
+
+  std::string pattern;
+  for (const auto& tp : facet_->pattern()) {
+    pattern += "  " + tp.ToString() + " .\n";
+  }
+
+  std::vector<WorkloadQuery> queries;
+  queries.reserve(static_cast<size_t>(options.num_queries));
+  for (int q = 0; q < options.num_queries; ++q) {
+    WorkloadQuery query;
+    query.id = "q" + std::to_string(q);
+    QuerySignature& sig = query.signature;
+
+    for (size_t d = 0; d < num_dims; ++d) {
+      if (rng.Chance(options.group_dim_prob)) sig.group_mask |= 1u << d;
+    }
+
+    // Filters: random dims (grouped or not) with constants from the pool.
+    int filters = 0;
+    for (int attempt = 0; attempt < options.max_filters; ++attempt) {
+      if (!rng.Chance(options.filter_prob)) continue;
+      size_t d = rng.Uniform(num_dims);
+      if ((sig.filter_mask >> d) & 1u) continue;  // one filter per dim
+      if (pools[d].empty()) continue;
+      const std::string& var = facet_->dims()[d].var;
+
+      DimConstraint constraint;
+      constraint.dim = static_cast<int>(d);
+      bool numeric = pools[d][0].is_numeric();
+      if (numeric && rng.Chance(options.range_prob) && pools[d].size() >= 2) {
+        const Term& a = rng.Pick(pools[d]);
+        const Term& b = rng.Pick(pools[d]);
+        auto av = a.AsInt64().ValueOr(0);
+        auto bv = b.AsInt64().ValueOr(0);
+        int64_t lo = std::min(av, bv), hi = std::max(av, bv);
+        constraint.usage = DimUsage::kFilteredRange;
+        constraint.filter_sparql = StrFormat(
+            "?%s >= %lld && ?%s <= %lld", var.c_str(),
+            static_cast<long long>(lo), var.c_str(), static_cast<long long>(hi));
+      } else {
+        const Term& value = rng.Pick(pools[d]);
+        constraint.usage = DimUsage::kFilteredEq;
+        constraint.filter_sparql =
+            "?" + var + " = " + value.ToNTriples();
+      }
+      sig.filter_mask |= 1u << d;
+      sig.constraints.push_back(std::move(constraint));
+      ++filters;
+    }
+    (void)filters;
+
+    // Render the SPARQL against the base graph.
+    std::string select = "SELECT";
+    std::string group;
+    for (size_t d = 0; d < num_dims; ++d) {
+      if ((sig.group_mask >> d) & 1u) {
+        select += " ?" + facet_->dims()[d].var;
+        group += " ?" + facet_->dims()[d].var;
+      }
+    }
+    select += " (" + sparql::AggKindName(facet_->agg_kind()) + "(?" +
+              facet_->agg_var() + ") AS ?agg)";
+    std::string where = " WHERE {\n" + pattern;
+    for (const DimConstraint& c : sig.constraints) {
+      where += "  FILTER(" + c.filter_sparql + ")\n";
+    }
+    where += "}";
+    query.sparql = select + where;
+    if (!group.empty()) query.sparql += " GROUP BY" + group;
+
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace workload
+}  // namespace sofos

@@ -1,0 +1,56 @@
+#ifndef SOFOS_WORKLOAD_GENERATOR_H_
+#define SOFOS_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/facet.h"
+#include "core/workload_types.h"
+#include "rdf/triple_store.h"
+
+namespace sofos {
+namespace workload {
+
+/// Knobs for random analytical-query generation (paper §3.2: "the system
+/// runs a set of queries randomly generated from the facet F"; §4: "a query
+/// workload composed of different parametrized queries for a given query
+/// template").
+struct WorkloadOptions {
+  int num_queries = 30;
+  /// Probability that each dimension appears in GROUP BY.
+  double group_dim_prob = 0.5;
+  /// Probability of attempting each additional FILTER (up to max_filters).
+  double filter_prob = 0.6;
+  int max_filters = 2;
+  /// Probability that a numeric dimension's filter is a range instead of
+  /// an equality.
+  double range_prob = 0.5;
+  /// Distinct constants sampled per dimension for filter instantiation.
+  int max_constants = 64;
+  uint64_t seed = 42;
+};
+
+/// Generates parameterized analytical queries from a facet: random grouping
+/// subsets plus equality/range filters whose constants are sampled from the
+/// actual graph, so every filter is satisfiable.
+class WorkloadGenerator {
+ public:
+  /// `store` must be finalized; it is queried for dimension constants.
+  WorkloadGenerator(const core::Facet* facet, TripleStore* store)
+      : facet_(facet), store_(store) {}
+
+  Result<std::vector<core::WorkloadQuery>> Generate(const WorkloadOptions& options);
+
+ private:
+  /// Distinct values of dimension `dim` (up to max_constants).
+  Result<std::vector<Term>> DimValues(int dim, int max_constants);
+
+  const core::Facet* facet_;
+  TripleStore* store_;
+};
+
+}  // namespace workload
+}  // namespace sofos
+
+#endif  // SOFOS_WORKLOAD_GENERATOR_H_

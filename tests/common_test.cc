@@ -1,0 +1,374 @@
+#include <set>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "gtest/gtest.h"
+
+namespace sofos {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  Status s = Status::NotFound("missing").WithContext("loading file");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "loading file: missing");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status s = Status::OK().WithContext("anything");
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted), "ResourceExhausted");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    SOFOS_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusConversionBecomesInternal) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto maker = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::InvalidArgument("no");
+    return std::string("yes");
+  };
+  auto wrapper = [&](bool fail) -> Result<size_t> {
+    SOFOS_ASSIGN_OR_RETURN(std::string s, maker(fail));
+    return s.size();
+  };
+  ASSERT_TRUE(wrapper(false).ok());
+  EXPECT_EQ(wrapper(false).value(), 3u);
+  EXPECT_EQ(wrapper(true).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringUtilTest, SplitBasic) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = StrSplit(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> pieces = {"a", "b", "c"};
+  EXPECT_EQ(StrJoin(pieces, "-"), "a-b-c");
+  EXPECT_EQ(StrJoin({}, "-"), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(StrTrim("  x y \t\n"), "x y");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("abc"), "abc");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StrStartsWith("http://x", "http://"));
+  EXPECT_FALSE(StrStartsWith("ht", "http://"));
+  EXPECT_TRUE(StrEndsWith("file.ttl", ".ttl"));
+  EXPECT_FALSE(StrEndsWith("ttl", ".ttl"));
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(StrToLower("SeLeCt"), "select");
+  EXPECT_EQ(StrToUpper("select"), "SELECT");
+  EXPECT_TRUE(StrEqualsIgnoreCase("GROUP", "group"));
+  EXPECT_FALSE(StrEqualsIgnoreCase("GROUPS", "group"));
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("+13").value(), 13);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+  EXPECT_FALSE(ParseInt64("12abc").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("x").ok());
+}
+
+TEST(StringUtilTest, TurtleEscapeRoundTrip) {
+  std::string raw = "line1\nline2\t\"quoted\"\\slash";
+  std::string escaped = EscapeTurtleString(raw);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  auto back = UnescapeTurtleString(escaped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), raw);
+}
+
+TEST(StringUtilTest, UnescapeRejectsBadEscapes) {
+  EXPECT_FALSE(UnescapeTurtleString("bad\\q").ok());
+  EXPECT_FALSE(UnescapeTurtleString("dangling\\").ok());
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(StringUtilTest, FormatMicros) {
+  EXPECT_EQ(FormatMicros(500.0), "500.0 us");
+  EXPECT_EQ(FormatMicros(1500.0), "1.50 ms");
+  EXPECT_EQ(FormatMicros(2.5e6), "2.50 s");
+}
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.0 / 3.0), "0.33");
+}
+
+// ---------------------------------------------------------------- Hashing
+
+TEST(HashTest, Fnv1aIsDeterministic) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  EXPECT_NE(Fnv1a64(""), 0u);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  uint64_t a = HashCombine(HashCombine(0, 1), 2);
+  uint64_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(10), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasApproximatelyRightMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ZipfSkewsTowardsLowRanks) {
+  Rng rng(13);
+  ZipfSampler sampler(100, 1.2);
+  int rank0 = 0, total = 5000;
+  for (int i = 0; i < total; ++i) {
+    if (sampler.Sample(&rng) == 0) ++rank0;
+  }
+  // Rank 0 should be sampled far more often than 1/100 of the time.
+  EXPECT_GT(rank0, total / 20);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish) {
+  Rng rng(17);
+  ZipfSampler sampler(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[sampler.Sample(&rng)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(19);
+  auto sample = rng.SampleIndices(50, 20);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t idx : sample) EXPECT_LT(idx, 50u);
+}
+
+TEST(RngTest, SampleIndicesFullRange) {
+  Rng rng(21);
+  auto sample = rng.SampleIndices(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(29);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+// ---------------------------------------------------------------- Tables
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter table({"name", "count"});
+  table.AddRow({"alpha", "10"});
+  table.AddRow({"b", "2"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, MarkdownOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::string out = table.ToString(TablePrinter::Style::kMarkdown);
+  EXPECT_NE(out.find("| a"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToString(TablePrinter::Style::kCsv), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::string out = table.ToString(TablePrinter::Style::kCsv);
+  EXPECT_EQ(out, "a,b,c\nonly,,\n");
+}
+
+TEST(TablePrinterTest, CellHelpers) {
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Cell(uint64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::Cell(int64_t{-42}), "-42");
+}
+
+// ---------------------------------------------------------------- Timer
+
+TEST(TimerTest, ElapsedIsMonotonic) {
+  WallTimer timer;
+  double t1 = timer.ElapsedMicros();
+  double t2 = timer.ElapsedMicros();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0.0);
+}
+
+TEST(TimerTest, RestartResets) {
+  WallTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace sofos

@@ -1,0 +1,197 @@
+#include "core/facet.h"
+
+#include "core/lattice.h"
+#include "gtest/gtest.h"
+#include "sparql/parser.h"
+#include "tests/test_util.h"
+
+namespace sofos {
+namespace core {
+namespace {
+
+constexpr const char* kFacetSparql =
+    "PREFIX ex: <http://example.org/>\n"
+    "SELECT ?country ?language ?year (SUM(?pop) AS ?agg) WHERE {\n"
+    "  ?obs ex:country ?country .\n"
+    "  ?obs ex:language ?language .\n"
+    "  ?obs ex:year ?year .\n"
+    "  ?obs ex:population ?pop .\n"
+    "} GROUP BY ?country ?language ?year";
+
+Facet MustParse(const std::string& sparql = kFacetSparql) {
+  auto facet = Facet::FromSparql(sparql, "test");
+  EXPECT_TRUE(facet.ok()) << facet.status().ToString();
+  return std::move(facet).value();
+}
+
+TEST(FacetTest, ParsesDimensionsInGroupByOrder) {
+  Facet facet = MustParse();
+  ASSERT_EQ(facet.num_dims(), 3u);
+  EXPECT_EQ(facet.dims()[0].var, "country");
+  EXPECT_EQ(facet.dims()[1].var, "language");
+  EXPECT_EQ(facet.dims()[2].var, "year");
+  EXPECT_EQ(facet.agg_kind(), sparql::AggKind::kSum);
+  EXPECT_EQ(facet.agg_var(), "pop");
+  EXPECT_EQ(facet.pattern().size(), 4u);
+  EXPECT_EQ(facet.FullMask(), 0b111u);
+}
+
+TEST(FacetTest, DimIndexAndLabels) {
+  auto facet_or = Facet::FromSparql(kFacetSparql, "test",
+                                    {"Country", "Language", "Year"});
+  ASSERT_TRUE(facet_or.ok());
+  const Facet& facet = *facet_or;
+  EXPECT_EQ(facet.DimIndex("language"), 1);
+  EXPECT_EQ(facet.DimIndex("nosuch"), -1);
+  EXPECT_EQ(facet.dims()[0].label, "Country");
+}
+
+TEST(FacetTest, MaskLabels) {
+  Facet facet = MustParse();
+  EXPECT_EQ(facet.MaskLabel(0), "{} (apex)");
+  EXPECT_EQ(facet.MaskLabel(0b101), "{country,year}");
+  EXPECT_EQ(facet.MaskLabel(0b111), "{country,language,year}");
+}
+
+TEST(FacetTest, ViewQueryIncludesRowsCounter) {
+  Facet facet = MustParse();
+  std::string q = facet.ViewQuerySparql(0b011);
+  EXPECT_NE(q.find("SELECT ?country ?language"), std::string::npos);
+  EXPECT_NE(q.find("(SUM(?pop) AS ?agg)"), std::string::npos);
+  EXPECT_NE(q.find("(COUNT(?pop) AS ?rows)"), std::string::npos);
+  EXPECT_NE(q.find("GROUP BY ?country ?language"), std::string::npos);
+  // The view query must itself parse.
+  EXPECT_TRUE(sparql::Parser::Parse(q).ok());
+}
+
+TEST(FacetTest, ApexViewQueryHasNoGroupBy) {
+  Facet facet = MustParse();
+  std::string q = facet.ViewQuerySparql(0);
+  EXPECT_EQ(q.find("GROUP BY"), std::string::npos);
+  EXPECT_TRUE(sparql::Parser::Parse(q).ok());
+}
+
+TEST(FacetTest, AvgFacetStoresSum) {
+  std::string avg_template = kFacetSparql;
+  size_t pos = avg_template.find("SUM");
+  avg_template.replace(pos, 3, "AVG");
+  Facet facet = MustParse(avg_template);
+  EXPECT_EQ(facet.agg_kind(), sparql::AggKind::kAvg);
+  // Views for AVG facets store SUM + COUNT for exact roll-up.
+  std::string q = facet.ViewQuerySparql(0b1);
+  EXPECT_NE(q.find("SUM(?pop)"), std::string::npos);
+  EXPECT_EQ(q.find("AVG"), std::string::npos);
+  // But the canonical (user-facing) query uses AVG.
+  EXPECT_NE(facet.CanonicalQuerySparql(0b1).find("AVG(?pop)"), std::string::npos);
+}
+
+TEST(FacetTest, PatternPredicatesDeduplicated) {
+  Facet facet = MustParse();
+  auto preds = facet.PatternPredicates();
+  EXPECT_EQ(preds.size(), 4u);
+}
+
+TEST(FacetTest, ErrorNoGroupBy) {
+  auto facet = Facet::FromSparql(
+      "SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }", "bad");
+  EXPECT_FALSE(facet.ok());
+}
+
+TEST(FacetTest, ErrorNoAggregate) {
+  auto facet = Facet::FromSparql(
+      "SELECT ?s WHERE { ?s ?p ?o } GROUP BY ?s", "bad");
+  EXPECT_FALSE(facet.ok());
+}
+
+TEST(FacetTest, ErrorTwoAggregates) {
+  auto facet = Facet::FromSparql(
+      "SELECT ?s (SUM(?o) AS ?a) (COUNT(?o) AS ?b) WHERE { ?s ?p ?o } GROUP BY ?s",
+      "bad");
+  EXPECT_FALSE(facet.ok());
+}
+
+TEST(FacetTest, ErrorCountStarFacet) {
+  auto facet = Facet::FromSparql(
+      "SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s", "bad");
+  EXPECT_FALSE(facet.ok());
+}
+
+TEST(FacetTest, ErrorFacetWithFilter) {
+  auto facet = Facet::FromSparql(
+      "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o . FILTER(?o > 1) } GROUP BY ?s",
+      "bad");
+  EXPECT_FALSE(facet.ok());
+}
+
+TEST(FacetTest, ErrorDimNotInPattern) {
+  auto facet = Facet::FromSparql(
+      "SELECT ?z (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?z", "bad");
+  EXPECT_FALSE(facet.ok());
+}
+
+// --------------------------------------------------------------- lattice
+
+TEST(LatticeTest, SizeIsPowerOfTwo) {
+  Facet facet = MustParse();
+  Lattice lattice(&facet);
+  EXPECT_EQ(lattice.size(), 8u);
+  EXPECT_EQ(lattice.AllMasks().size(), 8u);
+}
+
+TEST(LatticeTest, CanAnswerIsSubsetRelation) {
+  EXPECT_TRUE(Lattice::CanAnswer(0b111, 0b101));
+  EXPECT_TRUE(Lattice::CanAnswer(0b101, 0b101));
+  EXPECT_TRUE(Lattice::CanAnswer(0b101, 0));
+  EXPECT_FALSE(Lattice::CanAnswer(0b101, 0b010));
+  EXPECT_FALSE(Lattice::CanAnswer(0, 0b1));
+}
+
+TEST(LatticeTest, ChildrenRemoveOneDim) {
+  Facet facet = MustParse();
+  Lattice lattice(&facet);
+  auto children = lattice.Children(0b101);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0], 0b100u);
+  EXPECT_EQ(children[1], 0b001u);
+  EXPECT_TRUE(lattice.Children(0).empty());
+}
+
+TEST(LatticeTest, ParentsAddOneDim) {
+  Facet facet = MustParse();
+  Lattice lattice(&facet);
+  auto parents = lattice.Parents(0b001);
+  ASSERT_EQ(parents.size(), 2u);
+  EXPECT_EQ(parents[0], 0b011u);
+  EXPECT_EQ(parents[1], 0b101u);
+  EXPECT_TRUE(lattice.Parents(facet.FullMask()).empty());
+}
+
+TEST(LatticeTest, AnswerableByEnumeratesDownset) {
+  Facet facet = MustParse();
+  Lattice lattice(&facet);
+  auto downset = lattice.AnswerableBy(0b101);
+  ASSERT_EQ(downset.size(), 4u);  // {}, {c}, {y}, {c,y}
+  EXPECT_EQ(downset[0], 0u);
+  EXPECT_EQ(downset[3], 0b101u);
+  EXPECT_EQ(lattice.AnswerableBy(facet.FullMask()).size(), 8u);
+  EXPECT_EQ(lattice.AnswerableBy(0).size(), 1u);
+}
+
+TEST(LatticeTest, LevelCountsDims) {
+  EXPECT_EQ(Lattice::Level(0), 0);
+  EXPECT_EQ(Lattice::Level(0b101), 2);
+  EXPECT_EQ(Lattice::Level(0b111), 3);
+}
+
+TEST(LatticeTest, RenderMarksSelection) {
+  Facet facet = MustParse();
+  Lattice lattice(&facet);
+  std::string out = lattice.Render({0b011});
+  EXPECT_NE(out.find("*{country,language}"), std::string::npos);
+  EXPECT_NE(out.find("level 3"), std::string::npos);
+  EXPECT_NE(out.find("{} (apex)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sofos

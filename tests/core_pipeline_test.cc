@@ -1,0 +1,303 @@
+#include <set>
+
+#include "core/engine.h"
+#include "core/training.h"
+#include "gtest/gtest.h"
+#include "rdf/vocab.h"
+#include "sparql/parser.h"
+#include "tests/core_test_util.h"
+#include "workload/generator.h"
+
+namespace sofos {
+namespace core {
+namespace {
+
+using testing::ExpectSameAnswers;
+using testing::MustProfile;
+using testing::SetUpEngine;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetUpEngine(&engine_, "geopop");
+    MustProfile(&engine_);
+  }
+
+  SofosEngine engine_;
+};
+
+// ------------------------------------------------------------ materializer
+
+TEST_F(PipelineTest, MaterializeAddsEncodedTriples) {
+  uint64_t before = engine_.CurrentTriples();
+  auto views = engine_.MaterializeViews({0b0011});
+  ASSERT_TRUE(views.ok()) << views.status().ToString();
+  ASSERT_EQ(views->size(), 1u);
+  const MaterializedView& view = (*views)[0];
+  EXPECT_EQ(view.mask, 0b0011u);
+  EXPECT_GT(view.rows, 0u);
+  EXPECT_EQ(view.triples_added, view.rows * (2 + 3));  // 2 dims + 3 fixed
+  EXPECT_EQ(engine_.CurrentTriples(), before + view.triples_added);
+  EXPECT_TRUE(engine_.store()->finalized());
+}
+
+TEST_F(PipelineTest, MaterializedTriplesMatchProfilePrediction) {
+  const LatticeProfile* profile = engine_.profile();
+  auto views = engine_.MaterializeViews({0b0101, 0b0010});
+  ASSERT_TRUE(views.ok());
+  for (const MaterializedView& view : *views) {
+    EXPECT_EQ(view.triples_added, profile->ForMask(view.mask).encoded_triples)
+        << engine_.facet().MaskLabel(view.mask);
+    EXPECT_EQ(view.rows, profile->ForMask(view.mask).result_rows);
+  }
+}
+
+TEST_F(PipelineTest, MaterializeTwiceFails) {
+  ASSERT_TRUE(engine_.MaterializeViews({0b0011}).ok());
+  auto again = engine_.MaterializeViews({0b0011});
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(PipelineTest, DropViewsRestoresBaseGraph) {
+  uint64_t base = engine_.CurrentTriples();
+  ASSERT_TRUE(engine_.MaterializeViews({0b0011, 0b1100}).ok());
+  EXPECT_GT(engine_.CurrentTriples(), base);
+  EXPECT_GT(engine_.StorageAmplification(), 1.0);
+  SOFOS_ASSERT_OK(engine_.DropMaterializedViews());
+  EXPECT_EQ(engine_.CurrentTriples(), base);
+  EXPECT_TRUE(engine_.materialized().empty());
+  EXPECT_DOUBLE_EQ(engine_.StorageAmplification(), 1.0);
+}
+
+TEST_F(PipelineTest, OriginalQueriesUnaffectedByMaterialization) {
+  // The sofos: encoding is disjoint from application predicates, so base
+  // queries over G+ return exactly the answers they returned over G.
+  WorkloadQuery probe;
+  probe.id = "probe";
+  probe.sparql =
+      "PREFIX geo: <http://sofos.example.org/geo#>\n"
+      "SELECT ?country (SUM(?pop) AS ?agg) WHERE {\n"
+      "  ?obs geo:country ?country . ?obs geo:population ?pop .\n"
+      "} GROUP BY ?country";
+  auto before = engine_.Answer(probe, /*allow_views=*/false);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(engine_.MaterializeViews({engine_.facet().FullMask(), 0}).ok());
+  auto after = engine_.Answer(probe, /*allow_views=*/false);
+  ASSERT_TRUE(after.ok());
+  ExpectSameAnswers(before->result, after->result, "base query over G vs G+");
+}
+
+// --------------------------------------------------------------- rewriter
+
+TEST_F(PipelineTest, PickBestViewRespectsAnswerability) {
+  Rewriter rewriter(&engine_.facet());
+  QuerySignature sig;
+  sig.group_mask = 0b0011;
+  // Only a disjoint view available: no pick.
+  auto none = rewriter.PickBestView(sig, {0b1100}, *engine_.profile());
+  EXPECT_FALSE(none.has_value());
+  // Superset view available: picked.
+  auto some = rewriter.PickBestView(sig, {0b1100, 0b0111}, *engine_.profile());
+  ASSERT_TRUE(some.has_value());
+  EXPECT_EQ(*some, 0b0111u);
+}
+
+TEST_F(PipelineTest, PickBestViewPrefersSmallest) {
+  Rewriter rewriter(&engine_.facet());
+  QuerySignature sig;
+  sig.group_mask = 0b0001;
+  // Both the full view and {continent,country} can answer; the smaller
+  // (fewer rows) wins under the default routing heuristic.
+  auto pick = rewriter.PickBestView(sig, {0b1111, 0b0011}, *engine_.profile());
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0b0011u);
+}
+
+TEST_F(PipelineTest, RewriteTargetsViewEncoding) {
+  Rewriter rewriter(&engine_.facet());
+  QuerySignature sig;
+  sig.group_mask = 0b0010;  // group by country
+  auto rewritten = rewriter.RewriteToView(sig, 0b0011);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  EXPECT_NE(rewritten->find(std::string(vocab::kSofosView)), std::string::npos);
+  EXPECT_NE(rewritten->find("dim_country"), std::string::npos);
+  EXPECT_NE(rewritten->find("SUM(?__v)"), std::string::npos);
+  EXPECT_NE(rewritten->find("GROUP BY ?country"), std::string::npos);
+  // The rewritten query parses.
+  EXPECT_TRUE(sparql::Parser::Parse(*rewritten).ok());
+}
+
+TEST_F(PipelineTest, RewriteRejectsNonAnswerableView) {
+  Rewriter rewriter(&engine_.facet());
+  QuerySignature sig;
+  sig.group_mask = 0b0100;
+  EXPECT_FALSE(rewriter.RewriteToView(sig, 0b0011).ok());
+}
+
+TEST_F(PipelineTest, AnalyzeQueryExtractsSignature) {
+  Rewriter rewriter(&engine_.facet());
+  auto query = sparql::Parser::Parse(
+      "PREFIX geo: <http://sofos.example.org/geo#>\n"
+      "SELECT ?country (SUM(?pop) AS ?agg) WHERE {\n"
+      "  ?obs geo:country ?country . ?obs geo:language ?language .\n"
+      "  ?obs geo:year ?year . ?obs geo:population ?pop .\n"
+      "  ?country geo:partOf ?continent .\n"
+      "  FILTER(?year = 2018)\n"
+      "} GROUP BY ?country");
+  ASSERT_TRUE(query.ok());
+  auto sig = rewriter.AnalyzeQuery(*query);
+  ASSERT_TRUE(sig.ok()) << sig.status().ToString();
+  EXPECT_EQ(sig->group_mask, 0b0010u);   // country is dim 1
+  EXPECT_EQ(sig->filter_mask, 0b1000u);  // year is dim 3
+  ASSERT_EQ(sig->constraints.size(), 1u);
+  EXPECT_EQ(sig->constraints[0].dim, 3);
+}
+
+TEST_F(PipelineTest, AnalyzeQueryRejectsNonDimGroup) {
+  Rewriter rewriter(&engine_.facet());
+  auto query = sparql::Parser::Parse(
+      "SELECT ?obs (SUM(?pop) AS ?agg) WHERE { ?obs <http://geo/population> ?pop } "
+      "GROUP BY ?obs");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(rewriter.AnalyzeQuery(*query).ok());
+}
+
+// ------------------------------------------------- end-to-end equivalence
+
+TEST_F(PipelineTest, ViewAnswersMatchBaseAnswers) {
+  // The central correctness property of the whole system: a query answered
+  // from a materialized view returns the same result as over the base graph.
+  workload::WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  workload::WorkloadOptions options;
+  options.num_queries = 25;
+  options.seed = 7;
+  auto queries = generator.Generate(options);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+
+  // Baseline answers (no views).
+  std::vector<sparql::QueryResult> baseline;
+  for (const auto& query : *queries) {
+    auto outcome = engine_.Answer(query, /*allow_views=*/false);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString() << "\n" << query.sparql;
+    baseline.push_back(std::move(outcome->result));
+  }
+
+  // Materialize the full lattice → every query must route to a view.
+  Lattice lattice(&engine_.facet());
+  ASSERT_TRUE(engine_.MaterializeViews(lattice.AllMasks()).ok());
+  for (size_t i = 0; i < queries->size(); ++i) {
+    auto outcome = engine_.Answer((*queries)[i], /*allow_views=*/true);
+    ASSERT_TRUE(outcome.ok())
+        << outcome.status().ToString() << "\n" << outcome->executed_sparql;
+    EXPECT_TRUE(outcome->used_view) << (*queries)[i].sparql;
+    ExpectSameAnswers(std::move(baseline[i]), std::move(outcome->result),
+                      "query " + (*queries)[i].id + "\n" +
+                          (*queries)[i].sparql + "\nrewritten:\n" +
+                          outcome->executed_sparql);
+  }
+}
+
+TEST_F(PipelineTest, PartialSelectionRoutesOrFallsBack) {
+  workload::WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  workload::WorkloadOptions options;
+  options.num_queries = 20;
+  options.seed = 11;
+  auto queries = generator.Generate(options);
+  ASSERT_TRUE(queries.ok());
+
+  std::vector<sparql::QueryResult> baseline;
+  for (const auto& query : *queries) {
+    auto outcome = engine_.Answer(query, false);
+    ASSERT_TRUE(outcome.ok());
+    baseline.push_back(std::move(outcome->result));
+  }
+
+  // Only two views available.
+  ASSERT_TRUE(engine_.MaterializeViews({0b0111, 0b0011}).ok());
+  size_t hits = 0;
+  for (size_t i = 0; i < queries->size(); ++i) {
+    const auto& query = (*queries)[i];
+    auto outcome = engine_.Answer(query, true);
+    ASSERT_TRUE(outcome.ok()) << outcome->executed_sparql;
+    uint32_t needed = query.signature.NeededMask();
+    bool answerable = Lattice::CanAnswer(0b0111, needed) ||
+                      Lattice::CanAnswer(0b0011, needed);
+    EXPECT_EQ(outcome->used_view, answerable) << query.sparql;
+    if (outcome->used_view) ++hits;
+    ExpectSameAnswers(std::move(baseline[i]), std::move(outcome->result),
+                      "query " + query.id);
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_LT(hits, queries->size());
+}
+
+TEST_F(PipelineTest, RunWorkloadReportsStatistics) {
+  workload::WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  workload::WorkloadOptions options;
+  options.num_queries = 10;
+  auto queries = generator.Generate(options);
+  ASSERT_TRUE(queries.ok());
+  ASSERT_TRUE(engine_.MaterializeViews({engine_.facet().FullMask()}).ok());
+
+  auto report = engine_.RunWorkload(*queries, true);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->outcomes.size(), 10u);
+  EXPECT_EQ(report->view_hits, 10u);  // the full view answers everything
+  EXPECT_GT(report->mean_micros, 0.0);
+  EXPECT_GT(report->median_micros, 0.0);
+  EXPECT_GE(report->p95_micros, report->median_micros);
+  EXPECT_NE(report->Summary().find("queries=10"), std::string::npos);
+}
+
+// -------------------------------------------------- AVG roll-up exactness
+
+class AvgPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TripleStore store;
+    auto spec = datagen::GenerateByName("geopop", datagen::Scale::kTiny, 3, &store);
+    ASSERT_TRUE(spec.ok());
+    // Same pattern, AVG aggregation.
+    std::string avg = spec->facet_sparql;
+    size_t pos = avg.find("SUM");
+    avg.replace(pos, 3, "AVG");
+    auto facet = Facet::FromSparql(avg, "geopop_avg", spec->dim_labels);
+    ASSERT_TRUE(facet.ok()) << facet.status().ToString();
+    SOFOS_ASSERT_OK(engine_.LoadStore(std::move(store)));
+    SOFOS_ASSERT_OK(engine_.SetFacet(std::move(facet).value()));
+    MustProfile(&engine_);
+  }
+
+  SofosEngine engine_;
+};
+
+TEST_F(AvgPipelineTest, AvgRollupIsExact) {
+  workload::WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  workload::WorkloadOptions options;
+  options.num_queries = 15;
+  options.seed = 13;
+  auto queries = generator.Generate(options);
+  ASSERT_TRUE(queries.ok());
+
+  std::vector<sparql::QueryResult> baseline;
+  for (const auto& query : *queries) {
+    auto outcome = engine_.Answer(query, false);
+    ASSERT_TRUE(outcome.ok()) << query.sparql;
+    baseline.push_back(std::move(outcome->result));
+  }
+  Lattice lattice(&engine_.facet());
+  ASSERT_TRUE(engine_.MaterializeViews(lattice.AllMasks()).ok());
+  for (size_t i = 0; i < queries->size(); ++i) {
+    auto outcome = engine_.Answer((*queries)[i], true);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->used_view);
+    ExpectSameAnswers(std::move(baseline[i]), std::move(outcome->result),
+                      "AVG query " + (*queries)[i].id + "\nrewritten:\n" +
+                          outcome->executed_sparql);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sofos

@@ -1,0 +1,228 @@
+#include "core/selection.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "tests/core_test_util.h"
+
+namespace sofos {
+namespace core {
+namespace {
+
+using testing::MustProfile;
+using testing::SetUpEngine;
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetUpEngine(&engine_, "geopop");
+    MustProfile(&engine_);
+  }
+
+  SofosEngine engine_;
+};
+
+TEST_F(SelectionTest, GreedyPicksExactlyK) {
+  TripleCountCostModel model;
+  auto selection = engine_.SelectViews(model, 4);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_EQ(selection->views.size(), 4u);
+  EXPECT_EQ(selection->benefits.size(), 4u);
+  // All picks distinct.
+  std::set<uint32_t> unique(selection->views.begin(), selection->views.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST_F(SelectionTest, GreedyBenefitsAreNonIncreasing) {
+  TripleCountCostModel model;
+  auto selection = engine_.SelectViews(model, 6);
+  ASSERT_TRUE(selection.ok());
+  for (size_t i = 1; i < selection->benefits.size(); ++i) {
+    EXPECT_LE(selection->benefits[i], selection->benefits[i - 1] + 1e-9)
+        << "greedy benefit must shrink monotonically (submodularity)";
+  }
+}
+
+TEST_F(SelectionTest, FirstGreedyPickIsHighCoverage) {
+  // Under triple-count with uniform weights, the first pick must answer
+  // many lattice nodes cheaply; the apex (answers only itself) can never
+  // beat the root-like views on a lattice where base cost dominates.
+  TripleCountCostModel model;
+  auto selection = engine_.SelectViews(model, 1);
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection->views.size(), 1u);
+  EXPECT_GT(Lattice::Level(selection->views[0]), 1)
+      << "first pick was " << engine_.facet().MaskLabel(selection->views[0]);
+}
+
+TEST_F(SelectionTest, KLargerThanLatticeSelectsAll) {
+  TripleCountCostModel model;
+  auto selection = engine_.SelectViews(model, 100);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_EQ(selection->views.size(), 16u);
+}
+
+TEST_F(SelectionTest, RandomModelGivesSeededRandomSubset) {
+  RandomCostModel model;
+  auto a = engine_.SelectViews(model, 4, nullptr, /*seed=*/1);
+  auto b = engine_.SelectViews(model, 4, nullptr, /*seed=*/1);
+  auto c = engine_.SelectViews(model, 4, nullptr, /*seed=*/2);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->views, b->views) << "same seed must reproduce the selection";
+  EXPECT_NE(a->views, c->views) << "different seeds should differ (16 choose 4)";
+  std::set<uint32_t> unique(a->views.begin(), a->views.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST_F(SelectionTest, DeterministicAcrossRuns) {
+  AggValueCountCostModel model;
+  auto a = engine_.SelectViews(model, 5);
+  auto b = engine_.SelectViews(model, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->views, b->views);
+}
+
+TEST_F(SelectionTest, WorkloadAwareWeightsChangeSelection) {
+  TripleCountCostModel model;
+  // All query mass on the apex: selecting the apex view first becomes
+  // optimal even though it answers nothing else.
+  QueryWeights weights(16, 0.0);
+  weights[0] = 1.0;
+  auto selection = engine_.SelectViews(model, 1, &weights);
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection->views.size(), 1u);
+  EXPECT_EQ(selection->views[0], 0u)
+      << "picked " << engine_.facet().MaskLabel(selection->views[0]);
+}
+
+TEST_F(SelectionTest, ByteBudgetIsRespected) {
+  TripleCountCostModel model;
+  const LatticeProfile* profile = engine_.profile();
+  Lattice lattice(&engine_.facet());
+  GreedySelector selector(&lattice, profile, &model);
+
+  // Budget for roughly the two smallest views.
+  uint64_t budget = profile->ForMask(0).encoded_bytes +
+                    profile->ForMask(0b0001).encoded_bytes + 16;
+  auto selection = selector.SelectWithinBytes(budget);
+  uint64_t used = 0;
+  for (uint32_t mask : selection.views) {
+    used += profile->ForMask(mask).encoded_bytes;
+  }
+  EXPECT_LE(used, budget);
+  EXPECT_GE(selection.views.size(), 1u);
+  EXPECT_LT(selection.views.size(), 16u);
+}
+
+TEST_F(SelectionTest, UserSelectionPassesThrough) {
+  auto selection = UserSelection({0b0011, 0b1100});
+  EXPECT_EQ(selection.model_name, "user");
+  ASSERT_EQ(selection.views.size(), 2u);
+  EXPECT_TRUE(selection.Contains(0b0011));
+  EXPECT_FALSE(selection.Contains(0b1111));
+}
+
+TEST_F(SelectionTest, SelectionToStringNamesViews) {
+  TripleCountCostModel model;
+  auto selection = engine_.SelectViews(model, 2);
+  ASSERT_TRUE(selection.ok());
+  std::string text = selection->ToString(engine_.facet());
+  EXPECT_NE(text.find("triples"), std::string::npos);
+  EXPECT_NE(text.find("{"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- oracle
+
+class OracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    facet_ = std::move(Facet::FromSparql(
+                           "SELECT ?a ?b (SUM(?v) AS ?agg) WHERE { ?x <http://a> ?a . "
+                           "?x <http://b> ?b . ?x <http://v> ?v } GROUP BY ?a ?b",
+                           "tiny")
+                           .value());
+    lattice_.emplace(&facet_);
+  }
+
+  /// answer_cost[w][v] matrices for a 2-dim lattice (4 views + base col).
+  Facet facet_;
+  std::optional<Lattice> lattice_;
+};
+
+TEST_F(OracleTest, PicksTheObviousBestView) {
+  // Answering anything from view 3 (full) costs 1; base costs 100; other
+  // views cost 50. The best single view is clearly the full view.
+  std::vector<std::vector<double>> cost(4, std::vector<double>(5, 50.0));
+  for (uint32_t w = 0; w < 4; ++w) {
+    cost[w][4] = 100.0;  // base
+    cost[w][3] = 1.0;    // full view
+  }
+  auto result = OracleSelection(*lattice_, 1, cost);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->views.size(), 1u);
+  EXPECT_EQ(result->views[0], 3u);
+}
+
+TEST_F(OracleTest, RespectsAnswerability) {
+  // View 1 = {a} is extremely cheap but cannot answer queries needing b.
+  std::vector<std::vector<double>> cost(4, std::vector<double>(5, 10.0));
+  for (uint32_t w = 0; w < 4; ++w) cost[w][4] = 100.0;
+  cost[1][1] = 0.001;
+  // With k=1 the oracle must still pick a view that helps overall; view 1
+  // only answers w ∈ {0, 1}, leaving w ∈ {2, 3} at base cost 100 each.
+  // Score(view 1) = (0.001 + 0.001 + 100 + 100)/4 > Score(view 3) =
+  // (10+10+10+10)/4.
+  auto result = OracleSelection(*lattice_, 1, cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->views[0], 3u);
+}
+
+TEST_F(OracleTest, KZeroYieldsEmptySelection) {
+  std::vector<std::vector<double>> cost(4, std::vector<double>(5, 1.0));
+  auto result = OracleSelection(*lattice_, 0, cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->views.empty());
+}
+
+TEST_F(OracleTest, RejectsMalformedMatrix) {
+  std::vector<std::vector<double>> bad_rows(3, std::vector<double>(5, 1.0));
+  EXPECT_FALSE(OracleSelection(*lattice_, 1, bad_rows).ok());
+  std::vector<std::vector<double>> bad_cols(4, std::vector<double>(4, 1.0));
+  EXPECT_FALSE(OracleSelection(*lattice_, 1, bad_cols).ok());
+}
+
+TEST_F(OracleTest, OracleAtLeastAsGoodAsAnySingleView) {
+  // Random-ish cost matrix; the oracle's k=2 score must be <= the score of
+  // every 2-subset we can think of (spot check a few).
+  std::vector<std::vector<double>> cost(4, std::vector<double>(5));
+  double v = 1.0;
+  for (auto& row : cost) {
+    for (auto& cell : row) cell = (v = v * 1.7 + 3.0, v > 80 ? v - 70 : v);
+    row[4] = 90.0;
+  }
+  auto oracle = OracleSelection(*lattice_, 2, cost);
+  ASSERT_TRUE(oracle.ok());
+  double oracle_score = oracle->benefits[0];
+
+  auto score_of = [&](std::vector<uint32_t> views) {
+    double score = 0;
+    for (uint32_t w = 0; w < 4; ++w) {
+      double cheapest = cost[w][4];
+      for (uint32_t view : views) {
+        if (Lattice::CanAnswer(view, w)) {
+          cheapest = std::min(cheapest, cost[w][view]);
+        }
+      }
+      score += 0.25 * cheapest;
+    }
+    return score;
+  };
+  EXPECT_LE(oracle_score, score_of({0, 1}) + 1e-9);
+  EXPECT_LE(oracle_score, score_of({1, 2}) + 1e-9);
+  EXPECT_LE(oracle_score, score_of({2, 3}) + 1e-9);
+  EXPECT_LE(oracle_score, score_of({0, 3}) + 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sofos

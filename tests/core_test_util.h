@@ -1,0 +1,68 @@
+#ifndef SOFOS_TESTS_CORE_TEST_UTIL_H_
+#define SOFOS_TESTS_CORE_TEST_UTIL_H_
+
+#include <utility>
+
+#include "core/engine.h"
+#include "datagen/registry.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace sofos {
+namespace testing {
+
+/// Builds a SofosEngine loaded with a tiny deterministic dataset and its
+/// canonical facet. Used by profiler/selection/pipeline tests.
+inline void SetUpEngine(core::SofosEngine* engine, const std::string& dataset,
+                        uint64_t seed = 42) {
+  TripleStore store;
+  auto spec = datagen::GenerateByName(dataset, datagen::Scale::kTiny, seed, &store);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto facet = core::Facet::FromSparql(spec->facet_sparql, spec->name,
+                                       spec->dim_labels);
+  ASSERT_TRUE(facet.ok()) << facet.status().ToString();
+  SOFOS_ASSERT_OK(engine->LoadStore(std::move(store)));
+  SOFOS_ASSERT_OK(engine->SetFacet(std::move(facet).value()));
+}
+
+/// Runs Profile() with exact mode and asserts success.
+inline const core::LatticeProfile& MustProfile(core::SofosEngine* engine) {
+  auto profile = engine->Profile();
+  EXPECT_TRUE(profile.ok()) << profile.status().ToString();
+  return **profile;
+}
+
+/// Two query results are equivalent if they contain the same multiset of
+/// rows (both canonically sorted).
+inline void ExpectSameAnswers(sparql::QueryResult a, sparql::QueryResult b,
+                              const std::string& context) {
+  a.SortCanonical();
+  b.SortCanonical();
+  ASSERT_EQ(a.NumRows(), b.NumRows()) << context;
+  ASSERT_EQ(a.NumCols(), b.NumCols()) << context;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      ASSERT_EQ(a.bound[r][c], b.bound[r][c])
+          << context << " row " << r << " col " << c;
+      if (!a.bound[r][c]) continue;
+      const Term& ta = a.rows[r][c];
+      const Term& tb = b.rows[r][c];
+      if (ta.is_numeric() && tb.is_numeric()) {
+        // Roll-ups may legitimately change integer sums into doubles
+        // (e.g. AVG recomputation); compare numerically with tolerance.
+        double va = ta.AsDouble().ValueOr(0);
+        double vb = tb.AsDouble().ValueOr(0);
+        ASSERT_NEAR(va, vb, std::max(1e-6, std::abs(va) * 1e-9))
+            << context << " row " << r << " col " << c;
+      } else {
+        ASSERT_EQ(ta, tb) << context << " row " << r << " col " << c
+                          << ": " << ta.ToNTriples() << " vs " << tb.ToNTriples();
+      }
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace sofos
+
+#endif  // SOFOS_TESTS_CORE_TEST_UTIL_H_

@@ -1,0 +1,193 @@
+#include "datagen/registry.h"
+
+#include "core/facet.h"
+#include "gtest/gtest.h"
+#include "rdf/vocab.h"
+#include "sparql/query_engine.h"
+#include "tests/test_util.h"
+
+namespace sofos {
+namespace datagen {
+namespace {
+
+TEST(RegistryTest, ListsThreeDatasets) {
+  auto names = DatasetNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "lubm");
+  EXPECT_EQ(names[1], "geopop");
+  EXPECT_EQ(names[2], "swdf");
+}
+
+TEST(RegistryTest, ScaleParsing) {
+  EXPECT_TRUE(ParseScale("tiny").ok());
+  EXPECT_TRUE(ParseScale("demo").ok());
+  EXPECT_TRUE(ParseScale("full").ok());
+  EXPECT_FALSE(ParseScale("huge").ok());
+  EXPECT_EQ(ScaleName(Scale::kDemo), "demo");
+}
+
+TEST(RegistryTest, UnknownDatasetErrors) {
+  TripleStore store;
+  EXPECT_FALSE(GenerateByName("nope", Scale::kTiny, 1, &store).ok());
+}
+
+/// Shared structural checks for every dataset at every scale.
+class DatasetParamTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(DatasetParamTest, GeneratesWellFormedDatasetAndFacet) {
+  const auto& [name, scale_name] = GetParam();
+  auto scale = ParseScale(scale_name);
+  ASSERT_TRUE(scale.ok());
+
+  TripleStore store;
+  auto spec = GenerateByName(name, *scale, 42, &store);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, name);
+  EXPECT_TRUE(store.finalized());
+  EXPECT_GT(store.NumTriples(), 100u);
+  EXPECT_GT(store.NumNodes(), 10u);
+  EXPECT_EQ(spec->dim_vars.size(), 4u);
+  EXPECT_EQ(spec->dim_labels.size(), spec->dim_vars.size());
+
+  // The facet template must parse into a 4-dim facet.
+  auto facet = core::Facet::FromSparql(spec->facet_sparql, spec->name,
+                                       spec->dim_labels);
+  ASSERT_TRUE(facet.ok()) << facet.status().ToString();
+  EXPECT_EQ(facet->num_dims(), 4u);
+  for (size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(facet->dims()[d].var, spec->dim_vars[d]);
+  }
+
+  // The facet's root view query must execute and produce rows.
+  sparql::QueryEngine engine(&store);
+  auto result = engine.Execute(facet->ViewQuerySparql(facet->FullMask()));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->NumRows(), 0u);
+}
+
+TEST_P(DatasetParamTest, GenerationIsDeterministic) {
+  const auto& [name, scale_name] = GetParam();
+  if (scale_name != "tiny") GTEST_SKIP() << "determinism checked at tiny scale";
+  TripleStore a, b;
+  ASSERT_TRUE(GenerateByName(name, Scale::kTiny, 123, &a).ok());
+  ASSERT_TRUE(GenerateByName(name, Scale::kTiny, 123, &b).ok());
+  EXPECT_EQ(a.NumTriples(), b.NumTriples());
+  EXPECT_EQ(a.NumTerms(), b.NumTerms());
+  EXPECT_EQ(a.triples(), b.triples());
+
+  TripleStore c;
+  ASSERT_TRUE(GenerateByName(name, Scale::kTiny, 124, &c).ok());
+  EXPECT_NE(a.triples(), c.triples()) << "different seeds must differ";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetParamTest,
+    ::testing::Values(std::make_tuple("lubm", "tiny"),
+                      std::make_tuple("lubm", "demo"),
+                      std::make_tuple("geopop", "tiny"),
+                      std::make_tuple("geopop", "demo"),
+                      std::make_tuple("swdf", "tiny"),
+                      std::make_tuple("swdf", "demo")),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+TEST(GeoPopTest, ObservationsCarryAllFacetEdges) {
+  TripleStore store;
+  auto spec = GenerateByName("geopop", Scale::kTiny, 1, &store);
+  ASSERT_TRUE(spec.ok());
+  const Dictionary& dict = store.dictionary();
+  auto pred = [&](const std::string& local) {
+    auto id = dict.Lookup(Term::Iri("http://sofos.example.org/geo#" + local));
+    EXPECT_TRUE(id.has_value()) << local;
+    return id.value_or(kNullTermId);
+  };
+  uint64_t countries = store.Count(kNullTermId, pred("country"), kNullTermId);
+  uint64_t languages = store.Count(kNullTermId, pred("language"), kNullTermId);
+  uint64_t years = store.Count(kNullTermId, pred("year"), kNullTermId);
+  uint64_t pops = store.Count(kNullTermId, pred("population"), kNullTermId);
+  EXPECT_EQ(countries, languages);
+  EXPECT_EQ(countries, years);
+  EXPECT_EQ(countries, pops);
+  EXPECT_GT(countries, 0u);
+}
+
+TEST(GeoPopTest, EveryCountryHasOneContinent) {
+  TripleStore store;
+  auto spec = GenerateByName("geopop", Scale::kTiny, 2, &store);
+  ASSERT_TRUE(spec.ok());
+  sparql::QueryEngine engine(&store);
+  auto result = engine.Execute(
+      "PREFIX geo: <http://sofos.example.org/geo#>\n"
+      "SELECT ?c (COUNT(?cont) AS ?n) WHERE { ?c geo:partOf ?cont } GROUP BY ?c "
+      "HAVING (COUNT(?cont) > 1)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumRows(), 0u) << "no country may sit in two continents";
+}
+
+TEST(LubmTest, RegistrationsJoinThroughAllFacetHops) {
+  TripleStore store;
+  auto spec = GenerateByName("lubm", Scale::kTiny, 3, &store);
+  ASSERT_TRUE(spec.ok());
+  sparql::QueryEngine engine(&store);
+  // Every takesCourse registration reaches a university through the chain.
+  auto regs = engine.Execute(
+      "PREFIX lubm: <http://sofos.example.org/lubm#>\n"
+      "SELECT (COUNT(?course) AS ?n) WHERE { ?s lubm:takesCourse ?course }");
+  auto joined = engine.Execute(
+      "PREFIX lubm: <http://sofos.example.org/lubm#>\n"
+      "SELECT (COUNT(?course) AS ?n) WHERE {\n"
+      "  ?s lubm:takesCourse ?course .\n"
+      "  ?course lubm:offeredBy ?d .\n"
+      "  ?d lubm:subOrganizationOf ?u }");
+  ASSERT_TRUE(regs.ok() && joined.ok());
+  EXPECT_EQ(regs->rows[0][0].AsInt64().value(),
+            joined->rows[0][0].AsInt64().value());
+}
+
+TEST(LubmTest, CourseLevelsAreBinary) {
+  TripleStore store;
+  auto spec = GenerateByName("lubm", Scale::kTiny, 4, &store);
+  ASSERT_TRUE(spec.ok());
+  sparql::QueryEngine engine(&store);
+  auto result = engine.Execute(
+      "PREFIX lubm: <http://sofos.example.org/lubm#>\n"
+      "SELECT DISTINCT ?level WHERE { ?c lubm:courseLevel ?level }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->NumRows(), 2u);
+  EXPECT_GE(result->NumRows(), 1u);
+}
+
+TEST(SwdfTest, PapersHaveAtLeastOneAuthor) {
+  TripleStore store;
+  auto spec = GenerateByName("swdf", Scale::kTiny, 5, &store);
+  ASSERT_TRUE(spec.ok());
+  sparql::QueryEngine engine(&store);
+  auto papers = engine.Execute(
+      "PREFIX swdf: <http://sofos.example.org/swdf#>\n"
+      "SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?p swdf:inTrack ?t }");
+  auto with_authors = engine.Execute(
+      "PREFIX swdf: <http://sofos.example.org/swdf#>\n"
+      "SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?p swdf:creator ?a }");
+  ASSERT_TRUE(papers.ok() && with_authors.ok());
+  EXPECT_EQ(papers->rows[0][0].AsInt64().value(),
+            with_authors->rows[0][0].AsInt64().value());
+}
+
+TEST(SwdfTest, EditionYearsInConfiguredRange) {
+  TripleStore store;
+  auto spec = GenerateByName("swdf", Scale::kTiny, 6, &store);
+  ASSERT_TRUE(spec.ok());
+  sparql::QueryEngine engine(&store);
+  auto result = engine.Execute(
+      "PREFIX swdf: <http://sofos.example.org/swdf#>\n"
+      "SELECT (MIN(?y) AS ?lo) (MAX(?y) AS ?hi) WHERE { ?e swdf:year ?y }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->rows[0][0].AsInt64().value(), 2015);
+  EXPECT_LE(result->rows[0][1].AsInt64().value(), 2017);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace sofos

@@ -1,0 +1,237 @@
+#include <cmath>
+
+#include "core/training.h"
+#include "gtest/gtest.h"
+#include "learned/features.h"
+#include "learned/mlp.h"
+#include "tests/core_test_util.h"
+
+namespace sofos {
+namespace learned {
+namespace {
+
+TEST(MlpTest, PredictsConstantAfterTrainingOnConstant) {
+  Mlp mlp({2, 8, 1}, /*seed=*/1);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 32; ++i) {
+    xs.push_back({static_cast<double>(i % 4) / 4.0, 0.5});
+    ys.push_back(3.0);
+  }
+  TrainConfig config;
+  config.epochs = 600;
+  config.learning_rate = 3e-3;
+  auto mse = mlp.Train(xs, ys, config);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_LT(*mse, 0.01);
+  EXPECT_NEAR(mlp.Predict({0.25, 0.5}), 3.0, 0.2);
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  Rng rng(5);
+  Mlp mlp({3, 16, 1}, /*seed=*/2);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x = {rng.UniformDouble(), rng.UniformDouble(),
+                             rng.UniformDouble()};
+    ys.push_back(2.0 * x[0] - 1.0 * x[1] + 0.5 * x[2] + 1.0);
+    xs.push_back(std::move(x));
+  }
+  TrainConfig config;
+  config.epochs = 400;
+  config.learning_rate = 3e-3;
+  auto mse = mlp.Train(xs, ys, config);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_LT(*mse, 0.01) << "final training MSE";
+  EXPECT_NEAR(mlp.Predict({0.5, 0.5, 0.5}), 1.75, 0.25);
+}
+
+TEST(MlpTest, LearnsNonlinearXor) {
+  // XOR requires the hidden layer; a pure linear model cannot fit it.
+  Mlp mlp({2, 16, 8, 1}, /*seed=*/3);
+  std::vector<std::vector<double>> xs = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  std::vector<double> ys = {0, 1, 1, 0};
+  // Replicate to form a dataset.
+  std::vector<std::vector<double>> train_x;
+  std::vector<double> train_y;
+  for (int rep = 0; rep < 16; ++rep) {
+    for (size_t i = 0; i < xs.size(); ++i) {
+      train_x.push_back(xs[i]);
+      train_y.push_back(ys[i]);
+    }
+  }
+  TrainConfig config;
+  config.epochs = 800;
+  config.learning_rate = 5e-3;
+  auto mse = mlp.Train(train_x, train_y, config);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_LT(*mse, 0.05);
+  EXPECT_GT(mlp.Predict({0, 1}), 0.6);
+  EXPECT_LT(mlp.Predict({1, 1}), 0.4);
+}
+
+TEST(MlpTest, DeterministicForSeed) {
+  Mlp a({4, 8, 1}, 42), b({4, 8, 1}, 42);
+  std::vector<double> x = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(a.Predict(x), b.Predict(x));
+  Mlp c({4, 8, 1}, 43);
+  EXPECT_NE(a.Predict(x), c.Predict(x));
+}
+
+TEST(MlpTest, TrainValidatesInput) {
+  Mlp mlp({2, 4, 1});
+  TrainConfig config;
+  EXPECT_FALSE(mlp.Train({}, {}, config).ok());
+  EXPECT_FALSE(mlp.Train({{1.0, 2.0}}, {1.0, 2.0}, config).ok());
+  EXPECT_FALSE(mlp.Train({{1.0, 2.0, 3.0}}, {1.0}, config).ok());
+}
+
+TEST(MlpTest, SerializationRoundTrip) {
+  Mlp mlp({3, 8, 1}, 7);
+  std::vector<std::vector<double>> xs = {{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}};
+  std::vector<double> ys = {1.0, 2.0};
+  TrainConfig config;
+  config.epochs = 50;
+  ASSERT_TRUE(mlp.Train(xs, ys, config).ok());
+
+  std::string blob = mlp.Serialize();
+  auto restored = Mlp::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (const auto& x : xs) {
+    EXPECT_DOUBLE_EQ(restored->Predict(x), mlp.Predict(x));
+  }
+}
+
+TEST(MlpTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Mlp::Deserialize("not an mlp").ok());
+  EXPECT_FALSE(Mlp::Deserialize("mlp v1\n2 3").ok());
+  EXPECT_FALSE(Mlp::Deserialize("mlp v1\n2 3 2\n1 2").ok());  // output dim != 1
+}
+
+// --------------------------------------------------------------- features
+
+TEST(FeatureEncoderTest, DimensionIsStable) {
+  FeatureEncoder encoder(8);
+  ViewFeatureInput input;
+  input.predicates = {"http://a", "http://b"};
+  input.predicate_counts = {10, 20};
+  input.predicate_distinct_subjects = {5, 10};
+  input.predicate_distinct_objects = {2, 4};
+  input.num_group_dims = 2;
+  input.total_dims = 4;
+  input.agg_kind = 1;
+  input.graph_triples = 100;
+  input.graph_nodes = 50;
+  auto f = encoder.Encode(input);
+  EXPECT_EQ(static_cast<int>(f.size()), encoder.dim());
+}
+
+TEST(FeatureEncoderTest, ValuesAreBounded) {
+  FeatureEncoder encoder;
+  ViewFeatureInput input;
+  input.predicates = {"http://p1", "http://p2", "http://p3"};
+  input.predicate_counts = {1000, 1, 500};
+  input.predicate_distinct_subjects = {999, 1, 250};
+  input.predicate_distinct_objects = {10, 1, 499};
+  input.num_group_dims = 3;
+  input.total_dims = 4;
+  input.agg_kind = 2;
+  input.graph_triples = 2000;
+  input.graph_nodes = 900;
+  for (double v : encoder.Encode(input)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.5);
+  }
+}
+
+TEST(FeatureEncoderTest, DistinguishesDimCounts) {
+  FeatureEncoder encoder;
+  ViewFeatureInput a, b;
+  a.predicates = b.predicates = {"http://p"};
+  a.predicate_counts = b.predicate_counts = {10};
+  a.total_dims = b.total_dims = 4;
+  a.graph_triples = b.graph_triples = 100;
+  a.num_group_dims = 1;
+  b.num_group_dims = 3;
+  EXPECT_NE(encoder.Encode(a), encoder.Encode(b));
+}
+
+TEST(FeatureEncoderTest, DistinguishesAggKinds) {
+  FeatureEncoder encoder;
+  ViewFeatureInput a, b;
+  a.total_dims = b.total_dims = 2;
+  a.agg_kind = 0;
+  b.agg_kind = 3;
+  EXPECT_NE(encoder.Encode(a), encoder.Encode(b));
+}
+
+TEST(FeatureEncoderTest, EmptyInputYieldsZerosExceptAggOneHot) {
+  FeatureEncoder encoder;
+  ViewFeatureInput input;  // agg_kind defaults to 0 (COUNT): one-hot fires
+  auto f = encoder.Encode(input);
+  double total = 0.0;
+  for (double v : f) total += v;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+// ------------------------------------------------------ end-to-end training
+
+TEST(TrainingTest, TrainsOnMeasuredRuntimes) {
+  core::SofosEngine engine;
+  testing::SetUpEngine(&engine, "geopop");
+  testing::MustProfile(&engine);
+
+  core::LearnedTrainingOptions options;
+  options.epochs = 150;
+  options.repetitions = 1;
+  auto mlp = core::TrainLearnedModel(&engine, options);
+  ASSERT_TRUE(mlp.ok()) << mlp.status().ToString();
+  EXPECT_TRUE(engine.has_learned_model());
+
+  // The engine's store must be back to the base graph after training.
+  EXPECT_TRUE(engine.materialized().empty());
+  EXPECT_DOUBLE_EQ(engine.StorageAmplification(), 1.0);
+
+  // The learned model is now constructible and produces finite costs.
+  auto model = engine.MakeModel(core::CostModelKind::kLearned);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const core::LatticeProfile* profile = engine.profile();
+  for (uint32_t mask = 0; mask < 16; ++mask) {
+    double cost = (*model)->ViewCost(mask, *profile);
+    EXPECT_GE(cost, 0.0);
+    EXPECT_TRUE(std::isfinite(cost));
+  }
+  EXPECT_TRUE(std::isfinite((*model)->BaseCost(*profile)));
+}
+
+TEST(TrainingTest, CollectedSamplesCoverLatticePlusBase) {
+  core::SofosEngine engine;
+  testing::SetUpEngine(&engine, "lubm");
+  testing::MustProfile(&engine);
+
+  core::LearnedTrainingOptions options;
+  options.repetitions = 1;
+  auto samples = core::CollectRuntimeSamples(&engine, options);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  // 16 lattice samples + 2 base samples.
+  EXPECT_EQ(samples->size(), 18u);
+  size_t base_count = 0;
+  for (const auto& sample : *samples) {
+    EXPECT_FALSE(sample.features.empty());
+    EXPECT_GE(sample.label_log_micros, 0.0);
+    if (sample.is_base) ++base_count;
+  }
+  EXPECT_EQ(base_count, 2u);
+}
+
+TEST(TrainingTest, LearnedRequiresTrainingFirst) {
+  core::SofosEngine engine;
+  testing::SetUpEngine(&engine, "geopop");
+  auto model = engine.MakeModel(core::CostModelKind::kLearned);
+  EXPECT_FALSE(model.ok());
+}
+
+}  // namespace
+}  // namespace learned
+}  // namespace sofos

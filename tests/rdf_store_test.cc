@@ -1,0 +1,190 @@
+#include "rdf/triple_store.h"
+
+#include <set>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace sofos {
+namespace {
+
+Term Iri(const std::string& s) { return Term::Iri("http://t/" + s); }
+
+class SmallStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // s1 -p1-> o1, o2 ; s2 -p1-> o1 ; s2 -p2-> o3 ; s3 -p2-> o3
+    store_.Add(Iri("s1"), Iri("p1"), Iri("o1"));
+    store_.Add(Iri("s1"), Iri("p1"), Iri("o2"));
+    store_.Add(Iri("s2"), Iri("p1"), Iri("o1"));
+    store_.Add(Iri("s2"), Iri("p2"), Iri("o3"));
+    store_.Add(Iri("s3"), Iri("p2"), Iri("o3"));
+    store_.Finalize();
+  }
+
+  TermId Id(const std::string& s) {
+    return store_.mutable_dictionary()->Intern(Iri(s));
+  }
+
+  TripleStore store_;
+};
+
+TEST_F(SmallStoreTest, CountsAndBasics) {
+  EXPECT_EQ(store_.NumTriples(), 5u);
+  EXPECT_TRUE(store_.finalized());
+  EXPECT_EQ(store_.NumPredicates(), 2u);
+}
+
+TEST_F(SmallStoreTest, FullScan) {
+  EXPECT_EQ(store_.Scan(kNullTermId, kNullTermId, kNullTermId).size(), 5u);
+}
+
+TEST_F(SmallStoreTest, ScanBySubject) {
+  EXPECT_EQ(store_.Scan(Id("s1"), kNullTermId, kNullTermId).size(), 2u);
+  EXPECT_EQ(store_.Scan(Id("s2"), kNullTermId, kNullTermId).size(), 2u);
+  EXPECT_EQ(store_.Scan(Id("s3"), kNullTermId, kNullTermId).size(), 1u);
+}
+
+TEST_F(SmallStoreTest, ScanByPredicate) {
+  EXPECT_EQ(store_.Scan(kNullTermId, Id("p1"), kNullTermId).size(), 3u);
+  EXPECT_EQ(store_.Scan(kNullTermId, Id("p2"), kNullTermId).size(), 2u);
+}
+
+TEST_F(SmallStoreTest, ScanByObject) {
+  EXPECT_EQ(store_.Scan(kNullTermId, kNullTermId, Id("o1")).size(), 2u);
+  EXPECT_EQ(store_.Scan(kNullTermId, kNullTermId, Id("o3")).size(), 2u);
+}
+
+TEST_F(SmallStoreTest, ScanBoundPairs) {
+  EXPECT_EQ(store_.Scan(Id("s1"), Id("p1"), kNullTermId).size(), 2u);
+  EXPECT_EQ(store_.Scan(Id("s1"), kNullTermId, Id("o2")).size(), 1u);
+  EXPECT_EQ(store_.Scan(kNullTermId, Id("p2"), Id("o3")).size(), 2u);
+}
+
+TEST_F(SmallStoreTest, ScanFullyBound) {
+  EXPECT_TRUE(store_.Contains(Id("s1"), Id("p1"), Id("o1")));
+  EXPECT_FALSE(store_.Contains(Id("s1"), Id("p2"), Id("o1")));
+}
+
+TEST_F(SmallStoreTest, ScanMissesReturnEmpty) {
+  TermId ghost = store_.mutable_dictionary()->Intern(Iri("ghost"));
+  EXPECT_EQ(store_.Scan(ghost, kNullTermId, kNullTermId).size(), 0u);
+  EXPECT_TRUE(store_.Scan(ghost, kNullTermId, kNullTermId).empty());
+}
+
+TEST_F(SmallStoreTest, DuplicatesRemovedOnFinalize) {
+  store_.Add(Iri("s1"), Iri("p1"), Iri("o1"));  // duplicate
+  EXPECT_FALSE(store_.finalized());
+  store_.Finalize();
+  EXPECT_EQ(store_.NumTriples(), 5u);
+}
+
+TEST_F(SmallStoreTest, PredicateStats) {
+  const PredicateStats* p1 = store_.StatsFor(Id("p1"));
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->triples, 3u);
+  EXPECT_EQ(p1->distinct_subjects, 2u);  // s1, s2
+  EXPECT_EQ(p1->distinct_objects, 2u);   // o1, o2
+
+  const PredicateStats* p2 = store_.StatsFor(Id("p2"));
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->triples, 2u);
+  EXPECT_EQ(p2->distinct_subjects, 2u);  // s2, s3
+  EXPECT_EQ(p2->distinct_objects, 1u);   // o3
+
+  EXPECT_EQ(store_.StatsFor(Id("nosuch")), nullptr);
+}
+
+TEST_F(SmallStoreTest, NodeCountExcludesPredicates) {
+  // Nodes: s1 s2 s3 o1 o2 o3 = 6 (p1/p2 appear only as predicates).
+  EXPECT_EQ(store_.NumNodes(), 6u);
+}
+
+TEST_F(SmallStoreTest, IncrementalAddAndRefinalize) {
+  store_.Add(Iri("s4"), Iri("p1"), Iri("o1"));
+  store_.Finalize();
+  EXPECT_EQ(store_.NumTriples(), 6u);
+  EXPECT_EQ(store_.Scan(kNullTermId, Id("p1"), kNullTermId).size(), 4u);
+  EXPECT_EQ(store_.StatsFor(Id("p1"))->distinct_subjects, 3u);
+}
+
+TEST_F(SmallStoreTest, MemoryBytesPositiveAndGrows) {
+  uint64_t before = store_.MemoryBytes();
+  EXPECT_GT(before, 0u);
+  for (int i = 0; i < 100; ++i) {
+    store_.Add(Iri("bulk" + std::to_string(i)), Iri("p1"), Iri("o1"));
+  }
+  store_.Finalize();
+  EXPECT_GT(store_.MemoryBytes(), before);
+}
+
+TEST(TripleStoreTest, EmptyStoreFinalizes) {
+  TripleStore store;
+  store.Finalize();
+  EXPECT_EQ(store.NumTriples(), 0u);
+  EXPECT_EQ(store.NumNodes(), 0u);
+  EXPECT_EQ(store.Scan(kNullTermId, kNullTermId, kNullTermId).size(), 0u);
+}
+
+TEST(TripleStoreTest, FinalizeIsIdempotent) {
+  TripleStore store;
+  store.Add(Iri("a"), Iri("b"), Iri("c"));
+  store.Finalize();
+  store.Finalize();
+  EXPECT_EQ(store.NumTriples(), 1u);
+}
+
+TEST(TripleStoreTest, LiteralObjectsAreNodes) {
+  TripleStore store;
+  store.Add(Iri("a"), Iri("p"), Term::Integer(5));
+  store.Add(Iri("b"), Iri("p"), Term::Integer(5));
+  store.Finalize();
+  // Nodes: a, b, "5" → 3.
+  EXPECT_EQ(store.NumNodes(), 3u);
+}
+
+/// Property test: for random graphs, every Scan() result agrees with a
+/// brute-force filter over all triples, for every bound/unbound combination.
+class ScanPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScanPropertyTest, ScanMatchesBruteForce) {
+  Rng rng(GetParam());
+  TripleStore store;
+  const int kSubjects = 20, kPredicates = 5, kObjects = 15;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    store.Add(Iri("s" + std::to_string(rng.Uniform(kSubjects))),
+              Iri("p" + std::to_string(rng.Uniform(kPredicates))),
+              Iri("o" + std::to_string(rng.Uniform(kObjects))));
+  }
+  store.Finalize();
+
+  const auto& all = store.triples();
+  // Try 50 random patterns across all 8 bound/unbound combinations.
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t mask = rng.Uniform(8);
+    TermId s = (mask & 1) ? all[rng.Uniform(all.size())].s : kNullTermId;
+    TermId p = (mask & 2) ? all[rng.Uniform(all.size())].p : kNullTermId;
+    TermId o = (mask & 4) ? all[rng.Uniform(all.size())].o : kNullTermId;
+
+    std::multiset<std::tuple<TermId, TermId, TermId>> expected;
+    for (const Triple& t : all) {
+      if ((s == kNullTermId || t.s == s) && (p == kNullTermId || t.p == p) &&
+          (o == kNullTermId || t.o == o)) {
+        expected.emplace(t.s, t.p, t.o);
+      }
+    }
+    std::multiset<std::tuple<TermId, TermId, TermId>> actual;
+    for (const Triple& t : store.Scan(s, p, o)) {
+      actual.emplace(t.s, t.p, t.o);
+    }
+    EXPECT_EQ(actual, expected) << "pattern mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ScanPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+}  // namespace
+}  // namespace sofos

@@ -1,0 +1,190 @@
+#include "rdf/term.h"
+
+#include "gtest/gtest.h"
+#include "rdf/dictionary.h"
+#include "rdf/vocab.h"
+#include "tests/test_util.h"
+
+namespace sofos {
+namespace {
+
+TEST(TermTest, IriBasics) {
+  Term t = Term::Iri("http://example.org/x");
+  EXPECT_TRUE(t.is_iri());
+  EXPECT_FALSE(t.is_literal());
+  EXPECT_FALSE(t.is_blank());
+  EXPECT_EQ(t.lexical(), "http://example.org/x");
+  EXPECT_EQ(t.ToNTriples(), "<http://example.org/x>");
+  EXPECT_EQ(t.datatype_iri(), "");
+}
+
+TEST(TermTest, BlankBasics) {
+  Term t = Term::Blank("b0");
+  EXPECT_TRUE(t.is_blank());
+  EXPECT_EQ(t.ToNTriples(), "_:b0");
+}
+
+TEST(TermTest, StringLiteral) {
+  Term t = Term::String("hello");
+  EXPECT_TRUE(t.is_literal());
+  EXPECT_EQ(t.datatype(), Term::Datatype::kString);
+  EXPECT_EQ(t.ToNTriples(), "\"hello\"");
+  EXPECT_EQ(t.datatype_iri(), std::string(vocab::kXsdString));
+}
+
+TEST(TermTest, StringLiteralEscaping) {
+  Term t = Term::String("a\"b\nc");
+  EXPECT_EQ(t.ToNTriples(), "\"a\\\"b\\nc\"");
+}
+
+TEST(TermTest, LangString) {
+  Term t = Term::LangString("bonjour", "fr");
+  EXPECT_EQ(t.datatype(), Term::Datatype::kLangString);
+  EXPECT_EQ(t.lang(), "fr");
+  EXPECT_EQ(t.ToNTriples(), "\"bonjour\"@fr");
+}
+
+TEST(TermTest, IntegerLiteral) {
+  Term t = Term::Integer(-42);
+  EXPECT_TRUE(t.is_numeric());
+  EXPECT_EQ(t.lexical(), "-42");
+  EXPECT_EQ(t.AsInt64().value(), -42);
+  EXPECT_DOUBLE_EQ(t.AsDouble().value(), -42.0);
+  EXPECT_EQ(t.ToNTriples(),
+            "\"-42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+}
+
+TEST(TermTest, DoubleLiteral) {
+  Term t = Term::Double(2.5);
+  EXPECT_TRUE(t.is_numeric());
+  EXPECT_DOUBLE_EQ(t.AsDouble().value(), 2.5);
+  EXPECT_EQ(t.AsInt64().value(), 2);
+}
+
+TEST(TermTest, DoubleLexicalRoundTrip) {
+  for (double v : {0.0, -1.5, 3.141592653589793, 1e-9, 12345678.9}) {
+    Term t = Term::Double(v);
+    EXPECT_DOUBLE_EQ(t.AsDouble().value(), v) << t.lexical();
+  }
+}
+
+TEST(TermTest, BooleanLiteral) {
+  EXPECT_EQ(Term::Boolean(true).lexical(), "true");
+  EXPECT_EQ(Term::Boolean(false).lexical(), "false");
+  EXPECT_TRUE(Term::Boolean(true).AsBool().value());
+  EXPECT_FALSE(Term::Boolean(false).AsBool().value());
+}
+
+TEST(TermTest, NumericAccessOnNonNumericFails) {
+  EXPECT_FALSE(Term::String("x").AsDouble().ok());
+  EXPECT_FALSE(Term::Iri("http://x").AsInt64().ok());
+  EXPECT_FALSE(Term::Integer(1).AsBool().ok());
+}
+
+TEST(TermTest, TypedLiteralRecognizesNativeTypes) {
+  SOFOS_ASSERT_OK_AND_ASSIGN(Term i, Term::TypedLiteral("17", vocab::kXsdInteger));
+  EXPECT_EQ(i.datatype(), Term::Datatype::kInteger);
+  EXPECT_EQ(i.AsInt64().value(), 17);
+
+  SOFOS_ASSERT_OK_AND_ASSIGN(Term d, Term::TypedLiteral("1.5", vocab::kXsdDouble));
+  EXPECT_EQ(d.datatype(), Term::Datatype::kDouble);
+
+  SOFOS_ASSERT_OK_AND_ASSIGN(Term b, Term::TypedLiteral("true", vocab::kXsdBoolean));
+  EXPECT_EQ(b.datatype(), Term::Datatype::kBoolean);
+
+  SOFOS_ASSERT_OK_AND_ASSIGN(Term s, Term::TypedLiteral("x", vocab::kXsdString));
+  EXPECT_EQ(s.datatype(), Term::Datatype::kString);
+}
+
+TEST(TermTest, TypedLiteralValidatesLexicalForms) {
+  EXPECT_FALSE(Term::TypedLiteral("not-a-number", vocab::kXsdInteger).ok());
+  EXPECT_FALSE(Term::TypedLiteral("1.5.2", vocab::kXsdDouble).ok());
+  EXPECT_FALSE(Term::TypedLiteral("maybe", vocab::kXsdBoolean).ok());
+}
+
+TEST(TermTest, TypedLiteralKeepsUnknownDatatypes) {
+  SOFOS_ASSERT_OK_AND_ASSIGN(
+      Term t, Term::TypedLiteral("2021-03-11", "http://www.w3.org/2001/XMLSchema#date"));
+  EXPECT_EQ(t.datatype(), Term::Datatype::kOther);
+  EXPECT_EQ(t.datatype_iri(), "http://www.w3.org/2001/XMLSchema#date");
+  EXPECT_EQ(t.ToNTriples(),
+            "\"2021-03-11\"^^<http://www.w3.org/2001/XMLSchema#date>");
+}
+
+TEST(TermTest, EqualityDistinguishesKinds) {
+  EXPECT_EQ(Term::Iri("x"), Term::Iri("x"));
+  EXPECT_NE(Term::Iri("x"), Term::Blank("x"));
+  EXPECT_NE(Term::Iri("x"), Term::String("x"));
+  EXPECT_NE(Term::String("1"), Term::Integer(1));
+  EXPECT_NE(Term::LangString("a", "en"), Term::LangString("a", "de"));
+  EXPECT_EQ(Term::LangString("a", "en"), Term::LangString("a", "en"));
+}
+
+TEST(TermTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Term::Integer(5).Hash(), Term::Integer(5).Hash());
+  EXPECT_NE(Term::Integer(5).Hash(), Term::String("5").Hash());
+  EXPECT_NE(Term::Iri("a").Hash(), Term::Blank("a").Hash());
+}
+
+TEST(TermTest, TotalOrderIsStrict) {
+  Term a = Term::Iri("a"), b = Term::Iri("b");
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(FormatDoubleLexicalTest, SpecialValues) {
+  EXPECT_EQ(FormatDoubleLexical(1.0), "1");
+  EXPECT_EQ(FormatDoubleLexical(-0.5), "-0.5");
+}
+
+// ------------------------------------------------------------ Dictionary
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.Intern(Term::Iri("x"));
+  TermId b = dict.Intern(Term::Iri("x"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, IdsStartAtOne) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern(Term::Iri("first")), 1u);
+  EXPECT_EQ(dict.Intern(Term::Iri("second")), 2u);
+}
+
+TEST(DictionaryTest, RoundTrip) {
+  Dictionary dict;
+  Term original = Term::LangString("ciao", "it");
+  TermId id = dict.Intern(original);
+  EXPECT_EQ(dict.term(id), original);
+}
+
+TEST(DictionaryTest, LookupWithoutIntern) {
+  Dictionary dict;
+  dict.Intern(Term::Integer(1));
+  EXPECT_TRUE(dict.Lookup(Term::Integer(1)).has_value());
+  EXPECT_FALSE(dict.Lookup(Term::Integer(2)).has_value());
+}
+
+TEST(DictionaryTest, DistinguishesLiteralKinds) {
+  Dictionary dict;
+  TermId s = dict.Intern(Term::String("42"));
+  TermId i = dict.Intern(Term::Integer(42));
+  EXPECT_NE(s, i);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, ManyTermsStableIds) {
+  Dictionary dict;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(dict.Intern(Term::Integer(i)));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.term(ids[static_cast<size_t>(i)]).AsInt64().value(), i);
+  }
+  EXPECT_GT(dict.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sofos

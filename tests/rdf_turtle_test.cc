@@ -1,0 +1,317 @@
+#include "rdf/turtle_parser.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+#include "rdf/turtle_writer.h"
+#include "rdf/vocab.h"
+#include "tests/test_util.h"
+
+namespace sofos {
+namespace {
+
+TripleStore ParseOk(const std::string& text) {
+  TripleStore store;
+  TurtleParser parser;
+  Status st = parser.Parse(text, &store);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  store.Finalize();
+  return store;
+}
+
+Status ParseErr(const std::string& text) {
+  TripleStore store;
+  TurtleParser parser;
+  return parser.Parse(text, &store);
+}
+
+TEST(TurtleParserTest, SingleNTriple) {
+  auto store = ParseOk("<http://a> <http://b> <http://c> .");
+  EXPECT_EQ(store.NumTriples(), 1u);
+}
+
+TEST(TurtleParserTest, PrefixDeclaration) {
+  auto store = ParseOk("@prefix ex: <http://ex/> .\nex:a ex:b ex:c .");
+  ASSERT_EQ(store.NumTriples(), 1u);
+  const Triple& t = store.triples()[0];
+  EXPECT_EQ(store.dictionary().term(t.s).lexical(), "http://ex/a");
+}
+
+TEST(TurtleParserTest, SparqlStylePrefix) {
+  auto store = ParseOk("PREFIX ex: <http://ex/>\nex:a ex:b ex:c .");
+  EXPECT_EQ(store.NumTriples(), 1u);
+}
+
+TEST(TurtleParserTest, EmptyPrefix) {
+  auto store = ParseOk("@prefix : <http://d/> .\n:x :y :z .");
+  ASSERT_EQ(store.NumTriples(), 1u);
+  EXPECT_EQ(store.dictionary().term(store.triples()[0].p).lexical(), "http://d/y");
+}
+
+TEST(TurtleParserTest, SemicolonPredicateList) {
+  auto store = ParseOk(
+      "@prefix e: <http://e/> .\n"
+      "e:s e:p1 e:o1 ;\n"
+      "    e:p2 e:o2 ;\n"
+      "    e:p3 e:o3 .");
+  EXPECT_EQ(store.NumTriples(), 3u);
+}
+
+TEST(TurtleParserTest, CommaObjectList) {
+  auto store = ParseOk("@prefix e: <http://e/> .\ne:s e:p e:o1, e:o2, e:o3 .");
+  EXPECT_EQ(store.NumTriples(), 3u);
+  EXPECT_EQ(store.Scan(kNullTermId, kNullTermId, kNullTermId).size(), 3u);
+}
+
+TEST(TurtleParserTest, DanglingSemicolonTolerated) {
+  auto store = ParseOk("@prefix e: <http://e/> .\ne:s e:p e:o ; .");
+  EXPECT_EQ(store.NumTriples(), 1u);
+}
+
+TEST(TurtleParserTest, AKeyword) {
+  auto store = ParseOk("@prefix e: <http://e/> .\ne:s a e:Class .");
+  ASSERT_EQ(store.NumTriples(), 1u);
+  EXPECT_EQ(store.dictionary().term(store.triples()[0].p).lexical(),
+            std::string(vocab::kRdfType));
+}
+
+TEST(TurtleParserTest, BlankNodes) {
+  auto store = ParseOk("_:x <http://p> _:y .");
+  ASSERT_EQ(store.NumTriples(), 1u);
+  EXPECT_TRUE(store.dictionary().term(store.triples()[0].s).is_blank());
+  EXPECT_EQ(store.dictionary().term(store.triples()[0].o).lexical(), "y");
+}
+
+TEST(TurtleParserTest, PlainStringLiteral) {
+  auto store = ParseOk("<http://s> <http://p> \"hello world\" .");
+  ASSERT_EQ(store.NumTriples(), 1u);
+  const Term& o = store.dictionary().term(store.triples()[0].o);
+  EXPECT_EQ(o.datatype(), Term::Datatype::kString);
+  EXPECT_EQ(o.lexical(), "hello world");
+}
+
+TEST(TurtleParserTest, EscapedStringLiteral) {
+  auto store = ParseOk(R"(<http://s> <http://p> "a\"b\nc" .)");
+  const Term& o = store.dictionary().term(store.triples()[0].o);
+  EXPECT_EQ(o.lexical(), "a\"b\nc");
+}
+
+TEST(TurtleParserTest, LangTaggedLiteral) {
+  auto store = ParseOk("<http://s> <http://p> \"salut\"@fr-CA .");
+  const Term& o = store.dictionary().term(store.triples()[0].o);
+  EXPECT_EQ(o.datatype(), Term::Datatype::kLangString);
+  EXPECT_EQ(o.lang(), "fr-CA");
+}
+
+TEST(TurtleParserTest, TypedLiteralFullIri) {
+  auto store = ParseOk(
+      "<http://s> <http://p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .");
+  const Term& o = store.dictionary().term(store.triples()[0].o);
+  EXPECT_EQ(o.datatype(), Term::Datatype::kInteger);
+  EXPECT_EQ(o.AsInt64().value(), 5);
+}
+
+TEST(TurtleParserTest, TypedLiteralPrefixedDatatype) {
+  auto store = ParseOk(
+      "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+      "<http://s> <http://p> \"2.5\"^^xsd:double .");
+  const Term& o = store.dictionary().term(store.triples()[0].o);
+  EXPECT_EQ(o.datatype(), Term::Datatype::kDouble);
+}
+
+TEST(TurtleParserTest, BareIntegers) {
+  auto store = ParseOk("<http://s> <http://p> 42 .");
+  const Term& o = store.dictionary().term(store.triples()[0].o);
+  EXPECT_EQ(o.datatype(), Term::Datatype::kInteger);
+  EXPECT_EQ(o.AsInt64().value(), 42);
+}
+
+TEST(TurtleParserTest, NegativeAndSignedNumbers) {
+  auto store = ParseOk("<http://s> <http://p> -7, +3 .");
+  EXPECT_EQ(store.NumTriples(), 2u);
+}
+
+TEST(TurtleParserTest, BareDoubles) {
+  auto store = ParseOk("<http://s> <http://p> 3.25, 1e3, -2.5e-2 .");
+  EXPECT_EQ(store.NumTriples(), 3u);
+  for (const Triple& t : store.triples()) {
+    EXPECT_EQ(store.dictionary().term(t.o).datatype(), Term::Datatype::kDouble);
+  }
+}
+
+TEST(TurtleParserTest, BareBooleans) {
+  auto store = ParseOk("<http://s> <http://p> true . <http://s> <http://q> false .");
+  EXPECT_EQ(store.NumTriples(), 2u);
+}
+
+TEST(TurtleParserTest, Comments) {
+  auto store = ParseOk(
+      "# leading comment\n"
+      "<http://s> <http://p> <http://o> . # trailing\n"
+      "# done\n");
+  EXPECT_EQ(store.NumTriples(), 1u);
+}
+
+TEST(TurtleParserTest, EmptyInput) {
+  auto store = ParseOk("");
+  EXPECT_EQ(store.NumTriples(), 0u);
+  auto store2 = ParseOk("   \n # only a comment\n");
+  EXPECT_EQ(store2.NumTriples(), 0u);
+}
+
+TEST(TurtleParserTest, NumberFollowedByStatementDot) {
+  // The '.' after "42" terminates the statement and is not a decimal point.
+  auto store = ParseOk("<http://s> <http://p> 42 .\n<http://a> <http://b> <http://c> .");
+  EXPECT_EQ(store.NumTriples(), 2u);
+}
+
+// ------------------------------------------------------------- errors
+
+TEST(TurtleParserTest, ErrorUndefinedPrefix) {
+  Status st = ParseErr("nope:a <http://p> <http://o> .");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("undefined prefix"), std::string::npos);
+}
+
+TEST(TurtleParserTest, ErrorMissingDot) {
+  EXPECT_FALSE(ParseErr("<http://a> <http://b> <http://c>").ok());
+}
+
+TEST(TurtleParserTest, ErrorLiteralSubject) {
+  EXPECT_FALSE(ParseErr("\"lit\" <http://p> <http://o> .").ok());
+}
+
+TEST(TurtleParserTest, ErrorLiteralPredicate) {
+  EXPECT_FALSE(ParseErr("<http://s> 42 <http://o> .").ok());
+}
+
+TEST(TurtleParserTest, ErrorUnterminatedString) {
+  EXPECT_FALSE(ParseErr("<http://s> <http://p> \"open... .").ok());
+}
+
+TEST(TurtleParserTest, ErrorUnterminatedIri) {
+  EXPECT_FALSE(ParseErr("<http://s <http://p> <http://o> .").ok());
+}
+
+TEST(TurtleParserTest, ErrorUnsupportedCollection) {
+  Status st = ParseErr("<http://s> <http://p> ( <http://a> ) .");
+  EXPECT_NE(st.message().find("not supported"), std::string::npos);
+}
+
+TEST(TurtleParserTest, ErrorUnsupportedAnonymousNode) {
+  Status st = ParseErr("[ <http://p> <http://o> ] <http://q> <http://r> .");
+  EXPECT_NE(st.message().find("not supported"), std::string::npos);
+}
+
+TEST(TurtleParserTest, ErrorBadEscape) {
+  EXPECT_FALSE(ParseErr(R"(<http://s> <http://p> "bad\qescape" .)").ok());
+}
+
+TEST(TurtleParserTest, ErrorReportsLineNumbers) {
+  Status st = ParseErr("<http://a> <http://b> <http://c> .\n<http://s> 13 <http://o> .");
+  EXPECT_NE(st.message().find("turtle:2:"), std::string::npos) << st.ToString();
+}
+
+// ------------------------------------------------------------- writer
+
+TEST(TurtleWriterTest, NTriplesRoundTrip) {
+  auto store = ParseOk(
+      "@prefix e: <http://e/> .\n"
+      "e:s e:p e:o ; e:q \"lit\"@en, 42, 2.5, true .\n"
+      "_:b e:p \"x\\ny\" .");
+  TurtleWriter writer;
+  std::string ntriples = writer.WriteNTriples(store);
+
+  TripleStore reparsed;
+  TurtleParser parser;
+  SOFOS_ASSERT_OK(parser.Parse(ntriples, &reparsed));
+  reparsed.Finalize();
+  ASSERT_EQ(reparsed.NumTriples(), store.NumTriples());
+  // Canonical N-Triples of a round-trip must be byte-identical.
+  EXPECT_EQ(writer.WriteNTriples(reparsed), ntriples);
+}
+
+TEST(TurtleWriterTest, TurtleOutputUsesPrefixes) {
+  auto store = ParseOk("@prefix e: <http://e/> .\ne:s e:p e:o .");
+  TurtleWriter writer;
+  writer.AddPrefix("e", "http://e/");
+  std::string turtle = writer.WriteTurtle(store);
+  EXPECT_NE(turtle.find("@prefix e: <http://e/>"), std::string::npos);
+  EXPECT_NE(turtle.find("e:s e:p e:o"), std::string::npos);
+}
+
+TEST(TurtleWriterTest, TurtleRoundTripsThroughParser) {
+  auto store = ParseOk(
+      "@prefix e: <http://e/> .\n"
+      "e:s e:p1 e:a ; e:p2 e:b .\n"
+      "e:t e:p1 \"v\" .");
+  TurtleWriter writer;
+  writer.AddPrefix("e", "http://e/");
+  TripleStore reparsed;
+  TurtleParser parser;
+  SOFOS_ASSERT_OK(parser.Parse(writer.WriteTurtle(store), &reparsed));
+  reparsed.Finalize();
+  EXPECT_EQ(reparsed.NumTriples(), store.NumTriples());
+}
+
+/// Property: random stores of mixed term types survive write → parse →
+/// write with an identical triple set. (Line order may differ: the writer
+/// emits triples in dictionary-id order, and reparsing assigns fresh ids.)
+class TurtleRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TurtleRoundTripTest, WriteParseWriteIsStable) {
+  Rng rng(GetParam());
+  TripleStore store;
+  for (int i = 0; i < 100; ++i) {
+    Term s = rng.Chance(0.8)
+                 ? Term::Iri("http://s/" + std::to_string(rng.Uniform(20)))
+                 : Term::Blank("b" + std::to_string(rng.Uniform(5)));
+    Term p = Term::Iri("http://p/" + std::to_string(rng.Uniform(6)));
+    Term o;
+    switch (rng.Uniform(6)) {
+      case 0:
+        o = Term::Iri("http://o/" + std::to_string(rng.Uniform(20)));
+        break;
+      case 1:
+        o = Term::Integer(rng.UniformInt(-1000, 1000));
+        break;
+      case 2:
+        o = Term::Double(rng.UniformDouble(-5, 5));
+        break;
+      case 3:
+        o = Term::String("str-\"x\"-" + std::to_string(rng.Uniform(10)));
+        break;
+      case 4:
+        o = Term::LangString("hello", rng.Chance(0.5) ? "en" : "de");
+        break;
+      default:
+        o = Term::Boolean(rng.Chance(0.5));
+    }
+    store.Add(s, p, o);
+  }
+  store.Finalize();
+
+  TurtleWriter writer;
+  std::string first = writer.WriteNTriples(store);
+  TripleStore reparsed;
+  TurtleParser parser;
+  SOFOS_ASSERT_OK(parser.Parse(first, &reparsed));
+  reparsed.Finalize();
+  std::string second = writer.WriteNTriples(reparsed);
+
+  auto sorted_lines = [](const std::string& text) {
+    auto lines = StrSplit(text, '\n');
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(sorted_lines(second), sorted_lines(first));
+  EXPECT_EQ(reparsed.NumTriples(), store.NumTriples());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TurtleRoundTripTest,
+                         ::testing::Values(7, 77, 777, 7777));
+
+}  // namespace
+}  // namespace sofos

@@ -1,0 +1,235 @@
+/// Failure-injection and hostile-input tests: the engine must degrade to
+/// clean Status errors (never crash, never return wrong data silently) on
+/// malformed queries, fuzzed inputs and boundary conditions.
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "rdf/turtle_parser.h"
+#include "sparql/parser.h"
+#include "sparql/query_engine.h"
+#include "tests/core_test_util.h"
+
+namespace sofos {
+namespace {
+
+// --------------------------------------------------------- parser fuzzing
+
+/// Random byte soup must never crash the SPARQL lexer/parser.
+class SparqlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparqlFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  const std::string alphabet =
+      "SELECT WHERE FILTER GROUP BY ?x ?y <http://a> \"str\" 123 4.5 "
+      "{}()=!<>&|+-*/.;,@^ \n\t_:b PREFIX a:";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    size_t len = rng.Uniform(120);
+    for (size_t i = 0; i < len; ++i) {
+      if (rng.Chance(0.9)) {
+        input += alphabet[rng.Uniform(alphabet.size())];
+      } else {
+        input += static_cast<char>(rng.Uniform(256));
+      }
+    }
+    // Either parses or errors; never crashes or hangs.
+    auto result = sparql::Parser::Parse(input);
+    (void)result;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparqlFuzzTest, ::testing::Values(1, 2, 3));
+
+/// Structured mutations of a valid query: drop/duplicate/swap tokens.
+TEST(SparqlFuzzTest, MutatedValidQueriesNeverCrash) {
+  const std::string base =
+      "PREFIX g: <http://g#> SELECT ?a (SUM(?v) AS ?s) WHERE { ?a g:p ?v . "
+      "FILTER(?v > 3 && ?a != g:x) } GROUP BY ?a ORDER BY DESC(?s) LIMIT 5";
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    int mutations = 1 + static_cast<int>(rng.Uniform(4));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated.erase(pos, 1 + rng.Uniform(5));
+          break;
+        case 1:
+          mutated.insert(pos, 1, static_cast<char>(rng.Uniform(128)));
+          break;
+        default:
+          if (pos + 1 < mutated.size()) std::swap(mutated[pos], mutated[pos + 1]);
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    auto result = sparql::Parser::Parse(mutated);
+    (void)result;
+  }
+}
+
+/// Random byte soup through the Turtle parser.
+class TurtleFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TurtleFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  const std::string alphabet =
+      "<http://a> _:b \"lit\" @prefix p: . ; , 12 3.4 true false a #c\n\\\"^^";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    size_t len = rng.Uniform(150);
+    for (size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.Uniform(alphabet.size())];
+    }
+    TripleStore store;
+    TurtleParser parser;
+    (void)parser.Parse(input, &store);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TurtleFuzzTest, ::testing::Values(4, 5, 6));
+
+// ------------------------------------------------------ engine boundaries
+
+class BoundaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::BuildFigure1Graph(&store_); }
+  TripleStore store_;
+};
+
+TEST_F(BoundaryTest, HugeLimitAndOffset) {
+  sparql::QueryEngine engine(&store_);
+  auto r = engine.Execute(
+      "SELECT ?s WHERE { ?s ?p ?o } LIMIT 999999999 OFFSET 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), store_.NumTriples());
+
+  auto beyond = engine.Execute("SELECT ?s WHERE { ?s ?p ?o } OFFSET 999999999");
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_EQ(beyond->NumRows(), 0u);
+
+  auto zero = engine.Execute("SELECT ?s WHERE { ?s ?p ?o } LIMIT 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->NumRows(), 0u);
+}
+
+TEST_F(BoundaryTest, ProjectingUnknownVariableYieldsUnbound) {
+  sparql::QueryEngine engine(&store_);
+  auto r = engine.Execute("SELECT ?ghost WHERE { ?s ?p ?o } LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_FALSE(r->bound[0][0]);
+}
+
+TEST_F(BoundaryTest, DivisionByZeroInProjectionYieldsUnbound) {
+  sparql::QueryEngine engine(&store_);
+  auto r = engine.Execute(
+      "SELECT ((?p / 0) AS ?broken) WHERE { "
+      "?c <http://example.org/population> ?p } LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->bound[0][0]);
+}
+
+TEST_F(BoundaryTest, FilterOnMissingVariableYieldsEmpty) {
+  sparql::QueryEngine engine(&store_);
+  auto r = engine.Execute(
+      "SELECT ?s WHERE { ?s ?p ?o . FILTER(?nothere > 1) }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 0u);
+}
+
+TEST_F(BoundaryTest, DeeplyNestedExpression) {
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  auto parsed = sparql::Parser::ParseExpression(expr);
+  ASSERT_TRUE(parsed.ok());
+}
+
+TEST_F(BoundaryTest, ManyPatternsQuery) {
+  // 12-way self-join: planner and executor must cope.
+  std::string where;
+  for (int i = 0; i < 12; ++i) {
+    where += "?s <http://example.org/language> ?l" + std::to_string(i) + " . ";
+  }
+  sparql::QueryEngine engine(&store_);
+  auto r = engine.Execute("SELECT ?s WHERE { " + where + "}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->NumRows(), 0u);
+}
+
+TEST_F(BoundaryTest, EmptyGraphQueries) {
+  TripleStore empty;
+  empty.Finalize();
+  sparql::QueryEngine engine(&empty);
+  auto rows = engine.Execute("SELECT ?s WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->NumRows(), 0u);
+  auto count = engine.Execute("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt64().value(), 0);
+}
+
+// ------------------------------------------------------- engine misuse
+
+TEST(EngineMisuseTest, OperationsBeforeSetupFailCleanly) {
+  core::SofosEngine engine;
+  core::TripleCountCostModel model;
+  EXPECT_FALSE(engine.Profile().ok());
+  EXPECT_FALSE(engine.SelectViews(model, 2).ok());
+  EXPECT_FALSE(engine.MaterializeViews({0}).ok());
+  core::WorkloadQuery query;
+  query.sparql = "SELECT ?s WHERE { ?s ?p ?o }";
+  EXPECT_FALSE(engine.Answer(query, true).ok());
+}
+
+TEST(EngineMisuseTest, SelectBeforeProfileFails) {
+  core::SofosEngine engine;
+  testing::SetUpEngine(&engine, "geopop");
+  core::TripleCountCostModel model;
+  EXPECT_FALSE(engine.SelectViews(model, 2).ok());
+}
+
+TEST(EngineMisuseTest, LoadUnfinalizedStoreFails) {
+  core::SofosEngine engine;
+  TripleStore store;
+  store.Add(Term::Iri("http://a"), Term::Iri("http://b"), Term::Iri("http://c"));
+  EXPECT_FALSE(engine.LoadStore(std::move(store)).ok());
+}
+
+TEST(EngineMisuseTest, MalformedWorkloadQueryPropagatesParseError) {
+  core::SofosEngine engine;
+  testing::SetUpEngine(&engine, "geopop");
+  testing::MustProfile(&engine);
+  core::WorkloadQuery query;
+  query.id = "bad";
+  query.sparql = "SELEKT broken";
+  auto outcome = engine.Answer(query, false);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kParseError);
+}
+
+TEST(EngineMisuseTest, FacetMismatchedQueryStillAnswersFromBase) {
+  // A query whose signature claims dims it doesn't have: the rewriter may
+  // route it, but the honest path (allow_views=false) must still work and
+  // signatures out of range must not crash.
+  core::SofosEngine engine;
+  testing::SetUpEngine(&engine, "geopop");
+  testing::MustProfile(&engine);
+  ASSERT_TRUE(engine.MaterializeViews({engine.facet().FullMask()}).ok());
+
+  core::WorkloadQuery query;
+  query.id = "mislabeled";
+  query.signature.group_mask = engine.facet().FullMask();
+  query.sparql =
+      "PREFIX geo: <http://sofos.example.org/geo#>\n"
+      "SELECT (COUNT(*) AS ?n) WHERE { ?s geo:partOf ?o }";
+  auto base = engine.Answer(query, false);
+  ASSERT_TRUE(base.ok());
+  EXPECT_GT(base->result.NumRows(), 0u);
+}
+
+}  // namespace
+}  // namespace sofos

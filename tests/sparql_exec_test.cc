@@ -1,0 +1,272 @@
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "sparql/query_engine.h"
+#include "tests/test_util.h"
+
+namespace sofos {
+namespace {
+
+using sparql::QueryEngine;
+using sparql::QueryResult;
+using testing::BuildFigure1Graph;
+using testing::MustExecute;
+
+Term Ex(const std::string& s) { return Term::Iri("http://example.org/" + s); }
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  void SetUp() override { BuildFigure1Graph(&store_); }
+  TripleStore store_;
+};
+
+TEST_F(Figure1Test, SingleWildcardPattern) {
+  QueryResult r = MustExecute(&store_, "SELECT ?s ?p ?o WHERE { ?s ?p ?o }");
+  EXPECT_EQ(r.NumRows(), store_.NumTriples());
+  EXPECT_EQ(r.NumCols(), 3u);
+}
+
+TEST_F(Figure1Test, BoundPredicateScan) {
+  QueryResult r = MustExecute(
+      &store_, "SELECT ?c ?l WHERE { ?c <http://example.org/language> ?l }");
+  EXPECT_EQ(r.NumRows(), 5u);  // Canada has two languages
+}
+
+TEST_F(Figure1Test, BoundObjectScan) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?c WHERE { ?c <http://example.org/language> \"French\" }");
+  ASSERT_EQ(r.NumRows(), 2u);  // France, Canada
+}
+
+TEST_F(Figure1Test, JoinTwoPatterns) {
+  // Countries in the EU with their language.
+  QueryResult r = MustExecute(&store_,
+                              "SELECT ?c ?l WHERE { "
+                              "?c <http://example.org/partOf> <http://example.org/EU> . "
+                              "?c <http://example.org/language> ?l }");
+  EXPECT_EQ(r.NumRows(), 3u);  // France, Germany, Italy
+}
+
+TEST_F(Figure1Test, ThreeWayJoin) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?name ?pop WHERE { "
+      "?c <http://example.org/language> \"French\" . "
+      "?c <http://example.org/name> ?name . "
+      "?c <http://example.org/population> ?pop }");
+  ASSERT_EQ(r.NumRows(), 2u);
+}
+
+TEST_F(Figure1Test, EmptyResultForAbsentConstant) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?c WHERE { ?c <http://example.org/language> \"Klingon\" }");
+  EXPECT_EQ(r.NumRows(), 0u);
+}
+
+TEST_F(Figure1Test, EmptyResultForAbsentPredicate) {
+  QueryResult r = MustExecute(
+      &store_, "SELECT ?c WHERE { ?c <http://example.org/nosuch> ?x }");
+  EXPECT_EQ(r.NumRows(), 0u);
+}
+
+TEST_F(Figure1Test, FilterNumericComparison) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?c WHERE { ?c <http://example.org/population> ?p . "
+      "FILTER(?p > 61000000) }");
+  // France (67M), Germany (82M).
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST_F(Figure1Test, FilterIriEquality) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?c WHERE { ?c <http://example.org/partOf> ?cont . "
+      "FILTER(?cont = <http://example.org/NA>) }");
+  EXPECT_EQ(r.NumRows(), 1u);  // Canada
+}
+
+TEST_F(Figure1Test, FilterStringEquality) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?c WHERE { ?c <http://example.org/language> ?l . "
+      "FILTER(?l = \"German\") }");
+  EXPECT_EQ(r.NumRows(), 1u);
+}
+
+TEST_F(Figure1Test, FilterConjunctionAndDisjunction) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?c WHERE { ?c <http://example.org/language> ?l . "
+      "?c <http://example.org/population> ?p . "
+      "FILTER((?l = \"French\" && ?p > 40000000) || ?l = \"Italian\") }");
+  // France (French, 67M) and Italy.
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+TEST_F(Figure1Test, FilterNegation) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?c ?l WHERE { ?c <http://example.org/language> ?l . "
+      "FILTER(!(?l = \"French\")) }");
+  EXPECT_EQ(r.NumRows(), 3u);  // German, Italian, English
+}
+
+TEST_F(Figure1Test, FilterArithmetic) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?c WHERE { ?c <http://example.org/population> ?p . "
+      "FILTER(?p / 1000000 >= 80) }");
+  EXPECT_EQ(r.NumRows(), 1u);  // Germany
+}
+
+TEST_F(Figure1Test, FilterRegex) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?c WHERE { ?c <http://example.org/name> ?n . "
+      "FILTER(REGEX(?n, \"^It\")) }");
+  EXPECT_EQ(r.NumRows(), 1u);
+}
+
+TEST_F(Figure1Test, FilterTypeErrorDropsRow) {
+  // Comparing a string-valued language with a number is a type error; SPARQL
+  // drops those rows rather than failing the query.
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?c WHERE { ?c <http://example.org/language> ?l . FILTER(?l > 5) }");
+  EXPECT_EQ(r.NumRows(), 0u);
+}
+
+TEST_F(Figure1Test, DistinctDeduplicates) {
+  QueryResult all = MustExecute(
+      &store_, "SELECT ?cont WHERE { ?c <http://example.org/partOf> ?cont }");
+  QueryResult distinct = MustExecute(
+      &store_,
+      "SELECT DISTINCT ?cont WHERE { ?c <http://example.org/partOf> ?cont }");
+  EXPECT_EQ(all.NumRows(), 4u);
+  EXPECT_EQ(distinct.NumRows(), 2u);  // EU, NA
+}
+
+TEST_F(Figure1Test, OrderByAscendingAndDescending) {
+  sparql::QueryEngine engine(&store_);
+  auto asc = engine.Execute(
+      "SELECT DISTINCT ?p WHERE { ?c <http://example.org/population> ?p } "
+      "ORDER BY ?p");
+  ASSERT_TRUE(asc.ok());
+  ASSERT_EQ(asc->NumRows(), 4u);
+  EXPECT_EQ(asc->rows[0][0].AsInt64().value(), 37000000);
+  EXPECT_EQ(asc->rows[3][0].AsInt64().value(), 82000000);
+
+  auto desc = engine.Execute(
+      "SELECT DISTINCT ?p WHERE { ?c <http://example.org/population> ?p } "
+      "ORDER BY DESC(?p)");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->rows[0][0].AsInt64().value(), 82000000);
+}
+
+TEST_F(Figure1Test, LimitAndOffset) {
+  sparql::QueryEngine engine(&store_);
+  auto r = engine.Execute(
+      "SELECT DISTINCT ?p WHERE { ?c <http://example.org/population> ?p } "
+      "ORDER BY ?p LIMIT 2 OFFSET 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 2u);
+  EXPECT_EQ(r->rows[0][0].AsInt64().value(), 60000000);
+  EXPECT_EQ(r->rows[1][0].AsInt64().value(), 67000000);
+}
+
+TEST_F(Figure1Test, SelectStarBindsAllPatternVars) {
+  QueryResult r = MustExecute(
+      &store_, "SELECT * WHERE { ?c <http://example.org/language> ?l }");
+  EXPECT_EQ(r.NumCols(), 2u);
+}
+
+TEST_F(Figure1Test, ProjectionExpression) {
+  sparql::QueryEngine engine(&store_);
+  auto r = engine.Execute(
+      "SELECT ?c ((?p / 1000000) AS ?millions) WHERE "
+      "{ ?c <http://example.org/population> ?p } ORDER BY DESC(?millions) LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(r->rows[0][1].AsDouble().value(), 82.0);
+}
+
+TEST_F(Figure1Test, RepeatedVariableInPattern) {
+  // ?x partOf ?x can never match (no reflexive edges).
+  QueryResult r = MustExecute(
+      &store_, "SELECT ?x WHERE { ?x <http://example.org/partOf> ?x }");
+  EXPECT_EQ(r.NumRows(), 0u);
+
+  // Add a reflexive edge and re-finalize: now exactly one row.
+  store_.Add(Ex("Loop"), Ex("partOf"), Ex("Loop"));
+  store_.Finalize();
+  QueryResult r2 = MustExecute(
+      &store_, "SELECT ?x WHERE { ?x <http://example.org/partOf> ?x }");
+  EXPECT_EQ(r2.NumRows(), 1u);
+}
+
+TEST_F(Figure1Test, CrossProductWhenDisconnected) {
+  QueryResult r = MustExecute(
+      &store_,
+      "SELECT ?a ?b WHERE { ?a <http://example.org/partOf> <http://example.org/NA> . "
+      "?b <http://example.org/partOf> <http://example.org/EU> }");
+  EXPECT_EQ(r.NumRows(), 3u);  // 1 x 3
+}
+
+TEST_F(Figure1Test, ExplainShowsPlan) {
+  QueryEngine engine(&store_);
+  auto explain = engine.Explain(
+      "SELECT ?c WHERE { ?c <http://example.org/language> \"French\" . "
+      "?c <http://example.org/population> ?p . FILTER(?p > 1) }");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("SCAN"), std::string::npos);
+  EXPECT_NE(explain->find("IJOIN"), std::string::npos);
+  EXPECT_NE(explain->find("FILTER"), std::string::npos);
+}
+
+TEST_F(Figure1Test, PlannerStartsWithMostSelectivePattern) {
+  QueryEngine engine(&store_);
+  // "language French" (2 rows) is more selective than "population ?p" (4
+  // subjects / 5 rows); it must be scanned first.
+  auto explain = engine.Explain(
+      "SELECT ?c WHERE { ?c <http://example.org/population> ?p . "
+      "?c <http://example.org/language> \"French\" }");
+  ASSERT_TRUE(explain.ok());
+  size_t scan_pos = explain->find("SCAN");
+  ASSERT_NE(scan_pos, std::string::npos);
+  EXPECT_NE(explain->find("French", scan_pos), std::string::npos);
+}
+
+TEST_F(Figure1Test, StatsCountScannedRows) {
+  QueryEngine engine(&store_);
+  auto r = engine.Execute("SELECT ?s ?p ?o WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.rows_scanned, store_.NumTriples());
+  EXPECT_EQ(r->stats.output_rows, store_.NumTriples());
+}
+
+TEST_F(Figure1Test, ErrorUnfinalizedStore) {
+  TripleStore fresh;
+  fresh.Add(Ex("a"), Ex("b"), Ex("c"));
+  QueryEngine engine(&fresh);
+  auto r = engine.Execute("SELECT ?s WHERE { ?s ?p ?o }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(Figure1Test, ErrorParseFailurePropagates) {
+  QueryEngine engine(&store_);
+  EXPECT_FALSE(engine.Execute("SELEC ?s WHERE { ?s ?p ?o }").ok());
+}
+
+TEST_F(Figure1Test, ResultToTableRenders) {
+  QueryResult r = MustExecute(
+      &store_, "SELECT ?c WHERE { ?c <http://example.org/language> \"French\" }");
+  std::string table = r.ToTable();
+  EXPECT_NE(table.find("?c"), std::string::npos);
+  EXPECT_NE(table.find("France"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sofos

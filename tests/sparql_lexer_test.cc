@@ -1,0 +1,163 @@
+#include "sparql/lexer.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace sofos {
+namespace sparql {
+namespace {
+
+std::vector<Token> LexOk(const std::string& text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? std::move(tokens).value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = LexOk("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, Variables) {
+  auto tokens = LexOk("?x $y ?longName42");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kVar);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].text, "y");
+  EXPECT_EQ(tokens[2].text, "longName42");
+}
+
+TEST(LexerTest, IriRef) {
+  auto tokens = LexOk("<http://example.org/a#b>");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIriRef);
+  EXPECT_EQ(tokens[0].text, "http://example.org/a#b");
+}
+
+TEST(LexerTest, LessThanVsIri) {
+  // "?x < 5" must lex '<' as an operator, not the start of an IRI.
+  auto tokens = LexOk("?x < 5");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].type, TokenType::kLt);
+  EXPECT_EQ(tokens[2].type, TokenType::kInteger);
+}
+
+TEST(LexerTest, LessThanEqual) {
+  auto tokens = LexOk("?x <= ?y");
+  EXPECT_EQ(tokens[1].type, TokenType::kLe);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = LexOk("= != > >= && || !");
+  EXPECT_EQ(tokens[0].type, TokenType::kEq);
+  EXPECT_EQ(tokens[1].type, TokenType::kNe);
+  EXPECT_EQ(tokens[2].type, TokenType::kGt);
+  EXPECT_EQ(tokens[3].type, TokenType::kGe);
+  EXPECT_EQ(tokens[4].type, TokenType::kAndAnd);
+  EXPECT_EQ(tokens[5].type, TokenType::kOrOr);
+  EXPECT_EQ(tokens[6].type, TokenType::kBang);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = LexOk(R"("hello \"world\"")");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello \"world\"");
+}
+
+TEST(LexerTest, StringWithLangTag) {
+  auto tokens = LexOk("\"chat\"@fr");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[1].type, TokenType::kLangTag);
+  EXPECT_EQ(tokens[1].text, "fr");
+}
+
+TEST(LexerTest, TypedLiteralSeparator) {
+  auto tokens = LexOk("\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  EXPECT_EQ(tokens[1].type, TokenType::kDtypeSep);
+  EXPECT_EQ(tokens[2].type, TokenType::kIriRef);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = LexOk("42 3.25 1e3 2.5e-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[1].type, TokenType::kDouble);
+  EXPECT_EQ(tokens[2].type, TokenType::kDouble);
+  EXPECT_EQ(tokens[3].type, TokenType::kDouble);
+}
+
+TEST(LexerTest, KeywordsAreIdents) {
+  auto tokens = LexOk("SELECT where GROUP");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "where");
+}
+
+TEST(LexerTest, PrefixedNames) {
+  auto tokens = LexOk("foaf:name :local _:blank");
+  EXPECT_EQ(tokens[0].type, TokenType::kPname);
+  EXPECT_EQ(tokens[0].text, "foaf:name");
+  EXPECT_EQ(tokens[1].type, TokenType::kPname);
+  EXPECT_EQ(tokens[1].text, ":local");
+  EXPECT_EQ(tokens[2].type, TokenType::kPname);
+  EXPECT_EQ(tokens[2].text, "_:blank");
+}
+
+TEST(LexerTest, AKeyword) {
+  auto tokens = LexOk("?s a ?type");
+  EXPECT_EQ(tokens[1].type, TokenType::kA);
+}
+
+TEST(LexerTest, Punctuation) {
+  auto tokens = LexOk("( ) { } . ; , * / + -");
+  EXPECT_EQ(tokens[0].type, TokenType::kLParen);
+  EXPECT_EQ(tokens[1].type, TokenType::kRParen);
+  EXPECT_EQ(tokens[2].type, TokenType::kLBrace);
+  EXPECT_EQ(tokens[3].type, TokenType::kRBrace);
+  EXPECT_EQ(tokens[4].type, TokenType::kDot);
+  EXPECT_EQ(tokens[5].type, TokenType::kSemicolon);
+  EXPECT_EQ(tokens[6].type, TokenType::kComma);
+  EXPECT_EQ(tokens[7].type, TokenType::kStar);
+  EXPECT_EQ(tokens[8].type, TokenType::kSlash);
+  EXPECT_EQ(tokens[9].type, TokenType::kPlus);
+  EXPECT_EQ(tokens[10].type, TokenType::kMinus);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = LexOk("?x # comment to end of line\n?y");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "y");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = LexOk("?a\n  ?b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, ErrorUnterminatedString) {
+  Lexer lexer("\"never closed");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, ErrorLoneAmpersand) {
+  Lexer lexer("?x & ?y");
+  auto result = lexer.Tokenize();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("&&"), std::string::npos);
+}
+
+TEST(LexerTest, ErrorLoneCaret) {
+  Lexer lexer("\"x\"^<http://t>");
+  EXPECT_FALSE(Lexer("\"x\"^<http://t>").Tokenize().ok());
+}
+
+TEST(LexerTest, ErrorEmptyVariable) {
+  EXPECT_FALSE(Lexer("? x").Tokenize().ok());
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace sofos

@@ -1,0 +1,161 @@
+#include "workload/generator.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "sparql/parser.h"
+#include "sparql/query_engine.h"
+#include "tests/core_test_util.h"
+
+namespace sofos {
+namespace workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::SetUpEngine(&engine_, "geopop"); }
+  core::SofosEngine engine_;
+};
+
+TEST_F(WorkloadTest, GeneratesRequestedCount) {
+  WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  WorkloadOptions options;
+  options.num_queries = 12;
+  auto queries = generator.Generate(options);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  EXPECT_EQ(queries->size(), 12u);
+  std::set<std::string> ids;
+  for (const auto& query : *queries) ids.insert(query.id);
+  EXPECT_EQ(ids.size(), 12u) << "query ids must be unique";
+}
+
+TEST_F(WorkloadTest, AllQueriesParseAndExecute) {
+  WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  WorkloadOptions options;
+  options.num_queries = 30;
+  options.seed = 17;
+  auto queries = generator.Generate(options);
+  ASSERT_TRUE(queries.ok());
+  sparql::QueryEngine qe(engine_.store());
+  for (const auto& query : *queries) {
+    ASSERT_TRUE(sparql::Parser::Parse(query.sparql).ok()) << query.sparql;
+    auto result = qe.Execute(query.sparql);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << "\n" << query.sparql;
+  }
+}
+
+TEST_F(WorkloadTest, SingleEqualityFiltersAreSatisfiable) {
+  // Constants come from the data, so a query with exactly ONE equality
+  // filter always matches something. (Conjunctions of filters on different
+  // dimensions may legitimately be jointly empty, e.g. a country paired
+  // with the wrong continent.)
+  WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  WorkloadOptions options;
+  options.num_queries = 40;
+  options.filter_prob = 1.0;
+  options.max_filters = 1;
+  options.range_prob = 0.0;  // equality only
+  options.seed = 23;
+  auto queries = generator.Generate(options);
+  ASSERT_TRUE(queries.ok());
+  sparql::QueryEngine qe(engine_.store());
+  size_t filtered = 0;
+  for (const auto& query : *queries) {
+    if (query.signature.constraints.size() != 1) continue;
+    ++filtered;
+    auto result = qe.Execute(query.sparql);
+    ASSERT_TRUE(result.ok()) << query.sparql;
+    EXPECT_GT(result->NumRows(), 0u) << query.sparql;
+  }
+  EXPECT_GT(filtered, 20u);
+}
+
+TEST_F(WorkloadTest, SignatureMatchesRenderedSparql) {
+  WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  WorkloadOptions options;
+  options.num_queries = 25;
+  options.seed = 29;
+  auto queries = generator.Generate(options);
+  ASSERT_TRUE(queries.ok());
+  core::Rewriter rewriter(&engine_.facet());
+  for (const auto& query : *queries) {
+    auto parsed = sparql::Parser::Parse(query.sparql);
+    ASSERT_TRUE(parsed.ok());
+    auto sig = rewriter.AnalyzeQuery(*parsed);
+    ASSERT_TRUE(sig.ok()) << sig.status().ToString() << "\n" << query.sparql;
+    EXPECT_EQ(sig->group_mask, query.signature.group_mask) << query.sparql;
+    EXPECT_EQ(sig->filter_mask, query.signature.filter_mask) << query.sparql;
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  WorkloadOptions options;
+  options.num_queries = 10;
+  options.seed = 31;
+  auto a = generator.Generate(options);
+  auto b = generator.Generate(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].sparql, (*b)[i].sparql);
+  }
+  options.seed = 32;
+  auto c = generator.Generate(options);
+  ASSERT_TRUE(c.ok());
+  bool any_different = false;
+  for (size_t i = 0; i < a->size(); ++i) {
+    any_different |= (*a)[i].sparql != (*c)[i].sparql;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST_F(WorkloadTest, GroupDimProbabilityShapesQueries) {
+  WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  WorkloadOptions all_dims;
+  all_dims.num_queries = 10;
+  all_dims.group_dim_prob = 1.0;
+  all_dims.filter_prob = 0.0;
+  auto full = generator.Generate(all_dims);
+  ASSERT_TRUE(full.ok());
+  for (const auto& query : *full) {
+    EXPECT_EQ(query.signature.group_mask, engine_.facet().FullMask());
+    EXPECT_EQ(query.signature.filter_mask, 0u);
+  }
+
+  WorkloadOptions no_dims;
+  no_dims.num_queries = 10;
+  no_dims.group_dim_prob = 0.0;
+  no_dims.filter_prob = 0.0;
+  auto apex = generator.Generate(no_dims);
+  ASSERT_TRUE(apex.ok());
+  for (const auto& query : *apex) {
+    EXPECT_EQ(query.signature.group_mask, 0u);
+    EXPECT_EQ(query.sparql.find("GROUP BY"), std::string::npos);
+  }
+}
+
+TEST_F(WorkloadTest, RangeFiltersOnNumericDims) {
+  WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  WorkloadOptions options;
+  options.num_queries = 50;
+  options.filter_prob = 1.0;
+  options.range_prob = 1.0;
+  options.seed = 37;
+  auto queries = generator.Generate(options);
+  ASSERT_TRUE(queries.ok());
+  bool saw_range = false;
+  for (const auto& query : *queries) {
+    for (const auto& c : query.signature.constraints) {
+      if (c.usage == core::DimUsage::kFilteredRange) {
+        saw_range = true;
+        EXPECT_NE(c.filter_sparql.find(">="), std::string::npos);
+        EXPECT_NE(c.filter_sparql.find("<="), std::string::npos);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_range) << "year is numeric: range filters must appear";
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace sofos
