@@ -7,14 +7,20 @@
 ///
 /// Reads commands from stdin (scriptable: `echo "..." | sofos_cli`).
 ///
-///   ./sofos_cli [dataset] [scale]
+///   ./sofos_cli [dataset] [scale] [num_threads]
+///
+/// `num_threads` sizes the engine's pool for profiling, selection and the
+/// batched workload runner (0 = hardware_concurrency, 1 = serial legacy
+/// behavior); it can also be changed at runtime with `threads <n>`.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/table_printer.h"
 #include "core/engine.h"
@@ -29,6 +35,12 @@ using namespace sofos;
 
 class Cli {
  public:
+  void SetNumThreads(unsigned num_threads) {
+    engine_.SetNumThreads(num_threads);
+    std::printf("using %u thread%s\n", engine_.num_threads(),
+                engine_.num_threads() == 1 ? "" : "s");
+  }
+
   Status LoadDataset(const std::string& name, datagen::Scale scale) {
     TripleStore store;
     SOFOS_ASSIGN_OR_RETURN(datagen::DatasetSpec spec,
@@ -109,6 +121,15 @@ class Cli {
       std::string query;
       std::getline(in, query);
       status = RunSparql(query);
+    } else if (cmd == "threads") {
+      long n = -1;
+      if (!(in >> n) || n < 0 ||
+          n > static_cast<long>(ThreadPool::kMaxThreads)) {
+        std::printf("usage: threads <n> with 0 <= n <= %zu (0=auto, 1=serial)\n",
+                    ThreadPool::kMaxThreads);
+      } else {
+        SetNumThreads(static_cast<unsigned>(n));
+      }
     } else {
       std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
     }
@@ -131,6 +152,7 @@ class Cli {
         "  train                train the learned cost model\n"
         "  challenge <k>        oracle best-k vs every cost model\n"
         "  sparql <query>       run a raw SPARQL query\n"
+        "  threads <n>          size the thread pool (0=auto, 1=serial)\n"
         "  quit\n");
   }
 
@@ -309,6 +331,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   Cli cli;
+  if (argc > 3) {
+    char* end = nullptr;
+    long n = std::strtol(argv[3], &end, 10);
+    if (end == argv[3] || *end != '\0' || n < 0 ||
+        n > static_cast<long>(sofos::ThreadPool::kMaxThreads)) {
+      std::fprintf(stderr, "invalid num_threads '%s' (expected 0..%zu)\n",
+                   argv[3], sofos::ThreadPool::kMaxThreads);
+      return 1;
+    }
+    cli.SetNumThreads(static_cast<unsigned>(n));
+  }
   sofos::Status status = cli.LoadDataset(dataset, *scale);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());

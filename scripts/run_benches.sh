@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the bench suite and emits the perf-trajectory artifacts.
+#
+#   scripts/run_benches.sh [build_dir] [out_dir]
+#
+# Currently emits:
+#   BENCH_parallel.json — thread-scaling curve (1/2/4/8) of lattice
+#                         profiling and batched workload execution
+# Other benches (E1..E9 tables) print to stdout and are kept text-only.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT_DIR="${2:-$REPO_ROOT}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel
+
+mkdir -p "$OUT_DIR"
+"$BUILD_DIR/bench_parallel" "$OUT_DIR/BENCH_parallel.json"
+
+echo "bench artifacts in $OUT_DIR:"
+ls -l "$OUT_DIR"/BENCH_*.json

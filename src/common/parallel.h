@@ -1,0 +1,153 @@
+#ifndef SOFOS_COMMON_PARALLEL_H_
+#define SOFOS_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace sofos {
+
+/// A half-open index range [begin, end).
+struct IndexRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Splits [0, n) into at most `max_chunks` contiguous ranges of near-equal
+/// size (the first `n % chunks` ranges are one element longer). Returns
+/// ranges in ascending order; never returns empty ranges.
+inline std::vector<IndexRange> ChunkIndexRanges(size_t n, size_t max_chunks) {
+  std::vector<IndexRange> ranges;
+  if (n == 0) return ranges;
+  size_t chunks = max_chunks < 1 ? 1 : (max_chunks > n ? n : max_chunks);
+  size_t base = n / chunks, extra = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t len = base + (c < extra ? 1 : 0);
+    ranges.push_back(IndexRange{begin, begin + len});
+    begin += len;
+  }
+  return ranges;
+}
+
+namespace internal {
+
+/// Joins every future, capturing the first exception (caller-chunk error
+/// included) and rethrowing only after all tasks finished — unwinding
+/// before the join would leave running tasks with dangling references to
+/// the caller's stack (fn, captured locals).
+inline void JoinAll(std::vector<std::future<void>>* futures,
+                    std::exception_ptr first_error) {
+  for (std::future<void>& future : *futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace internal
+
+/// Runs fn(i) for every i in [0, n), fanning chunks out over `pool`.
+///
+/// - `pool == nullptr` (or a single worker, or n <= 1) degrades to the plain
+///   serial loop — byte-identical to legacy single-threaded behavior.
+/// - Indices within a chunk run in ascending order; chunks run concurrently,
+///   so fn must only touch per-index state (e.g. write slot i of a
+///   preallocated vector). Determinism then comes for free: every index
+///   writes the same slot no matter the schedule.
+/// - The caller executes the first chunk itself (no idle caller, and tasks
+///   never wait on same-pool tasks, which could deadlock a full pool).
+/// - Returns only after every index completed, even when fn throws; the
+///   first exception (ties broken toward the caller's own chunk) is
+///   rethrown after the join.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<IndexRange> ranges = ChunkIndexRanges(n, pool->num_threads() + 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(ranges.size() - 1);
+  for (size_t c = 1; c < ranges.size(); ++c) {
+    IndexRange range = ranges[c];
+    futures.push_back(pool->Submit([range, &fn] {
+      for (size_t i = range.begin; i < range.end; ++i) fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  try {
+    for (size_t i = ranges[0].begin; i < ranges[0].end; ++i) fn(i);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  internal::JoinAll(&futures, first_error);
+}
+
+/// Like ParallelFor but submits one task per index, so items of wildly
+/// different cost (lattice view queries, workload queries) balance
+/// dynamically instead of being pinned to a static chunk. The caller
+/// executes index 0 inline, then helps drain the queue
+/// (ThreadPool::TryRunOneTask) before blocking on in-flight tasks, so it
+/// works alongside the workers for the whole fan-out. Same exception
+/// contract as ParallelFor: all indices finish before the first error is
+/// rethrown. Use ParallelFor for cheap uniform bodies where per-task queue
+/// overhead would dominate.
+template <typename Fn>
+void ParallelForEach(ThreadPool* pool, size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n - 1);
+  for (size_t i = 1; i < n; ++i) {
+    futures.push_back(pool->Submit([i, &fn] { fn(i); }));
+  }
+  std::exception_ptr first_error;
+  try {
+    fn(0);
+    while (pool->TryRunOneTask()) {
+    }
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  internal::JoinAll(&futures, first_error);
+}
+
+/// The fallible fan-out used by the engine's parallel entry points: fn(i)
+/// returns a Status; once any index fails, indices that have not started
+/// yet are skipped (mirroring a serial loop's early exit), and the error
+/// of the *smallest* failing index is returned — the one the serial loop
+/// would have hit first — independent of scheduling.
+template <typename Fn>
+Status ParallelForEachStatus(ThreadPool* pool, size_t n, Fn&& fn) {
+  std::vector<Status> statuses(n, Status::OK());
+  std::atomic<bool> failed{false};
+  ParallelForEach(pool, n, [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    Status status = fn(i);
+    if (!status.ok()) {
+      statuses[i] = std::move(status);
+      failed.store(true, std::memory_order_relaxed);
+    }
+  });
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_PARALLEL_H_

@@ -1,0 +1,86 @@
+#ifndef SOFOS_COMMON_THREAD_POOL_H_
+#define SOFOS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sofos {
+
+/// Fixed-size task pool: `num_threads` workers pull closures from a shared
+/// FIFO queue. No work stealing — sofos fans out coarse, independent units
+/// (one lattice node, one workload query), so a single queue with one
+/// condition variable is both simpler and contention-free at our task
+/// granularity.
+///
+/// Thread safety: Submit() may be called from any thread, including from
+/// inside a running task (tasks must not *wait* on tasks submitted to the
+/// same pool, though — with all workers blocked in waits the queue would
+/// deadlock; ParallelFor in common/parallel.h runs one chunk inline on the
+/// caller for exactly this reason).
+///
+/// Destruction drains nothing: queued-but-unstarted tasks are abandoned
+/// (their futures are broken). Callers that need completion must wait on
+/// the returned futures before letting the pool die.
+class ThreadPool {
+ public:
+  /// Hard cap on workers per pool: oversubscribing beyond any plausible
+  /// core count only adds scheduling overhead, and an unchecked size (e.g.
+  /// a negative CLI value cast to unsigned) must not exhaust the process
+  /// thread limit.
+  static constexpr size_t kMaxThreads = 256;
+
+  /// Spawns `num_threads` workers, clamped to [1, kMaxThreads].
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. The future also
+  /// transports exceptions thrown by `fn` (sofos code reports errors via
+  /// Status instead, but the pool stays general).
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs one queued task on the calling thread, if any is pending.
+  /// Returns false when the queue is empty (in-flight tasks on workers do
+  /// not count). Lets a caller that is waiting on its own fan-out help
+  /// drain the queue instead of idling; exceptions stay captured in the
+  /// task's future, they never escape here.
+  bool TryRunOneTask();
+
+  /// `std::thread::hardware_concurrency()` with a floor of 1 (the standard
+  /// allows it to return 0 when undetectable).
+  static unsigned DefaultNumThreads();
+
+ private:
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_THREAD_POOL_H_

@@ -2,8 +2,21 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+#include "common/thread_pool.h"
+
 namespace sofos {
 namespace core {
+
+std::vector<double> EvaluateAllViewCosts(const CostModel& model,
+                                         const LatticeProfile& profile,
+                                         ThreadPool* pool) {
+  std::vector<double> costs(profile.views.size(), 0.0);
+  ParallelFor(pool, costs.size(), [&](size_t mask) {
+    costs[mask] = model.ViewCost(static_cast<uint32_t>(mask), profile);
+  });
+  return costs;
+}
 
 std::string CostModelKindName(CostModelKind kind) {
   switch (kind) {

@@ -13,6 +13,9 @@
 #include "learned/mlp.h"
 
 namespace sofos {
+
+class ThreadPool;
+
 namespace core {
 
 /// The six cost models SOFOS implements and compares (paper §3.1). A cost
@@ -33,6 +36,11 @@ Result<CostModelKind> ParseCostModelKind(const std::string& name);
 /// All registered kinds, in paper order.
 std::vector<CostModelKind> AllCostModelKinds();
 
+/// Thread-safety contract: ViewCost() and BaseCost() must be pure const —
+/// deterministic in (mask, profile) with no observable mutable state — so
+/// the greedy selector may evaluate candidates concurrently and cache the
+/// per-view costs. Every model below satisfies this (the learned model's
+/// Mlp::Predict is a const forward pass over frozen weights).
 class CostModel {
  public:
   virtual ~CostModel() = default;
@@ -126,6 +134,15 @@ class LearnedCostModel : public CostModel {
   const Facet* facet_;
   learned::ViewFeatureInput base_input_;  // predicate stats snapshot
 };
+
+/// Evaluates model.ViewCost for every mask of the profile's lattice, fanned
+/// out over `pool` (serial when null). costs[mask] is identical to a serial
+/// evaluation — the contract above makes ViewCost a pure function — so
+/// callers (greedy selection, the cost-model benches) can precompute once
+/// and index freely.
+std::vector<double> EvaluateAllViewCosts(const CostModel& model,
+                                         const LatticeProfile& profile,
+                                         ThreadPool* pool = nullptr);
 
 /// The user acts as the cost function: explicit per-view costs, with an
 /// optional default for unlisted views.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "rdf/turtle_parser.h"
@@ -13,11 +14,34 @@ namespace core {
 
 std::string WorkloadReport::Summary() const {
   return StrFormat(
-      "queries=%zu mean=%s median=%s p95=%s hits=%llu scanned=%llu",
-      outcomes.size(), FormatMicros(mean_micros).c_str(),
+      "queries=%zu wall=%s cpu=%s mean=%s median=%s p95=%s hits=%llu "
+      "scanned=%llu",
+      outcomes.size(), FormatMicros(wall_micros).c_str(),
+      FormatMicros(total_micros).c_str(), FormatMicros(mean_micros).c_str(),
       FormatMicros(median_micros).c_str(), FormatMicros(p95_micros).c_str(),
       static_cast<unsigned long long>(view_hits),
       static_cast<unsigned long long>(total_rows_scanned));
+}
+
+void SofosEngine::SetNumThreads(unsigned num_threads) {
+  num_threads_ = num_threads;
+  pool_.reset();  // rebuilt at the right size on next use
+}
+
+unsigned SofosEngine::num_threads() const {
+  unsigned n = num_threads_ == 0 ? ThreadPool::DefaultNumThreads() : num_threads_;
+  // Keep the reported count in sync with what a pool would actually spawn.
+  return static_cast<unsigned>(
+      std::min<size_t>(n, ThreadPool::kMaxThreads));
+}
+
+ThreadPool* SofosEngine::pool() const {
+  unsigned n = num_threads();
+  if (n <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->num_threads() != n) {
+    pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return pool_.get();
 }
 
 Status SofosEngine::LoadStore(TripleStore&& store) {
@@ -59,8 +83,10 @@ Status SofosEngine::SetFacet(Facet facet) {
 
 Result<const LatticeProfile*> SofosEngine::Profile(const ProfileOptions& options) {
   if (!facet_.has_value()) return Status::Internal("no facet set");
+  ProfileOptions effective = options;
+  if (effective.pool == nullptr) effective.pool = pool();
   SOFOS_ASSIGN_OR_RETURN(LatticeProfile profile,
-                         ProfileLattice(&store_, *facet_, options));
+                         ProfileLattice(&store_, *facet_, effective));
   profile_ = std::move(profile);
   return &*profile_;
 }
@@ -106,7 +132,7 @@ Result<SelectionResult> SofosEngine::SelectViews(const CostModel& model, size_t 
   if (!profile_.has_value()) {
     return Status::Internal("SelectViews requires Profile() first");
   }
-  GreedySelector selector(&*lattice_, &*profile_, &model);
+  GreedySelector selector(&*lattice_, &*profile_, &model, pool());
   return selector.SelectTopK(k, weights, seed);
 }
 
@@ -204,15 +230,27 @@ Result<QueryOutcome> SofosEngine::Answer(const WorkloadQuery& query,
 Result<WorkloadReport> SofosEngine::RunWorkload(
     const std::vector<WorkloadQuery>& queries, bool allow_views,
     const CostModel* routing_model) {
+  WallTimer wall;
+  // Batched runner: workload queries are independent, so each one parses,
+  // routes, and executes on its own task with its own Executor/ExecStats
+  // (Answer() only reads engine state; the dictionary is internally
+  // synchronized). Outcomes land in their input slot, which makes the
+  // merged report's ordering — and with one thread, every byte of it —
+  // identical to the serial loop.
+  std::vector<QueryOutcome> outcomes(queries.size());
+  SOFOS_RETURN_IF_ERROR(
+      ParallelForEachStatus(pool(), queries.size(), [&](size_t i) -> Status {
+        SOFOS_ASSIGN_OR_RETURN(outcomes[i],
+                               Answer(queries[i], allow_views, routing_model));
+        return Status::OK();
+      }));
+
   WorkloadReport report;
-  report.outcomes.reserve(queries.size());
-  for (const WorkloadQuery& query : queries) {
-    SOFOS_ASSIGN_OR_RETURN(QueryOutcome outcome,
-                           Answer(query, allow_views, routing_model));
+  report.outcomes = std::move(outcomes);
+  for (const QueryOutcome& outcome : report.outcomes) {
     report.total_micros += outcome.micros;
     report.total_rows_scanned += outcome.rows_scanned;
     if (outcome.used_view) ++report.view_hits;
-    report.outcomes.push_back(std::move(outcome));
   }
   if (!report.outcomes.empty()) {
     std::vector<double> times;
@@ -224,6 +262,7 @@ Result<WorkloadReport> SofosEngine::RunWorkload(
     report.p95_micros = times[std::min(times.size() - 1,
                                        static_cast<size_t>(times.size() * 0.95))];
   }
+  report.wall_micros = wall.ElapsedMicros();
   return report;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/cost_model.h"
 #include "core/facet.h"
 #include "core/lattice.h"
@@ -36,9 +37,17 @@ struct QueryOutcome {
 
 /// Aggregated workload statistics (GUI panel ④ "Query performance
 /// analyzer").
+///
+/// Wall-clock vs. CPU time: `wall_micros` is the elapsed time of the whole
+/// batch; `total_micros` is the sum of per-query execution times, i.e. the
+/// aggregate CPU spent answering (each query runs on one thread). With the
+/// batched parallel runner wall < cpu shows the speedup directly; a serial
+/// run has wall ≈ cpu. Reporting them separately keeps speedups visible
+/// and prevents double-counting parallel work as if it were latency.
 struct WorkloadReport {
   std::vector<QueryOutcome> outcomes;
-  double total_micros = 0.0;
+  double wall_micros = 0.0;   // elapsed batch time
+  double total_micros = 0.0;  // aggregate per-query CPU micros
   double mean_micros = 0.0;
   double median_micros = 0.0;
   double p95_micros = 0.0;
@@ -51,6 +60,20 @@ struct WorkloadReport {
 /// The SOFOS system facade (paper Figure 2): owns the knowledge graph, the
 /// facet, the offline module (profiling, view selection, materialization)
 /// and the online module (query routing, rewriting, measurement).
+///
+/// Threading model: the engine owns one fixed-size ThreadPool, sized by
+/// SetNumThreads (default: hardware_concurrency; 1 = exact legacy serial
+/// behavior, no pool is created). The pool accelerates the read-only hot
+/// paths — Profile() fans lattice nodes out, SelectViews() fans candidate
+/// evaluation out, RunWorkload() executes independent workload queries
+/// concurrently — all over const TripleStore scans plus the internally
+/// synchronized dictionary (see rdf/triple_store.h for the store contract).
+/// Results are reduced in deterministic order, so every engine result is
+/// independent of the thread count; only timing fields differ. Mutating
+/// entry points (LoadStore, MaterializeViews, UpdateBaseGraph, Drop...)
+/// remain single-threaded and must not run concurrently with anything
+/// else. The engine itself is not a thread-safe object: callers drive it
+/// from one thread and the engine parallelizes internally.
 ///
 /// Typical flow:
 ///   SofosEngine engine;
@@ -79,6 +102,14 @@ class SofosEngine {
   Status ExportGraphFile(const std::string& path) const;
 
   Status SetFacet(Facet facet);
+
+  /// Sizes the engine's thread pool. 0 = auto (hardware_concurrency);
+  /// 1 = strictly serial legacy behavior (no pool, no worker threads).
+  /// Takes effect on the next parallel entry point; safe to change between
+  /// (not during) operations.
+  void SetNumThreads(unsigned num_threads);
+  /// The resolved thread count (auto already expanded).
+  unsigned num_threads() const;
 
   TripleStore* store() { return &store_; }
   const Facet& facet() const { return *facet_; }
@@ -164,6 +195,11 @@ class SofosEngine {
   double StorageAmplification() const;
 
  private:
+  /// The pool serving parallel sections, or nullptr when the effective
+  /// thread count is 1. Lazily (re)built; mutable because const read-only
+  /// entry points (SelectViews) also fan out.
+  ThreadPool* pool() const;
+
   TripleStore store_;
   std::vector<Triple> base_snapshot_;
   uint64_t base_bytes_ = 0;
@@ -174,6 +210,8 @@ class SofosEngine {
   std::unique_ptr<Materializer> materializer_;
   std::vector<MaterializedView> materialized_;
   std::shared_ptr<learned::Mlp> learned_mlp_;
+  unsigned num_threads_ = 0;  // 0 = auto (hardware_concurrency)
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace core

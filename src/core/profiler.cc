@@ -3,7 +3,9 @@
 #include <map>
 #include <set>
 
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "sparql/query_engine.h"
 
@@ -82,13 +84,24 @@ Result<LatticeProfile> ProfileLattice(TripleStore* store, const Facet& facet,
       StatsFromResult(facet.FullMask(), root, root_micros);
 
   if (options.mode == ProfileMode::kExact) {
-    for (uint32_t mask = 0; mask < lattice_size; ++mask) {
-      if (mask == facet.FullMask()) continue;
-      WallTimer timer;
-      SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result,
-                             engine.Execute(facet.ViewQuerySparql(mask)));
-      profile.views[mask] = StatsFromResult(mask, result, timer.ElapsedMicros());
-    }
+    // One task per lattice node: view queries vary in cost by orders of
+    // magnitude across levels, so per-node scheduling balances better than
+    // static chunks. Each task touches only its own profile.views[mask]
+    // slot; the store is scanned const-only (aggregate literals intern
+    // through the synchronized dictionary). Errors surface for the
+    // smallest failing mask, exactly what the serial loop would hit first.
+    SOFOS_RETURN_IF_ERROR(ParallelForEachStatus(
+        options.pool, lattice_size, [&](size_t index) -> Status {
+          uint32_t mask = static_cast<uint32_t>(index);
+          if (mask == facet.FullMask()) return Status::OK();
+          WallTimer timer;
+          sparql::QueryEngine node_engine(store);
+          auto result = node_engine.Execute(facet.ViewQuerySparql(mask));
+          if (!result.ok()) return result.status();
+          profile.views[mask] =
+              StatsFromResult(mask, *result, timer.ElapsedMicros());
+          return Status::OK();
+        }));
     profile.profile_micros = total_timer.ElapsedMicros();
     return profile;
   }
@@ -106,8 +119,11 @@ Result<LatticeProfile> ProfileLattice(TripleStore* store, const Facet& facet,
   }
 
   size_t num_dims = facet.num_dims();
-  for (uint32_t mask = 0; mask < lattice_size; ++mask) {
-    if (mask == facet.FullMask()) continue;
+  // In-memory regrouping of the shared (read-only) sample is embarrassingly
+  // parallel across masks; every iteration writes its own slot.
+  ParallelFor(options.pool, lattice_size, [&](size_t index) {
+    uint32_t mask = static_cast<uint32_t>(index);
+    if (mask == facet.FullMask()) return;
     WallTimer timer;
     // Group the sampled root rows by the mask's dimensions. Row layout of
     // the root result: dims (in facet order), then ?agg, then ?rows.
@@ -147,7 +163,7 @@ Result<LatticeProfile> ProfileLattice(TripleStore* store, const Facet& facet,
     stats.encoded_bytes = EstimateBytes(stats.encoded_triples, stats.encoded_nodes);
     stats.eval_micros = timer.ElapsedMicros();
     profile.views[mask] = stats;
-  }
+  });
   profile.profile_micros = total_timer.ElapsedMicros();
   return profile;
 }

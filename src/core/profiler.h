@@ -9,6 +9,9 @@
 #include "rdf/triple_store.h"
 
 namespace sofos {
+
+class ThreadPool;
+
 namespace core {
 
 /// Size/shape statistics of one candidate view, the raw material for every
@@ -34,6 +37,13 @@ struct ProfileOptions {
   ProfileMode mode = ProfileMode::kExact;
   double sample_rate = 0.1;  // kSampled: fraction of root rows kept
   uint64_t seed = 42;
+  /// When set, lattice nodes are profiled concurrently on this pool (each
+  /// node's view query only does const store scans — see the TripleStore
+  /// thread-safety contract). All ViewStats except the timing field
+  /// eval_micros are identical to the serial (pool == nullptr) run; errors
+  /// are reported for the smallest failing mask, matching serial order.
+  /// Not owned; SofosEngine::Profile injects its own pool when unset.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-facet lattice statistics plus the base-graph figures cost models

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace sofos {
@@ -71,31 +73,56 @@ SelectionResult GreedySelector::SelectImpl(size_t max_views, uint64_t byte_budge
     weights = &uniform;
   }
 
+  // Cost models are pure functions of (mask, profile) — see the
+  // const-thread-safety contract in core/cost_model.h — so evaluate each
+  // view's cost exactly once, fanned out over the pool. This also turns
+  // O(rounds · n) model evaluations (expensive for the learned model) into
+  // O(n).
+  std::vector<double> view_cost = EvaluateAllViewCosts(*model_, *profile_, pool_);
+
   // cur[w] = cheapest current way to answer a query needing exactly w.
   std::vector<double> cur(n, model_->BaseCost(*profile_));
   std::vector<bool> selected(n, false);
   uint64_t used_bytes = 0;
 
+  // Per-round candidate benefits. Each candidate's evaluation reads only
+  // round-constant state (cur, weights, the profile) and writes its own
+  // slot, so the fan-out is race-free and the values are independent of
+  // scheduling; the per-candidate summation order over AnswerableBy(v) is
+  // unchanged from the serial code, keeping every double bit-identical.
+  std::vector<double> benefit(n, 0.0);
+  std::vector<char> eligible(n, 0);
+
   for (size_t round = 0; round < max_views; ++round) {
+    ParallelFor(pool_, n, [&](size_t index) {
+      uint32_t v = static_cast<uint32_t>(index);
+      eligible[v] = 0;
+      benefit[v] = 0.0;
+      if (selected[v]) return;
+      uint64_t bytes = profile_->ForMask(v).encoded_bytes;
+      if (used_bytes + bytes > byte_budget) return;
+      double sum = 0.0;
+      for (uint32_t w : lattice_->AnswerableBy(v)) {
+        double gain = cur[w] - view_cost[v];
+        if (gain > 0) sum += (*weights)[w] * gain;
+      }
+      benefit[v] = sum;
+      eligible[v] = 1;
+    });
+
+    // Serial argmax in ascending mask order with the original tie-break:
+    // toward the cheaper view, then the smaller mask, keeping selection
+    // fully deterministic (and identical to the serial scan).
     double best_benefit = -1.0;
     double best_cost = 0.0;
     int best_mask = -1;
     for (uint32_t v = 0; v < n; ++v) {
-      if (selected[v]) continue;
-      uint64_t bytes = profile_->ForMask(v).encoded_bytes;
-      if (used_bytes + bytes > byte_budget) continue;
-      double cost_v = model_->ViewCost(v, *profile_);
-      double benefit = 0.0;
-      for (uint32_t w : lattice_->AnswerableBy(v)) {
-        double gain = cur[w] - cost_v;
-        if (gain > 0) benefit += (*weights)[w] * gain;
-      }
-      // Ties break toward the cheaper view, then the smaller mask, keeping
-      // selection fully deterministic.
-      if (benefit > best_benefit ||
-          (benefit == best_benefit && best_mask >= 0 && cost_v < best_cost)) {
-        best_benefit = benefit;
-        best_cost = cost_v;
+      if (!eligible[v]) continue;
+      if (benefit[v] > best_benefit ||
+          (benefit[v] == best_benefit && best_mask >= 0 &&
+           view_cost[v] < best_cost)) {
+        best_benefit = benefit[v];
+        best_cost = view_cost[v];
         best_mask = static_cast<int>(v);
       }
     }
@@ -106,9 +133,8 @@ SelectionResult GreedySelector::SelectImpl(size_t max_views, uint64_t byte_budge
     used_bytes += profile_->ForMask(mask).encoded_bytes;
     result.views.push_back(mask);
     result.benefits.push_back(best_benefit);
-    double cost_v = model_->ViewCost(mask, *profile_);
     for (uint32_t w : lattice_->AnswerableBy(mask)) {
-      cur[w] = std::min(cur[w], cost_v);
+      cur[w] = std::min(cur[w], view_cost[mask]);
     }
   }
   result.selection_micros = timer.ElapsedMicros();

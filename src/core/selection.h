@@ -11,6 +11,9 @@
 #include "core/profiler.h"
 
 namespace sofos {
+
+class ThreadPool;
+
 namespace core {
 
 /// Outcome of a view-selection run.
@@ -43,11 +46,18 @@ QueryWeights UniformWeights(size_t lattice_size);
 ///
 /// For constant cost models (Random) the estimates carry no signal; per the
 /// paper, the selector then returns a seeded random k-subset.
+///
+/// With a thread pool, each round's per-candidate benefit evaluation fans
+/// out over the pool (the cost model must honor the const-thread-safety
+/// contract in core/cost_model.h); the winning candidate is then reduced
+/// serially in ascending mask order with the exact serial tie-break rules,
+/// so the selected views and benefit values are bit-identical to the
+/// pool-less run.
 class GreedySelector {
  public:
   GreedySelector(const Lattice* lattice, const LatticeProfile* profile,
-                 const CostModel* model)
-      : lattice_(lattice), profile_(profile), model_(model) {}
+                 const CostModel* model, ThreadPool* pool = nullptr)
+      : lattice_(lattice), profile_(profile), model_(model), pool_(pool) {}
 
   /// Selects exactly `k` views (or the whole lattice if k >= 2^d).
   SelectionResult SelectTopK(size_t k, const QueryWeights* weights = nullptr,
@@ -67,6 +77,7 @@ class GreedySelector {
   const Lattice* lattice_;
   const LatticeProfile* profile_;
   const CostModel* model_;
+  ThreadPool* pool_;  // not owned; nullptr = serial evaluation
 };
 
 /// The "User defined" strategy (paper §3.1): the user picks the views.

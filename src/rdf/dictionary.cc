@@ -1,10 +1,34 @@
 #include "rdf/dictionary.h"
 
 #include <cassert>
+#include <mutex>
+#include <utility>
 
 namespace sofos {
 
+Dictionary::Dictionary(Dictionary&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  terms_ = std::move(other.terms_);
+  index_ = std::move(other.index_);
+}
+
+Dictionary& Dictionary::operator=(Dictionary&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    terms_ = std::move(other.terms_);
+    index_ = std::move(other.index_);
+  }
+  return *this;
+}
+
 TermId Dictionary::Intern(const Term& term) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(term);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-check: another thread may have interned `term` between the locks.
   auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   terms_.push_back(term);
@@ -14,17 +38,25 @@ TermId Dictionary::Intern(const Term& term) {
 }
 
 std::optional<TermId> Dictionary::Lookup(const Term& term) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(term);
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
 
 const Term& Dictionary::term(TermId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   assert(id != kNullTermId && id <= terms_.size());
   return terms_[id - 1];
 }
 
+size_t Dictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return terms_.size();
+}
+
 uint64_t Dictionary::MemoryBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t bytes = 0;
   for (const Term& t : terms_) {
     bytes += sizeof(Term) + t.lexical().capacity() + t.lang().capacity();

@@ -2,9 +2,10 @@
 #define SOFOS_RDF_DICTIONARY_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/term.h"
 
@@ -19,16 +20,29 @@ inline constexpr TermId kNullTermId = 0;
 /// once interned, keeps its id for the lifetime of the dictionary, so ids
 /// may be stored in indexes and materialized views safely.
 ///
-/// Not thread-safe; sofos is a single-threaded research system.
+/// Thread safety: all member functions may be called concurrently. This is
+/// the one mutable path shared by parallel query execution — aggregation
+/// and expression projection intern freshly computed literals while other
+/// executors decode results — so interning takes an exclusive lock and
+/// lookups take a shared lock. Terms live in a deque, which never relocates
+/// elements on append, so the reference returned by term() stays valid
+/// after the lock is released (ids are never removed). Note that which
+/// thread interns a new literal first is schedule-dependent, i.e. id
+/// assignment order is not deterministic under concurrency; ids are private
+/// handles and all externally visible results are decoded terms, so this
+/// does not affect reproducibility.
 class Dictionary {
  public:
   Dictionary() = default;
 
-  // Movable but not copyable (the id-to-term vector can be large).
+  // Movable but not copyable (the id-to-term storage can be large). Moving
+  // is NOT thread-safe: it may only happen while no other thread touches
+  // either dictionary (stores are moved between experiments, not during
+  // parallel execution).
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
-  Dictionary(Dictionary&&) = default;
-  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(Dictionary&& other) noexcept;
+  Dictionary& operator=(Dictionary&& other) noexcept;
 
   /// Returns the id of `term`, interning it first if needed.
   TermId Intern(const Term& term);
@@ -36,17 +50,19 @@ class Dictionary {
   /// Returns the id of `term` if already interned.
   std::optional<TermId> Lookup(const Term& term) const;
 
-  /// The term for a valid id (1 <= id <= size()).
+  /// The term for a valid id (1 <= id <= size()). The reference remains
+  /// valid for the lifetime of the dictionary (append-only deque storage).
   const Term& term(TermId id) const;
 
   /// Number of interned terms.
-  size_t size() const { return terms_.size(); }
+  size_t size() const;
 
   /// Rough heap footprint, used for storage-amplification metrics.
   uint64_t MemoryBytes() const;
 
  private:
-  std::vector<Term> terms_;
+  mutable std::shared_mutex mu_;
+  std::deque<Term> terms_;
   std::unordered_map<Term, TermId, TermHash> index_;
 };
 

@@ -31,6 +31,19 @@ struct PredicateStats {
 /// finalized store. Adding after Finalize() is allowed — the store becomes
 /// unfinalized and must be finalized again (materialization of views relies
 /// on this: the expanded graph G+ is the same store re-finalized).
+///
+/// Thread safety (the contract the parallel offline pipeline and the
+/// batched workload runner rely on):
+///  - Between Finalize() and the next mutation, every const member —
+///    Scan(), Count(), Contains(), NumTriples(), NumNodes(), StatsFor(),
+///    triples(), dictionary() — is safe to call from any number of threads
+///    concurrently: they only read the immutable indexes. ScanRange
+///    pointers stay valid for that whole window.
+///  - Intern() (and Dictionary access through mutable_dictionary()) is
+///    internally synchronized and may run concurrently with the reads
+///    above; it grows the dictionary but never touches the indexes.
+///  - Add(), Finalize(), ReplaceTriples() and move operations require
+///    exclusive access: no concurrent calls of any kind.
 class TripleStore {
  public:
   TripleStore() = default;

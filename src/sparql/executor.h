@@ -39,6 +39,12 @@ class Operator {
 /// The dictionary is mutable because aggregation and expression projection
 /// intern freshly computed literals (sums, averages); interning never
 /// invalidates the store's indexes.
+///
+/// Thread safety: one Executor serves one query, but any number of
+/// Executors may Run() concurrently over the same finalized store — they
+/// perform const index scans only, and Dictionary::Intern is internally
+/// synchronized (see rdf/dictionary.h). This is what the engine's batched
+/// workload runner and the parallel lattice profiler do.
 class Executor {
  public:
   Executor(const Plan* plan, const TripleStore* store, Dictionary* dict);

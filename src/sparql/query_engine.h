@@ -37,7 +37,9 @@ struct QueryResult {
 /// component of the Sofos online module (paper Figure 2).
 ///
 /// The store must be finalized. Execution may intern new literal terms
-/// (aggregate results) into the store's dictionary but never adds triples.
+/// (aggregate results) into the store's dictionary but never adds triples,
+/// so independent QueryEngine instances over the same store may Execute()
+/// concurrently (dictionary interning is internally synchronized).
 class QueryEngine {
  public:
   explicit QueryEngine(TripleStore* store) : store_(store) {}
