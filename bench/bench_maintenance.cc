@@ -1,0 +1,249 @@
+/// M1 — incremental maintenance vs the full-recompute path, per dataset:
+///
+///   store level:  TripleStore::ApplyDelta (staged delta, six linear
+///                 merges) vs a full six-way re-Finalize of the same final
+///                 graph, for a small-delta workload (~0.5% of |G|).
+///   engine level: SofosEngine::ApplyUpdates (delta merge + roll-up view
+///                 maintenance + staleness tracking) vs UpdateBaseGraph
+///                 (strip views, rebuild base, re-profile, rematerialize).
+///
+///   ./bench_maintenance [json_path]
+///
+/// With `json_path` the results are written as BENCH_maintenance.json (the
+/// perf-trajectory artifact consumed by scripts/run_benches.sh).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sofos;
+
+constexpr int kRepetitions = 3;
+constexpr double kBatchFraction = 0.005;  // "small delta": 0.5% of |G|
+
+struct DatasetResult {
+  std::string name;
+  uint64_t base_triples = 0;
+  uint64_t delta_ops = 0;
+  double delta_merge_ms = 0.0;
+  double full_finalize_ms = 0.0;
+  double incremental_ms = 0.0;
+  double full_update_ms = 0.0;
+
+  double StoreSpeedup() const {
+    return delta_merge_ms > 0 ? full_finalize_ms / delta_merge_ms : 0.0;
+  }
+  double EngineSpeedup() const {
+    return incremental_ms > 0 ? full_update_ms / incremental_ms : 0.0;
+  }
+};
+
+/// Interns a term-level delta against `store`'s dictionary.
+void EncodeDelta(TripleStore* store, const core::maintenance::GraphDelta& delta,
+                 std::vector<Triple>* adds, std::vector<Triple>* deletes) {
+  for (const auto& t : delta.adds) {
+    adds->push_back(Triple{store->Intern(t.s), store->Intern(t.p),
+                           store->Intern(t.o)});
+  }
+  for (const auto& t : delta.deletes) {
+    deletes->push_back(Triple{store->Intern(t.s), store->Intern(t.p),
+                              store->Intern(t.o)});
+  }
+}
+
+/// Store-level comparison: merge a small delta vs re-finalizing the whole
+/// graph that results from it. The delta is applied and then inverted so
+/// every repetition starts from the same state.
+bool MeasureStore(const std::string& dataset, DatasetResult* out) {
+  TripleStore store;
+  auto spec = datagen::GenerateByName(dataset, datagen::Scale::kDemo, 42, &store);
+  if (!spec.ok()) return false;
+  out->base_triples = store.NumTriples();
+
+  workload::UpdateStreamOptions options;
+  options.num_batches = 1;
+  options.batch_fraction = kBatchFraction;
+  options.seed = 21;
+  auto stream =
+      workload::GenerateUpdateStream(store.triples(), store.dictionary(), options);
+  if (!stream.ok() || stream->empty()) return false;
+  std::vector<Triple> adds, deletes;
+  EncodeDelta(&store, (*stream)[0], &adds, &deletes);
+  out->delta_ops = adds.size() + deletes.size();
+
+  std::vector<double> merge_runs, finalize_runs;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    // Forward delta through the staged-merge path.
+    for (const Triple& t : adds) store.StageAdd(t.s, t.p, t.o);
+    for (const Triple& t : deletes) store.StageDelete(t.s, t.p, t.o);
+    WallTimer merge_timer;
+    store.ApplyDelta();
+    merge_runs.push_back(merge_timer.ElapsedMillis());
+
+    // The legacy path would rebuild the same final graph with a full
+    // six-way re-sort: time exactly that on identical content.
+    std::vector<Triple> content = store.triples();
+    store.ReplaceTriples(std::move(content));
+    WallTimer finalize_timer;
+    store.Finalize();
+    finalize_runs.push_back(finalize_timer.ElapsedMillis());
+
+    // Invert the delta to restore the starting state for the next rep.
+    for (const Triple& t : deletes) store.StageAdd(t.s, t.p, t.o);
+    for (const Triple& t : adds) store.StageDelete(t.s, t.p, t.o);
+    store.ApplyDelta();
+  }
+  out->delta_merge_ms = bench::Median(merge_runs);
+  out->full_finalize_ms = bench::Median(finalize_runs);
+  return true;
+}
+
+/// Engine-level comparison: ApplyUpdates (incremental maintenance) vs
+/// UpdateBaseGraph (full rebuild + re-profile + rematerialization), same
+/// update stream, same selected views.
+bool MeasureEngine(const std::string& dataset, DatasetResult* out) {
+  auto setup = [&](core::SofosEngine* engine,
+                   std::vector<uint32_t>* masks) -> bool {
+    bench::LoadEngine(engine, dataset, datagen::Scale::kDemo);
+    core::TripleCountCostModel model;
+    auto selection = engine->SelectViews(model, 3);
+    if (!selection.ok()) return false;
+    if (!engine->MaterializeSelection(*selection).ok()) return false;
+    *masks = selection->views;
+    return true;
+  };
+
+  core::SofosEngine incremental;
+  std::vector<uint32_t> masks;
+  if (!setup(&incremental, &masks)) return false;
+
+  workload::UpdateStreamOptions options;
+  options.num_batches = kRepetitions;
+  options.batch_fraction = kBatchFraction;
+  options.seed = 23;
+  auto stream = workload::GenerateUpdateStream(
+      incremental.base_snapshot(), incremental.store()->dictionary(), options);
+  if (!stream.ok()) return false;
+
+  std::vector<double> incremental_runs;
+  for (const auto& delta : *stream) {
+    WallTimer timer;
+    if (!incremental.ApplyUpdates(delta).ok()) return false;
+    incremental_runs.push_back(timer.ElapsedMillis());
+  }
+
+  core::SofosEngine full;
+  std::vector<uint32_t> full_masks;
+  if (!setup(&full, &full_masks)) return false;
+  std::vector<double> full_runs;
+  for (const auto& delta : *stream) {
+    WallTimer timer;
+    Status status = full.UpdateBaseGraph([&](TripleStore* store) {
+      // Express the delta through the legacy interface: filter deletes out
+      // of the base content, append adds.
+      std::vector<Triple> deletes;
+      for (const auto& t : delta.deletes) {
+        auto s = store->dictionary().Lookup(t.s);
+        auto p = store->dictionary().Lookup(t.p);
+        auto o = store->dictionary().Lookup(t.o);
+        if (s && p && o) deletes.push_back(Triple{*s, *p, *o});
+      }
+      std::sort(deletes.begin(), deletes.end());
+      std::vector<Triple> next;
+      next.reserve(store->NumTriples());
+      for (const Triple& t : store->triples()) {
+        if (!std::binary_search(deletes.begin(), deletes.end(), t)) {
+          next.push_back(t);
+        }
+      }
+      for (const auto& t : delta.adds) {
+        next.push_back(Triple{store->Intern(t.s), store->Intern(t.p),
+                              store->Intern(t.o)});
+      }
+      store->ReplaceTriples(std::move(next));
+    });
+    if (!status.ok()) return false;
+    full_runs.push_back(timer.ElapsedMillis());
+  }
+
+  out->incremental_ms = bench::Median(incremental_runs);
+  out->full_update_ms = bench::Median(full_runs);
+  return true;
+}
+
+void WriteJson(const std::string& path, const std::vector<DatasetResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"maintenance\",\n");
+  std::fprintf(f, "  \"batch_fraction\": %.4f,\n  \"repetitions\": %d,\n",
+               kBatchFraction, kRepetitions);
+  std::fprintf(f, "  \"datasets\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const DatasetResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"base_triples\": %llu, \"delta_ops\": %llu,\n"
+        "     \"delta_merge_ms\": %.3f, \"full_finalize_ms\": %.3f, "
+        "\"store_speedup\": %.2f,\n"
+        "     \"incremental_ms\": %.3f, \"full_update_ms\": %.3f, "
+        "\"engine_speedup\": %.2f}%s\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.base_triples),
+        static_cast<unsigned long long>(r.delta_ops), r.delta_merge_ms,
+        r.full_finalize_ms, r.StoreSpeedup(), r.incremental_ms,
+        r.full_update_ms, r.EngineSpeedup(),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("M1 | Incremental maintenance vs full recompute (%.1f%% deltas)\n",
+              kBatchFraction * 100.0);
+
+  std::vector<DatasetResult> results;
+  TablePrinter table({"dataset", "|G|", "ops", "merge ms", "refinalize ms",
+                      "speedup", "incr ms", "full ms", "speedup"});
+  for (const std::string& name : datagen::DatasetNames()) {
+    DatasetResult result;
+    result.name = name;
+    if (!MeasureStore(name, &result) || !MeasureEngine(name, &result)) {
+      std::fprintf(stderr, "dataset %s failed\n", name.c_str());
+      return 1;
+    }
+    table.AddRow({result.name,
+                  TablePrinter::Cell(result.base_triples),
+                  TablePrinter::Cell(result.delta_ops),
+                  TablePrinter::Cell(result.delta_merge_ms, 2),
+                  TablePrinter::Cell(result.full_finalize_ms, 2),
+                  TablePrinter::Cell(result.StoreSpeedup(), 2),
+                  TablePrinter::Cell(result.incremental_ms, 2),
+                  TablePrinter::Cell(result.full_update_ms, 2),
+                  TablePrinter::Cell(result.EngineSpeedup(), 2)});
+    results.push_back(result);
+  }
+  table.Print();
+
+  if (argc > 1) WriteJson(argv[1], results);
+
+  std::printf(
+      "\nReading: the staged-delta merge replaces the six-way O(n log n)\n"
+      "re-sort with linear merges, and roll-up maintenance replaces k view\n"
+      "queries + re-profiling with one root-view evaluation + targeted row\n"
+      "repairs — both speedups grow with |G| / delta size.\n");
+  return 0;
+}

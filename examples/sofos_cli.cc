@@ -117,6 +117,18 @@ class Cli {
       size_t k = 2;
       in >> k;
       status = Challenge(k);
+    } else if (cmd == "update") {
+      // Both arguments are optional; a failed extraction must keep the
+      // default rather than zeroing the target.
+      int batches = 1;
+      double fraction = 0.01;
+      int n;
+      double f;
+      if (in >> n) batches = n;
+      if (in >> f) fraction = f;
+      status = Update(batches, fraction);
+    } else if (cmd == "staleness") {
+      std::printf("%s\n", engine_.staleness_monitor().Summary().c_str());
     } else if (cmd == "sparql") {
       std::string query;
       std::getline(in, query);
@@ -149,6 +161,9 @@ class Cli {
         "  status               storage figures and materialized views\n"
         "  workload <n>         generate n random analytical queries\n"
         "  run                  run the workload with and without views\n"
+        "  update [n] [frac]    apply n random update batches (frac of |G|\n"
+        "                       each) with incremental view maintenance\n"
+        "  staleness            drift of the current selection vs baseline\n"
         "  train                train the learned cost model\n"
         "  challenge <k>        oracle best-k vs every cost model\n"
         "  sparql <query>       run a raw SPARQL query\n"
@@ -180,6 +195,14 @@ class Cli {
   Status Select(const std::string& model_name, size_t k) {
     SOFOS_ASSIGN_OR_RETURN(core::CostModelKind kind,
                            core::ParseCostModelKind(model_name));
+    // Re-selection after updates must not optimize against stale
+    // statistics: re-profile first (which also re-anchors the staleness
+    // baseline).
+    if (engine_.staleness_monitor().drift() > 0) {
+      std::printf("profile is stale (drift %.3f): re-profiling\n",
+                  engine_.staleness_monitor().drift());
+      SOFOS_RETURN_IF_ERROR(engine_.Profile().status());
+    }
     SOFOS_ASSIGN_OR_RETURN(auto model, engine_.MakeModel(kind));
     SOFOS_ASSIGN_OR_RETURN(pending_, engine_.SelectViews(*model, k));
     std::printf("selection: %s (%.1f us)\n",
@@ -304,6 +327,40 @@ class Cli {
     return Status::OK();
   }
 
+  /// The evolving-KG scenario: random insert/delete batches stream into
+  /// the base graph; views are repaired incrementally and the staleness
+  /// monitor says when the selection is worth redoing.
+  Status Update(int batches, double fraction) {
+    if (batches < 1 || fraction <= 0 || fraction > 1) {
+      return Status::InvalidArgument(
+          "usage: update [batches >= 1] [0 < fraction <= 1]");
+    }
+    workload::UpdateStreamOptions options;
+    options.num_batches = batches;
+    options.batch_fraction = fraction;
+    options.seed = 99 + update_batches_applied_;  // fresh stream per call
+    SOFOS_ASSIGN_OR_RETURN(
+        auto stream,
+        workload::GenerateUpdateStream(engine_.base_snapshot(),
+                                       engine_.store()->dictionary(), options));
+    bool recommend = false;
+    for (const auto& delta : stream) {
+      SOFOS_ASSIGN_OR_RETURN(auto outcome, engine_.ApplyUpdates(delta));
+      ++update_batches_applied_;
+      std::printf("batch %llu: %s\n",
+                  static_cast<unsigned long long>(update_batches_applied_),
+                  outcome.Summary().c_str());
+      recommend = outcome.reselect_recommended;
+    }
+    PrintStatus();
+    if (recommend) {
+      std::printf(
+          "selection drifted past the staleness threshold: re-optimize with "
+          "`drop`, then `select <model> <k>` + `materialize`\n");
+    }
+    return Status::OK();
+  }
+
   Status RunSparql(const std::string& query) {
     sparql::QueryEngine qe(engine_.store());
     SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result, qe.Execute(query));
@@ -318,6 +375,7 @@ class Cli {
   core::SelectionResult pending_;
   bool has_pending_ = false;
   std::vector<core::WorkloadQuery> queries_;
+  uint64_t update_batches_applied_ = 0;
 };
 
 }  // namespace

@@ -4,8 +4,10 @@
 #   scripts/run_benches.sh [build_dir] [out_dir]
 #
 # Currently emits:
-#   BENCH_parallel.json — thread-scaling curve (1/2/4/8) of lattice
-#                         profiling and batched workload execution
+#   BENCH_parallel.json    — thread-scaling curve (1/2/4/8) of lattice
+#                            profiling and batched workload execution
+#   BENCH_maintenance.json — staged-delta merge vs full re-finalize and
+#                            incremental vs full view maintenance
 # Other benches (E1..E9 tables) print to stdout and are kept text-only.
 set -euo pipefail
 
@@ -16,10 +18,11 @@ OUT_DIR="${2:-$REPO_ROOT}"
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 fi
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_maintenance
 
 mkdir -p "$OUT_DIR"
 "$BUILD_DIR/bench_parallel" "$OUT_DIR/BENCH_parallel.json"
+"$BUILD_DIR/bench_maintenance" "$OUT_DIR/BENCH_maintenance.json"
 
 echo "bench artifacts in $OUT_DIR:"
 ls -l "$OUT_DIR"/BENCH_*.json

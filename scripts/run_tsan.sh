@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# ThreadSanitizer lane over the maintenance + concurrency tests (the ones
+# carrying the `maintenance` CTest label): builds a separate TSan-enabled
+# tree and runs only those suites.
+#
+#   scripts/run_tsan.sh [build_dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSOFOS_TSAN=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target maintenance_test parallel_test
+
+cd "$BUILD_DIR"
+ctest -L maintenance --output-on-failure

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace sofos {
 
@@ -34,6 +35,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) < static_cast<int>(g_level)) return;
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+void CheckFail(const char* condition, const char* file, int line,
+               const std::string& detail) {
+  std::fprintf(stderr, "[CHECK %s:%d] %s failed%s%s\n", file, line, condition,
+               detail.empty() ? "" : ": ", detail.c_str());
+  std::abort();
 }
 
 }  // namespace internal

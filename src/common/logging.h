@@ -33,10 +33,22 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Prints the failed condition (plus optional detail) to stderr and aborts.
+[[noreturn]] void CheckFail(const char* condition, const char* file, int line,
+                            const std::string& detail);
+
 }  // namespace internal
 
 #define SOFOS_LOG(level)                                             \
   ::sofos::internal::LogMessage(::sofos::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check that stays armed in release builds (unlike assert, which
+/// NDEBUG strips from the default RelWithDebInfo build). Used for contract
+/// violations that would otherwise corrupt state silently, e.g. interleaving
+/// the legacy Add()/Finalize() mutation path with a pending staged delta.
+#define SOFOS_CHECK(cond, detail)                                           \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::sofos::internal::CheckFail(#cond, __FILE__, __LINE__, (detail)))
 
 }  // namespace sofos
 

@@ -1,12 +1,14 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "rdf/turtle_parser.h"
 #include "rdf/turtle_writer.h"
+#include "rdf/vocab.h"
 #include "sparql/parser.h"
 
 namespace sofos {
@@ -21,6 +23,15 @@ std::string WorkloadReport::Summary() const {
       FormatMicros(median_micros).c_str(), FormatMicros(p95_micros).c_str(),
       static_cast<unsigned long long>(view_hits),
       static_cast<unsigned long long>(total_rows_scanned));
+}
+
+std::string UpdateOutcome::Summary() const {
+  return StrFormat(
+      "base +%llu -%llu in %s | %s | drift=%.3f%s",
+      static_cast<unsigned long long>(adds_applied),
+      static_cast<unsigned long long>(deletes_applied),
+      FormatMicros(total_micros).c_str(), maintenance.Summary().c_str(),
+      staleness, reselect_recommended ? " -> reselect recommended" : "");
 }
 
 void SofosEngine::SetNumThreads(unsigned num_threads) {
@@ -53,6 +64,8 @@ Status SofosEngine::LoadStore(TripleStore&& store) {
   base_bytes_ = store_.MemoryBytes();
   materialized_.clear();
   profile_.reset();
+  maintainer_.reset();
+  staleness_ = maintenance::StalenessMonitor(staleness_.options());
   if (facet_.has_value()) {
     materializer_ = std::make_unique<Materializer>(&store_, &*facet_);
   }
@@ -78,7 +91,17 @@ Status SofosEngine::SetFacet(Facet facet) {
   rewriter_.emplace(&*facet_);
   materializer_ = std::make_unique<Materializer>(&store_, &*facet_);
   profile_.reset();
+  maintainer_.reset();
+  // The old baseline tracked the previous facet's predicates; the next
+  // Profile() re-anchors against this one.
+  staleness_ = maintenance::StalenessMonitor(staleness_.options());
   return Status::OK();
+}
+
+void SofosEngine::SetStalenessOptions(
+    const maintenance::StalenessOptions& options) {
+  // Recreated without a baseline: the next Profile() re-anchors it.
+  staleness_ = maintenance::StalenessMonitor(options);
 }
 
 Result<const LatticeProfile*> SofosEngine::Profile(const ProfileOptions& options) {
@@ -88,6 +111,17 @@ Result<const LatticeProfile*> SofosEngine::Profile(const ProfileOptions& options
   SOFOS_ASSIGN_OR_RETURN(LatticeProfile profile,
                          ProfileLattice(&store_, *facet_, effective));
   profile_ = std::move(profile);
+
+  // Selections are made against this fresh profile, so it becomes the
+  // staleness baseline future update batches drift away from. Predicates
+  // are interned (not looked up) so that one with zero triples today is
+  // still tracked when updates start populating it (baseline count 0).
+  std::vector<TermId> pattern_ids;
+  for (const std::string& iri : facet_->PatternPredicates()) {
+    pattern_ids.push_back(store_.Intern(Term::Iri(iri)));
+  }
+  staleness_.ResetBaseline(store_, std::move(pattern_ids),
+                           profile_->views[facet_->FullMask()].result_rows);
   return &*profile_;
 }
 
@@ -153,8 +187,9 @@ Result<std::vector<MaterializedView>> SofosEngine::MaterializeViews(
     }
   }
   SOFOS_ASSIGN_OR_RETURN(std::vector<MaterializedView> views,
-                         materializer_->MaterializeAll(masks));
+                         materializer_->MaterializeAll(masks, pool()));
   for (const auto& view : views) materialized_.push_back(view);
+  maintainer_.reset();  // view set changed; rebuilt on the next ApplyUpdates
   return views;
 }
 
@@ -166,12 +201,13 @@ Status SofosEngine::UpdateBaseGraph(
   // Strip view encodings so the update sees (and the snapshot captures)
   // base data only.
   store_.ReplaceTriples(base_snapshot_);
-  store_.Finalize();
+  store_.Finalize(pool());
   update(&store_);
-  store_.Finalize();
+  store_.Finalize(pool());
   base_snapshot_ = store_.triples();
   base_bytes_ = store_.MemoryBytes();
   materialized_.clear();
+  maintainer_.reset();
 
   if (facet_.has_value()) {
     SOFOS_RETURN_IF_ERROR(Profile(profile_options).status());
@@ -184,9 +220,98 @@ Status SofosEngine::UpdateBaseGraph(
 
 Status SofosEngine::DropMaterializedViews() {
   store_.ReplaceTriples(base_snapshot_);
-  store_.Finalize();
+  store_.Finalize(pool());
   materialized_.clear();
+  maintainer_.reset();
   return Status::OK();
+}
+
+Result<UpdateOutcome> SofosEngine::ApplyUpdates(
+    const maintenance::GraphDelta& delta) {
+  if (!store_.finalized()) {
+    return Status::Internal("ApplyUpdates requires a loaded, finalized store");
+  }
+  WallTimer timer;
+  UpdateOutcome outcome;
+
+  // Updates target base data; the encoding vocabulary is reserved (every
+  // view-encoding triple carries a sofos: predicate, so this guard keeps
+  // deltas from corrupting materializations).
+  for (const std::vector<maintenance::TermTriple>* side :
+       {&delta.adds, &delta.deletes}) {
+    for (const maintenance::TermTriple& t : *side) {
+      if (t.p.is_iri() && StrStartsWith(t.p.lexical(), vocab::kSofosNs)) {
+        return Status::InvalidArgument(
+            "updates must not touch the reserved sofos: encoding vocabulary");
+      }
+    }
+  }
+
+  // Capture the pre-delta state for incremental maintenance (the root
+  // table must reflect the graph the views currently encode).
+  if (facet_.has_value() && !materialized_.empty()) {
+    if (maintainer_ == nullptr) {
+      maintainer_ =
+          std::make_unique<maintenance::ViewMaintainer>(&store_, &*facet_);
+    }
+    if (!maintainer_->initialized()) {
+      SOFOS_RETURN_IF_ERROR(maintainer_->Initialize(materialized_));
+    }
+  }
+  const bool affects = maintainer_ != nullptr && maintainer_->Affects(delta);
+
+  // Stage and merge the base delta (no six-way re-sort).
+  std::vector<Triple> add_ids, delete_ids;
+  add_ids.reserve(delta.adds.size());
+  delete_ids.reserve(delta.deletes.size());
+  for (const maintenance::TermTriple& t : delta.adds) {
+    Triple id{store_.Intern(t.s), store_.Intern(t.p), store_.Intern(t.o)};
+    store_.StageAdd(id.s, id.p, id.o);
+    add_ids.push_back(id);
+  }
+  const Dictionary& dict = store_.dictionary();
+  for (const maintenance::TermTriple& t : delta.deletes) {
+    auto s = dict.Lookup(t.s);
+    auto p = dict.Lookup(t.p);
+    auto o = dict.Lookup(t.o);
+    if (!s || !p || !o) continue;  // unknown term: the triple cannot exist
+    store_.StageDelete(*s, *p, *o);
+    delete_ids.push_back(Triple{*s, *p, *o});
+  }
+  DeltaApplyResult base_merge = store_.ApplyDelta(pool());
+  outcome.adds_applied = base_merge.adds_applied;
+  outcome.deletes_applied = base_merge.deletes_applied;
+
+  // Mirror the delta into the base snapshot with the shared semantics.
+  std::sort(add_ids.begin(), add_ids.end());
+  add_ids.erase(std::unique(add_ids.begin(), add_ids.end()), add_ids.end());
+  std::sort(delete_ids.begin(), delete_ids.end());
+  delete_ids.erase(std::unique(delete_ids.begin(), delete_ids.end()),
+                   delete_ids.end());
+  base_snapshot_ = ApplySortedDelta(base_snapshot_, add_ids, delete_ids);
+
+  // Incrementally repair the view encodings.
+  if (affects) {
+    SOFOS_ASSIGN_OR_RETURN(outcome.maintenance, maintainer_->MaintainAll(pool()));
+    for (const maintenance::ViewMaintenance& vm : outcome.maintenance.views) {
+      for (MaterializedView& mv : materialized_) {
+        if (mv.mask != vm.mask) continue;
+        mv.rows = mv.rows + vm.rows_added - vm.rows_deleted;
+        mv.nodes_added = mv.nodes_added + vm.rows_added - vm.rows_deleted;
+        mv.triples_added =
+            mv.triples_added + vm.triples_added - vm.triples_deleted;
+      }
+    }
+  } else {
+    outcome.maintenance.skipped = true;
+  }
+
+  // Track how far the current selection has drifted from its baseline.
+  staleness_.RecordUpdate(store_, outcome.maintenance.root_rows_changed);
+  outcome.staleness = staleness_.drift();
+  outcome.reselect_recommended = staleness_.ShouldReselect();
+  outcome.total_micros = timer.ElapsedMicros();
+  return outcome;
 }
 
 std::vector<uint32_t> SofosEngine::MaterializedMasks() const {

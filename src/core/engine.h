@@ -12,6 +12,9 @@
 #include "core/cost_model.h"
 #include "core/facet.h"
 #include "core/lattice.h"
+#include "core/maintenance/delta.h"
+#include "core/maintenance/staleness.h"
+#include "core/maintenance/view_maintainer.h"
 #include "core/materializer.h"
 #include "core/profiler.h"
 #include "core/rewriter.h"
@@ -57,9 +60,23 @@ struct WorkloadReport {
   std::string Summary() const;
 };
 
+/// Result of applying one update batch through the maintenance subsystem.
+struct UpdateOutcome {
+  uint64_t adds_applied = 0;     // base triples actually inserted
+  uint64_t deletes_applied = 0;  // base triples actually removed
+  maintenance::MaintenanceReport maintenance;
+  double staleness = 0.0;            // drift after this batch
+  bool reselect_recommended = false;  // drift crossed the threshold
+  double total_micros = 0.0;
+
+  std::string Summary() const;
+};
+
 /// The SOFOS system facade (paper Figure 2): owns the knowledge graph, the
-/// facet, the offline module (profiling, view selection, materialization)
-/// and the online module (query routing, rewriting, measurement).
+/// facet, the offline module (profiling, view selection, materialization),
+/// the online module (query routing, rewriting, measurement), and the
+/// maintenance subsystem (incremental updates, view roll-up maintenance,
+/// staleness-driven re-selection).
 ///
 /// Threading model: the engine owns one fixed-size ThreadPool, sized by
 /// SetNumThreads (default: hardware_concurrency; 1 = exact legacy serial
@@ -148,15 +165,41 @@ class SofosEngine {
   /// Rolls G+ back to the base snapshot G and forgets materializations.
   Status DropMaterializedViews();
 
-  /// View maintenance (extension beyond the demo): applies updates to the
-  /// *base* graph and refreshes every materialized view against the new
-  /// data. `update` receives the store holding exactly the base triples
+  /// Full-recompute view maintenance (the fallback path): applies updates
+  /// to the *base* graph and refreshes every materialized view against the
+  /// new data. `update` receives the store holding exactly the base triples
   /// (views stripped) and may Add() to it; afterwards the base snapshot is
   /// re-captured, the lattice is re-profiled with `profile_options`, and
-  /// all previously materialized views are recomputed. Full recomputation —
-  /// correct, not incremental-delta; documented trade-off.
+  /// all previously materialized views are recomputed from scratch. Use
+  /// ApplyUpdates for the incremental path; this one remains for updates
+  /// the delta path cannot express (arbitrary store surgery) and as the
+  /// reference semantics incremental maintenance is tested against.
   Status UpdateBaseGraph(const std::function<void(TripleStore*)>& update,
                          const ProfileOptions& profile_options = {});
+
+  /// ---- Maintenance subsystem (incremental path) ----
+
+  /// Applies one update batch to the base graph through the store's
+  /// staged-delta merge (no six-way re-sort) and incrementally repairs
+  /// every materialized view's roll-up encoding (see
+  /// maintenance::ViewMaintainer). The lattice profile is deliberately NOT
+  /// recomputed — its growing staleness is tracked by the
+  /// StalenessMonitor, and `reselect_recommended` tells the caller when
+  /// re-running Profile()/SelectViews()/Materialize* is worth it (the
+  /// paper's evolving-KG challenge). Deltas must not touch the reserved
+  /// sofos: encoding vocabulary. Works with or without materialized views.
+  Result<UpdateOutcome> ApplyUpdates(const maintenance::GraphDelta& delta);
+
+  /// Staleness of the current selection relative to the last Profile().
+  const maintenance::StalenessMonitor& staleness_monitor() const {
+    return staleness_;
+  }
+  /// Tunes the re-selection trigger (takes effect on the next baseline).
+  void SetStalenessOptions(const maintenance::StalenessOptions& options);
+
+  /// The base graph G as currently tracked (sorted SPO, no view
+  /// encodings); update-stream generators sample from this.
+  const std::vector<Triple>& base_snapshot() const { return base_snapshot_; }
 
   const std::vector<MaterializedView>& materialized() const {
     return materialized_;
@@ -209,6 +252,10 @@ class SofosEngine {
   std::optional<Rewriter> rewriter_;
   std::unique_ptr<Materializer> materializer_;
   std::vector<MaterializedView> materialized_;
+  /// Lazily built on the first ApplyUpdates with views present; any
+  /// operation that rebuilds or drops view encodings invalidates it.
+  std::unique_ptr<maintenance::ViewMaintainer> maintainer_;
+  maintenance::StalenessMonitor staleness_;
   std::shared_ptr<learned::Mlp> learned_mlp_;
   unsigned num_threads_ = 0;  // 0 = auto (hardware_concurrency)
   mutable std::unique_ptr<ThreadPool> pool_;

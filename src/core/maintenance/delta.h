@@ -1,0 +1,35 @@
+#ifndef SOFOS_CORE_MAINTENANCE_DELTA_H_
+#define SOFOS_CORE_MAINTENANCE_DELTA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace sofos {
+namespace core {
+namespace maintenance {
+
+/// One term-level RDF triple of an update batch (decoded form: deltas are
+/// produced outside the store, so they carry Terms, not TermIds).
+struct TermTriple {
+  Term s, p, o;
+};
+
+/// An update batch against the base graph G. Semantics are set-algebraic,
+/// matching TripleStore::ApplyDelta: G' = (G \ deletes) ∪ adds — a triple
+/// in both sets ends up present, deletes of absent triples and adds of
+/// present triples are no-ops.
+struct GraphDelta {
+  std::vector<TermTriple> adds;
+  std::vector<TermTriple> deletes;
+
+  bool empty() const { return adds.empty() && deletes.empty(); }
+  size_t size() const { return adds.size() + deletes.size(); }
+};
+
+}  // namespace maintenance
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_MAINTENANCE_DELTA_H_

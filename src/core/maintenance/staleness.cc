@@ -1,0 +1,63 @@
+#include "core/maintenance/staleness.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sofos {
+namespace core {
+namespace maintenance {
+
+void StalenessMonitor::ResetBaseline(const TripleStore& store,
+                                     std::vector<TermId> pattern_predicates,
+                                     uint64_t root_rows) {
+  predicates_ = std::move(pattern_predicates);
+  baseline_counts_.clear();
+  for (TermId pred : predicates_) {
+    const PredicateStats* stats = store.StatsFor(pred);
+    baseline_counts_[pred] = stats != nullptr ? stats->triples : 0;
+  }
+  baseline_root_rows_ = root_rows;
+  churned_root_rows_ = 0;
+  updates_ = 0;
+  drift_ = 0.0;
+  has_baseline_ = true;
+}
+
+void StalenessMonitor::RecordUpdate(const TripleStore& store,
+                                    uint64_t root_rows_changed) {
+  if (!has_baseline_) return;
+  ++updates_;
+  churned_root_rows_ += root_rows_changed;
+
+  double predicate_drift = 0.0;
+  for (TermId pred : predicates_) {
+    const PredicateStats* stats = store.StatsFor(pred);
+    uint64_t current = stats != nullptr ? stats->triples : 0;
+    uint64_t baseline = baseline_counts_[pred];
+    uint64_t diff = current > baseline ? current - baseline : baseline - current;
+    predicate_drift = std::max(
+        predicate_drift,
+        static_cast<double>(diff) / static_cast<double>(std::max<uint64_t>(baseline, 1)));
+  }
+  double row_drift =
+      static_cast<double>(churned_root_rows_) /
+      static_cast<double>(std::max<uint64_t>(baseline_root_rows_, 1));
+  drift_ = std::max(predicate_drift, row_drift);
+}
+
+std::string StalenessMonitor::Summary() const {
+  if (!has_baseline_) return "staleness: no baseline (run Profile first)";
+  return StrFormat(
+      "staleness: drift=%.3f (threshold %.3f) after %llu batch%s, "
+      "root churn %llu/%llu rows%s",
+      drift_, options_.drift_threshold,
+      static_cast<unsigned long long>(updates_), updates_ == 1 ? "" : "es",
+      static_cast<unsigned long long>(churned_root_rows_),
+      static_cast<unsigned long long>(baseline_root_rows_),
+      ShouldReselect() ? " -> RESELECT RECOMMENDED" : "");
+}
+
+}  // namespace maintenance
+}  // namespace core
+}  // namespace sofos

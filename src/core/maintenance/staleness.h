@@ -1,0 +1,84 @@
+#ifndef SOFOS_CORE_MAINTENANCE_STALENESS_H_
+#define SOFOS_CORE_MAINTENANCE_STALENESS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace sofos {
+namespace core {
+namespace maintenance {
+
+struct StalenessOptions {
+  /// Re-selection is recommended once drift() reaches this value. 0.15
+  /// means "the statistics the current selection was optimized against
+  /// have shifted by ~15%".
+  double drift_threshold = 0.15;
+};
+
+/// Tracks how far the graph has drifted from the state the current view
+/// selection was optimized against (SOFOS's headline challenge: a selected
+/// view set does not stay optimal as the KG evolves).
+///
+/// Every bundled cost model scores a view from the lattice profile, and
+/// the profile is a function of the facet-pattern binding structure — so
+/// per-view benefit drift is driven by (a) cardinality drift of the
+/// pattern predicates (PredicateStats deltas, which the store maintains
+/// exactly through ApplyDelta) and (b) churn of the root-view group keys
+/// (reported by ViewMaintainer, which knows exactly how many root rows
+/// changed). The monitor folds both into a single relative drift score;
+/// when it crosses the threshold the engine surfaces a re-selection
+/// recommendation (it never re-selects behind the caller's back — re-running
+/// Profile/SelectViews/Materialize is the caller's, i.e. the demo driver's,
+/// decision, and resets the baseline).
+class StalenessMonitor {
+ public:
+  explicit StalenessMonitor(StalenessOptions options = {})
+      : options_(options) {}
+
+  /// Captures the reference point: current triple counts of the tracked
+  /// (facet-pattern) predicates and the root-view cardinality. Called by
+  /// the engine after every successful Profile(), since selections are
+  /// always made against a fresh profile.
+  void ResetBaseline(const TripleStore& store,
+                     std::vector<TermId> pattern_predicates,
+                     uint64_t root_rows);
+  bool has_baseline() const { return has_baseline_; }
+
+  /// Records one applied update batch: re-reads the tracked predicate
+  /// stats from the store and accumulates root-view churn.
+  void RecordUpdate(const TripleStore& store, uint64_t root_rows_changed);
+
+  /// Relative benefit-drift estimate in [0, inf): the max of the largest
+  /// per-predicate relative cardinality change and the cumulative fraction
+  /// of root-view rows that churned since the baseline.
+  double drift() const { return drift_; }
+
+  bool ShouldReselect() const {
+    return has_baseline_ && drift_ >= options_.drift_threshold;
+  }
+
+  uint64_t updates_observed() const { return updates_; }
+  const StalenessOptions& options() const { return options_; }
+
+  std::string Summary() const;
+
+ private:
+  StalenessOptions options_;
+  bool has_baseline_ = false;
+  std::vector<TermId> predicates_;
+  std::unordered_map<TermId, uint64_t> baseline_counts_;
+  uint64_t baseline_root_rows_ = 0;
+  uint64_t churned_root_rows_ = 0;
+  uint64_t updates_ = 0;
+  double drift_ = 0.0;
+};
+
+}  // namespace maintenance
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_MAINTENANCE_STALENESS_H_

@@ -1,0 +1,423 @@
+#include "core/maintenance/view_maintainer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "rdf/vocab.h"
+#include "sparql/query_engine.h"
+#include "sparql/value.h"
+
+namespace sofos {
+namespace core {
+namespace maintenance {
+
+namespace {
+
+/// Roll-up accumulator over root cells; mirrors the executor's aggregate
+/// accumulator (isum/dsum split, saw_double promotion, total-order MIN/MAX)
+/// so that maintained literals match what the view query would produce.
+struct Accum {
+  int64_t isum = 0;
+  double dsum = 0.0;
+  bool saw_double = false;
+  uint64_t rows = 0;
+  bool has_best = false;
+  sparql::Value best;
+};
+
+}  // namespace
+
+std::string MaintenanceReport::Summary() const {
+  uint64_t rows_added = 0, rows_deleted = 0, rows_updated = 0;
+  for (const ViewMaintenance& v : views) {
+    rows_added += v.rows_added;
+    rows_deleted += v.rows_deleted;
+    rows_updated += v.rows_updated;
+  }
+  if (skipped) return "maintenance skipped (delta off the facet pattern)";
+  return StrFormat(
+      "root_changed=%llu rows +%llu -%llu ~%llu triples +%llu -%llu "
+      "(root %s, maintain %s, merge %s)",
+      static_cast<unsigned long long>(root_rows_changed),
+      static_cast<unsigned long long>(rows_added),
+      static_cast<unsigned long long>(rows_deleted),
+      static_cast<unsigned long long>(rows_updated),
+      static_cast<unsigned long long>(triples_added),
+      static_cast<unsigned long long>(triples_deleted),
+      FormatMicros(root_query_micros).c_str(),
+      FormatMicros(maintain_micros).c_str(),
+      FormatMicros(merge_micros).c_str());
+}
+
+size_t ViewMaintainer::KeyHash::operator()(const Key& key) const {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (TermId id : key) h = HashCombine(h, id);
+  return static_cast<size_t>(h);
+}
+
+ViewMaintainer::ViewMaintainer(TripleStore* store, const Facet* facet)
+    : store_(store), facet_(facet) {}
+
+Status ViewMaintainer::Initialize(const std::vector<MaterializedView>& views) {
+  if (!store_->finalized()) {
+    return Status::Internal("ViewMaintainer requires a finalized store");
+  }
+  view_pred_id_ = store_->Intern(Term::Iri(std::string(vocab::kSofosView)));
+  value_pred_id_ = store_->Intern(Term::Iri(std::string(vocab::kSofosValue)));
+  rows_pred_id_ = store_->Intern(Term::Iri(std::string(vocab::kSofosRows)));
+  dim_pred_ids_.clear();
+  for (const FacetDim& dim : facet_->dims()) {
+    dim_pred_ids_.push_back(
+        store_->Intern(Term::Iri(vocab::DimPredicate(dim.var))));
+  }
+
+  SOFOS_ASSIGN_OR_RETURN(root_, ComputeRootTable());
+
+  views_.clear();
+  views_.reserve(views.size());
+  for (const MaterializedView& mv : views) {
+    ViewState state;
+    state.mask = mv.mask;
+    state.view_iri_id =
+        store_->Intern(Term::Iri(vocab::ViewIri(facet_->name(), mv.mask)));
+    for (size_t d = 0; d < facet_->num_dims(); ++d) {
+      if ((mv.mask >> d) & 1u) state.dims.push_back(static_cast<int>(d));
+    }
+    SOFOS_RETURN_IF_ERROR(IndexViewRows(&state));
+    views_.push_back(std::move(state));
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+bool ViewMaintainer::Affects(const GraphDelta& delta) const {
+  std::set<std::string> pattern_preds;
+  for (const sparql::TriplePattern& tp : facet_->pattern()) {
+    if (tp.p.is_var()) return true;  // conservative: any predicate may match
+    if (tp.p.term().is_iri()) pattern_preds.insert(tp.p.term().lexical());
+  }
+  auto touches = [&](const std::vector<TermTriple>& triples) {
+    for (const TermTriple& t : triples) {
+      if (t.p.is_iri() && pattern_preds.count(t.p.lexical()) > 0) return true;
+    }
+    return false;
+  };
+  return touches(delta.adds) || touches(delta.deletes);
+}
+
+Result<ViewMaintainer::RootTable> ViewMaintainer::ComputeRootTable() const {
+  sparql::QueryEngine engine(store_);
+  SOFOS_ASSIGN_OR_RETURN(
+      sparql::QueryResult result,
+      engine.Execute(facet_->ViewQuerySparql(facet_->FullMask())));
+
+  const size_t num_dims = facet_->num_dims();
+  const size_t agg_col = num_dims;
+  const size_t rows_col = num_dims + 1;
+  RootTable table;
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    Key key(num_dims, kNullTermId);
+    for (size_t d = 0; d < num_dims; ++d) {
+      if (result.bound[r][d]) key[d] = store_->Intern(result.rows[r][d]);
+    }
+    RootCell cell;
+    if (result.bound[r][agg_col]) {
+      const Term& value = result.rows[r][agg_col];
+      cell.value_id = store_->Intern(value);
+      if (value.datatype() == Term::Datatype::kDouble) {
+        cell.dsum = value.AsDouble().ValueOr(0.0);
+        cell.saw_double = true;
+      } else if (value.datatype() == Term::Datatype::kInteger) {
+        cell.isum = value.AsInt64().ValueOr(0);
+      }
+    }
+    if (result.bound[r][rows_col]) {
+      cell.rows_id = store_->Intern(result.rows[r][rows_col]);
+      cell.rows = static_cast<uint64_t>(
+          result.rows[r][rows_col].AsInt64().ValueOr(0));
+    }
+    table[std::move(key)] = cell;
+  }
+  return table;
+}
+
+Status ViewMaintainer::IndexViewRows(ViewState* view) const {
+  // Resume the fresh-row counter past any labels a previous maintainer
+  // instance minted (the maintainer is rebuilt whenever the view set
+  // changes); reusing a label would attach a second group key to an
+  // existing blank node.
+  const std::string fresh_prefix =
+      StrFormat("mvm_%s_%u_", facet_->name().c_str(), view->mask);
+  for (const Triple& t :
+       store_->Scan(kNullTermId, view_pred_id_, view->view_iri_id)) {
+    TermId blank = t.s;
+    const Term& blank_term = store_->dictionary().term(blank);
+    if (blank_term.is_blank() &&
+        StrStartsWith(blank_term.lexical(), fresh_prefix)) {
+      uint64_t n = std::strtoull(
+          blank_term.lexical().c_str() + fresh_prefix.size(), nullptr, 10);
+      view->next_fresh = std::max(view->next_fresh, n + 1);
+    }
+    Key key(view->dims.size(), kNullTermId);
+    RowInfo info;
+    info.blank = blank;
+    for (const Triple& rt : store_->Scan(blank, kNullTermId, kNullTermId)) {
+      if (rt.p == value_pred_id_) {
+        info.value_id = rt.o;
+      } else if (rt.p == rows_pred_id_) {
+        info.rows_id = rt.o;
+      } else {
+        for (size_t j = 0; j < view->dims.size(); ++j) {
+          if (rt.p == dim_pred_ids_[static_cast<size_t>(view->dims[j])]) {
+            key[j] = rt.o;
+            break;
+          }
+        }
+      }
+    }
+    view->rows.emplace(std::move(key), info);
+  }
+  return Status::OK();
+}
+
+ViewMaintainer::Key ViewMaintainer::ProjectKey(const Key& root_key,
+                                               const ViewState& view) const {
+  Key key(view.dims.size(), kNullTermId);
+  for (size_t j = 0; j < view.dims.size(); ++j) {
+    key[j] = root_key[static_cast<size_t>(view.dims[j])];
+  }
+  return key;
+}
+
+void ViewMaintainer::MaintainView(ViewState* view, const RootTable& next_root,
+                                  const std::vector<Key>& changed_keys,
+                                  StagedEdits* out) const {
+  out->stats.mask = view->mask;
+
+  // Affected view keys: projections of the changed root keys. std::set
+  // keeps them sorted, which makes fresh-blank assignment deterministic.
+  std::set<Key> affected;
+  for (const Key& rk : changed_keys) affected.insert(ProjectKey(rk, *view));
+
+  // Recompute the affected cells from the new root table. The root view
+  // itself (identity projection) only needs point lookups; coarser views
+  // aggregate over the root entries that project into an affected key.
+  const bool is_root = view->mask == facet_->FullMask();
+  std::map<Key, Accum> cells;
+  auto fold = [](Accum* acc, const RootCell& cell) {
+    acc->rows += cell.rows;
+    acc->isum += cell.isum;
+    acc->dsum += cell.dsum;
+    acc->saw_double |= cell.saw_double;
+  };
+  auto fold_best = [&](Accum* acc, const RootCell& cell) {
+    if (cell.value_id == kNullTermId) return;
+    sparql::Value v = sparql::Value::FromTerm(store_->dictionary().term(cell.value_id));
+    const bool is_min = facet_->agg_kind() == sparql::AggKind::kMin;
+    if (!acc->has_best ||
+        (is_min ? v.TotalCompare(acc->best) < 0 : v.TotalCompare(acc->best) > 0)) {
+      acc->best = std::move(v);
+      acc->has_best = true;
+    }
+  };
+  const bool minmax = facet_->agg_kind() == sparql::AggKind::kMin ||
+                      facet_->agg_kind() == sparql::AggKind::kMax;
+  if (is_root) {
+    for (const Key& k : affected) {
+      auto it = next_root.find(k);
+      if (it == next_root.end()) continue;
+      Accum& acc = cells[k];
+      fold(&acc, it->second);
+      if (minmax) fold_best(&acc, it->second);
+    }
+  } else {
+    for (const auto& entry : next_root) {
+      Key pk = ProjectKey(entry.first, *view);
+      auto it = affected.find(pk);
+      if (it == affected.end()) continue;
+      Accum& acc = cells[pk];
+      fold(&acc, entry.second);
+      if (minmax) fold_best(&acc, entry.second);
+    }
+  }
+
+  auto stage_row_delete = [&](const Key& key, const RowInfo& info) {
+    out->deletes.push_back(Triple{info.blank, view_pred_id_, view->view_iri_id});
+    for (size_t j = 0; j < view->dims.size(); ++j) {
+      if (key[j] != kNullTermId) {
+        out->deletes.push_back(Triple{
+            info.blank, dim_pred_ids_[static_cast<size_t>(view->dims[j])],
+            key[j]});
+      }
+    }
+    if (info.value_id != kNullTermId) {
+      out->deletes.push_back(Triple{info.blank, value_pred_id_, info.value_id});
+    }
+    if (info.rows_id != kNullTermId) {
+      out->deletes.push_back(Triple{info.blank, rows_pred_id_, info.rows_id});
+    }
+  };
+
+  for (const Key& key : affected) {
+    auto cit = cells.find(key);
+    const bool live = cit != cells.end() && cit->second.rows > 0;
+    auto rit = view->rows.find(key);
+
+    if (!live) {
+      if (rit != view->rows.end()) {
+        stage_row_delete(key, rit->second);
+        view->rows.erase(rit);
+        ++out->stats.rows_deleted;
+      }
+      continue;
+    }
+
+    // Finalize the rolled-up cell exactly as the executor would.
+    const Accum& acc = cit->second;
+    TermId value_id = kNullTermId;
+    switch (facet_->agg_kind()) {
+      case sparql::AggKind::kCount:
+      case sparql::AggKind::kSum:
+      case sparql::AggKind::kAvg:  // encoded as SUM (see Materializer)
+        value_id = store_->Intern(acc.saw_double
+                                      ? Term::Double(acc.dsum +
+                                                     static_cast<double>(acc.isum))
+                                      : Term::Integer(acc.isum));
+        break;
+      case sparql::AggKind::kMin:
+      case sparql::AggKind::kMax: {
+        if (acc.has_best) {
+          auto term = acc.best.ToTerm();
+          if (term.ok()) value_id = store_->Intern(*term);
+        }
+        break;
+      }
+    }
+    TermId rows_id =
+        store_->Intern(Term::Integer(static_cast<int64_t>(acc.rows)));
+
+    if (rit == view->rows.end()) {
+      // Fresh group key: encode a new blank-node row. The "mvm_" prefix
+      // keeps maintained rows disjoint from the materializer's "mv_" ones.
+      RowInfo info;
+      info.blank = store_->Intern(Term::Blank(
+          StrFormat("mvm_%s_%u_%llu", facet_->name().c_str(), view->mask,
+                    static_cast<unsigned long long>(view->next_fresh++))));
+      info.value_id = value_id;
+      info.rows_id = rows_id;
+      out->adds.push_back(Triple{info.blank, view_pred_id_, view->view_iri_id});
+      for (size_t j = 0; j < view->dims.size(); ++j) {
+        if (key[j] != kNullTermId) {
+          out->adds.push_back(Triple{
+              info.blank, dim_pred_ids_[static_cast<size_t>(view->dims[j])],
+              key[j]});
+        }
+      }
+      if (value_id != kNullTermId) {
+        out->adds.push_back(Triple{info.blank, value_pred_id_, value_id});
+      }
+      out->adds.push_back(Triple{info.blank, rows_pred_id_, rows_id});
+      view->rows.emplace(key, info);
+      ++out->stats.rows_added;
+    } else {
+      // Existing row: swap the value / rows literals in place.
+      RowInfo& info = rit->second;
+      bool touched = false;
+      if (info.value_id != value_id) {
+        if (info.value_id != kNullTermId) {
+          out->deletes.push_back(
+              Triple{info.blank, value_pred_id_, info.value_id});
+        }
+        if (value_id != kNullTermId) {
+          out->adds.push_back(Triple{info.blank, value_pred_id_, value_id});
+        }
+        info.value_id = value_id;
+        touched = true;
+      }
+      if (info.rows_id != rows_id) {
+        if (info.rows_id != kNullTermId) {
+          out->deletes.push_back(
+              Triple{info.blank, rows_pred_id_, info.rows_id});
+        }
+        out->adds.push_back(Triple{info.blank, rows_pred_id_, rows_id});
+        info.rows_id = rows_id;
+        touched = true;
+      }
+      if (touched) ++out->stats.rows_updated;
+    }
+  }
+  out->stats.triples_added = out->adds.size();
+  out->stats.triples_deleted = out->deletes.size();
+}
+
+Result<MaintenanceReport> ViewMaintainer::MaintainAll(ThreadPool* pool) {
+  if (!initialized_) {
+    return Status::Internal("ViewMaintainer::MaintainAll before Initialize");
+  }
+  MaintenanceReport report;
+
+  WallTimer root_timer;
+  SOFOS_ASSIGN_OR_RETURN(RootTable next_root, ComputeRootTable());
+  report.root_query_micros = root_timer.ElapsedMicros();
+
+  // Lockstep diff of the sorted tables: keys present on one side only, or
+  // present on both with a different encoding, changed.
+  std::vector<Key> changed;
+  auto it = root_.begin();
+  auto jt = next_root.begin();
+  while (it != root_.end() || jt != next_root.end()) {
+    if (jt == next_root.end() ||
+        (it != root_.end() && it->first < jt->first)) {
+      changed.push_back(it->first);
+      ++it;
+    } else if (it == root_.end() || jt->first < it->first) {
+      changed.push_back(jt->first);
+      ++jt;
+    } else {
+      if (!it->second.SameEncoding(jt->second)) changed.push_back(it->first);
+      ++it;
+      ++jt;
+    }
+  }
+  report.root_rows_changed = changed.size();
+
+  if (!changed.empty() && !views_.empty()) {
+    WallTimer maintain_timer;
+    std::vector<StagedEdits> staged(views_.size());
+    ParallelForEach(pool, views_.size(), [&](size_t i) {
+      MaintainView(&views_[i], next_root, changed, &staged[i]);
+    });
+    report.maintain_micros = maintain_timer.ElapsedMicros();
+
+    for (StagedEdits& edits : staged) {
+      for (const Triple& t : edits.adds) store_->StageAdd(t.s, t.p, t.o);
+      for (const Triple& t : edits.deletes) store_->StageDelete(t.s, t.p, t.o);
+      report.views.push_back(edits.stats);
+    }
+    if (store_->HasStagedDelta()) {
+      DeltaApplyResult merge = store_->ApplyDelta(pool);
+      report.triples_added = merge.adds_applied;
+      report.triples_deleted = merge.deletes_applied;
+      report.merge_micros = merge.merge_micros;
+    }
+  } else {
+    for (const ViewState& view : views_) {
+      ViewMaintenance stats;
+      stats.mask = view.mask;
+      report.views.push_back(stats);
+    }
+  }
+
+  root_ = std::move(next_root);
+  return report;
+}
+
+}  // namespace maintenance
+}  // namespace core
+}  // namespace sofos

@@ -1,0 +1,183 @@
+#ifndef SOFOS_CORE_MAINTENANCE_VIEW_MAINTAINER_H_
+#define SOFOS_CORE_MAINTENANCE_VIEW_MAINTAINER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/facet.h"
+#include "core/maintenance/delta.h"
+#include "core/materializer.h"
+#include "rdf/triple_store.h"
+
+namespace sofos {
+
+class ThreadPool;
+
+namespace core {
+namespace maintenance {
+
+/// Maintenance figures for one materialized view.
+struct ViewMaintenance {
+  uint32_t mask = 0;
+  uint64_t rows_added = 0;    // fresh group keys encoded
+  uint64_t rows_deleted = 0;  // group keys whose contributions vanished
+  uint64_t rows_updated = 0;  // existing keys whose value/rows changed
+  uint64_t triples_added = 0;
+  uint64_t triples_deleted = 0;
+};
+
+/// Aggregate figures of one maintenance pass over all materialized views.
+struct MaintenanceReport {
+  std::vector<ViewMaintenance> views;
+  uint64_t root_rows_changed = 0;  // root-view group keys that changed
+  uint64_t triples_added = 0;      // encoding triples merged into G+
+  uint64_t triples_deleted = 0;
+  double root_query_micros = 0.0;  // the one root-view evaluation
+  double maintain_micros = 0.0;    // per-view delta staging (all views)
+  double merge_micros = 0.0;       // final ApplyDelta into the store
+  /// True when the base delta could not touch the facet pattern, so no
+  /// maintenance work ran at all (root table and encodings still valid).
+  bool skipped = false;
+
+  std::string Summary() const;
+};
+
+/// Incrementally repairs the blank-node encodings of materialized views
+/// after a base-graph delta, instead of re-running every view query and
+/// re-finalizing the store.
+///
+/// Roll-up algebra: every lattice view is a roll-up of the root view (the
+/// one grouping by ALL facet dimensions), because the partition of pattern
+/// bindings by the full dimension tuple refines the partition by any
+/// subset. The maintainer therefore caches the root-view table (full group
+/// key → (aggregate decomposition, contributing rows)). One maintenance
+/// pass then costs a single root-view evaluation, independent of how many
+/// views are materialized:
+///
+///   1. recompute the root table with ONE query over the updated graph;
+///   2. diff it against the cache → the changed root keys;
+///   3. per materialized view (fanned out over the thread pool): project
+///      the changed keys into the view's dimension subset and recompute
+///      exactly the affected view rows from the new root table — COUNT and
+///      SUM roll up by addition, AVG is stored as SUM (the encoding
+///      contract, see Materializer) so it also rolls up by addition, and
+///      MIN/MAX are re-derived from the affected group's root cells;
+///   4. stage the per-row triple edits (adjust sofos:value / sofos:rows,
+///      encode fresh rows, tombstone vanished rows) and merge them with one
+///      TripleStore::ApplyDelta.
+///
+/// Exactness: maintained values equal what full rematerialization would
+/// store, byte-for-byte for integer aggregates (COUNT, SUM over xsd:integer
+/// — every bundled dataset). For double-valued SUM/AVG the roll-up adds
+/// per-group subtotals instead of raw bindings, so results can differ in
+/// the last ulps of the float; tests compare those numerically.
+///
+/// Threading: per-view staging only reads the store (const scans) and the
+/// shared root table, and interns new literals through the internally
+/// synchronized dictionary, so views fan out safely. Fresh blank-node
+/// labels come from a per-view counter over keys processed in sorted key
+/// order, making the maintained graph independent of the thread count.
+class ViewMaintainer {
+ public:
+  ViewMaintainer(TripleStore* store, const Facet* facet);
+
+  /// Captures the pre-update state: evaluates the root view over the
+  /// *current* graph and indexes the blank-node rows of every materialized
+  /// view. Must run while the store still reflects the state the views
+  /// were materialized against (i.e. before the base delta merges).
+  Status Initialize(const std::vector<MaterializedView>& views);
+  bool initialized() const { return initialized_; }
+
+  /// True iff the delta can affect facet-pattern bindings (some add or
+  /// delete uses a pattern predicate; conservatively true when a pattern
+  /// predicate is a variable). Non-affecting deltas need no maintenance —
+  /// the cached root table stays valid.
+  bool Affects(const GraphDelta& delta) const;
+
+  /// Repairs all view encodings against the store's current (post-delta)
+  /// base data; call AFTER the base delta merged. Leaves the store
+  /// finalized and the internal caches advanced to the new state.
+  Result<MaintenanceReport> MaintainAll(ThreadPool* pool = nullptr);
+
+ private:
+  /// A group key: one interned id per facet dimension for the root table,
+  /// one per retained dimension for a view's rows. kNullTermId = unbound.
+  using Key = std::vector<TermId>;
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  /// Cached root-view cell: the encoded literal ids plus the numeric
+  /// decomposition used for roll-up addition (mirrors the executor's
+  /// aggregate accumulator so rolled-up sums match its results).
+  struct RootCell {
+    TermId value_id = kNullTermId;
+    TermId rows_id = kNullTermId;
+    int64_t isum = 0;
+    double dsum = 0.0;
+    bool saw_double = false;
+    uint64_t rows = 0;
+
+    bool SameEncoding(const RootCell& other) const {
+      return value_id == other.value_id && rows_id == other.rows_id;
+    }
+  };
+  /// std::map: deterministic iteration and lockstep diffing.
+  using RootTable = std::map<Key, RootCell>;
+
+  /// One encoded view row in the store.
+  struct RowInfo {
+    TermId blank = kNullTermId;
+    TermId value_id = kNullTermId;  // kNullTermId when the triple is absent
+    TermId rows_id = kNullTermId;
+  };
+
+  /// Mutable per-view state; only its owning maintenance task touches it.
+  struct ViewState {
+    uint32_t mask = 0;
+    TermId view_iri_id = kNullTermId;
+    std::vector<int> dims;  // facet dim indices retained by mask, ascending
+    std::unordered_map<Key, RowInfo, KeyHash> rows;
+    uint64_t next_fresh = 0;  // fresh blank-node counter
+  };
+
+  /// Triple edits staged by one view's maintenance task.
+  struct StagedEdits {
+    std::vector<Triple> adds;
+    std::vector<Triple> deletes;
+    ViewMaintenance stats;
+  };
+
+  Result<RootTable> ComputeRootTable() const;
+  Status IndexViewRows(ViewState* view) const;
+  Key ProjectKey(const Key& root_key, const ViewState& view) const;
+  /// Recomputes the affected rows of one view from `next_root` and stages
+  /// the triple edits. Mutates only `view` and `out`.
+  void MaintainView(ViewState* view, const RootTable& next_root,
+                    const std::vector<Key>& changed_keys,
+                    StagedEdits* out) const;
+
+  TripleStore* store_;
+  const Facet* facet_;
+  bool initialized_ = false;
+
+  // Interned encoding vocabulary (filled by Initialize).
+  TermId view_pred_id_ = kNullTermId;
+  TermId value_pred_id_ = kNullTermId;
+  TermId rows_pred_id_ = kNullTermId;
+  std::vector<TermId> dim_pred_ids_;  // per facet dimension
+
+  RootTable root_;
+  std::vector<ViewState> views_;
+};
+
+}  // namespace maintenance
+}  // namespace core
+}  // namespace sofos
+
+#endif  // SOFOS_CORE_MAINTENANCE_VIEW_MAINTAINER_H_

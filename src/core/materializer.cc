@@ -1,5 +1,6 @@
 #include "core/materializer.h"
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "rdf/vocab.h"
@@ -15,27 +16,30 @@ Result<MaterializedView> Materializer::Materialize(uint32_t mask) {
 }
 
 Result<std::vector<MaterializedView>> Materializer::MaterializeAll(
-    const std::vector<uint32_t>& masks) {
+    const std::vector<uint32_t>& masks, ThreadPool* pool) {
   if (!store_->finalized()) {
     return Status::Internal("materializer requires a finalized store");
   }
 
-  // Phase 1: compute every view over the current graph. All queries run
-  // before any encoding is appended so that each view is defined over the
-  // same graph state (and the store stays finalized while querying).
-  sparql::QueryEngine engine(store_);
-  std::vector<sparql::QueryResult> results;
-  std::vector<double> query_micros;
-  results.reserve(masks.size());
-  for (uint32_t mask : masks) {
-    WallTimer timer;
-    SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result,
-                           engine.Execute(facet_->ViewQuerySparql(mask)));
-    query_micros.push_back(timer.ElapsedMicros());
-    results.push_back(std::move(result));
-  }
+  // Phase 1: compute every view over the current graph, fanned out over
+  // the pool (each query gets its own engine/executor; the store stays
+  // finalized and is only read). All queries run before any encoding is
+  // appended so that each view is defined over the same graph state.
+  std::vector<sparql::QueryResult> results(masks.size());
+  std::vector<double> query_micros(masks.size(), 0.0);
+  SOFOS_RETURN_IF_ERROR(
+      ParallelForEachStatus(pool, masks.size(), [&](size_t i) -> Status {
+        sparql::QueryEngine engine(store_);
+        WallTimer timer;
+        SOFOS_ASSIGN_OR_RETURN(
+            results[i], engine.Execute(facet_->ViewQuerySparql(masks[i])));
+        query_micros[i] = timer.ElapsedMicros();
+        return Status::OK();
+      }));
 
-  // Phase 2: append the blank-node encodings.
+  // Phase 2: append the blank-node encodings, serially in mask order (Add
+  // and the blank counter require exclusive access; keeping this serial
+  // also keeps labels identical to the single-threaded run).
   std::vector<MaterializedView> views;
   views.reserve(masks.size());
   for (size_t i = 0; i < masks.size(); ++i) {
@@ -46,7 +50,7 @@ Result<std::vector<MaterializedView>> Materializer::MaterializeAll(
 
   // Phase 3: one re-finalization for the whole batch.
   WallTimer timer;
-  store_->Finalize();
+  store_->Finalize(pool);
   if (!views.empty()) {
     double each = timer.ElapsedMicros() / static_cast<double>(views.size());
     for (auto& view : views) view.build_micros += each;

@@ -11,6 +11,9 @@
 #include "sparql/query_engine.h"
 
 namespace sofos {
+
+class ThreadPool;
+
 namespace core {
 
 /// Record of one materialized view inside the expanded graph G+.
@@ -44,9 +47,14 @@ class Materializer {
   Result<MaterializedView> Materialize(uint32_t mask);
 
   /// Materializes a batch with a single re-finalization at the end
-  /// (cheaper than per-view Finalize for multi-view selections).
+  /// (cheaper than per-view Finalize for multi-view selections). When
+  /// `pool` is non-null the per-view queries run concurrently (each one
+  /// only does const store scans plus synchronized dictionary interning)
+  /// and the final Finalize sorts on the pool; the encoding phase stays
+  /// serial in mask order, so results — including blank-node labels — are
+  /// identical to the serial run.
   Result<std::vector<MaterializedView>> MaterializeAll(
-      const std::vector<uint32_t>& masks);
+      const std::vector<uint32_t>& masks, ThreadPool* pool = nullptr);
 
  private:
   /// Appends the blank-node encoding of one computed view result.

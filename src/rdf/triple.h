@@ -1,7 +1,10 @@
 #ifndef SOFOS_RDF_TRIPLE_H_
 #define SOFOS_RDF_TRIPLE_H_
 
+#include <algorithm>
+#include <iterator>
 #include <tuple>
+#include <vector>
 
 #include "rdf/dictionary.h"
 
@@ -35,6 +38,29 @@ struct TripleIdPattern {
            (o == kNullTermId || o == t.o);
   }
 };
+
+/// Applies a sorted, deduplicated delta to a sorted, deduplicated triple
+/// set: returns (base \ deletes) ∪ adds, sorted and deduplicated. A triple
+/// present on both sides survives — the one definition of delta semantics,
+/// shared by TripleStore::ApplyDelta (per-index, with tombstones), the
+/// engine's base-snapshot mirror, and the update-stream generator.
+inline std::vector<Triple> ApplySortedDelta(const std::vector<Triple>& base,
+                                            const std::vector<Triple>& adds,
+                                            const std::vector<Triple>& deletes) {
+  std::vector<Triple> effective_deletes;
+  std::set_difference(deletes.begin(), deletes.end(), adds.begin(), adds.end(),
+                      std::back_inserter(effective_deletes));
+  std::vector<Triple> stripped;
+  stripped.reserve(base.size());
+  std::set_difference(base.begin(), base.end(), effective_deletes.begin(),
+                      effective_deletes.end(), std::back_inserter(stripped));
+  std::vector<Triple> out;
+  out.reserve(stripped.size() + adds.size());
+  std::merge(stripped.begin(), stripped.end(), adds.begin(), adds.end(),
+             std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
 
 }  // namespace sofos
 

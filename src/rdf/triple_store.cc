@@ -4,6 +4,10 @@
 #include <cassert>
 #include <limits>
 
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+
 namespace sofos {
 
 namespace {
@@ -57,10 +61,39 @@ struct PermLess {
   }
 };
 
+/// One linear pass merging `adds` into `index` while dropping `deletes`;
+/// all three inputs sorted by `less`. `adds` must be disjoint from `index`
+/// and `deletes` a subset of it (ApplyDelta normalizes the staged buffers
+/// to these effective sets), so the output needs no deduplication.
+std::vector<Triple> MergeDelta(const std::vector<Triple>& index,
+                               const std::vector<Triple>& adds,
+                               const std::vector<Triple>& deletes,
+                               const PermLess& less) {
+  std::vector<Triple> out;
+  out.reserve(index.size() + adds.size() - deletes.size());
+  size_t i = 0, a = 0, d = 0;
+  while (i < index.size() || a < adds.size()) {
+    if (a >= adds.size() || (i < index.size() && !less(adds[a], index[i]))) {
+      if (d < deletes.size() && deletes[d] == index[i]) {
+        ++d;  // tombstone: skip the deleted triple
+        ++i;
+      } else {
+        out.push_back(index[i++]);
+      }
+    } else {
+      out.push_back(adds[a++]);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 void TripleStore::Add(TermId s, TermId p, TermId o) {
   assert(s != kNullTermId && p != kNullTermId && o != kNullTermId);
+  SOFOS_CHECK(!HasStagedDelta(),
+              "Add() while a staged delta is pending; ApplyDelta() or "
+              "DiscardStagedDelta() first");
   triples_.push_back(Triple{s, p, o});
   finalized_ = false;
 }
@@ -70,24 +103,117 @@ void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
 }
 
 void TripleStore::ReplaceTriples(std::vector<Triple> triples) {
+  SOFOS_CHECK(!HasStagedDelta(),
+              "ReplaceTriples() while a staged delta is pending");
   triples_ = std::move(triples);
   finalized_ = false;
 }
 
-void TripleStore::Finalize() {
+void TripleStore::StageAdd(TermId s, TermId p, TermId o) {
+  assert(s != kNullTermId && p != kNullTermId && o != kNullTermId);
+  SOFOS_CHECK(finalized_, "StageAdd() requires a finalized store");
+  delta_adds_.push_back(Triple{s, p, o});
+}
+
+void TripleStore::StageDelete(TermId s, TermId p, TermId o) {
+  assert(s != kNullTermId && p != kNullTermId && o != kNullTermId);
+  SOFOS_CHECK(finalized_, "StageDelete() requires a finalized store");
+  delta_deletes_.push_back(Triple{s, p, o});
+}
+
+void TripleStore::StageAdd(const Term& s, const Term& p, const Term& o) {
+  StageAdd(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+}
+
+void TripleStore::StageDelete(const Term& s, const Term& p, const Term& o) {
+  StageDelete(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+}
+
+void TripleStore::DiscardStagedDelta() {
+  delta_adds_.clear();
+  delta_deletes_.clear();
+}
+
+DeltaApplyResult TripleStore::ApplyDelta(ThreadPool* pool) {
+  SOFOS_CHECK(finalized_, "ApplyDelta() requires a finalized store");
+  WallTimer timer;
+  DeltaApplyResult result;
+
+  // Normalize the staged buffers against the current graph so the per-order
+  // merges are pure: effective adds are absent from G, effective deletes are
+  // present in G and not re-added ((G \ D) ∪ A keeps a triple staged on both
+  // sides, so it must not be tombstoned).
+  std::sort(delta_adds_.begin(), delta_adds_.end());
+  delta_adds_.erase(std::unique(delta_adds_.begin(), delta_adds_.end()),
+                    delta_adds_.end());
+  std::sort(delta_deletes_.begin(), delta_deletes_.end());
+  delta_deletes_.erase(
+      std::unique(delta_deletes_.begin(), delta_deletes_.end()),
+      delta_deletes_.end());
+
+  std::vector<Triple> adds, deletes;
+  adds.reserve(delta_adds_.size());
+  deletes.reserve(delta_deletes_.size());
+  for (const Triple& t : delta_adds_) {
+    if (!std::binary_search(triples_.begin(), triples_.end(), t)) {
+      adds.push_back(t);
+    }
+  }
+  for (const Triple& t : delta_deletes_) {
+    if (std::binary_search(triples_.begin(), triples_.end(), t) &&
+        !std::binary_search(delta_adds_.begin(), delta_adds_.end(), t)) {
+      deletes.push_back(t);
+    }
+  }
+  DiscardStagedDelta();
+  result.adds_applied = adds.size();
+  result.deletes_applied = deletes.size();
+
+  if (!adds.empty() || !deletes.empty()) {
+    // Six independent merges; each sorts its own small copy of the delta
+    // into its permutation order, then merges in one pass.
+    ParallelForEach(pool, static_cast<size_t>(kNumOrders), [&](size_t order) {
+      PermLess less{kPerms[order]};
+      std::vector<Triple> order_adds = adds, order_deletes = deletes;
+      if (order != kSPO) {
+        std::sort(order_adds.begin(), order_adds.end(), less);
+        std::sort(order_deletes.begin(), order_deletes.end(), less);
+      }
+      indexes_[order] =
+          MergeDelta(indexes_[order], order_adds, order_deletes, less);
+    });
+    triples_ = indexes_[kSPO];
+    RebuildStats();
+  }
+
+  result.merge_micros = timer.ElapsedMicros();
+  return result;
+}
+
+void TripleStore::Finalize(ThreadPool* pool) {
+  SOFOS_CHECK(!HasStagedDelta(),
+              "Finalize() while a staged delta is pending; ApplyDelta() or "
+              "DiscardStagedDelta() first");
   if (finalized_) return;
 
   std::sort(triples_.begin(), triples_.end());
   triples_.erase(std::unique(triples_.begin(), triples_.end()), triples_.end());
 
-  for (int order = 0; order < kNumOrders; ++order) {
+  // The canonical sort + dedup above must finish first; the five remaining
+  // permutation sorts are independent and fan out over the pool.
+  indexes_[kSPO] = triples_;
+  ParallelForEach(pool, static_cast<size_t>(kNumOrders) - 1, [&](size_t i) {
+    int order = static_cast<int>(i) + 1;
     indexes_[order] = triples_;
-    if (order != kSPO) {
-      std::sort(indexes_[order].begin(), indexes_[order].end(),
-                PermLess{kPerms[order]});
-    }
-  }
+    std::sort(indexes_[order].begin(), indexes_[order].end(),
+              PermLess{kPerms[order]});
+  });
 
+  RebuildStats();
+  finalized_ = true;
+}
+
+void TripleStore::RebuildStats() {
   // Per-predicate statistics from the PSO and POS indexes: triples per
   // predicate, distinct subjects per predicate (runs of s within a predicate
   // block of PSO), distinct objects per predicate (runs of o within POS).
@@ -143,8 +269,6 @@ void TripleStore::Finalize() {
       have_prev = true;
     }
   }
-
-  finalized_ = true;
 }
 
 TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o) const {
@@ -203,6 +327,7 @@ const PredicateStats* TripleStore::StatsFor(TermId predicate) const {
 uint64_t TripleStore::MemoryBytes() const {
   uint64_t bytes = dict_.MemoryBytes();
   bytes += triples_.capacity() * sizeof(Triple);
+  bytes += (delta_adds_.capacity() + delta_deletes_.capacity()) * sizeof(Triple);
   for (const auto& index : indexes_) bytes += index.capacity() * sizeof(Triple);
   return bytes;
 }

@@ -12,6 +12,15 @@
 
 namespace sofos {
 
+class ThreadPool;
+
+/// Outcome of merging a staged delta into a finalized store.
+struct DeltaApplyResult {
+  uint64_t adds_applied = 0;     // staged adds that were not already present
+  uint64_t deletes_applied = 0;  // staged deletes that actually removed a triple
+  double merge_micros = 0.0;
+};
+
 /// Per-predicate statistics gathered at Finalize() time; used by the query
 /// planner for selectivity estimation and by the cost models.
 struct PredicateStats {
@@ -31,6 +40,24 @@ struct PredicateStats {
 /// finalized store. Adding after Finalize() is allowed — the store becomes
 /// unfinalized and must be finalized again (materialization of views relies
 /// on this: the expanded graph G+ is the same store re-finalized).
+///
+/// Incremental mutation: a *finalized* store can alternatively absorb an
+/// update batch through the staged-delta path — StageAdd()/StageDelete()
+/// collect dictionary-encoded triples in side buffers, and ApplyDelta()
+/// merges them into all six permutation indexes with one linear merge pass
+/// per order (the small delta is sorted, deletes act as tombstones during
+/// the merge), leaving the store finalized throughout. For a delta of d
+/// triples against n stored triples this costs O(n + d log d) instead of
+/// Finalize()'s O(n log n) six-way re-sort. Semantics are set-algebraic:
+/// the new graph is (G \ deletes) ∪ adds — a triple staged on both sides
+/// ends up present; deletes of absent triples and adds of present triples
+/// are no-ops (not counted in DeltaApplyResult).
+///
+/// The two mutation paths must not interleave: Add()/ReplaceTriples()/
+/// Finalize() SOFOS_CHECK-fail while a staged delta is pending (a stale
+/// side buffer would silently resurrect or re-delete triples on the next
+/// ApplyDelta), and ApplyDelta() requires a finalized store. Discard a
+/// pending delta with DiscardStagedDelta() to return to the legacy path.
 ///
 /// Thread safety (the contract the parallel offline pipeline and the
 /// batched workload runner rely on):
@@ -57,14 +84,45 @@ class TripleStore {
   TermId Intern(const Term& term) { return dict_.Intern(term); }
 
   /// Adds a triple by id. Ids must come from this store's dictionary.
+  /// Must not be called while a staged delta is pending (SOFOS_CHECK).
   void Add(TermId s, TermId p, TermId o);
 
   /// Convenience: interns the three terms and adds the triple.
   void Add(const Term& s, const Term& p, const Term& o);
 
   /// Sorts and deduplicates the triples and rebuilds all six indexes and the
-  /// statistics. Idempotent. O(n log n).
-  void Finalize();
+  /// statistics. Idempotent. O(n log n). When `pool` is non-null the five
+  /// non-canonical permutation sorts run concurrently on it (the canonical
+  /// SPO sort must finish first — deduplication feeds the other orders);
+  /// the result is identical either way. Must not be called while a staged
+  /// delta is pending (SOFOS_CHECK).
+  void Finalize(ThreadPool* pool = nullptr);
+
+  /// ---- Staged-delta mutation path (see class comment) ----
+
+  /// Stages one triple for insertion/removal by the next ApplyDelta().
+  /// Ids must come from this store's dictionary. Staging is allowed only on
+  /// a finalized store (SOFOS_CHECK) — the delta is defined against the
+  /// finalized state it will merge into.
+  void StageAdd(TermId s, TermId p, TermId o);
+  void StageDelete(TermId s, TermId p, TermId o);
+  /// Convenience overloads that intern the terms first.
+  void StageAdd(const Term& s, const Term& p, const Term& o);
+  void StageDelete(const Term& s, const Term& p, const Term& o);
+
+  size_t staged_adds() const { return delta_adds_.size(); }
+  size_t staged_deletes() const { return delta_deletes_.size(); }
+  bool HasStagedDelta() const {
+    return !delta_adds_.empty() || !delta_deletes_.empty();
+  }
+  /// Drops the staged buffers without applying them.
+  void DiscardStagedDelta();
+
+  /// Merges the staged delta into all six indexes and refreshes the
+  /// statistics; the store stays finalized and Scan() ranges taken before
+  /// the call are invalidated. When `pool` is non-null the six per-order
+  /// merges run concurrently; results are identical either way.
+  DeltaApplyResult ApplyDelta(ThreadPool* pool = nullptr);
 
   /// Replaces the triple set wholesale (dictionary is kept; superfluous
   /// terms stay interned and harmless). Used to roll an expanded graph G+
@@ -132,11 +190,17 @@ class TripleStore {
  private:
   enum Order : int { kSPO = 0, kSOP, kPSO, kPOS, kOSP, kOPS, kNumOrders };
 
+  /// Recomputes predicate_stats_ and num_nodes_ from the (already sorted)
+  /// indexes; shared by Finalize() and ApplyDelta().
+  void RebuildStats();
+
   Dictionary dict_;
   std::vector<Triple> triples_;  // canonical, SPO-sorted after Finalize
   // indexes_[kSPO] aliases triples_ conceptually but is stored separately to
   // keep the code uniform; the five extra orders are rebuilt in Finalize.
   std::array<std::vector<Triple>, kNumOrders> indexes_;
+  std::vector<Triple> delta_adds_;     // staged, unsorted until ApplyDelta
+  std::vector<Triple> delta_deletes_;  // staged, unsorted until ApplyDelta
   std::unordered_map<TermId, PredicateStats> predicate_stats_;
   uint64_t num_nodes_ = 0;
   bool finalized_ = false;

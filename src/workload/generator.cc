@@ -1,6 +1,8 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <iterator>
+#include <unordered_map>
 
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -115,6 +117,84 @@ Result<std::vector<WorkloadQuery>> WorkloadGenerator::Generate(
     queries.push_back(std::move(query));
   }
   return queries;
+}
+
+Result<std::vector<core::maintenance::GraphDelta>> GenerateUpdateStream(
+    const std::vector<Triple>& base, const Dictionary& dict,
+    const UpdateStreamOptions& options) {
+  using core::maintenance::GraphDelta;
+  using core::maintenance::TermTriple;
+
+  if (options.num_batches < 0 || options.batch_fraction < 0 ||
+      options.delete_fraction < 0 || options.delete_fraction > 1) {
+    return Status::InvalidArgument("invalid update-stream options");
+  }
+  if (base.empty()) {
+    return Status::InvalidArgument("update stream requires a non-empty base");
+  }
+
+  Rng rng(options.seed);
+
+  // Object pools per predicate, sampled from the initial base: inserts
+  // recombine an existing (s, p) with another object of the same predicate.
+  std::unordered_map<TermId, std::vector<TermId>> objects_by_pred;
+  for (const Triple& t : base) objects_by_pred[t.p].push_back(t.o);
+
+  // `current` evolves as batches are generated so that every delete hits a
+  // live triple and every insert is genuinely new at apply time.
+  std::vector<Triple> current = base;  // stays sorted
+
+  auto decode = [&](const Triple& t) {
+    return TermTriple{dict.term(t.s), dict.term(t.p), dict.term(t.o)};
+  };
+
+  std::vector<GraphDelta> stream;
+  stream.reserve(static_cast<size_t>(options.num_batches));
+  for (int b = 0; b < options.num_batches; ++b) {
+    size_t ops = static_cast<size_t>(
+        static_cast<double>(base.size()) * options.batch_fraction);
+    ops = std::max(ops, static_cast<size_t>(std::max(options.min_batch_ops, 1)));
+    size_t num_deletes = static_cast<size_t>(
+        static_cast<double>(ops) * options.delete_fraction);
+    num_deletes = std::min(num_deletes, current.size() > 1 ? current.size() - 1
+                                                           : size_t{0});
+    size_t num_adds = ops - std::min(ops, num_deletes);
+
+    GraphDelta delta;
+    std::vector<Triple> batch_deletes;
+    for (size_t i : rng.SampleIndices(current.size(), num_deletes)) {
+      batch_deletes.push_back(current[i]);
+      delta.deletes.push_back(decode(current[i]));
+    }
+    std::sort(batch_deletes.begin(), batch_deletes.end());
+
+    std::vector<Triple> batch_adds;
+    for (size_t i = 0; i < num_adds; ++i) {
+      // A handful of recombination attempts per insert; graphs where every
+      // (s, p, o') already exists simply yield a smaller batch.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const Triple& donor = current[rng.Uniform(current.size())];
+        const std::vector<TermId>& pool = objects_by_pred[donor.p];
+        Triple candidate{donor.s, donor.p, pool[rng.Uniform(pool.size())]};
+        if (std::binary_search(current.begin(), current.end(), candidate) ||
+            std::binary_search(batch_adds.begin(), batch_adds.end(),
+                               candidate)) {
+          continue;
+        }
+        batch_adds.insert(std::lower_bound(batch_adds.begin(),
+                                           batch_adds.end(), candidate),
+                          candidate);
+        delta.adds.push_back(decode(candidate));
+        break;
+      }
+    }
+
+    // Advance the working copy with the shared delta semantics.
+    current = ApplySortedDelta(current, batch_adds, batch_deletes);
+
+    stream.push_back(std::move(delta));
+  }
+  return stream;
 }
 
 }  // namespace workload

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "core/facet.h"
+#include "core/maintenance/delta.h"
 #include "core/workload_types.h"
 #include "rdf/triple_store.h"
 
@@ -49,6 +50,31 @@ class WorkloadGenerator {
   const core::Facet* facet_;
   TripleStore* store_;
 };
+
+/// Knobs for synthetic update-stream generation (the evolving-KG scenario:
+/// insert/delete mixes sized relative to the graph).
+struct UpdateStreamOptions {
+  int num_batches = 5;
+  /// Operations per batch as a fraction of the base graph size.
+  double batch_fraction = 0.01;
+  /// Share of each batch's operations that are deletes (rest are inserts).
+  double delete_fraction = 0.4;
+  /// Floor on operations per batch (keeps tiny graphs interesting).
+  int min_batch_ops = 4;
+  uint64_t seed = 42;
+};
+
+/// Generates a deterministic stream of update batches against the base
+/// graph `base` (sorted SPO, as returned by SofosEngine::base_snapshot()).
+/// Deletes sample live base triples; inserts recombine the (s, p) of one
+/// existing triple with the object of another triple of the same
+/// predicate, so inserts stay schema-consistent and can both shift
+/// aggregate values and mint fresh group keys in facet views. Batches are
+/// sequentially consistent: each one is generated against the graph state
+/// left by applying all previous ones.
+Result<std::vector<core::maintenance::GraphDelta>> GenerateUpdateStream(
+    const std::vector<Triple>& base, const Dictionary& dict,
+    const UpdateStreamOptions& options);
 
 }  // namespace workload
 }  // namespace sofos
