@@ -1,0 +1,213 @@
+/// P3 — vectorized, morsel-parallel query execution: root-view query
+/// scaling curve. For each bundled dataset, measures the facet's root-view
+/// query (the Amdahl bottleneck of profiling and of ApplyUpdates) under
+///
+///   - the legacy row-at-a-time Volcano executor (the serial baseline),
+///   - the vectorized batch engine at 1/2/4/8 morsel workers,
+///
+/// verifying on the fly that every configuration returns byte-identical
+/// results (the executor determinism contract), then reports speedups:
+/// `speedup_vs_volcano_4t` is the acceptance metric (batch @ 4 workers vs
+/// the serial executor), `batch_scaling_4t` isolates the exchange scaling
+/// (batch @ 4 vs batch @ 1). On a single-core host the scaling column
+/// degenerates to ~1x; the batch-vs-volcano column still reflects the
+/// vectorization win (hash joins, hash aggregation, no per-row allocation).
+///
+///   ./bench_exec [json_path]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "sparql/query_engine.h"
+
+namespace {
+
+using namespace sofos;
+
+constexpr int kRepetitions = 5;
+const unsigned kWorkerCounts[] = {1, 2, 4, 8};
+
+struct ExecPoint {
+  unsigned dop = 1;
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+  uint64_t morsels = 0;
+};
+
+struct DatasetCurve {
+  std::string name;
+  uint64_t pattern_rows = 0;  // bindings the root query aggregates
+  double volcano_ms = 0.0;
+  std::vector<ExecPoint> points;
+};
+
+/// Canonical fingerprint of a result for cross-configuration comparison.
+std::string Fingerprint(const sparql::QueryResult& result) {
+  std::string out;
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    for (size_t c = 0; c < result.rows[r].size(); ++c) {
+      out += result.bound[r][c] ? result.rows[r][c].ToNTriples() : "UNBOUND";
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// Median wall time of the root query under `options`; returns false on a
+/// query error or a result mismatch against `reference`.
+bool Measure(TripleStore* store, const std::string& query,
+             const sparql::ExecOptions& options, const std::string& reference,
+             double* wall_ms, double* cpu_ms, uint64_t* morsels) {
+  std::vector<double> walls, cpus;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    sparql::QueryEngine engine(store, options);
+    auto result = engine.Execute(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
+      return false;
+    }
+    if (!reference.empty() && Fingerprint(*result) != reference) {
+      std::fprintf(stderr, "results diverged from the serial executor!\n");
+      return false;
+    }
+    walls.push_back(result->stats.exec_micros / 1000.0);
+    cpus.push_back(result->stats.cpu_micros / 1000.0);
+    if (morsels != nullptr) *morsels = result->stats.morsels;
+  }
+  *wall_ms = bench::Median(walls);
+  if (cpu_ms != nullptr) *cpu_ms = bench::Median(cpus);
+  return true;
+}
+
+bool MeasureDataset(const std::string& name, DatasetCurve* curve) {
+  core::SofosEngine engine;
+  bench::LoadEngine(&engine, name, datagen::Scale::kDemo);
+  TripleStore* store = engine.store();
+  const core::Facet& facet = engine.facet();
+  const std::string query = facet.ViewQuerySparql(facet.FullMask());
+
+  curve->name = name;
+  curve->pattern_rows = engine.profile()->base_pattern_rows;
+
+  // Serial baseline: the pre-refactor row-at-a-time executor.
+  sparql::ExecOptions volcano;
+  volcano.mode = sparql::ExecMode::kVolcano;
+  std::string reference;
+  {
+    sparql::QueryEngine reference_engine(store, volcano);
+    auto result = reference_engine.Execute(query);
+    if (!result.ok()) return false;
+    reference = Fingerprint(*result);
+  }
+  double cpu_unused = 0.0;
+  if (!Measure(store, query, volcano, reference, &curve->volcano_ms, &cpu_unused,
+               nullptr)) {
+    return false;
+  }
+
+  for (unsigned dop : kWorkerCounts) {
+    ThreadPool pool(dop);
+    sparql::ExecOptions options;
+    options.pool = dop > 1 ? &pool : nullptr;
+    options.dop = dop;
+    ExecPoint point;
+    point.dop = dop;
+    if (!Measure(store, query, options, reference, &point.wall_ms, &point.cpu_ms,
+                 &point.morsels)) {
+      return false;
+    }
+    curve->points.push_back(point);
+  }
+  return true;
+}
+
+double PointAt(const DatasetCurve& curve, unsigned dop) {
+  for (const ExecPoint& p : curve.points) {
+    if (p.dop == dop) return p.wall_ms;
+  }
+  return 0.0;
+}
+
+void WriteJson(const std::string& path, const std::vector<DatasetCurve>& curves) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"exec\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               ThreadPool::DefaultNumThreads());
+  std::fprintf(f, "  \"repetitions\": %d,\n  \"datasets\": [\n", kRepetitions);
+  for (size_t d = 0; d < curves.size(); ++d) {
+    const DatasetCurve& curve = curves[d];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"pattern_rows\": %llu, "
+                 "\"volcano_serial_ms\": %.3f, \"points\": [\n",
+                 curve.name.c_str(),
+                 static_cast<unsigned long long>(curve.pattern_rows),
+                 curve.volcano_ms);
+    for (size_t i = 0; i < curve.points.size(); ++i) {
+      const ExecPoint& p = curve.points[i];
+      std::fprintf(f,
+                   "      {\"dop\": %u, \"batch_wall_ms\": %.3f, "
+                   "\"batch_cpu_ms\": %.3f, \"morsels\": %llu}%s\n",
+                   p.dop, p.wall_ms, p.cpu_ms,
+                   static_cast<unsigned long long>(p.morsels),
+                   i + 1 < curve.points.size() ? "," : "");
+    }
+    double batch_1t = PointAt(curve, 1), batch_4t = PointAt(curve, 4);
+    std::fprintf(f,
+                 "    ], \"speedup_vs_volcano_1t\": %.3f, "
+                 "\"speedup_vs_volcano_4t\": %.3f, \"batch_scaling_4t\": %.3f}%s\n",
+                 batch_1t > 0 ? curve.volcano_ms / batch_1t : 0.0,
+                 batch_4t > 0 ? curve.volcano_ms / batch_4t : 0.0,
+                 batch_4t > 0 ? batch_1t / batch_4t : 0.0,
+                 d + 1 < curves.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("P3 | Vectorized morsel-parallel execution: root-view query\n");
+  std::printf("hardware_concurrency=%u\n", ThreadPool::DefaultNumThreads());
+
+  std::vector<DatasetCurve> curves;
+  for (const std::string& name : datagen::DatasetNames()) {
+    DatasetCurve curve;
+    if (!MeasureDataset(name, &curve)) return 1;
+
+    TablePrinter table(
+        {"dop", "batch wall ms", "vs volcano", "vs batch 1t", "cpu ms", "morsels"});
+    for (const ExecPoint& p : curve.points) {
+      table.AddRow({TablePrinter::Cell(uint64_t{p.dop}),
+                    TablePrinter::Cell(p.wall_ms, 3),
+                    TablePrinter::Cell(
+                        p.wall_ms > 0 ? curve.volcano_ms / p.wall_ms : 0.0, 2),
+                    TablePrinter::Cell(
+                        p.wall_ms > 0 ? curve.points.front().wall_ms / p.wall_ms
+                                      : 0.0,
+                        2),
+                    TablePrinter::Cell(p.cpu_ms, 3),
+                    TablePrinter::Cell(p.morsels)});
+    }
+    std::printf("\n[%s] root view over %llu pattern rows, volcano serial %.3f ms\n",
+                curve.name.c_str(),
+                static_cast<unsigned long long>(curve.pattern_rows),
+                curve.volcano_ms);
+    table.Print();
+    curves.push_back(std::move(curve));
+  }
+
+  if (argc > 1) WriteJson(argv[1], curves);
+  return 0;
+}

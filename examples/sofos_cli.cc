@@ -133,6 +133,23 @@ class Cli {
       std::string query;
       std::getline(in, query);
       status = RunSparql(query);
+    } else if (cmd == "explain") {
+      std::string query;
+      std::getline(in, query);
+      status = Explain(query);
+    } else if (cmd == "exec-threads") {
+      long n = -1;
+      if (!(in >> n) || n < 0 ||
+          n > static_cast<long>(ThreadPool::kMaxThreads)) {
+        std::printf(
+            "usage: exec-threads <n> with 0 <= n <= %zu (0=auto budget)\n",
+            ThreadPool::kMaxThreads);
+      } else {
+        engine_.SetExecThreads(static_cast<unsigned>(n));
+        std::printf("intra-query dop: %s\n",
+                    n == 0 ? "auto (pool / in-flight queries)"
+                           : std::to_string(n).c_str());
+      }
     } else if (cmd == "threads") {
       long n = -1;
       if (!(in >> n) || n < 0 ||
@@ -167,7 +184,9 @@ class Cli {
         "  train                train the learned cost model\n"
         "  challenge <k>        oracle best-k vs every cost model\n"
         "  sparql <query>       run a raw SPARQL query\n"
+        "  explain <query>      show the batch plan (join algos, morsels, dop)\n"
         "  threads <n>          size the thread pool (0=auto, 1=serial)\n"
+        "  exec-threads <n>     pin intra-query dop (0=auto budget)\n"
         "  quit\n");
   }
 
@@ -362,11 +381,30 @@ class Cli {
   }
 
   Status RunSparql(const std::string& query) {
-    sparql::QueryEngine qe(engine_.store());
+    // Same execution schedule as `explain` describes (pool + exec-threads).
+    sparql::QueryEngine qe(engine_.store(), engine_.ExecOptionsFor(0));
     SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result, qe.Execute(query));
-    std::printf("%s(%llu rows, %.1f us)\n", result.ToTable(20).c_str(),
+    std::printf("%s(%llu rows, %.1f us wall, %.1f us cpu)\n",
+                result.ToTable(20).c_str(),
                 static_cast<unsigned long long>(result.NumRows()),
-                result.stats.exec_micros);
+                result.stats.exec_micros, result.stats.cpu_micros);
+    return Status::OK();
+  }
+
+  /// EXPLAIN: logical plan (join order, algorithms, build/probe sides) plus
+  /// the physical schedule (morsel count, dop) under the current knobs. If
+  /// no query is given, explains the facet's root-view query — the one the
+  /// offline pipeline and the maintenance path keep re-evaluating.
+  Status Explain(const std::string& query) {
+    std::string text = query;
+    size_t first = text.find_first_not_of(" \t");
+    text = first == std::string::npos ? std::string() : text.substr(first);
+    if (text.empty()) {
+      text = engine_.facet().ViewQuerySparql(engine_.facet().FullMask());
+      std::printf("(root view query)\n");
+    }
+    SOFOS_ASSIGN_OR_RETURN(std::string plan, engine_.ExplainSparql(text));
+    std::printf("%s", plan.c_str());
     return Status::OK();
   }
 

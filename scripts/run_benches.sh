@@ -8,6 +8,9 @@
 #                            profiling and batched workload execution
 #   BENCH_maintenance.json — staged-delta merge vs full re-finalize and
 #                            incremental vs full view maintenance
+#   BENCH_exec.json        — root-view query: vectorized batch engine at
+#                            1/2/4/8 morsel workers vs the row-at-a-time
+#                            Volcano executor
 # Other benches (E1..E9 tables) print to stdout and are kept text-only.
 set -euo pipefail
 
@@ -18,11 +21,13 @@ OUT_DIR="${2:-$REPO_ROOT}"
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 fi
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_maintenance
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target bench_parallel bench_maintenance bench_exec
 
 mkdir -p "$OUT_DIR"
 "$BUILD_DIR/bench_parallel" "$OUT_DIR/BENCH_parallel.json"
 "$BUILD_DIR/bench_maintenance" "$OUT_DIR/BENCH_maintenance.json"
+"$BUILD_DIR/bench_exec" "$OUT_DIR/BENCH_exec.json"
 
 echo "bench artifacts in $OUT_DIR:"
 ls -l "$OUT_DIR"/BENCH_*.json

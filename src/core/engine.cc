@@ -55,6 +55,21 @@ ThreadPool* SofosEngine::pool() const {
   return pool_.get();
 }
 
+sparql::ExecOptions SofosEngine::ExecOptionsFor(unsigned intra_dop) const {
+  sparql::ExecOptions options;
+  options.pool = pool();
+  if (options.pool == nullptr) {
+    options.dop = 1;
+  } else if (intra_dop != 0) {
+    options.dop = intra_dop;
+  } else if (exec_threads_ != 0) {
+    options.dop = exec_threads_;
+  } else {
+    options.dop = num_threads();
+  }
+  return options;
+}
+
 Status SofosEngine::LoadStore(TripleStore&& store) {
   if (!store.finalized()) {
     return Status::InvalidArgument("LoadStore requires a finalized store");
@@ -108,6 +123,7 @@ Result<const LatticeProfile*> SofosEngine::Profile(const ProfileOptions& options
   if (!facet_.has_value()) return Status::Internal("no facet set");
   ProfileOptions effective = options;
   if (effective.pool == nullptr) effective.pool = pool();
+  if (effective.exec_dop == 0) effective.exec_dop = exec_threads_;
   SOFOS_ASSIGN_OR_RETURN(LatticeProfile profile,
                          ProfileLattice(&store_, *facet_, effective));
   profile_ = std::move(profile);
@@ -255,7 +271,7 @@ Result<UpdateOutcome> SofosEngine::ApplyUpdates(
           std::make_unique<maintenance::ViewMaintainer>(&store_, &*facet_);
     }
     if (!maintainer_->initialized()) {
-      SOFOS_RETURN_IF_ERROR(maintainer_->Initialize(materialized_));
+      SOFOS_RETURN_IF_ERROR(maintainer_->Initialize(materialized_, pool()));
     }
   }
   const bool affects = maintainer_ != nullptr && maintainer_->Affects(delta);
@@ -324,6 +340,15 @@ std::vector<uint32_t> SofosEngine::MaterializedMasks() const {
 Result<QueryOutcome> SofosEngine::Answer(const WorkloadQuery& query,
                                          bool allow_views,
                                          const CostModel* routing_model) {
+  // A standalone query gets the whole pool as intra-query parallelism
+  // (unless the exec-threads knob pins it).
+  return AnswerWithDop(query, allow_views, routing_model, /*intra_dop=*/0);
+}
+
+Result<QueryOutcome> SofosEngine::AnswerWithDop(const WorkloadQuery& query,
+                                                bool allow_views,
+                                                const CostModel* routing_model,
+                                                unsigned intra_dop) {
   if (!facet_.has_value()) return Status::Internal("no facet set");
   QueryOutcome outcome;
   outcome.query_id = query.id;
@@ -341,7 +366,7 @@ Result<QueryOutcome> SofosEngine::Answer(const WorkloadQuery& query,
     }
   }
 
-  sparql::QueryEngine engine(&store_);
+  sparql::QueryEngine engine(&store_, ExecOptionsFor(intra_dop));
   WallTimer timer;
   SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result,
                          engine.Execute(outcome.executed_sparql));
@@ -362,11 +387,25 @@ Result<WorkloadReport> SofosEngine::RunWorkload(
   // synchronized). Outcomes land in their input slot, which makes the
   // merged report's ordering — and with one thread, every byte of it —
   // identical to the serial loop.
+  //
+  // Thread budget: the pool is split between inter-query parallelism (one
+  // task per query) and intra-query morsel parallelism inside each task —
+  // intra = max(1, pool / in-flight). A large batch runs queries serially
+  // inside (intra = 1, maximal throughput); a small batch lets each query
+  // fan its scans out (minimal latency). Either way results are identical.
+  const unsigned threads = num_threads();
+  const size_t inflight =
+      std::max<size_t>(1, std::min<size_t>(queries.size(), threads));
+  const unsigned intra_dop =
+      exec_threads_ != 0
+          ? exec_threads_
+          : static_cast<unsigned>(std::max<size_t>(1, threads / inflight));
   std::vector<QueryOutcome> outcomes(queries.size());
   SOFOS_RETURN_IF_ERROR(
       ParallelForEachStatus(pool(), queries.size(), [&](size_t i) -> Status {
-        SOFOS_ASSIGN_OR_RETURN(outcomes[i],
-                               Answer(queries[i], allow_views, routing_model));
+        SOFOS_ASSIGN_OR_RETURN(
+            outcomes[i],
+            AnswerWithDop(queries[i], allow_views, routing_model, intra_dop));
         return Status::OK();
       }));
 
@@ -408,6 +447,14 @@ Result<QueryOutcome> SofosEngine::AnswerSparql(const std::string& sparql,
     return Answer(query, allow_views, routing_model);
   }
   return Answer(query, /*allow_views=*/false, routing_model);
+}
+
+Result<std::string> SofosEngine::ExplainSparql(const std::string& sparql) {
+  if (!store_.finalized()) {
+    return Status::Internal("ExplainSparql requires a loaded store");
+  }
+  sparql::QueryEngine engine(&store_, ExecOptionsFor(/*intra_dop=*/0));
+  return engine.Explain(sparql);
 }
 
 double SofosEngine::StorageAmplification() const {

@@ -128,6 +128,15 @@ class SofosEngine {
   /// The resolved thread count (auto already expanded).
   unsigned num_threads() const;
 
+  /// Pins the intra-query parallelism degree (morsel-exchange workers per
+  /// query) independently of the pool size. 0 = auto: single queries run
+  /// at full pool dop, and the batched workload runner budgets
+  /// intra = max(1, pool / in-flight queries) between inter-query and
+  /// intra-query parallelism. Results never depend on this knob (the
+  /// executor's determinism contract) — it trades latency vs throughput.
+  void SetExecThreads(unsigned exec_threads) { exec_threads_ = exec_threads; }
+  unsigned exec_threads() const { return exec_threads_; }
+
   TripleStore* store() { return &store_; }
   const Facet& facet() const { return *facet_; }
   const Lattice& lattice() const { return *lattice_; }
@@ -228,6 +237,11 @@ class SofosEngine {
                                     bool allow_views = true,
                                     const CostModel* routing_model = nullptr);
 
+  /// Renders the logical plan plus the physical batch schedule (join
+  /// algorithms, morsel count, dop) the engine would execute `sparql` with
+  /// — the CLI's `explain` command.
+  Result<std::string> ExplainSparql(const std::string& sparql);
+
   /// ---- Storage metrics ----
 
   uint64_t BaseTriples() const { return base_snapshot_.size(); }
@@ -237,11 +251,24 @@ class SofosEngine {
   /// Triples of G+ relative to G (>= 1; the demo's "space amplification").
   double StorageAmplification() const;
 
+  /// Execution options for one query: the shared pool plus an intra-query
+  /// dop of `intra_dop` (0 = the exec-threads knob, else full pool). Public
+  /// so ad-hoc QueryEngines (the CLI's raw `sparql` command) can run with
+  /// exactly the schedule `explain`/`exec-threads` describe.
+  sparql::ExecOptions ExecOptionsFor(unsigned intra_dop) const;
+
  private:
   /// The pool serving parallel sections, or nullptr when the effective
   /// thread count is 1. Lazily (re)built; mutable because const read-only
   /// entry points (SelectViews) also fan out.
   ThreadPool* pool() const;
+
+  /// Answer() with an explicit intra-query dop (the workload runner passes
+  /// its inter/intra budget split; 0 = auto).
+  Result<QueryOutcome> AnswerWithDop(const WorkloadQuery& query,
+                                     bool allow_views,
+                                     const CostModel* routing_model,
+                                     unsigned intra_dop);
 
   TripleStore store_;
   std::vector<Triple> base_snapshot_;
@@ -257,7 +284,8 @@ class SofosEngine {
   std::unique_ptr<maintenance::ViewMaintainer> maintainer_;
   maintenance::StalenessMonitor staleness_;
   std::shared_ptr<learned::Mlp> learned_mlp_;
-  unsigned num_threads_ = 0;  // 0 = auto (hardware_concurrency)
+  unsigned num_threads_ = 0;   // 0 = auto (hardware_concurrency)
+  unsigned exec_threads_ = 0;  // 0 = auto intra-query dop (budgeted)
   mutable std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -64,7 +64,8 @@ size_t ViewMaintainer::KeyHash::operator()(const Key& key) const {
 ViewMaintainer::ViewMaintainer(TripleStore* store, const Facet* facet)
     : store_(store), facet_(facet) {}
 
-Status ViewMaintainer::Initialize(const std::vector<MaterializedView>& views) {
+Status ViewMaintainer::Initialize(const std::vector<MaterializedView>& views,
+                                  ThreadPool* pool) {
   if (!store_->finalized()) {
     return Status::Internal("ViewMaintainer requires a finalized store");
   }
@@ -77,7 +78,7 @@ Status ViewMaintainer::Initialize(const std::vector<MaterializedView>& views) {
         store_->Intern(Term::Iri(vocab::DimPredicate(dim.var))));
   }
 
-  SOFOS_ASSIGN_OR_RETURN(root_, ComputeRootTable());
+  SOFOS_ASSIGN_OR_RETURN(root_, ComputeRootTable(pool));
 
   views_.clear();
   views_.reserve(views.size());
@@ -111,8 +112,17 @@ bool ViewMaintainer::Affects(const GraphDelta& delta) const {
   return touches(delta.adds) || touches(delta.deletes);
 }
 
-Result<ViewMaintainer::RootTable> ViewMaintainer::ComputeRootTable() const {
-  sparql::QueryEngine engine(store_);
+Result<ViewMaintainer::RootTable> ViewMaintainer::ComputeRootTable(
+    ThreadPool* pool) const {
+  // The one root-view evaluation dominates ApplyUpdates (see the README's
+  // cost breakdown), so it runs with full intra-query morsel parallelism;
+  // the result is identical to a serial evaluation by the executor's
+  // determinism contract.
+  sparql::ExecOptions exec_options;
+  exec_options.pool = pool;
+  exec_options.dop =
+      pool != nullptr ? static_cast<unsigned>(pool->num_threads()) : 1;
+  sparql::QueryEngine engine(store_, exec_options);
   SOFOS_ASSIGN_OR_RETURN(
       sparql::QueryResult result,
       engine.Execute(facet_->ViewQuerySparql(facet_->FullMask())));
@@ -363,7 +373,7 @@ Result<MaintenanceReport> ViewMaintainer::MaintainAll(ThreadPool* pool) {
   MaintenanceReport report;
 
   WallTimer root_timer;
-  SOFOS_ASSIGN_OR_RETURN(RootTable next_root, ComputeRootTable());
+  SOFOS_ASSIGN_OR_RETURN(RootTable next_root, ComputeRootTable(pool));
   report.root_query_micros = root_timer.ElapsedMicros();
 
   // Lockstep diff of the sorted tables: keys present on one side only, or

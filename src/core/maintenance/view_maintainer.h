@@ -88,8 +88,11 @@ class ViewMaintainer {
   /// Captures the pre-update state: evaluates the root view over the
   /// *current* graph and indexes the blank-node rows of every materialized
   /// view. Must run while the store still reflects the state the views
-  /// were materialized against (i.e. before the base delta merges).
-  Status Initialize(const std::vector<MaterializedView>& views);
+  /// were materialized against (i.e. before the base delta merges). When
+  /// `pool` is non-null the root-view evaluation uses intra-query morsel
+  /// parallelism (identical result, see the Executor contract).
+  Status Initialize(const std::vector<MaterializedView>& views,
+                    ThreadPool* pool = nullptr);
   bool initialized() const { return initialized_; }
 
   /// True iff the delta can affect facet-pattern bindings (some add or
@@ -153,7 +156,9 @@ class ViewMaintainer {
     ViewMaintenance stats;
   };
 
-  Result<RootTable> ComputeRootTable() const;
+  /// Evaluates the root view; `pool` enables intra-query parallelism for
+  /// this single dominant query (thread-count-invariant result).
+  Result<RootTable> ComputeRootTable(ThreadPool* pool = nullptr) const;
   Status IndexViewRows(ViewState* view) const;
   Key ProjectKey(const Key& root_key, const ViewState& view) const;
   /// Recomputes the affected rows of one view from `next_root` and stages

@@ -1,5 +1,7 @@
 #include "core/materializer.h"
 
+#include <algorithm>
+
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -25,11 +27,22 @@ Result<std::vector<MaterializedView>> Materializer::MaterializeAll(
   // the pool (each query gets its own engine/executor; the store stays
   // finalized and is only read). All queries run before any encoding is
   // appended so that each view is defined over the same graph state.
+  // Threads are budgeted between the two parallelism levels: with fewer
+  // views than pool workers the surplus goes into per-query morsel
+  // parallelism (intra dop = pool / views), so a single huge view — the
+  // root, typically — cannot serialize the whole phase.
+  sparql::ExecOptions exec_options;
+  exec_options.pool = pool;
+  if (pool != nullptr && !masks.empty()) {
+    size_t inflight = std::min(masks.size(), pool->num_threads());
+    exec_options.dop = static_cast<unsigned>(
+        std::max<size_t>(1, pool->num_threads() / inflight));
+  }
   std::vector<sparql::QueryResult> results(masks.size());
   std::vector<double> query_micros(masks.size(), 0.0);
   SOFOS_RETURN_IF_ERROR(
       ParallelForEachStatus(pool, masks.size(), [&](size_t i) -> Status {
-        sparql::QueryEngine engine(store_);
+        sparql::QueryEngine engine(store_, exec_options);
         WallTimer timer;
         SOFOS_ASSIGN_OR_RETURN(
             results[i], engine.Execute(facet_->ViewQuerySparql(masks[i])));

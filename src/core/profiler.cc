@@ -62,12 +62,22 @@ Result<LatticeProfile> ProfileLattice(TripleStore* store, const Facet& facet,
   profile.base_triples = store->NumTriples();
   profile.base_nodes = store->NumNodes();
 
-  sparql::QueryEngine engine(store);
   const size_t lattice_size = 1ull << facet.num_dims();
   profile.views.resize(lattice_size);
 
   // The root view is always computed exactly: it provides the base pattern
-  // cardinality, and the sampled mode derives everything else from it.
+  // cardinality, and the sampled mode derives everything else from it. It
+  // is also by far the most expensive single query — the serial Amdahl cap
+  // of the whole profiling pass — so it runs with full intra-query
+  // parallelism (morsel exchange) before the per-node fan-out starts.
+  sparql::ExecOptions root_options;
+  root_options.pool = options.pool;
+  root_options.dop = options.exec_dop != 0
+                         ? options.exec_dop
+                         : (options.pool != nullptr
+                                ? static_cast<unsigned>(options.pool->num_threads())
+                                : 1);
+  sparql::QueryEngine engine(store, root_options);
   WallTimer root_timer;
   SOFOS_ASSIGN_OR_RETURN(
       sparql::QueryResult root,

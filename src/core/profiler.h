@@ -39,11 +39,16 @@ struct ProfileOptions {
   uint64_t seed = 42;
   /// When set, lattice nodes are profiled concurrently on this pool (each
   /// node's view query only does const store scans — see the TripleStore
-  /// thread-safety contract). All ViewStats except the timing field
-  /// eval_micros are identical to the serial (pool == nullptr) run; errors
-  /// are reported for the smallest failing mask, matching serial order.
-  /// Not owned; SofosEngine::Profile injects its own pool when unset.
+  /// thread-safety contract), and the root-view query additionally runs
+  /// with intra-query morsel parallelism on the same pool (it is the
+  /// profiling pass's serial bottleneck). All ViewStats except the timing
+  /// field eval_micros are identical to the serial (pool == nullptr) run;
+  /// errors are reported for the smallest failing mask, matching serial
+  /// order. Not owned; SofosEngine::Profile injects its own pool when unset.
   ThreadPool* pool = nullptr;
+  /// Intra-query dop for the root-view query; 0 = the pool's thread count.
+  /// SofosEngine::Profile injects its exec-threads knob here.
+  unsigned exec_dop = 0;
 };
 
 /// Per-facet lattice statistics plus the base-graph figures cost models

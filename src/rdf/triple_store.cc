@@ -271,27 +271,39 @@ void TripleStore::RebuildStats() {
   }
 }
 
+namespace {
+
+/// The index whose sort order puts the bound components first. Shared by
+/// Scan() and ScanFieldOrder() so the two can never disagree — the hash
+/// join's bucket ordering relies on replicating exactly this choice.
+int PickScanOrder(bool s, bool p, bool o) {
+  if (s) {
+    if (p) return 0;  // kSPO: covers s, sp, spo
+    if (o) return 1;  // kSOP
+    return 0;         // kSPO
+  }
+  if (p) return o ? 3 : 2;  // kPOS : kPSO
+  if (o) return 4;          // kOSP
+  return 0;                 // kSPO: full scan
+}
+
+}  // namespace
+
+std::array<int, 3> TripleStore::ScanFieldOrder(bool s_bound, bool p_bound,
+                                               bool o_bound) {
+  const FieldPerm& perm = kPerms[PickScanOrder(s_bound, p_bound, o_bound)];
+  return {perm.a, perm.b, perm.c};
+}
+
 TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o) const {
   assert(finalized_ && "Scan() requires a finalized store");
 
-  // Pick the index whose sort order puts the bound components first.
-  int order;
-  if (s != kNullTermId) {
-    if (p != kNullTermId) {
-      order = kSPO;  // covers s, sp, spo
-    } else if (o != kNullTermId) {
-      order = kSOP;
-    } else {
-      order = kSPO;
-    }
-  } else if (p != kNullTermId) {
-    order = (o != kNullTermId) ? kPOS : kPSO;
-  } else if (o != kNullTermId) {
-    order = kOSP;
-  } else {
+  if (s == kNullTermId && p == kNullTermId && o == kNullTermId) {
     const auto& all = indexes_[kSPO];
     return ScanRange(all.data(), all.data() + all.size());
   }
+  int order =
+      PickScanOrder(s != kNullTermId, p != kNullTermId, o != kNullTermId);
 
   const FieldPerm& perm = kPerms[order];
   constexpr TermId kMax = std::numeric_limits<TermId>::max();
@@ -316,6 +328,24 @@ TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o) const {
   auto end = std::upper_bound(begin, index.end(), hi, less);
   return ScanRange(index.data() + (begin - index.begin()),
                    index.data() + (end - index.begin()));
+}
+
+std::vector<TripleStore::ScanRange> TripleStore::ScanPartitions(
+    TermId s, TermId p, TermId o, size_t max_partitions) const {
+  ScanRange full = Scan(s, p, o);
+  std::vector<ScanRange> parts;
+  if (full.empty()) return parts;
+  size_t n = full.size();
+  size_t chunks = max_partitions < 1 ? 1 : std::min(max_partitions, n);
+  parts.reserve(chunks);
+  size_t base = n / chunks, extra = n % chunks;
+  const Triple* begin = full.begin();
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t len = base + (c < extra ? 1 : 0);
+    parts.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return parts;
 }
 
 const PredicateStats* TripleStore::StatsFor(TermId predicate) const {

@@ -155,6 +155,28 @@ class TripleStore {
     return Scan(pattern.s, pattern.p, pattern.o);
   }
 
+  /// Splits Scan(s, p, o) into at most `max_partitions` contiguous,
+  /// near-equal sub-ranges in index order (the morsels of the vectorized
+  /// executor's exchange scans). Concatenating the partitions in return
+  /// order yields exactly the Scan() range, so any order-preserving
+  /// per-partition computation reduced in partition order is identical to a
+  /// single full-range scan. Never returns empty partitions; an empty scan
+  /// yields an empty vector. Requires finalized(); partitions stay valid as
+  /// long as the underlying ScanRange would.
+  std::vector<ScanRange> ScanPartitions(TermId s, TermId p, TermId o,
+                                        size_t max_partitions) const;
+
+  /// The field comparison priority of the index Scan() would serve this
+  /// bound-set from (0 = subject, 1 = predicate, 2 = object; e.g. SPO =
+  /// {0,1,2}, POS = {1,2,0}). Triples inside a Scan() range are sorted by
+  /// this priority. The vectorized hash join uses it to order bucket
+  /// matches exactly like the index nested-loop join would emit them —
+  /// the determinism contract between the two join algorithms. Depends
+  /// only on which positions are bound, so callers may pass any non-null
+  /// sentinel ids.
+  static std::array<int, 3> ScanFieldOrder(bool s_bound, bool p_bound,
+                                           bool o_bound);
+
   /// Exact number of triples matching the pattern. Requires finalized().
   uint64_t Count(TermId s, TermId p, TermId o) const { return Scan(s, p, o).size(); }
 

@@ -1,11 +1,20 @@
 #include "sparql/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <map>
+#include <mutex>
+#include <numeric>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/hash.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "sparql/expression.h"
 #include "sparql/value.h"
@@ -22,6 +31,17 @@ uint64_t HashRow(const Row& row) {
 struct RowHash {
   size_t operator()(const Row& row) const { return static_cast<size_t>(HashRow(row)); }
 };
+
+inline TermId TripleField(const Triple& t, int f) {
+  switch (f) {
+    case 0:
+      return t.s;
+    case 1:
+      return t.p;
+    default:
+      return t.o;
+  }
+}
 
 /// Binds the variable positions of `step` from `triple` into `row`.
 /// Returns false when a repeated variable binds inconsistently (e.g. the
@@ -41,6 +61,140 @@ bool BindStep(const PatternStep& step, const Triple& triple, Row* row) {
   }
   return true;
 }
+
+/// Column-wise counterpart of BindStep: binds into physical row `j` of a
+/// batch. Identical accept/reject semantics.
+bool BindStepAt(const PatternStep& step, const Triple& triple, RowBatch* batch,
+                size_t j) {
+  const TermId fields[3] = {triple.s, triple.p, triple.o};
+  for (int i = 0; i < 3; ++i) {
+    int slot = step.slots[i];
+    if (slot < 0) continue;
+    TermId* col = batch->Col(static_cast<size_t>(slot));
+    if (col[j] == kNullTermId) {
+      col[j] = fields[i];
+    } else if (col[j] != fields[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Clears the slots `step` may have written into row `j` (after a failed
+/// bind, so the next attempt starts from nulls like a fresh row).
+void UnbindStepAt(const PatternStep& step, RowBatch* batch, size_t j) {
+  for (int i = 0; i < 3; ++i) {
+    if (step.slots[i] >= 0) {
+      batch->Col(static_cast<size_t>(step.slots[i]))[j] = kNullTermId;
+    }
+  }
+}
+
+/// Copies physical row `r` of `src` into physical row `j` of `dst` (all
+/// columns; both batches share the same width).
+inline void CopyRowInto(const RowBatch& src, uint32_t r, RowBatch* dst, size_t j) {
+  for (size_t c = 0; c < src.width(); ++c) {
+    dst->Col(c)[j] = src.At(c, r);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate accumulation, shared verbatim by the row and batch engines so
+// the two can never diverge (the batch engine's byte-identity contract).
+// ---------------------------------------------------------------------------
+
+struct AggAccum {
+  uint64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0.0;
+  bool saw_double = false;
+  bool has_best = false;
+  Value best;
+  std::unordered_set<TermId> distinct_ids;
+};
+
+Status AggAccumulate(const Expr& spec, const Row& in, const ExprEvaluator& eval,
+                     Dictionary* dict, AggAccum* acc) {
+  if (spec.count_star) {
+    ++acc->count;
+    return Status::OK();
+  }
+  auto value = eval.Eval(*spec.agg_arg, in);
+  // SPARQL semantics: rows whose aggregate expression errors (including
+  // unbound) are skipped by the aggregate, not the whole group.
+  if (!value.ok() || value.value().is_unbound()) return Status::OK();
+  const Value& v = value.value();
+
+  if (spec.agg_distinct) {
+    SOFOS_ASSIGN_OR_RETURN(Term term, v.ToTerm());
+    TermId id = dict->Intern(term);
+    if (!acc->distinct_ids.insert(id).second) return Status::OK();
+  }
+
+  ++acc->count;
+  switch (spec.agg) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      if (!v.is_numeric()) break;  // non-numeric values are skipped
+      if (v.type() == Value::Type::kDouble) {
+        acc->saw_double = true;
+        acc->dsum += v.double_value();
+      } else {
+        acc->isum += v.int_value();
+      }
+      break;
+    case AggKind::kMin:
+      if (!acc->has_best || v.TotalCompare(acc->best) < 0) {
+        acc->best = v;
+        acc->has_best = true;
+      }
+      break;
+    case AggKind::kMax:
+      if (!acc->has_best || v.TotalCompare(acc->best) > 0) {
+        acc->best = v;
+        acc->has_best = true;
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Result<TermId> AggFinalize(const Expr& spec, const AggAccum& acc,
+                           Dictionary* dict) {
+  Value result;
+  switch (spec.agg) {
+    case AggKind::kCount:
+      result = Value::Int(static_cast<int64_t>(acc.count));
+      break;
+    case AggKind::kSum:
+      if (acc.saw_double) {
+        result = Value::MakeDouble(acc.dsum + static_cast<double>(acc.isum));
+      } else {
+        result = Value::Int(acc.isum);  // SUM of empty input is 0
+      }
+      break;
+    case AggKind::kAvg:
+      if (acc.count == 0) return kNullTermId;
+      result = Value::MakeDouble((acc.dsum + static_cast<double>(acc.isum)) /
+                                 static_cast<double>(acc.count));
+      break;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (!acc.has_best) return kNullTermId;
+      result = acc.best;
+      break;
+  }
+  SOFOS_ASSIGN_OR_RETURN(Term term, result.ToTerm());
+  return dict->Intern(term);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy row-at-a-time (Volcano) operators — ExecMode::kVolcano. Kept as
+// the reference semantics the batch engine is asserted against and as the
+// bench baseline.
+// ---------------------------------------------------------------------------
 
 /// Scan of the first pattern step.
 class ScanOp : public Operator {
@@ -170,21 +324,11 @@ class AggregateOp : public Operator {
   }
 
  private:
-  struct Accum {
-    uint64_t count = 0;
-    int64_t isum = 0;
-    double dsum = 0.0;
-    bool saw_double = false;
-    bool has_best = false;
-    Value best;
-    std::unordered_set<TermId> distinct_ids;
-  };
-
   Status Materialize() {
     const size_t num_groups_vars = plan_->group_slots.size();
     const size_t num_aggs = plan_->agg_specs.size();
     // Group key -> accumulators. std::map keeps the output deterministic.
-    std::map<Row, std::vector<Accum>> groups;
+    std::map<Row, std::vector<AggAccum>> groups;
 
     Row in;
     while (true) {
@@ -198,7 +342,8 @@ class AggregateOp : public Operator {
       auto [it, inserted] = groups.try_emplace(std::move(key));
       if (inserted) it->second.resize(num_aggs);
       for (size_t a = 0; a < num_aggs; ++a) {
-        SOFOS_RETURN_IF_ERROR(Accumulate(*plan_->agg_specs[a], in, &it->second[a]));
+        SOFOS_RETURN_IF_ERROR(
+            AggAccumulate(*plan_->agg_specs[a], in, eval_, dict_, &it->second[a]));
       }
     }
 
@@ -212,89 +357,13 @@ class AggregateOp : public Operator {
       Row out(num_groups_vars + num_aggs, kNullTermId);
       std::copy(key.begin(), key.end(), out.begin());
       for (size_t a = 0; a < num_aggs; ++a) {
-        SOFOS_ASSIGN_OR_RETURN(
-            TermId id, Finalize(*plan_->agg_specs[a], accums[a]));
+        SOFOS_ASSIGN_OR_RETURN(TermId id,
+                               AggFinalize(*plan_->agg_specs[a], accums[a], dict_));
         out[num_groups_vars + a] = id;
       }
       results_.push_back(std::move(out));
     }
     return Status::OK();
-  }
-
-  Status Accumulate(const Expr& spec, const Row& in, Accum* acc) {
-    if (spec.count_star) {
-      ++acc->count;
-      return Status::OK();
-    }
-    auto value = eval_.Eval(*spec.agg_arg, in);
-    // SPARQL semantics: rows whose aggregate expression errors (including
-    // unbound) are skipped by the aggregate, not the whole group.
-    if (!value.ok() || value.value().is_unbound()) return Status::OK();
-    const Value& v = value.value();
-
-    if (spec.agg_distinct) {
-      SOFOS_ASSIGN_OR_RETURN(Term term, v.ToTerm());
-      TermId id = dict_->Intern(term);
-      if (!acc->distinct_ids.insert(id).second) return Status::OK();
-    }
-
-    ++acc->count;
-    switch (spec.agg) {
-      case AggKind::kCount:
-        break;
-      case AggKind::kSum:
-      case AggKind::kAvg:
-        if (!v.is_numeric()) break;  // non-numeric values are skipped
-        if (v.type() == Value::Type::kDouble) {
-          acc->saw_double = true;
-          acc->dsum += v.double_value();
-        } else {
-          acc->isum += v.int_value();
-        }
-        break;
-      case AggKind::kMin:
-        if (!acc->has_best || v.TotalCompare(acc->best) < 0) {
-          acc->best = v;
-          acc->has_best = true;
-        }
-        break;
-      case AggKind::kMax:
-        if (!acc->has_best || v.TotalCompare(acc->best) > 0) {
-          acc->best = v;
-          acc->has_best = true;
-        }
-        break;
-    }
-    return Status::OK();
-  }
-
-  Result<TermId> Finalize(const Expr& spec, const Accum& acc) {
-    Value result;
-    switch (spec.agg) {
-      case AggKind::kCount:
-        result = Value::Int(static_cast<int64_t>(acc.count));
-        break;
-      case AggKind::kSum:
-        if (acc.saw_double) {
-          result = Value::MakeDouble(acc.dsum + static_cast<double>(acc.isum));
-        } else {
-          result = Value::Int(acc.isum);  // SUM of empty input is 0
-        }
-        break;
-      case AggKind::kAvg:
-        if (acc.count == 0) return kNullTermId;
-        result = Value::MakeDouble(
-            (acc.dsum + static_cast<double>(acc.isum)) /
-            static_cast<double>(acc.count));
-        break;
-      case AggKind::kMin:
-      case AggKind::kMax:
-        if (!acc.has_best) return kNullTermId;
-        result = acc.best;
-        break;
-    }
-    SOFOS_ASSIGN_OR_RETURN(Term term, result.ToTerm());
-    return dict_->Intern(term);
   }
 
   std::unique_ptr<Operator> child_;
@@ -461,10 +530,859 @@ class EmptyOp : public Operator {
 
 }  // namespace
 
-Executor::Executor(const Plan* plan, const TripleStore* store, Dictionary* dict)
-    : plan_(plan), store_(store), dict_(dict) {}
+// ---------------------------------------------------------------------------
+// RowBatch
+// ---------------------------------------------------------------------------
 
-std::unique_ptr<Operator> Executor::BuildPipeline(ExecStats* stats) {
+void RowBatch::Reset(size_t width, size_t capacity) {
+  ResetShape(width, capacity);
+  std::fill(data_.begin(), data_.end(), kNullTermId);
+}
+
+void RowBatch::ResetShape(size_t width, size_t capacity) {
+  width_ = width;
+  capacity_ = capacity;
+  rows_ = 0;
+  data_.resize(width * capacity);
+  sel_.clear();
+  has_sel_ = false;
+}
+
+void RowBatch::GatherRow(uint32_t r, Row* out) const {
+  out->resize(width_);
+  for (size_t c = 0; c < width_; ++c) {
+    (*out)[c] = At(c, r);
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Batch (vectorized) operators — ExecMode::kBatch.
+// ---------------------------------------------------------------------------
+
+class BatchEmptyOp : public BatchOperator {
+ public:
+  Result<bool> Next(RowBatch*) override { return false; }
+};
+
+/// Morsel leaf: scans a (partition of a) pattern range into batches.
+class BatchScanOp : public BatchOperator {
+ public:
+  BatchScanOp(TripleStore::ScanRange range, const PatternStep* step, size_t width,
+              size_t batch_size, ExecStats* stats)
+      : next_(range.begin()),
+        end_(range.end()),
+        step_(step),
+        width_(width),
+        batch_size_(batch_size),
+        stats_(stats) {}
+
+  Result<bool> Next(RowBatch* out) override {
+    if (next_ == end_) return false;
+    out->Reset(width_, batch_size_);
+    size_t j = 0;
+    while (next_ != end_ && j < batch_size_) {
+      const Triple& t = *next_++;
+      ++stats_->rows_scanned;
+      if (BindStepAt(*step_, t, out, j)) {
+        ++j;
+      } else {
+        UnbindStepAt(*step_, out, j);
+      }
+    }
+    out->set_rows(j);
+    return j > 0 || next_ != end_;
+  }
+
+ private:
+  const Triple* next_;
+  const Triple* end_;
+  const PatternStep* step_;
+  size_t width_;
+  size_t batch_size_;
+  ExecStats* stats_;
+};
+
+/// Key of a shared-build join hash table: the probe values at the step's
+/// key positions (unused positions stay 0, which no valid id uses).
+struct HashKey {
+  std::array<TermId, 3> v{{kNullTermId, kNullTermId, kNullTermId}};
+  bool operator==(const HashKey& other) const { return v == other.v; }
+};
+
+struct HashKeyHash {
+  size_t operator()(const HashKey& k) const {
+    return static_cast<size_t>(Fnv1a64(k.v.data(), sizeof(k.v)));
+  }
+};
+
+/// Orders triples by an explicit field priority (PatternStep::match_order).
+struct TripleFieldLess {
+  std::array<int, 3> order;
+  bool operator()(const Triple& x, const Triple& y) const {
+    for (int f : order) {
+      TermId a = TripleField(x, f), b = TripleField(y, f);
+      if (a != b) return a < b;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+/// Shared build side of a hash-join step: one contiguous triple array
+/// grouped by join-key value plus a key → (offset, length) index — a flat
+/// layout so a build of n triples costs two passes and one hash map, not
+/// one heap-allocated bucket per distinct key (keys are near-unique in
+/// star-shaped facet patterns). Built once on the caller thread, then
+/// read-only — every morsel worker probes it concurrently without
+/// synchronization.
+struct JoinHashTable {
+  struct Range {
+    uint32_t offset = 0;
+    uint32_t length = 0;
+  };
+  std::unordered_map<HashKey, Range, HashKeyHash> ranges;
+  std::vector<Triple> triples;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::JoinHashTable;
+
+std::unique_ptr<JoinHashTable> BuildJoinHashTable(const TripleStore* store,
+                                                  const PatternStep& step,
+                                                  ExecStats* stats) {
+  auto table = std::make_unique<JoinHashTable>();
+  TripleStore::ScanRange range =
+      store->Scan(step.consts[0], step.consts[1], step.consts[2]);
+  stats->rows_scanned += range.size();
+
+  auto key_of = [&step](const Triple& t) {
+    HashKey key;
+    for (int pos : step.key_positions) {
+      key.v[static_cast<size_t>(pos)] = TripleField(t, pos);
+    }
+    return key;
+  };
+
+  // Pass 1: per-key counts -> contiguous offsets.
+  table->ranges.reserve(range.size());
+  for (const Triple& t : range) {
+    ++table->ranges[key_of(t)].length;
+  }
+  uint32_t offset = 0;
+  for (auto& [key, r] : table->ranges) {
+    (void)key;
+    r.offset = offset;
+    offset += r.length;
+    r.length = 0;  // reused as the placement cursor in pass 2
+  }
+
+  // Pass 2: stable placement in scan order, so each key's run keeps the
+  // build index's relative order.
+  table->triples.resize(range.size());
+  for (const Triple& t : range) {
+    JoinHashTable::Range& r = table->ranges[key_of(t)];
+    table->triples[r.offset + r.length++] = t;
+  }
+
+  // Each run must match the index order a nested-loop probe would scan
+  // (PatternStep::match_order) so both algorithms emit identical row
+  // streams. The build scan's index order already guarantees this for
+  // every reachable bound-set/key combination, so the check below is a
+  // cheap O(n) verification pass in practice — but it keeps the contract
+  // independent of TripleStore's index-selection details.
+  TripleFieldLess less{step.match_order};
+  for (const auto& [key, r] : table->ranges) {
+    (void)key;
+    Triple* begin = table->triples.data() + r.offset;
+    Triple* end = begin + r.length;
+    if (!std::is_sorted(begin, end, less)) std::sort(begin, end, less);
+  }
+  return table;
+}
+
+/// Join step over batches. With a hash table it is the probe side of a
+/// shared-build hash join; without one it is a vectorized index nested-loop
+/// join. Both emit, per probe row (in stream order), the matching triples
+/// in PatternStep::match_order — so the output stream is identical either
+/// way, and identical to the legacy row engine.
+class BatchJoinOp : public BatchOperator {
+ public:
+  BatchJoinOp(std::unique_ptr<BatchOperator> child, const TripleStore* store,
+              const PatternStep* step, const JoinHashTable* table, size_t width,
+              size_t batch_size, ExecStats* stats)
+      : child_(std::move(child)),
+        store_(store),
+        step_(step),
+        table_(table),
+        width_(width),
+        batch_size_(batch_size),
+        stats_(stats) {}
+
+  Result<bool> Next(RowBatch* out) override {
+    out->ResetShape(width_, batch_size_);
+    size_t j = 0;
+    while (j < batch_size_) {
+      if (cursor_ != cursor_end_) {
+        const Triple& t = *cursor_++;
+        ++stats_->rows_scanned;
+        CopyRowInto(input_, probe_row_, out, j);
+        if (BindStepAt(*step_, t, out, j)) ++j;
+        continue;
+      }
+      SOFOS_ASSIGN_OR_RETURN(bool more, AdvanceProbe());
+      if (!more) break;
+    }
+    out->set_rows(j);
+    return j > 0;
+  }
+
+ private:
+  /// Moves to the next probe row that has at least one candidate match;
+  /// pulls child batches as needed. Returns false at end of input.
+  Result<bool> AdvanceProbe() {
+    while (true) {
+      while (pos_ < input_.ActiveCount()) {
+        probe_row_ = input_.ActiveIndex(pos_++);
+        ++stats_->intermediate_rows;
+        if (BeginMatches()) return true;
+      }
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(&input_));
+      if (!has) return false;
+      pos_ = 0;
+    }
+  }
+
+  /// Points cursor_ at the candidate matches of probe_row_. Returns false
+  /// when the row has none.
+  bool BeginMatches() {
+    TermId ids[3];
+    for (int i = 0; i < 3; ++i) {
+      if (step_->slots[i] >= 0) {
+        ids[i] = input_.At(static_cast<size_t>(step_->slots[i]), probe_row_);
+      } else {
+        ids[i] = step_->consts[i];
+      }
+    }
+    if (table_ != nullptr) {
+      HashKey key;
+      bool keys_bound = true;
+      for (int pos : step_->key_positions) {
+        if (ids[pos] == kNullTermId) {
+          keys_bound = false;  // defensive: fall back to an index probe
+          break;
+        }
+        key.v[static_cast<size_t>(pos)] = ids[pos];
+      }
+      if (keys_bound) {
+        auto it = table_->ranges.find(key);
+        if (it == table_->ranges.end()) {
+          cursor_ = cursor_end_ = nullptr;
+          return false;
+        }
+        cursor_ = table_->triples.data() + it->second.offset;
+        cursor_end_ = cursor_ + it->second.length;
+        return true;
+      }
+    }
+    TripleStore::ScanRange range = store_->Scan(ids[0], ids[1], ids[2]);
+    cursor_ = range.begin();
+    cursor_end_ = range.end();
+    return cursor_ != cursor_end_;
+  }
+
+  std::unique_ptr<BatchOperator> child_;
+  const TripleStore* store_;
+  const PatternStep* step_;
+  const JoinHashTable* table_;
+  size_t width_;
+  size_t batch_size_;
+  ExecStats* stats_;
+  RowBatch input_;
+  size_t pos_ = 0;
+  uint32_t probe_row_ = 0;
+  const Triple* cursor_ = nullptr;
+  const Triple* cursor_end_ = nullptr;
+};
+
+/// FILTER/HAVING over batches: refines the selection vector in place, never
+/// moves row data. Skips fully-filtered batches instead of emitting them.
+class BatchFilterOp : public BatchOperator {
+ public:
+  BatchFilterOp(std::unique_ptr<BatchOperator> child,
+                std::vector<const Expr*> filters, const Dictionary* dict,
+                const VariableTable* vars, ExecStats* stats, int agg_base = -1)
+      : child_(std::move(child)),
+        filters_(std::move(filters)),
+        eval_(dict, vars, agg_base),
+        stats_(stats) {}
+
+  Result<bool> Next(RowBatch* out) override {
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+      if (!has) return false;
+      std::vector<uint32_t> keep;
+      keep.reserve(out->ActiveCount());
+      for (size_t i = 0; i < out->ActiveCount(); ++i) {
+        uint32_t r = out->ActiveIndex(i);
+        out->GatherRow(r, &scratch_);
+        bool pass = true;
+        for (const Expr* f : filters_) {
+          auto verdict = eval_.EvalBool(*f, scratch_);
+          if (!verdict.ok() || !verdict.value()) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          keep.push_back(r);
+        } else {
+          ++stats_->filtered_rows;
+        }
+      }
+      if (keep.empty()) continue;
+      out->SetSel(std::move(keep));
+      return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<BatchOperator> child_;
+  std::vector<const Expr*> filters_;
+  ExprEvaluator eval_;
+  ExecStats* stats_;
+  Row scratch_;
+};
+
+/// Hash aggregation over batches. Accumulation runs in stream order with
+/// the shared AggAccumulate (identical values, including float addition
+/// order, to the row engine); output groups are sorted by key, matching the
+/// row engine's std::map materialization byte for byte.
+class BatchAggregateOp : public BatchOperator {
+ public:
+  BatchAggregateOp(std::unique_ptr<BatchOperator> child, const Plan* plan,
+                   const Dictionary* dict, Dictionary* mutable_dict,
+                   size_t batch_size, ExecStats* stats)
+      : child_(std::move(child)),
+        plan_(plan),
+        eval_(dict, &plan->pattern_vars),
+        dict_(mutable_dict),
+        batch_size_(batch_size),
+        stats_(stats) {}
+
+  Result<bool> Next(RowBatch* out) override {
+    if (!materialized_) {
+      SOFOS_RETURN_IF_ERROR(Materialize());
+      materialized_ = true;
+    }
+    if (cursor_ >= results_.size()) return false;
+    const size_t width = plan_->group_slots.size() + plan_->agg_specs.size();
+    out->ResetShape(width, batch_size_);
+    size_t j = 0;
+    while (cursor_ < results_.size() && j < batch_size_) {
+      const Row& row = results_[cursor_++];
+      for (size_t c = 0; c < width; ++c) out->Col(c)[j] = row[c];
+      ++j;
+    }
+    out->set_rows(j);
+    return true;
+  }
+
+ private:
+  Status Materialize() {
+    const size_t num_group_vars = plan_->group_slots.size();
+    const size_t num_aggs = plan_->agg_specs.size();
+    // Open-addressed-in-spirit grouping: a hash index over insertion-ordered
+    // group storage, much cheaper than the row engine's std::map of rows;
+    // the deterministic sorted output order is restored at the end.
+    std::unordered_map<Row, size_t, RowHash> index;
+    std::vector<std::pair<Row, std::vector<AggAccum>>> groups;
+
+    RowBatch in;
+    Row key(num_group_vars);
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+      if (!has) break;
+      for (size_t i = 0; i < in.ActiveCount(); ++i) {
+        uint32_t r = in.ActiveIndex(i);
+        ++stats_->intermediate_rows;
+        for (size_t g = 0; g < num_group_vars; ++g) {
+          key[g] = in.At(static_cast<size_t>(plan_->group_slots[g]), r);
+        }
+        auto [it, inserted] = index.try_emplace(key, groups.size());
+        if (inserted) {
+          groups.emplace_back(key, std::vector<AggAccum>(num_aggs));
+        }
+        std::vector<AggAccum>& accums = groups[it->second].second;
+        in.GatherRow(r, &scratch_);
+        for (size_t a = 0; a < num_aggs; ++a) {
+          SOFOS_RETURN_IF_ERROR(AggAccumulate(*plan_->agg_specs[a], scratch_,
+                                              eval_, dict_, &accums[a]));
+        }
+      }
+    }
+
+    // SPARQL: an aggregate query with no GROUP BY over an empty input still
+    // produces one group (COUNT = 0, SUM = 0, others unbound).
+    if (groups.empty() && num_group_vars == 0) {
+      groups.emplace_back(Row{}, std::vector<AggAccum>(num_aggs));
+    }
+
+    // Ascending group-key order — exactly the row engine's std::map order.
+    std::vector<size_t> order(groups.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&groups](size_t a, size_t b) {
+      return groups[a].first < groups[b].first;
+    });
+
+    results_.reserve(groups.size());
+    for (size_t g : order) {
+      Row out(num_group_vars + num_aggs, kNullTermId);
+      std::copy(groups[g].first.begin(), groups[g].first.end(), out.begin());
+      for (size_t a = 0; a < num_aggs; ++a) {
+        SOFOS_ASSIGN_OR_RETURN(
+            TermId id, AggFinalize(*plan_->agg_specs[a], groups[g].second[a], dict_));
+        out[num_group_vars + a] = id;
+      }
+      results_.push_back(std::move(out));
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<BatchOperator> child_;
+  const Plan* plan_;
+  ExprEvaluator eval_;
+  Dictionary* dict_;
+  size_t batch_size_;
+  ExecStats* stats_;
+  Row scratch_;
+  bool materialized_ = false;
+  std::vector<Row> results_;
+  size_t cursor_ = 0;
+};
+
+/// Projection into the output layout; expression results are interned (on
+/// the caller thread — projection always runs above the exchange).
+class BatchProjectOp : public BatchOperator {
+ public:
+  BatchProjectOp(std::unique_ptr<BatchOperator> child, const Plan* plan,
+                 const Dictionary* dict, Dictionary* mutable_dict,
+                 const VariableTable* input_vars, int agg_base)
+      : child_(std::move(child)),
+        plan_(plan),
+        eval_(dict, input_vars, agg_base),
+        dict_(mutable_dict) {}
+
+  Result<bool> Next(RowBatch* out) override {
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(&in_));
+      if (!has) return false;
+      const size_t n = in_.ActiveCount();
+      if (n == 0) continue;
+      const size_t width = plan_->outputs.size();
+      out->Reset(width, n);
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t r = in_.ActiveIndex(i);
+        bool gathered = false;
+        for (size_t c = 0; c < width; ++c) {
+          const Plan::OutputItem& item = plan_->outputs[c];
+          if (item.direct_slot >= 0) {
+            out->Col(c)[i] = in_.At(static_cast<size_t>(item.direct_slot), r);
+            continue;
+          }
+          if (item.expr == nullptr) continue;
+          if (!gathered) {
+            in_.GatherRow(r, &scratch_);
+            gathered = true;
+          }
+          auto value = eval_.Eval(*item.expr, scratch_);
+          if (!value.ok() || value.value().is_unbound()) continue;
+          auto term = value.value().ToTerm();
+          if (!term.ok()) continue;
+          out->Col(c)[i] = dict_->Intern(term.value());
+        }
+      }
+      out->set_rows(n);
+      return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<BatchOperator> child_;
+  const Plan* plan_;
+  ExprEvaluator eval_;
+  Dictionary* dict_;
+  RowBatch in_;
+  Row scratch_;
+};
+
+class BatchDistinctOp : public BatchOperator {
+ public:
+  explicit BatchDistinctOp(std::unique_ptr<BatchOperator> child)
+      : child_(std::move(child)) {}
+
+  Result<bool> Next(RowBatch* out) override {
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+      if (!has) return false;
+      std::vector<uint32_t> keep;
+      keep.reserve(out->ActiveCount());
+      for (size_t i = 0; i < out->ActiveCount(); ++i) {
+        uint32_t r = out->ActiveIndex(i);
+        out->GatherRow(r, &scratch_);
+        if (seen_.insert(scratch_).second) keep.push_back(r);
+      }
+      if (keep.empty()) continue;
+      out->SetSel(std::move(keep));
+      return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<BatchOperator> child_;
+  std::unordered_set<Row, RowHash> seen_;
+  Row scratch_;
+};
+
+/// ORDER BY over batches: materializes rows plus evaluated keys, stable-sorts
+/// with the same comparator as the row engine, streams batches back out.
+class BatchOrderByOp : public BatchOperator {
+ public:
+  BatchOrderByOp(std::unique_ptr<BatchOperator> child, const Plan* plan,
+                 const Dictionary* dict, int agg_base, size_t batch_size)
+      : child_(std::move(child)),
+        plan_(plan),
+        eval_(dict, &plan->output_vars, agg_base),
+        batch_size_(batch_size) {}
+
+  Result<bool> Next(RowBatch* out) override {
+    if (!materialized_) {
+      SOFOS_RETURN_IF_ERROR(Materialize());
+      materialized_ = true;
+    }
+    if (cursor_ >= rows_.size()) return false;
+    const size_t width = plan_->outputs.size();
+    out->ResetShape(width, batch_size_);
+    size_t j = 0;
+    while (cursor_ < rows_.size() && j < batch_size_) {
+      const Row& row = rows_[cursor_++].row;
+      for (size_t c = 0; c < width; ++c) out->Col(c)[j] = row[c];
+      ++j;
+    }
+    out->set_rows(j);
+    return true;
+  }
+
+ private:
+  struct Keyed {
+    Row row;
+    std::vector<Value> keys;
+  };
+
+  Status Materialize() {
+    RowBatch in;
+    while (true) {
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+      if (!has) break;
+      for (size_t i = 0; i < in.ActiveCount(); ++i) {
+        Keyed keyed;
+        in.GatherRow(in.ActiveIndex(i), &keyed.row);
+        for (const auto& [expr, asc] : plan_->order_keys) {
+          (void)asc;
+          auto v = eval_.Eval(*expr, keyed.row);
+          keyed.keys.push_back(v.ok() ? v.value() : Value::Unbound());
+        }
+        rows_.push_back(std::move(keyed));
+      }
+    }
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Keyed& a, const Keyed& b) {
+                       for (size_t i = 0; i < plan_->order_keys.size(); ++i) {
+                         int c = a.keys[i].TotalCompare(b.keys[i]);
+                         if (c != 0) {
+                           return plan_->order_keys[i].second ? c < 0 : c > 0;
+                         }
+                       }
+                       return false;
+                     });
+    return Status::OK();
+  }
+
+  std::unique_ptr<BatchOperator> child_;
+  const Plan* plan_;
+  ExprEvaluator eval_;
+  size_t batch_size_;
+  bool materialized_ = false;
+  std::vector<Keyed> rows_;
+  size_t cursor_ = 0;
+};
+
+/// OFFSET/LIMIT over batches; stops pulling its child once the limit is
+/// reached (so upstream work — including exchange morsels — can stop).
+class BatchSliceOp : public BatchOperator {
+ public:
+  BatchSliceOp(std::unique_ptr<BatchOperator> child, int64_t offset, int64_t limit)
+      : child_(std::move(child)), offset_(offset), limit_(limit) {}
+
+  Result<bool> Next(RowBatch* out) override {
+    while (true) {
+      if (limit_ >= 0 && emitted_ >= limit_) return false;
+      SOFOS_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+      if (!has) return false;
+      std::vector<uint32_t> keep;
+      for (size_t i = 0; i < out->ActiveCount(); ++i) {
+        if (skipped_ < offset_) {
+          ++skipped_;
+          continue;
+        }
+        if (limit_ >= 0 && emitted_ >= limit_) break;
+        keep.push_back(out->ActiveIndex(i));
+        ++emitted_;
+      }
+      if (keep.empty()) continue;
+      out->SetSel(std::move(keep));
+      return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<BatchOperator> child_;
+  int64_t offset_;
+  int64_t limit_;
+  int64_t skipped_ = 0;
+  int64_t emitted_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Exchange: morsel-driven parallel execution of a pipeline fragment.
+// ---------------------------------------------------------------------------
+
+/// Runs one fragment instance (scan → joins → filters) per leaf morsel on
+/// the thread pool and streams the per-morsel outputs back to the caller in
+/// deterministic partition order. Workers claim morsels from a shared
+/// counter (dynamic load balance); each worker drains its fragment into a
+/// private buffer, then publishes it. The consumer — the query's caller
+/// thread — never blocks idle: while its next morsel is pending it helps
+/// drain the pool queue (TryRunOneTask), which also makes nested fan-outs
+/// (a query running inside a pool task, as in the batched workload runner)
+/// deadlock-free.
+///
+/// Determinism: concatenating morsel outputs in partition order yields
+/// exactly the single-fragment full-range stream, so results are identical
+/// at every dop. Row counters merge additively per consumed morsel, also in
+/// partition order. Errors surface for the smallest failing morsel.
+class ExchangeOp : public BatchOperator {
+ public:
+  using FragmentFactory = std::function<std::unique_ptr<BatchOperator>(
+      TripleStore::ScanRange, ExecStats*)>;
+
+  ExchangeOp(FragmentFactory factory,
+             std::vector<TripleStore::ScanRange> morsels, ThreadPool* pool,
+             unsigned dop, ExecStats* stats)
+      : factory_(std::move(factory)),
+        morsels_(std::move(morsels)),
+        pool_(pool),
+        stats_(stats),
+        slots_(morsels_.size()) {
+    size_t workers = std::min<size_t>(dop, morsels_.size());
+    futures_.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      futures_.push_back(pool_->Submit([this] { WorkerLoop(); }));
+    }
+  }
+
+  ~ExchangeOp() override {
+    abort_.store(true, std::memory_order_relaxed);
+    JoinWorkers();
+    // Account the work of morsels that were executed but never consumed
+    // (an upstream LIMIT stopped pulling): their row counters stay
+    // unmerged — the deterministic counters reflect consumed morsels only —
+    // but their CPU time was really spent.
+    for (size_t m = consume_; m < slots_.size(); ++m) {
+      if (slots_[m].done) stats_->cpu_micros += slots_[m].cpu_micros;
+    }
+    stats_->cpu_micros -= wait_micros_;
+  }
+
+  Result<bool> Next(RowBatch* out) override {
+    while (consume_ < slots_.size()) {
+      Slot& slot = slots_[consume_];
+      WaitForSlot(consume_);
+      if (!slot.status.ok()) return slot.status;
+      if (batch_cursor_ < slot.batches.size()) {
+        *out = std::move(slot.batches[batch_cursor_++]);
+        return true;
+      }
+      // Morsel fully consumed: merge its counters (partition order) and
+      // free its buffers before moving on.
+      stats_->rows_scanned += slot.stats.rows_scanned;
+      stats_->intermediate_rows += slot.stats.intermediate_rows;
+      stats_->filtered_rows += slot.stats.filtered_rows;
+      stats_->cpu_micros += slot.cpu_micros;
+      slot.batches.clear();
+      slot.batches.shrink_to_fit();
+      ++consume_;
+      batch_cursor_ = 0;
+    }
+    return false;
+  }
+
+ private:
+  struct Slot {
+    std::vector<RowBatch> batches;
+    ExecStats stats;
+    Status status = Status::OK();
+    double cpu_micros = 0.0;
+    bool done = false;
+  };
+
+  void WorkerLoop() {
+    while (!abort_.load(std::memory_order_relaxed)) {
+      size_t m = next_morsel_.fetch_add(1, std::memory_order_relaxed);
+      if (m >= morsels_.size()) return;
+      RunMorsel(m);
+    }
+  }
+
+  void RunMorsel(size_t m) {
+    WallTimer timer;
+    ExecStats fstats;
+    std::vector<RowBatch> batches;
+    Status status = Status::OK();
+    std::unique_ptr<BatchOperator> fragment = factory_(morsels_[m], &fstats);
+    while (true) {
+      RowBatch batch;
+      auto has = fragment->Next(&batch);
+      if (!has.ok()) {
+        status = has.status();
+        break;
+      }
+      if (!has.value()) break;
+      if (batch.ActiveCount() > 0) batches.push_back(std::move(batch));
+    }
+    double cpu = timer.ElapsedMicros();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Slot& slot = slots_[m];
+      slot.batches = std::move(batches);
+      slot.stats = fstats;
+      slot.status = std::move(status);
+      slot.cpu_micros = cpu;
+      slot.done = true;
+    }
+    cv_.notify_all();
+  }
+
+  void WaitForSlot(size_t m) {
+    WallTimer timer;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!slots_[m].done) {
+      lock.unlock();
+      // Work on the pool queue instead of idling; this may run our own
+      // pending morsels (their time is then counted as worker CPU, and
+      // excluded here via wait_micros_) or other queries' tasks.
+      if (!pool_->TryRunOneTask()) {
+        lock.lock();
+        if (!slots_[m].done) {
+          cv_.wait_for(lock, std::chrono::microseconds(200));
+        }
+        lock.unlock();
+      }
+      lock.lock();
+    }
+    wait_micros_ += timer.ElapsedMicros();
+  }
+
+  void JoinWorkers() {
+    for (std::future<void>& future : futures_) {
+      while (future.wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready) {
+        if (!pool_->TryRunOneTask()) {
+          future.wait_for(std::chrono::microseconds(200));
+        }
+      }
+      try {
+        future.get();
+      } catch (...) {
+        // Fragment code reports errors via Status; an exception here would
+        // be a bug in operator code. Swallow rather than terminate: the
+        // per-slot Status still carries the user-visible error.
+      }
+    }
+    futures_.clear();
+  }
+
+  FragmentFactory factory_;
+  std::vector<TripleStore::ScanRange> morsels_;
+  ThreadPool* pool_;
+  ExecStats* stats_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  std::vector<std::future<void>> futures_;
+  std::atomic<size_t> next_morsel_{0};
+  std::atomic<bool> abort_{false};
+
+  // Consumer state (caller thread only).
+  size_t consume_ = 0;
+  size_t batch_cursor_ = 0;
+  double wait_micros_ = 0.0;
+};
+
+}  // namespace
+
+namespace {
+
+/// The exchange schedule for a leaf scan of `leaf_rows` triples under
+/// `options` — shared by RunBatch and DescribePhysical so EXPLAIN always
+/// reports exactly what execution would do. Large scans split at
+/// morsel_rows; small leading scans (the planner starts from the smallest
+/// pattern, which then fans out through the joins) split finer, about
+/// kMorselsPerWorker per worker, so they still parallelize.
+struct MorselSchedule {
+  size_t num_morsels = 0;
+  unsigned dop = 1;      // workers the exchange would actually use
+  bool exchange = false; // false: run one fragment inline on the caller
+};
+
+MorselSchedule ComputeMorselSchedule(size_t leaf_rows,
+                                     const ExecOptions& options) {
+  constexpr size_t kMorselsPerWorker = 8;
+  MorselSchedule schedule;
+  const size_t morsel_rows = std::max<size_t>(1, options.morsel_rows);
+  const unsigned dop = options.dop < 1 ? 1 : options.dop;
+  const size_t by_size = (leaf_rows + morsel_rows - 1) / morsel_rows;
+  schedule.num_morsels = std::min<size_t>(
+      leaf_rows,
+      std::max<size_t>(by_size, static_cast<size_t>(dop) * kMorselsPerWorker));
+  schedule.exchange =
+      options.pool != nullptr && dop > 1 && schedule.num_morsels > 1;
+  schedule.dop =
+      schedule.exchange
+          ? static_cast<unsigned>(std::min<size_t>(dop, schedule.num_morsels))
+          : 1;
+  return schedule;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+Executor::Executor(const Plan* plan, const TripleStore* store, Dictionary* dict,
+                   ExecOptions options)
+    : plan_(plan), store_(store), dict_(dict), options_(options) {}
+
+std::unique_ptr<Operator> Executor::BuildVolcanoPipeline(ExecStats* stats) {
   std::unique_ptr<Operator> op;
   const size_t width = plan_->pattern_vars.size();
 
@@ -511,18 +1429,167 @@ std::unique_ptr<Operator> Executor::BuildPipeline(ExecStats* stats) {
   return op;
 }
 
-Status Executor::Run(std::vector<Row>* out, ExecStats* stats) {
-  WallTimer timer;
-  std::unique_ptr<Operator> root = BuildPipeline(stats);
+Status Executor::RunVolcano(std::vector<Row>* out, ExecStats* stats) {
+  std::unique_ptr<Operator> root = BuildVolcanoPipeline(stats);
   Row row;
   while (true) {
     SOFOS_ASSIGN_OR_RETURN(bool has, root->Next(&row));
     if (!has) break;
     out->push_back(row);
   }
-  stats->output_rows += out->size();
-  stats->exec_micros += timer.ElapsedMicros();
   return Status::OK();
+}
+
+Status Executor::RunBatch(std::vector<Row>* out, ExecStats* stats) {
+  const size_t width = plan_->pattern_vars.size();
+  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
+
+  // Shared-build sides of the plan's hash joins: built once here on the
+  // caller thread, then probed read-only by every morsel worker.
+  std::vector<std::unique_ptr<internal::JoinHashTable>> tables(
+      plan_->steps.size());
+  if (!plan_->empty_guaranteed) {
+    for (size_t i = 1; i < plan_->steps.size(); ++i) {
+      if (plan_->steps[i].algo == JoinAlgo::kHashProbe) {
+        tables[i] = BuildJoinHashTable(store_, plan_->steps[i], stats);
+      }
+    }
+  }
+
+  // One fragment = scan → joins → pushed-down filters, instantiated per
+  // morsel with fragment-local stats.
+  auto make_fragment =
+      [this, width, batch_size, &tables](
+          TripleStore::ScanRange range,
+          ExecStats* fstats) -> std::unique_ptr<BatchOperator> {
+    std::unique_ptr<BatchOperator> op = std::make_unique<BatchScanOp>(
+        range, &plan_->steps[0], width, batch_size, fstats);
+    if (!plan_->steps[0].filters.empty()) {
+      op = std::make_unique<BatchFilterOp>(std::move(op),
+                                           plan_->steps[0].filters, dict_,
+                                           &plan_->pattern_vars, fstats);
+    }
+    for (size_t i = 1; i < plan_->steps.size(); ++i) {
+      const PatternStep& step = plan_->steps[i];
+      op = std::make_unique<BatchJoinOp>(std::move(op), store_, &step,
+                                         tables[i].get(), width, batch_size,
+                                         fstats);
+      if (!step.filters.empty()) {
+        op = std::make_unique<BatchFilterOp>(std::move(op), step.filters, dict_,
+                                             &plan_->pattern_vars, fstats);
+      }
+    }
+    return op;
+  };
+
+  // Leaf scheduling: morsel-partition the first pattern's range and fan the
+  // fragments out when a pool is available; otherwise run one fragment over
+  // the full range inline (see ComputeMorselSchedule). Row counters are
+  // additive over morsels and therefore independent of the partitioning
+  // for fully-drained queries.
+  std::unique_ptr<BatchOperator> op;
+  if (plan_->empty_guaranteed || plan_->steps.empty()) {
+    op = std::make_unique<BatchEmptyOp>();
+  } else {
+    const PatternStep& leaf = plan_->steps.front();
+    TripleStore::ScanRange full =
+        store_->Scan(leaf.consts[0], leaf.consts[1], leaf.consts[2]);
+    MorselSchedule schedule = ComputeMorselSchedule(full.size(), options_);
+    if (schedule.exchange) {
+      std::vector<TripleStore::ScanRange> morsels = store_->ScanPartitions(
+          leaf.consts[0], leaf.consts[1], leaf.consts[2],
+          schedule.num_morsels);
+      stats->morsels = morsels.size();
+      stats->dop = static_cast<uint32_t>(
+          std::min<size_t>(schedule.dop, morsels.size()));
+      op = std::make_unique<ExchangeOp>(make_fragment, std::move(morsels),
+                                        options_.pool, schedule.dop, stats);
+    } else {
+      op = make_fragment(full, stats);
+    }
+  }
+
+  // Serial tail: aggregation, HAVING, projection, DISTINCT, ORDER BY, slice
+  // — everything that interns literals or is an inherent pipeline breaker
+  // runs on the caller thread, consuming the deterministic batch stream.
+  int agg_base = -1;
+  const VariableTable* project_input = &plan_->pattern_vars;
+  if (plan_->is_aggregate) {
+    op = std::make_unique<BatchAggregateOp>(std::move(op), plan_, dict_, dict_,
+                                            batch_size, stats);
+    agg_base = static_cast<int>(plan_->group_slots.size());
+    project_input = &plan_->group_vars;
+    if (!plan_->having.empty()) {
+      op = std::make_unique<BatchFilterOp>(std::move(op), plan_->having, dict_,
+                                           &plan_->group_vars, stats, agg_base);
+    }
+  }
+  op = std::make_unique<BatchProjectOp>(std::move(op), plan_, dict_, dict_,
+                                        project_input, agg_base);
+  if (plan_->distinct) op = std::make_unique<BatchDistinctOp>(std::move(op));
+  if (!plan_->order_keys.empty()) {
+    op = std::make_unique<BatchOrderByOp>(std::move(op), plan_, dict_, agg_base,
+                                          batch_size);
+  }
+  if (plan_->limit >= 0 || plan_->offset > 0) {
+    op = std::make_unique<BatchSliceOp>(std::move(op), plan_->offset,
+                                        plan_->limit);
+  }
+
+  RowBatch batch;
+  while (true) {
+    SOFOS_ASSIGN_OR_RETURN(bool has, op->Next(&batch));
+    if (!has) break;
+    for (size_t i = 0; i < batch.ActiveCount(); ++i) {
+      out->emplace_back();
+      batch.GatherRow(batch.ActiveIndex(i), &out->back());
+    }
+  }
+  // `op` (and with it any ExchangeOp, which joins its workers in its
+  // destructor) dies here, before `tables` and `make_fragment` go out of
+  // scope.
+  op.reset();
+  return Status::OK();
+}
+
+Status Executor::Run(std::vector<Row>* out, ExecStats* stats) {
+  WallTimer timer;
+  Status status = options_.mode == ExecMode::kVolcano ? RunVolcano(out, stats)
+                                                      : RunBatch(out, stats);
+  double wall = timer.ElapsedMicros();
+  stats->exec_micros += wall;
+  // The caller thread's busy time; ExchangeOp already added worker CPU and
+  // subtracted the consumer's blocked time.
+  stats->cpu_micros += wall;
+  if (!status.ok()) return status;
+  stats->output_rows += out->size();
+  return Status::OK();
+}
+
+std::string Executor::DescribePhysical(const Plan& plan, const TripleStore& store,
+                                       const ExecOptions& options) {
+  if (options.mode == ExecMode::kVolcano) {
+    return "PHYSICAL volcano (row-at-a-time, serial)\n";
+  }
+  if (plan.empty_guaranteed || plan.steps.empty()) {
+    return "PHYSICAL batch (empty plan)\n";
+  }
+  const PatternStep& leaf = plan.steps.front();
+  const size_t leaf_rows = static_cast<size_t>(
+      store.Count(leaf.consts[0], leaf.consts[1], leaf.consts[2]));
+  MorselSchedule schedule = ComputeMorselSchedule(leaf_rows, options);
+  size_t hash_joins = 0;
+  for (const PatternStep& step : plan.steps) {
+    if (step.algo == JoinAlgo::kHashProbe) ++hash_joins;
+  }
+  const size_t rows_per_morsel =
+      schedule.num_morsels == 0 ? 0 : leaf_rows / schedule.num_morsels;
+  return StrFormat(
+      "PHYSICAL batch size=%zu dop=%u morsels=%zu (~%zu leaf rows each) "
+      "hash_joins=%zu%s\n",
+      options.batch_size, schedule.dop, schedule.num_morsels, rows_per_morsel,
+      hash_joins,
+      schedule.exchange ? "  EXCHANGE" : "  (serial: no pool or single morsel)");
 }
 
 }  // namespace sparql

@@ -12,26 +12,139 @@
 #include "sparql/planner.h"
 
 namespace sofos {
+
+class ThreadPool;
+
 namespace sparql {
 
 /// Execution counters. The paper's online module reports per-query work;
 /// these counters feed its statistics (Sofos GUI panel ④) and the learned
 /// cost model's training features.
+///
+/// Timing mirrors WorkloadReport's wall/CPU split: `exec_micros` is the
+/// elapsed wall-clock time of Run(); `cpu_micros` is the aggregate busy
+/// time across every thread that worked on the query (morsel workers plus
+/// the caller's non-blocked time). A serial run has cpu ≈ exec; a parallel
+/// run has cpu > exec, and exec shows the latency win directly. Keeping
+/// them separate stops parallel work from being double-counted as latency
+/// in cost-model training features.
+///
+/// Row counters are additive over morsels with a fixed plan, so for fully
+/// drained queries they are independent of the thread count and of
+/// batch/morsel boundaries. Queries that stop pulling early (LIMIT with no
+/// pipeline breaker above the scan) count only the work actually consumed,
+/// which does vary with the schedule — the serial path stops mid-scan,
+/// the exchange merges whole consumed morsels. `morsels` and `dop`
+/// describe the schedule actually used and, like the timing fields, may
+/// differ across thread counts.
 struct ExecStats {
   uint64_t rows_scanned = 0;       // triples touched by scans and joins
   uint64_t intermediate_rows = 0;  // rows flowing between pattern steps
   uint64_t filtered_rows = 0;      // rows dropped by FILTER/HAVING
   uint64_t output_rows = 0;
   double plan_micros = 0.0;
-  double exec_micros = 0.0;
+  double exec_micros = 0.0;  // wall clock of Run()
+  double cpu_micros = 0.0;   // aggregated per-worker busy time
+  uint64_t morsels = 0;      // leaf partitions executed (0 = no exchange)
+  uint32_t dop = 1;          // intra-query parallelism actually used
+};
+
+/// Which engine executes the plan. kBatch is the default vectorized engine
+/// (operators exchange columnar RowBatches, leaf scans are morsel-driven
+/// when a pool is supplied); kVolcano is the legacy row-at-a-time pull
+/// pipeline, kept as the reference semantics the batch engine is tested
+/// against and as the bench baseline.
+enum class ExecMode { kBatch, kVolcano };
+
+/// Per-query execution knobs. Defaults give the serial batch engine, whose
+/// results (rows, order, interned literals) are byte-identical to kVolcano.
+struct ExecOptions {
+  ExecMode mode = ExecMode::kBatch;
+  /// Pool serving morsel workers; nullptr = run everything on the caller.
+  ThreadPool* pool = nullptr;
+  /// Intra-query parallelism degree: number of morsel workers the exchange
+  /// operator spawns (clamped to the morsel count). <= 1 disables the
+  /// exchange; results are identical at every dop by construction (morsel
+  /// outputs are reduced in deterministic partition order).
+  unsigned dop = 1;
+  /// Rows per RowBatch between operators.
+  size_t batch_size = 1024;
+  /// Target leaf-scan triples per morsel for large scans. Small leading
+  /// scans are split finer (~8 morsels per worker) because the planner
+  /// starts from the smallest pattern, whose rows fan out through the
+  /// joins; see Executor::RunBatch. Partitioning never affects results,
+  /// and row counters are additive over morsels.
+  size_t morsel_rows = 16 * 1024;
+};
+
+/// A fixed-capacity columnar batch of solution rows: one uint32 TermId
+/// vector per variable slot plus an optional selection vector. Operators
+/// fill batches bottom-up; FILTER/DISTINCT/slice drop rows by shrinking
+/// `sel` instead of moving data. Row order (physical index order, filtered
+/// through `sel` in ascending order) is the row-at-a-time stream order —
+/// batch boundaries never affect results.
+class RowBatch {
+ public:
+  RowBatch() = default;
+
+  /// (Re)shapes the batch to `width` columns of `capacity` rows, clears all
+  /// cells to kNullTermId and drops the selection vector.
+  void Reset(size_t width, size_t capacity);
+
+  /// Like Reset but leaves cell contents undefined — for operators that
+  /// overwrite every column of every row they emit (joins copy the full
+  /// probe row; aggregate/sort outputs write all cells).
+  void ResetShape(size_t width, size_t capacity);
+
+  size_t width() const { return width_; }
+  size_t capacity() const { return capacity_; }
+  size_t rows() const { return rows_; }
+  void set_rows(size_t rows) { rows_ = rows; }
+
+  TermId* Col(size_t c) { return data_.data() + c * capacity_; }
+  const TermId* Col(size_t c) const { return data_.data() + c * capacity_; }
+  TermId At(size_t c, size_t r) const { return Col(c)[r]; }
+
+  /// Number of live rows (selection applied).
+  size_t ActiveCount() const { return has_sel_ ? sel_.size() : rows_; }
+  /// Physical index of the i-th live row; ascending in i.
+  uint32_t ActiveIndex(size_t i) const {
+    return has_sel_ ? sel_[i] : static_cast<uint32_t>(i);
+  }
+  bool has_sel() const { return has_sel_; }
+  const std::vector<uint32_t>& sel() const { return sel_; }
+  /// Installs a selection vector (indices must be ascending physical rows).
+  void SetSel(std::vector<uint32_t> sel) {
+    sel_ = std::move(sel);
+    has_sel_ = true;
+  }
+
+  /// Copies physical row `r` into `out` (resized to width).
+  void GatherRow(uint32_t r, Row* out) const;
+
+ private:
+  size_t width_ = 0;
+  size_t capacity_ = 0;
+  size_t rows_ = 0;
+  std::vector<TermId> data_;  // column-major: data_[c * capacity_ + r]
+  std::vector<uint32_t> sel_;
+  bool has_sel_ = false;
 };
 
 /// Pull-based (Volcano) operator interface. Next() produces rows until it
-/// returns false. Errors abort the query.
+/// returns false. Errors abort the query. Legacy engine (ExecMode::kVolcano).
 class Operator {
  public:
   virtual ~Operator() = default;
   virtual Result<bool> Next(Row* row) = 0;
+};
+
+/// Vectorized operator interface: Next() fills `out` with the next batch
+/// (possibly with a selection vector) and returns false at end of stream.
+class BatchOperator {
+ public:
+  virtual ~BatchOperator() = default;
+  virtual Result<bool> Next(RowBatch* out) = 0;
 };
 
 /// Builds the operator tree for `plan` and runs it to completion.
@@ -40,24 +153,45 @@ class Operator {
 /// intern freshly computed literals (sums, averages); interning never
 /// invalidates the store's indexes.
 ///
+/// Determinism contract: for a fixed plan, the output row stream — and the
+/// order in which fresh literals are interned — is identical across
+/// ExecMode and across every dop/pool/batch_size/morsel_rows setting. The
+/// exchange operator guarantees this by reducing morsel outputs in
+/// partition order, and the hash join by emitting per-probe matches in the
+/// index order the nested-loop join would use (PatternStep::match_order).
+///
 /// Thread safety: one Executor serves one query, but any number of
 /// Executors may Run() concurrently over the same finalized store — they
 /// perform const index scans only, and Dictionary::Intern is internally
-/// synchronized (see rdf/dictionary.h). This is what the engine's batched
-/// workload runner and the parallel lattice profiler do.
+/// synchronized (see rdf/dictionary.h). Morsel workers submitted to
+/// options.pool only scan the store and write fragment-local state; all
+/// interning operators (aggregate, project) run on the caller thread. An
+/// Executor whose exchange fans out may itself be running inside a task of
+/// the same pool: while waiting, it helps drain the queue
+/// (ThreadPool::TryRunOneTask), so nested fan-outs cannot deadlock.
 class Executor {
  public:
-  Executor(const Plan* plan, const TripleStore* store, Dictionary* dict);
+  Executor(const Plan* plan, const TripleStore* store, Dictionary* dict,
+           ExecOptions options = {});
 
   /// Runs the full pipeline and appends output rows (in output_vars layout).
   Status Run(std::vector<Row>* out, ExecStats* stats);
 
+  /// One-line rendering of the physical schedule the batch engine would use
+  /// for `plan` under `options` (dop, morsel count/size, batch size) — the
+  /// EXPLAIN companion to Plan::ToString().
+  static std::string DescribePhysical(const Plan& plan, const TripleStore& store,
+                                      const ExecOptions& options);
+
  private:
-  std::unique_ptr<Operator> BuildPipeline(ExecStats* stats);
+  std::unique_ptr<Operator> BuildVolcanoPipeline(ExecStats* stats);
+  Status RunVolcano(std::vector<Row>* out, ExecStats* stats);
+  Status RunBatch(std::vector<Row>* out, ExecStats* stats);
 
   const Plan* plan_;
   const TripleStore* store_;
   Dictionary* dict_;
+  ExecOptions options_;
 };
 
 }  // namespace sparql

@@ -114,6 +114,15 @@ Result<Plan> Planner::Build(Query* query, const TripleStore& store) {
     step.consts = chosen.consts;
     step.est_cardinality = chosen.est;
     step.connected = best_connected;
+    // Join keys: positions whose variable is bound by *earlier* steps
+    // (bound_vars does not yet contain this step's own variables).
+    if (step_idx > 0) {
+      for (int i = 0; i < 3; ++i) {
+        if (chosen.vars[i] != nullptr && bound_vars.count(*chosen.vars[i]) > 0) {
+          step.key_positions.push_back(i);
+        }
+      }
+    }
     for (int i = 0; i < 3; ++i) {
       if (chosen.vars[i] != nullptr) {
         step.slots[i] = plan.pattern_vars.GetOrAdd(*chosen.vars[i]);
@@ -123,6 +132,45 @@ Result<Plan> Planner::Build(Query* query, const TripleStore& store) {
       }
     }
     plan.steps.push_back(std::move(step));
+  }
+
+  // ---- Physical join algorithm per step (batch engine). ----
+  // The choice must not depend on the execution thread count: the plan is
+  // part of the determinism contract (same plan at every dop).
+  {
+    // Probe-side size hint for step i: the largest pattern joined so far.
+    // Join orders start from the smallest pattern and fan out, so the
+    // pipeline width at step i is usually driven by the biggest earlier
+    // pattern; the first scan alone would grossly underestimate it.
+    uint64_t probe_hint = 0;
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      PatternStep& step = plan.steps[i];
+      bool bound[3];
+      for (int f = 0; f < 3; ++f) {
+        bound[f] = step.consts[f] != kNullTermId ||
+                   std::find(step.key_positions.begin(),
+                             step.key_positions.end(),
+                             f) != step.key_positions.end();
+      }
+      step.match_order = TripleStore::ScanFieldOrder(bound[0], bound[1], bound[2]);
+      if (i == 0) {
+        step.algo = JoinAlgo::kScan;
+        probe_hint = step.est_cardinality;
+        continue;
+      }
+      // Hash-probe when the build side (the pattern's full scan) is worth
+      // materializing: bounded size and a probe side large enough — in
+      // absolute rows and relative to the build — to amortize it.
+      step.algo = JoinAlgo::kIndexLoop;
+      if (step.connected && !step.key_positions.empty() &&
+          step.est_cardinality > 0 &&
+          step.est_cardinality <= kHashBuildMaxRows &&
+          probe_hint >= kHashProbeMinRows &&
+          probe_hint >= kHashProbePerBuildRow * step.est_cardinality) {
+        step.algo = JoinAlgo::kHashProbe;
+      }
+      probe_hint = std::max(probe_hint, step.est_cardinality);
+    }
   }
 
   // ---- Push filters to the earliest step where their vars are bound. ----
@@ -247,13 +295,25 @@ std::string Plan::ToString() const {
   if (empty_guaranteed) {
     out += "EMPTY (constant term absent from graph)\n";
   }
+  static const char* kPos[3] = {"s", "p", "o"};
   for (size_t i = 0; i < steps.size(); ++i) {
     const PatternStep& step = steps[i];
-    out += StrFormat("%zu: %s  %s  [est=%llu]%s\n", i,
-                     i == 0 ? "SCAN " : "IJOIN",
+    const char* op = i == 0 ? "SCAN "
+                            : (step.algo == JoinAlgo::kHashProbe ? "HJOIN"
+                                                                 : "IJOIN");
+    out += StrFormat("%zu: %s  %s  [est=%llu]%s", i, op,
                      step.pattern.ToString().c_str(),
                      static_cast<unsigned long long>(step.est_cardinality),
                      (i > 0 && !step.connected) ? "  CROSS" : "");
+    if (step.algo == JoinAlgo::kHashProbe) {
+      out += "  build=pattern probe=pipeline keys=[";
+      for (size_t k = 0; k < step.key_positions.size(); ++k) {
+        if (k) out += ",";
+        out += kPos[step.key_positions[k]];
+      }
+      out += "]";
+    }
+    out += "\n";
     for (const Expr* f : step.filters) {
       out += "   FILTER " + f->ToString() + "\n";
     }

@@ -14,9 +14,30 @@
 namespace sofos {
 namespace sparql {
 
+/// Physical join algorithm of one pattern step (batch engine). The first
+/// step is always kScan. kIndexLoop probes the store's permutation indexes
+/// once per input row; kHashProbe probes a hash table built once from the
+/// step's full pattern scan (the build side), shared read-only by every
+/// morsel worker. Both algorithms emit the matches of each probe row in
+/// the same order (see TripleStore::ScanFieldOrder), so the choice never
+/// changes query results — only speed.
+enum class JoinAlgo { kScan, kIndexLoop, kHashProbe };
+
+/// Hash-probe decision thresholds (Planner::Build). A step becomes a hash
+/// join when its build side has at most kHashBuildMaxRows triples, the
+/// probe-side hint (the largest pattern joined so far — pipelines fan out)
+/// reaches kHashProbeMinRows, and the probe is at least 2x the build:
+/// replacing an O(log n) index probe with an O(1) bucket lookup only
+/// amortizes the build passes when each build triple is probed about twice
+/// — measured on the bundled datasets, a 1:1 ratio is a wash that loses
+/// the build cost. Below the thresholds the index nested-loop join wins.
+inline constexpr uint64_t kHashBuildMaxRows = 4ull << 20;
+inline constexpr uint64_t kHashProbeMinRows = 64;
+inline constexpr uint64_t kHashProbePerBuildRow = 2;
+
 /// One basic-graph-pattern step in execution order. The first step is an
-/// index scan; every later step is an index nested-loop join against the
-/// rows produced so far.
+/// index scan (morsel-partitioned under the exchange operator); every
+/// later step joins the rows produced so far against its pattern.
 struct PatternStep {
   TriplePattern pattern;           // surface form, for EXPLAIN
   std::array<int, 3> slots;        // var slot per position (-1 = constant)
@@ -24,6 +45,16 @@ struct PatternStep {
   uint64_t est_cardinality = 0;    // exact count of the pattern in isolation
   bool connected = false;          // shares a variable with earlier steps
   std::vector<const Expr*> filters;  // filters fully bound after this step
+
+  // ---- Physical (batch-engine) annotations ----
+  JoinAlgo algo = JoinAlgo::kIndexLoop;
+  /// Positions (0=s, 1=p, 2=o) whose variable is already bound by earlier
+  /// steps — the equi-join key of this step. Empty for cross products.
+  std::vector<int> key_positions;
+  /// Field priority of the index an index-loop probe would scan (bound set
+  /// = constants + keys); the hash join sorts its buckets by this order so
+  /// both algorithms emit matches identically.
+  std::array<int, 3> match_order{{0, 1, 2}};
 };
 
 /// Physical plan for the linear pipeline:

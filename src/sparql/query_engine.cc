@@ -69,7 +69,7 @@ Result<QueryResult> QueryEngine::Execute(Query* query) {
   result.stats.plan_micros = plan_timer.ElapsedMicros();
 
   std::vector<Row> raw;
-  Executor executor(&plan, store_, store_->mutable_dictionary());
+  Executor executor(&plan, store_, store_->mutable_dictionary(), options_);
   SOFOS_RETURN_IF_ERROR(executor.Run(&raw, &result.stats));
 
   result.var_names = plan.output_vars.names();
@@ -99,7 +99,7 @@ Result<QueryResult> QueryEngine::Execute(Query* query) {
 Result<std::string> QueryEngine::Explain(std::string_view sparql) {
   SOFOS_ASSIGN_OR_RETURN(Query query, Parser::Parse(sparql));
   SOFOS_ASSIGN_OR_RETURN(Plan plan, Planner::Build(&query, *store_));
-  return plan.ToString();
+  return plan.ToString() + Executor::DescribePhysical(plan, *store_, options_);
 }
 
 }  // namespace sparql

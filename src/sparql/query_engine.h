@@ -40,9 +40,19 @@ struct QueryResult {
 /// (aggregate results) into the store's dictionary but never adds triples,
 /// so independent QueryEngine instances over the same store may Execute()
 /// concurrently (dictionary interning is internally synchronized).
+///
+/// `options` selects the execution engine (vectorized batch by default) and
+/// its intra-query parallelism; results are identical for every setting
+/// (see the Executor determinism contract), so callers tune it purely for
+/// speed — e.g. the engine facade budgets dop between concurrent queries.
 class QueryEngine {
  public:
   explicit QueryEngine(TripleStore* store) : store_(store) {}
+  QueryEngine(TripleStore* store, const ExecOptions& options)
+      : store_(store), options_(options) {}
+
+  void set_exec_options(const ExecOptions& options) { options_ = options; }
+  const ExecOptions& exec_options() const { return options_; }
 
   /// Parses and runs a query.
   Result<QueryResult> Execute(std::string_view sparql);
@@ -51,13 +61,15 @@ class QueryEngine {
   /// a side effect of planning.
   Result<QueryResult> Execute(Query* query);
 
-  /// Returns the physical plan rendering for diagnostics.
+  /// Returns the plan rendering plus the physical (batch/exchange) schedule
+  /// this engine's options would execute it with, for diagnostics.
   Result<std::string> Explain(std::string_view sparql);
 
   TripleStore* store() { return store_; }
 
  private:
   TripleStore* store_;
+  ExecOptions options_;
 };
 
 }  // namespace sparql

@@ -1,0 +1,502 @@
+/// Vectorized-executor test suite (CTest label `exec`, also run under the
+/// TSan lane): batch-boundary edge cases, selection-vector behavior, the
+/// exchange operator's determinism contract, and byte-identity of the batch
+/// engine — serial and morsel-parallel at 1/2/4 threads — against the
+/// legacy row-at-a-time Volcano executor on every bundled dataset,
+/// including through ApplyUpdates maintenance.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+#include "sparql/planner.h"
+#include "sparql/query_engine.h"
+#include "tests/core_test_util.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+namespace sofos {
+namespace {
+
+using sparql::ExecMode;
+using sparql::ExecOptions;
+using sparql::QueryEngine;
+using sparql::QueryResult;
+
+/// Exact comparison: same column names, same rows in the same order, same
+/// bound flags — the byte-identity contract (no canonical sorting).
+void ExpectByteIdentical(const QueryResult& a, const QueryResult& b,
+                         const std::string& context) {
+  ASSERT_EQ(a.var_names, b.var_names) << context;
+  ASSERT_EQ(a.NumRows(), b.NumRows()) << context;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    ASSERT_EQ(a.bound[r], b.bound[r]) << context << " row " << r;
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      if (!a.bound[r][c]) continue;
+      ASSERT_EQ(a.rows[r][c], b.rows[r][c])
+          << context << " row " << r << " col " << c << ": "
+          << a.rows[r][c].ToNTriples() << " vs " << b.rows[r][c].ToNTriples();
+    }
+  }
+}
+
+QueryResult MustRun(TripleStore* store, const std::string& sparql,
+                    const ExecOptions& options) {
+  QueryEngine engine(store, options);
+  auto result = engine.Execute(sparql);
+  EXPECT_TRUE(result.ok()) << sparql << ": " << result.status().ToString();
+  return result.ok() ? std::move(result).value() : QueryResult{};
+}
+
+ExecOptions Volcano() {
+  ExecOptions options;
+  options.mode = ExecMode::kVolcano;
+  return options;
+}
+
+/// Batch options with aggressive morsel splitting so even tiny stores
+/// exercise the exchange at several threads.
+ExecOptions Parallel(ThreadPool* pool, unsigned dop, size_t batch_size = 1024) {
+  ExecOptions options;
+  options.pool = pool;
+  options.dop = dop;
+  options.batch_size = batch_size;
+  options.morsel_rows = 4;
+  return options;
+}
+
+/// Queries covering every operator: scans, index joins, cross products,
+/// repeated variables, filters (early and late), aggregation with HAVING,
+/// DISTINCT, ORDER BY, OFFSET/LIMIT, expression projection, unbound vars.
+const char* kFigure1Queries[] = {
+    "SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+    "SELECT ?c WHERE { ?c <http://example.org/language> \"French\" }",
+    "SELECT ?c ?l ?p WHERE { ?c <http://example.org/language> ?l . "
+    "?c <http://example.org/population> ?p }",
+    "SELECT ?c ?y WHERE { ?c <http://example.org/population> ?p . "
+    "?p <http://example.org/year> ?y }",
+    // Cross product (disconnected patterns).
+    "SELECT ?a ?b WHERE { ?a <http://example.org/language> \"French\" . "
+    "?b <http://example.org/language> \"German\" }",
+    // Repeated variable inside one pattern.
+    "SELECT ?x WHERE { ?x ?p ?x }",
+    // Filters at different pipeline depths.
+    "SELECT ?c ?l WHERE { ?c <http://example.org/language> ?l . "
+    "FILTER(?l != \"French\") }",
+    "SELECT ?c WHERE { ?c <http://example.org/language> ?l . "
+    "?c <http://example.org/partOf> ?r . FILTER(?r = <http://example.org/EU>) "
+    "FILTER(?l = \"French\") }",
+    // All rows filtered out.
+    "SELECT ?c WHERE { ?c <http://example.org/language> ?l . "
+    "FILTER(?l = \"Klingon\") }",
+    // Aggregation: grouped, HAVING, ordered, sliced.
+    "SELECT ?l (COUNT(?c) AS ?n) WHERE { ?c <http://example.org/language> ?l } "
+    "GROUP BY ?l",
+    "SELECT ?r (COUNT(?c) AS ?n) (MIN(?l) AS ?m) WHERE { "
+    "?c <http://example.org/partOf> ?r . ?c <http://example.org/language> ?l } "
+    "GROUP BY ?r HAVING (COUNT(?c) > 1) ORDER BY DESC(?n)",
+    // Aggregate over empty input: still one COUNT = 0 group.
+    "SELECT (COUNT(?c) AS ?n) WHERE { ?c <http://example.org/language> "
+    "\"Klingon\" }",
+    // Constant absent from the dictionary: empty-guaranteed plan.
+    "SELECT (COUNT(?c) AS ?n) WHERE { ?c <http://example.org/never_seen> ?x }",
+    "SELECT DISTINCT ?r WHERE { ?c <http://example.org/partOf> ?r }",
+    "SELECT ?c WHERE { ?c <http://example.org/language> ?l } "
+    "ORDER BY ?l ?c LIMIT 3 OFFSET 1",
+    // LIMIT without ORDER BY: stream-order slice (early pipeline exit).
+    "SELECT ?s WHERE { ?s ?p ?o } LIMIT 2",
+    // Expression projection and unknown projected variable.
+    "SELECT ?c (?y + 1 AS ?next) ?ghost WHERE { "
+    "?p2 <http://example.org/year> ?y . ?c <http://example.org/population> ?p2 }",
+};
+
+class Figure1ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::BuildFigure1Graph(&store_);
+    store_.Finalize();
+  }
+  TripleStore store_;
+};
+
+TEST_F(Figure1ExecTest, BatchSerialByteIdenticalToVolcano) {
+  for (const char* q : kFigure1Queries) {
+    QueryResult reference = MustRun(&store_, q, Volcano());
+    QueryResult batch = MustRun(&store_, q, ExecOptions{});
+    ExpectByteIdentical(reference, batch, std::string("serial batch: ") + q);
+  }
+}
+
+TEST_F(Figure1ExecTest, BatchBoundaryEdgeCases) {
+  // Batch size 1, a size matching the row count exactly, one bigger and one
+  // smaller: boundaries must never change results.
+  const size_t total_rows = store_.NumTriples();
+  for (size_t batch_size :
+       {size_t{1}, size_t{2}, total_rows, total_rows + 1, size_t{7}}) {
+    for (const char* q : kFigure1Queries) {
+      QueryResult reference = MustRun(&store_, q, Volcano());
+      ExecOptions options;
+      options.batch_size = batch_size;
+      QueryResult batch = MustRun(&store_, q, options);
+      ExpectByteIdentical(reference, batch,
+                          "batch_size=" + std::to_string(batch_size) + ": " + q);
+    }
+  }
+}
+
+TEST_F(Figure1ExecTest, ParallelExchangeByteIdentical) {
+  ThreadPool pool(4);
+  for (unsigned dop : {2u, 4u}) {
+    for (const char* q : kFigure1Queries) {
+      QueryResult reference = MustRun(&store_, q, Volcano());
+      QueryResult parallel = MustRun(&store_, q, Parallel(&pool, dop));
+      ExpectByteIdentical(reference, parallel,
+                          "dop=" + std::to_string(dop) + ": " + q);
+    }
+  }
+}
+
+TEST_F(Figure1ExecTest, ParallelBatchSizeOne) {
+  // The nastiest boundary combination: one-row batches through the exchange.
+  ThreadPool pool(2);
+  for (const char* q : kFigure1Queries) {
+    QueryResult reference = MustRun(&store_, q, Volcano());
+    QueryResult parallel =
+        MustRun(&store_, q, Parallel(&pool, 2, /*batch_size=*/1));
+    ExpectByteIdentical(reference, parallel, std::string("dop=2 bs=1: ") + q);
+  }
+}
+
+TEST_F(Figure1ExecTest, EmptyStore) {
+  TripleStore empty;
+  empty.Finalize();
+  // Intern a term so the pattern constant resolves but matches nothing.
+  (void)empty.Intern(Term::Iri("http://example.org/language"));
+  empty.Finalize();
+  for (const char* q :
+       {"SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+        "SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }"}) {
+    QueryResult reference = MustRun(&empty, q, Volcano());
+    QueryResult batch = MustRun(&empty, q, ExecOptions{});
+    ExpectByteIdentical(reference, batch, std::string("empty store: ") + q);
+  }
+}
+
+TEST_F(Figure1ExecTest, StatsMatchAcrossModesAndThreads) {
+  const char* q =
+      "SELECT ?r (COUNT(?c) AS ?n) WHERE { ?c <http://example.org/partOf> ?r . "
+      "?c <http://example.org/language> ?l . FILTER(?l != \"German\") } "
+      "GROUP BY ?r";
+  QueryEngine reference_engine(&store_, Volcano());
+  auto reference = reference_engine.Execute(q);
+  ASSERT_TRUE(reference.ok());
+
+  ThreadPool pool(4);
+  for (const ExecOptions& options :
+       {ExecOptions{}, Parallel(&pool, 2), Parallel(&pool, 4)}) {
+    QueryEngine engine(&store_, options);
+    auto result = engine.Execute(q);
+    ASSERT_TRUE(result.ok());
+    // Row counters are mode- and thread-count-invariant for fully drained
+    // queries (this plan has no hash joins, so no extra build-side scan).
+    EXPECT_EQ(result->stats.rows_scanned, reference->stats.rows_scanned);
+    EXPECT_EQ(result->stats.intermediate_rows,
+              reference->stats.intermediate_rows);
+    EXPECT_EQ(result->stats.filtered_rows, reference->stats.filtered_rows);
+    EXPECT_EQ(result->stats.output_rows, reference->stats.output_rows);
+    // The wall/CPU split: both populated, CPU ≈ wall when serial.
+    EXPECT_GT(result->stats.exec_micros, 0.0);
+    EXPECT_GT(result->stats.cpu_micros, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-join coverage: a synthetic store large enough to trip the planner's
+// hash-probe thresholds (leading scan >= kHashProbeMinRows).
+// ---------------------------------------------------------------------------
+
+class HashJoinExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Shaped like the facet patterns the planner sees: a tiny anchor
+    // pattern (groupLabel, one triple per group — scanned first), a
+    // fan-out join (inGroup, one triple per item), and a smaller pattern
+    // (hasValue, every other item) whose probe:build ratio trips the
+    // hash-join thresholds.
+    auto iri = [](const std::string& s) {
+      return Term::Iri("http://example.org/" + s);
+    };
+    const Term group_label = iri("groupLabel");
+    const Term in_group = iri("inGroup");
+    const Term has_value = iri("hasValue");
+    for (int g = 0; g < 7; ++g) {
+      store_.Add(iri("group" + std::to_string(g)), group_label,
+                 Term::String("G" + std::to_string(g)));
+    }
+    for (int i = 0; i < 200; ++i) {
+      Term item = iri("item" + std::to_string(i));
+      store_.Add(item, in_group, iri("group" + std::to_string(i % 7)));
+      if (i % 2 == 0) store_.Add(item, has_value, Term::Integer(i % 23));
+    }
+    store_.Finalize();
+  }
+
+  static constexpr const char* kJoinQuery =
+      "SELECT ?gl (SUM(?v) AS ?sum) (COUNT(?i) AS ?n) WHERE { "
+      "?g <http://example.org/groupLabel> ?gl . "
+      "?i <http://example.org/inGroup> ?g . "
+      "?i <http://example.org/hasValue> ?v } GROUP BY ?gl";
+
+  TripleStore store_;
+};
+
+TEST_F(HashJoinExecTest, PlannerPicksHashProbe) {
+  auto query = sparql::Parser::Parse(kJoinQuery);
+  ASSERT_TRUE(query.ok());
+  auto plan = sparql::Planner::Build(&*query, store_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->steps.size(), 3u);
+  EXPECT_EQ(plan->steps[0].algo, sparql::JoinAlgo::kScan);
+  // Step 1 fans out over the anchor (probe hint still tiny): index loop.
+  EXPECT_EQ(plan->steps[1].algo, sparql::JoinAlgo::kIndexLoop);
+  // Step 2: 200 probe rows against a 100-triple build — hash probe.
+  EXPECT_EQ(plan->steps[2].algo, sparql::JoinAlgo::kHashProbe);
+  ASSERT_EQ(plan->steps[2].key_positions.size(), 1u);
+  EXPECT_EQ(plan->steps[2].key_positions[0], 0);  // subject is the key
+  EXPECT_NE(plan->ToString().find("HJOIN"), std::string::npos);
+}
+
+TEST_F(HashJoinExecTest, HashJoinByteIdenticalAtEveryDop) {
+  ThreadPool pool(4);
+  QueryResult reference = MustRun(&store_, kJoinQuery, Volcano());
+  ExpectByteIdentical(reference, MustRun(&store_, kJoinQuery, ExecOptions{}),
+                      "serial batch");
+  for (unsigned dop : {2u, 4u}) {
+    ExpectByteIdentical(reference, MustRun(&store_, kJoinQuery, Parallel(&pool, dop)),
+                        "dop=" + std::to_string(dop));
+  }
+}
+
+TEST_F(HashJoinExecTest, LimitAbandonsExchangeCleanly) {
+  // LIMIT without ORDER BY stops pulling mid-stream: the exchange must join
+  // its in-flight morsel workers in its destructor without losing rows or
+  // determinism.
+  ThreadPool pool(4);
+  const char* q =
+      "SELECT ?i ?g WHERE { ?i <http://example.org/inGroup> ?g . "
+      "?i <http://example.org/hasValue> ?v } LIMIT 5";
+  QueryResult reference = MustRun(&store_, q, Volcano());
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    ExpectByteIdentical(reference, MustRun(&store_, q, Parallel(&pool, 4)),
+                        "limit repeat " + std::to_string(repeat));
+  }
+}
+
+TEST_F(HashJoinExecTest, ExchangeReportsScheduleInStats) {
+  ThreadPool pool(4);
+  QueryEngine engine(&store_, Parallel(&pool, 4));
+  auto result = engine.Execute(kJoinQuery);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.morsels, 0u);
+  EXPECT_GT(result->stats.dop, 1u);
+
+  QueryEngine serial(&store_);
+  auto serial_result = serial.Execute(kJoinQuery);
+  ASSERT_TRUE(serial_result.ok());
+  EXPECT_EQ(serial_result->stats.dop, 1u);
+  // Row counters are identical to the serial batch run even through the
+  // exchange (additive merge in partition order).
+  EXPECT_EQ(result->stats.rows_scanned, serial_result->stats.rows_scanned);
+  EXPECT_EQ(result->stats.intermediate_rows,
+            serial_result->stats.intermediate_rows);
+  EXPECT_EQ(result->stats.output_rows, serial_result->stats.output_rows);
+}
+
+// ---------------------------------------------------------------------------
+// TripleStore partitioned-scan API.
+// ---------------------------------------------------------------------------
+
+TEST_F(HashJoinExecTest, ScanPartitionsConcatenateToFullRange) {
+  TripleStore::ScanRange full = store_.Scan(kNullTermId, kNullTermId, kNullTermId);
+  for (size_t parts : {size_t{1}, size_t{3}, size_t{16}, full.size(), full.size() * 2}) {
+    auto partitions =
+        store_.ScanPartitions(kNullTermId, kNullTermId, kNullTermId, parts);
+    ASSERT_FALSE(partitions.empty());
+    EXPECT_LE(partitions.size(), std::max<size_t>(parts, 1));
+    const Triple* cursor = full.begin();
+    size_t total = 0;
+    for (const auto& partition : partitions) {
+      EXPECT_EQ(partition.begin(), cursor) << "partitions must be contiguous";
+      EXPECT_FALSE(partition.empty());
+      cursor = partition.end();
+      total += partition.size();
+    }
+    EXPECT_EQ(cursor, full.end());
+    EXPECT_EQ(total, full.size());
+  }
+  // Empty scans yield no partitions.
+  TermId absent = store_.Intern(Term::Iri("http://example.org/unused"));
+  store_.Finalize();
+  EXPECT_TRUE(store_.ScanPartitions(absent, kNullTermId, kNullTermId, 4).empty());
+}
+
+TEST(ScanFieldOrderTest, MatchesIndexSelection) {
+  using A = std::array<int, 3>;
+  EXPECT_EQ(TripleStore::ScanFieldOrder(true, true, true), (A{0, 1, 2}));
+  EXPECT_EQ(TripleStore::ScanFieldOrder(true, true, false), (A{0, 1, 2}));
+  EXPECT_EQ(TripleStore::ScanFieldOrder(true, false, true), (A{0, 2, 1}));
+  EXPECT_EQ(TripleStore::ScanFieldOrder(true, false, false), (A{0, 1, 2}));
+  EXPECT_EQ(TripleStore::ScanFieldOrder(false, true, true), (A{1, 2, 0}));
+  EXPECT_EQ(TripleStore::ScanFieldOrder(false, true, false), (A{1, 0, 2}));
+  EXPECT_EQ(TripleStore::ScanFieldOrder(false, false, true), (A{2, 0, 1}));
+  EXPECT_EQ(TripleStore::ScanFieldOrder(false, false, false), (A{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Dataset-level byte-identity: the engine's whole query surface (root view,
+// canonical queries, workload) on geopop/lubm/swdf at 1/2/4 threads.
+// ---------------------------------------------------------------------------
+
+class DatasetExecTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetExecTest, RootAndCanonicalQueriesByteIdentical) {
+  core::SofosEngine engine;
+  testing::SetUpEngine(&engine, GetParam());
+  TripleStore* store = engine.store();
+  const core::Facet& facet = engine.facet();
+
+  std::vector<std::string> queries;
+  queries.push_back(facet.ViewQuerySparql(facet.FullMask()));
+  queries.push_back(facet.ViewQuerySparql(0));
+  for (uint32_t mask = 0; mask < (1u << facet.num_dims()); mask += 3) {
+    queries.push_back(facet.CanonicalQuerySparql(mask));
+  }
+
+  ThreadPool pool(4);
+  for (const std::string& q : queries) {
+    QueryResult reference = MustRun(store, q, Volcano());
+    ExpectByteIdentical(reference, MustRun(store, q, ExecOptions{}),
+                        std::string(GetParam()) + " serial: " + q);
+    for (unsigned dop : {2u, 4u}) {
+      ExpectByteIdentical(
+          reference, MustRun(store, q, Parallel(&pool, dop)),
+          std::string(GetParam()) + " dop=" + std::to_string(dop) + ": " + q);
+    }
+  }
+}
+
+TEST_P(DatasetExecTest, MaintainedGraphByteIdenticalAcrossThreads) {
+  // ApplyUpdates evaluates the cached root view through the batch engine
+  // (parallel at 4 threads); the maintained graph — including fresh blank
+  // labels — must be byte-identical to the single-threaded engine, and the
+  // post-update root view must still match the Volcano reference executor.
+  auto run = [&](unsigned threads) {
+    auto engine = std::make_unique<core::SofosEngine>();
+    testing::SetUpEngine(engine.get(), GetParam());
+    engine->SetNumThreads(threads);
+    testing::MustProfile(engine.get());
+    core::TripleCountCostModel model;
+    auto selection = engine->SelectViews(model, 3);
+    EXPECT_TRUE(selection.ok());
+    EXPECT_TRUE(engine->MaterializeSelection(*selection).ok());
+
+    workload::UpdateStreamOptions options;
+    options.num_batches = 2;
+    options.batch_fraction = 0.05;
+    options.seed = 29;
+    auto stream = workload::GenerateUpdateStream(
+        engine->base_snapshot(), engine->store()->dictionary(), options);
+    EXPECT_TRUE(stream.ok());
+    for (const auto& delta : *stream) {
+      auto outcome = engine->ApplyUpdates(delta);
+      EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    }
+    return engine;
+  };
+
+  auto serial = run(1);
+  auto parallel = run(4);
+
+  auto decode = [](const TripleStore& store) {
+    std::vector<std::string> lines;
+    for (const Triple& t : store.triples()) {
+      lines.push_back(store.dictionary().term(t.s).ToNTriples() + " " +
+                      store.dictionary().term(t.p).ToNTriples() + " " +
+                      store.dictionary().term(t.o).ToNTriples());
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(decode(*serial->store()), decode(*parallel->store()));
+
+  const core::Facet& facet = serial->facet();
+  std::string root = facet.ViewQuerySparql(facet.FullMask());
+  QueryResult reference = MustRun(serial->store(), root, Volcano());
+  ExpectByteIdentical(reference, MustRun(serial->store(), root, ExecOptions{}),
+                      std::string(GetParam()) + " post-update root view");
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, DatasetExecTest,
+                         ::testing::Values("geopop", "lubm", "swdf"));
+
+// ---------------------------------------------------------------------------
+// Engine-level knobs.
+// ---------------------------------------------------------------------------
+
+TEST(ExecEngineTest, WorkloadInvariantUnderExecThreadsKnob) {
+  auto run = [](unsigned threads, unsigned exec_threads) {
+    core::SofosEngine engine;
+    testing::SetUpEngine(&engine, "geopop");
+    engine.SetNumThreads(threads);
+    engine.SetExecThreads(exec_threads);
+    testing::MustProfile(&engine);
+    workload::WorkloadGenerator generator(&engine.facet(), engine.store());
+    workload::WorkloadOptions options;
+    options.num_queries = 12;
+    options.seed = 5;
+    auto queries = generator.Generate(options);
+    EXPECT_TRUE(queries.ok());
+    auto report = engine.RunWorkload(*queries, /*allow_views=*/false);
+    EXPECT_TRUE(report.ok());
+    return std::move(report).value();
+  };
+
+  core::WorkloadReport reference = run(1, 0);
+  const std::vector<std::pair<unsigned, unsigned>> configs = {
+      {4, 0}, {4, 1}, {4, 4}, {2, 3}};
+  for (auto [threads, exec_threads] : configs) {
+    core::WorkloadReport report = run(threads, exec_threads);
+    ASSERT_EQ(report.outcomes.size(), reference.outcomes.size());
+    EXPECT_EQ(report.total_rows_scanned, reference.total_rows_scanned)
+        << threads << "/" << exec_threads;
+    for (size_t i = 0; i < report.outcomes.size(); ++i) {
+      EXPECT_EQ(report.outcomes[i].result_rows,
+                reference.outcomes[i].result_rows);
+      testing::ExpectSameAnswers(report.outcomes[i].result,
+                                 reference.outcomes[i].result,
+                                 "query " + std::to_string(i));
+    }
+  }
+}
+
+TEST(ExecEngineTest, ExplainShowsBatchSchedule) {
+  core::SofosEngine engine;
+  testing::SetUpEngine(&engine, "lubm");
+  engine.SetNumThreads(4);
+  auto text = engine.ExplainSparql(
+      engine.facet().ViewQuerySparql(engine.facet().FullMask()));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("SCAN"), std::string::npos);
+  EXPECT_NE(text->find("PHYSICAL"), std::string::npos);
+  EXPECT_NE(text->find("dop="), std::string::npos);
+  EXPECT_NE(text->find("morsels="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sofos
