@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -26,6 +27,8 @@
 #include "core/engine.h"
 #include "core/training.h"
 #include "datagen/registry.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "sparql/query_engine.h"
 #include "workload/generator.h"
 
@@ -71,6 +74,11 @@ class Cli {
     std::printf("\n");
   }
 
+  /// True when any dispatched command failed — the process exit code, so
+  /// `serve` scripting and CI smoke tests can detect errors (historically
+  /// failures printed and exited 0).
+  bool had_error() const { return had_error_; }
+
  private:
   bool Dispatch(const std::string& line) {
     std::istringstream in(line);
@@ -79,6 +87,17 @@ class Cli {
     if (cmd.empty()) return true;
     Status status = Status::OK();
     if (cmd == "quit" || cmd == "exit") return false;
+    // While serving, the server owns the engine (single-driver contract):
+    // only server management, client requests, and help stay available.
+    if (server_ != nullptr && cmd != "serve" && cmd != "client" &&
+        cmd != "help") {
+      std::printf(
+          "engine is busy serving on port %u: use `client %u <request>`, or "
+          "`serve stop` first\n",
+          server_->port(), server_->port());
+      had_error_ = true;
+      return true;
+    }
     if (cmd == "help") {
       Help();
     } else if (cmd == "lattice") {
@@ -137,6 +156,20 @@ class Cli {
       std::string query;
       std::getline(in, query);
       status = Explain(query);
+    } else if (cmd == "serve") {
+      std::string arg;
+      in >> arg;
+      status = Serve(arg);
+    } else if (cmd == "client") {
+      long port = 0;
+      std::string request;
+      if (!(in >> port) || port <= 0 || port > 65535) {
+        status = Status::InvalidArgument("usage: client <port> <request line>");
+      } else {
+        std::getline(in, request);
+        status = Client(static_cast<uint16_t>(port),
+                        std::string(StrTrim(request)));
+      }
     } else if (cmd == "exec-threads") {
       long n = -1;
       if (!(in >> n) || n < 0 ||
@@ -161,8 +194,12 @@ class Cli {
       }
     } else {
       std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
+      had_error_ = true;
     }
-    if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      had_error_ = true;
+    }
     return true;
   }
 
@@ -185,6 +222,10 @@ class Cli {
         "  challenge <k>        oracle best-k vs every cost model\n"
         "  sparql <query>       run a raw SPARQL query\n"
         "  explain <query>      show the batch plan (join algos, morsels, dop)\n"
+        "  serve [port]         start the online server (0/none = ephemeral)\n"
+        "  serve stop           stop the online server\n"
+        "  client <port> <req>  send one protocol request (QUERY/UPDATE/\n"
+        "                       EXPLAIN/STATS/QUIT) and print the response\n"
         "  threads <n>          size the thread pool (0=auto, 1=serial)\n"
         "  exec-threads <n>     pin intra-query dop (0=auto budget)\n"
         "  quit\n");
@@ -380,6 +421,57 @@ class Cli {
     return Status::OK();
   }
 
+  /// `serve [port]` starts the online server over this engine (the REPL
+  /// then only accepts `client`/`serve stop`); `serve stop` shuts it down.
+  Status Serve(const std::string& arg) {
+    if (arg == "stop") {
+      if (server_ == nullptr) return Status::InvalidArgument("no server running");
+      server_->Stop();
+      std::printf("server stopped\n");
+      server_.reset();
+      return Status::OK();
+    }
+    if (server_ != nullptr) {
+      return Status::InvalidArgument("server already running (serve stop first)");
+    }
+    server::ServerOptions options;
+    if (!arg.empty()) {
+      char* end = nullptr;
+      long port = std::strtol(arg.c_str(), &end, 10);
+      if (end == arg.c_str() || *end != '\0' || port < 0 || port > 65535) {
+        return Status::InvalidArgument("usage: serve [port] | serve stop");
+      }
+      options.port = static_cast<uint16_t>(port);
+    }
+    auto server = std::make_unique<server::SofosServer>(&engine_, options);
+    SOFOS_RETURN_IF_ERROR(server->Start());
+    server_ = std::move(server);
+    std::printf(
+        "serving on 127.0.0.1:%u (line protocol: QUERY <sparql> | UPDATE "
+        "[n] [frac] | EXPLAIN [sparql] | STATS | QUIT)\n",
+        server_->port());
+    return Status::OK();
+  }
+
+  /// One-shot protocol client: connect, send, print the framed response.
+  Status Client(uint16_t port, const std::string& request) {
+    if (request.empty()) {
+      return Status::InvalidArgument("usage: client <port> <request line>");
+    }
+    server::BlockingClient client;
+    SOFOS_RETURN_IF_ERROR(client.Connect(port));
+    SOFOS_ASSIGN_OR_RETURN(server::ClientResponse response,
+                           client.Roundtrip(request));
+    std::printf("%s\n", response.header.c_str());
+    for (const std::string& line : response.body) {
+      std::printf("%s\n", line.c_str());
+    }
+    if (!response.ok()) {
+      return Status::Internal("server replied: " + response.header);
+    }
+    return Status::OK();
+  }
+
   Status RunSparql(const std::string& query) {
     // Same execution schedule as `explain` describes (pool + exec-threads).
     sparql::QueryEngine qe(engine_.store(), engine_.ExecOptionsFor(0));
@@ -412,8 +504,10 @@ class Cli {
   datagen::DatasetSpec spec_;
   core::SelectionResult pending_;
   bool has_pending_ = false;
+  bool had_error_ = false;
   std::vector<core::WorkloadQuery> queries_;
   uint64_t update_batches_applied_ = 0;
+  std::unique_ptr<server::SofosServer> server_;  // live while `serve` is on
 };
 
 }  // namespace
@@ -444,5 +538,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   cli.Repl();
-  return 0;
+  // Nonzero when any command failed, so piped scripts and CI smoke tests
+  // can detect errors instead of parsing stdout.
+  return cli.had_error() ? 1 : 0;
 }

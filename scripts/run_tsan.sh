@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # ThreadSanitizer lane over the concurrency-sensitive tests (the ones
-# carrying the `maintenance` and `exec` CTest labels — incremental updates
-# plus the vectorized morsel-parallel executor): builds a separate
-# TSan-enabled tree and runs only those suites.
+# carrying the `maintenance`, `exec` and `server` CTest labels —
+# incremental updates, the vectorized morsel-parallel executor, and the
+# concurrent online serving subsystem): builds a separate TSan-enabled
+# tree and runs only those suites.
 #
 #   scripts/run_tsan.sh [build_dir]
 set -euo pipefail
@@ -13,7 +14,7 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSOFOS_TSAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target maintenance_test parallel_test exec_test
+  --target maintenance_test parallel_test exec_test server_test
 
 cd "$BUILD_DIR"
-ctest -L 'maintenance|exec' --output-on-failure
+ctest -L 'maintenance|exec|server' --output-on-failure

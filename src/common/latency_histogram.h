@@ -1,0 +1,124 @@
+#ifndef SOFOS_COMMON_LATENCY_HISTOGRAM_H_
+#define SOFOS_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace sofos {
+
+/// Fixed-bucket, lock-free latency histogram over microseconds.
+///
+/// Buckets are geometric with ratio 1.5: bucket 0 covers [0, 1) us and
+/// bucket i >= 1 covers [1.5^(i-1), 1.5^i) us, so 56 buckets reach ~55
+/// minutes and every percentile estimate is within one bucket ratio (50%)
+/// of the true value — plenty for latency SLO reporting, at a fixed 56 * 8
+/// bytes of state and one relaxed atomic increment per sample.
+///
+/// Thread safety: Record() may be called from any number of threads
+/// concurrently (relaxed atomics — counts are statistically, not causally,
+/// ordered); TakeSnapshot() may run concurrently with recording and sees
+/// some valid recent state. Reset() requires no concurrent Record().
+///
+/// This is the one latency shape shared by the online server's STATS
+/// endpoint and the offline WorkloadReport, so p50/p95/p99 figures from
+/// both are directly comparable.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 56;
+
+  /// Frozen copy of the counters: a plain value type (copyable, mergeable)
+  /// with the percentile math.
+  struct Snapshot {
+    std::array<uint64_t, kNumBuckets> counts{};
+    uint64_t count = 0;
+    double sum_micros = 0.0;
+
+    /// Upper-bound estimate of the p-quantile (0 < p <= 1) in micros:
+    /// the upper boundary of the bucket holding the ceil(p * count)-th
+    /// sample. 0 when empty.
+    double Percentile(double p) const {
+      if (count == 0) return 0.0;
+      uint64_t rank = static_cast<uint64_t>(std::ceil(p * static_cast<double>(count)));
+      if (rank < 1) rank = 1;
+      uint64_t seen = 0;
+      for (size_t i = 0; i < kNumBuckets; ++i) {
+        seen += counts[i];
+        if (seen >= rank) return BucketUpperMicros(i);
+      }
+      return BucketUpperMicros(kNumBuckets - 1);
+    }
+
+    double P50() const { return Percentile(0.50); }
+    double P95() const { return Percentile(0.95); }
+    double P99() const { return Percentile(0.99); }
+    double MeanMicros() const {
+      return count == 0 ? 0.0 : sum_micros / static_cast<double>(count);
+    }
+
+    void Merge(const Snapshot& other) {
+      for (size_t i = 0; i < kNumBuckets; ++i) counts[i] += other.counts[i];
+      count += other.count;
+      sum_micros += other.sum_micros;
+    }
+
+    /// "p50=... p95=... p99=..." with FormatMicros units.
+    std::string SummaryString() const {
+      return StrFormat("p50=%s p95=%s p99=%s", FormatMicros(P50()).c_str(),
+                       FormatMicros(P95()).c_str(), FormatMicros(P99()).c_str());
+    }
+  };
+
+  void Record(double micros) {
+    if (micros < 0) micros = 0;
+    counts_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Accumulate in nanoseconds to keep integer atomics (no atomic double
+    // fetch_add in C++17); sub-nanosecond truncation is noise here.
+    sum_nanos_.fetch_add(static_cast<uint64_t>(micros * 1e3),
+                         std::memory_order_relaxed);
+  }
+
+  Snapshot TakeSnapshot() const {
+    Snapshot snap;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    }
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum_micros =
+        static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) / 1e3;
+    return snap;
+  }
+
+  /// Zeroes all counters. Not safe against concurrent Record().
+  void Reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_nanos_.store(0, std::memory_order_relaxed);
+  }
+
+  static size_t BucketFor(double micros) {
+    if (micros < 1.0) return 0;
+    // bucket i covers [1.5^(i-1), 1.5^i)
+    size_t i = 1 + static_cast<size_t>(std::log(micros) / std::log(1.5));
+    return i < kNumBuckets ? i : kNumBuckets - 1;
+  }
+
+  static double BucketUpperMicros(size_t bucket) {
+    if (bucket == 0) return 1.0;
+    return std::pow(1.5, static_cast<double>(bucket));
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_LATENCY_HISTOGRAM_H_

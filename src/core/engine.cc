@@ -16,11 +16,12 @@ namespace core {
 
 std::string WorkloadReport::Summary() const {
   return StrFormat(
-      "queries=%zu wall=%s cpu=%s mean=%s median=%s p95=%s hits=%llu "
-      "scanned=%llu",
+      "queries=%zu wall=%s cpu=%s mean=%s median=%s p95=%s hist[%s] "
+      "hits=%llu scanned=%llu",
       outcomes.size(), FormatMicros(wall_micros).c_str(),
       FormatMicros(total_micros).c_str(), FormatMicros(mean_micros).c_str(),
       FormatMicros(median_micros).c_str(), FormatMicros(p95_micros).c_str(),
+      latency.SummaryString().c_str(),
       static_cast<unsigned long long>(view_hits),
       static_cast<unsigned long long>(total_rows_scanned));
 }
@@ -84,6 +85,7 @@ Status SofosEngine::LoadStore(TripleStore&& store) {
   if (facet_.has_value()) {
     materializer_ = std::make_unique<Materializer>(&store_, &*facet_);
   }
+  ++epoch_;
   return Status::OK();
 }
 
@@ -110,6 +112,7 @@ Status SofosEngine::SetFacet(Facet facet) {
   // The old baseline tracked the previous facet's predicates; the next
   // Profile() re-anchors against this one.
   staleness_ = maintenance::StalenessMonitor(staleness_.options());
+  ++epoch_;
   return Status::OK();
 }
 
@@ -138,6 +141,7 @@ Result<const LatticeProfile*> SofosEngine::Profile(const ProfileOptions& options
   }
   staleness_.ResetBaseline(store_, std::move(pattern_ids),
                            profile_->views[facet_->FullMask()].result_rows);
+  ++epoch_;  // routing statistics changed: cached answers may route stale
   return &*profile_;
 }
 
@@ -206,6 +210,7 @@ Result<std::vector<MaterializedView>> SofosEngine::MaterializeViews(
                          materializer_->MaterializeAll(masks, pool()));
   for (const auto& view : views) materialized_.push_back(view);
   maintainer_.reset();  // view set changed; rebuilt on the next ApplyUpdates
+  ++epoch_;
   return views;
 }
 
@@ -224,6 +229,7 @@ Status SofosEngine::UpdateBaseGraph(
   base_bytes_ = store_.MemoryBytes();
   materialized_.clear();
   maintainer_.reset();
+  ++epoch_;
 
   if (facet_.has_value()) {
     SOFOS_RETURN_IF_ERROR(Profile(profile_options).status());
@@ -239,6 +245,7 @@ Status SofosEngine::DropMaterializedViews() {
   store_.Finalize(pool());
   materialized_.clear();
   maintainer_.reset();
+  ++epoch_;
   return Status::OK();
 }
 
@@ -305,6 +312,10 @@ Result<UpdateOutcome> SofosEngine::ApplyUpdates(
   delete_ids.erase(std::unique(delete_ids.begin(), delete_ids.end()),
                    delete_ids.end());
   base_snapshot_ = ApplySortedDelta(base_snapshot_, add_ids, delete_ids);
+  // The graph is mutated from here on: bump the epoch *now*, so even a
+  // maintenance failure below leaves PublishSnapshot able to expose the
+  // post-delta store instead of no-opping on a stale epoch.
+  ++epoch_;
 
   // Incrementally repair the view encodings.
   if (affects) {
@@ -425,9 +436,95 @@ Result<WorkloadReport> SofosEngine::RunWorkload(
     report.median_micros = times[times.size() / 2];
     report.p95_micros = times[std::min(times.size() - 1,
                                        static_cast<size_t>(times.size() * 0.95))];
+    // Same fixed-bucket shape as the server's per-endpoint SLO metrics.
+    LatencyHistogram histogram;
+    for (double micros : times) histogram.Record(micros);
+    report.latency = histogram.TakeSnapshot();
   }
   report.wall_micros = wall.ElapsedMicros();
   return report;
+}
+
+Result<std::shared_ptr<const EngineSnapshot>> SofosEngine::PublishSnapshot() {
+  if (!store_.finalized()) {
+    return Status::Internal("PublishSnapshot requires a loaded, finalized store");
+  }
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (snapshot_ != nullptr && snapshot_->epoch() == epoch_) return snapshot_;
+  }
+  // Build outside the lock: cloning the store is O(n), and concurrent
+  // CurrentSnapshot() readers should keep resolving the old epoch until the
+  // new one is complete.
+  auto snap = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snap->epoch_ = epoch_;
+  snap->store_ = store_.Clone();
+  snap->profile_ = profile_;
+  snap->materialized_ = materialized_;
+  if (facet_.has_value()) {
+    snap->facet_ = facet_;
+    // The rewriter binds to the snapshot's own facet copy; the snapshot
+    // lives on the heap behind shared_ptr, so the pointer never dangles.
+    snap->rewriter_.emplace(&*snap->facet_);
+  }
+  std::shared_ptr<const EngineSnapshot> published = std::move(snap);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = published;
+  return published;
+}
+
+std::shared_ptr<const EngineSnapshot> SofosEngine::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+Result<QueryOutcome> EngineSnapshot::Answer(const std::string& sparql,
+                                            bool allow_views) const {
+  QueryOutcome outcome;
+  outcome.query_id = "snapshot";
+  outcome.executed_sparql = sparql;
+
+  // Mirror of SofosEngine::AnswerSparql + AnswerWithDop, pinned to this
+  // snapshot's state: parse errors surface, shape mismatches merely disable
+  // view routing, and routing consults the snapshot's profile + views.
+  SOFOS_ASSIGN_OR_RETURN(sparql::Query parsed, sparql::Parser::Parse(sparql));
+  if (allow_views && rewriter_.has_value() && !materialized_.empty() &&
+      profile_.has_value()) {
+    auto signature = rewriter_->AnalyzeQuery(parsed);
+    if (signature.ok()) {
+      std::vector<uint32_t> masks;
+      masks.reserve(materialized_.size());
+      for (const auto& view : materialized_) masks.push_back(view.mask);
+      std::optional<uint32_t> best =
+          rewriter_->PickBestView(*signature, masks, *profile_, nullptr);
+      if (best.has_value()) {
+        SOFOS_ASSIGN_OR_RETURN(std::string rewritten,
+                               rewriter_->RewriteToView(*signature, *best));
+        outcome.used_view = true;
+        outcome.view_mask = *best;
+        outcome.executed_sparql = std::move(rewritten);
+      }
+    }
+  }
+
+  sparql::QueryEngine engine(&store_);  // default options: serial, dop 1
+  WallTimer timer;
+  SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result,
+                         engine.Execute(outcome.executed_sparql));
+  outcome.micros = timer.ElapsedMicros();
+  outcome.rows_scanned = result.stats.rows_scanned;
+  outcome.result_rows = result.NumRows();
+  outcome.result = std::move(result);
+  return outcome;
+}
+
+Result<std::string> EngineSnapshot::Explain(const std::string& sparql) const {
+  sparql::QueryEngine engine(&store_);
+  return engine.Explain(sparql);
+}
+
+std::string EngineSnapshot::RootViewSparql() const {
+  return facet_->ViewQuerySparql(facet_->FullMask());
 }
 
 Result<QueryOutcome> SofosEngine::AnswerSparql(const std::string& sparql,

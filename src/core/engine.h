@@ -3,10 +3,12 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/latency_histogram.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/cost_model.h"
@@ -54,6 +56,12 @@ struct WorkloadReport {
   double mean_micros = 0.0;
   double median_micros = 0.0;
   double p95_micros = 0.0;
+  /// Per-query latency distribution in the same fixed-bucket shape the
+  /// online server's STATS endpoint reports (common/latency_histogram.h),
+  /// so offline runs and live serving quote comparable p50/p95/p99.
+  /// `median_micros`/`p95_micros` above stay the exact order statistics;
+  /// these are the bucketed estimates.
+  LatencyHistogram::Snapshot latency;
   uint64_t view_hits = 0;
   uint64_t total_rows_scanned = 0;
 
@@ -70,6 +78,64 @@ struct UpdateOutcome {
   double total_micros = 0.0;
 
   std::string Summary() const;
+};
+
+/// An immutable, self-contained copy of everything needed to answer
+/// queries at one point in the engine's mutation history (one *epoch*):
+/// the graph (base + view encodings), the facet, the lattice profile used
+/// for view routing, and the materialized-view records. Snapshots are the
+/// engine's read view for concurrent online serving — sessions resolve the
+/// current snapshot with SofosEngine::CurrentSnapshot() and run against it
+/// while the engine (single writer) keeps applying deltas and re-selections
+/// to its live state; after each mutation the server publishes a fresh
+/// snapshot and the old one dies with its last in-flight query
+/// (shared_ptr). No reader ever blocks on a writer and vice versa.
+///
+/// Thread safety: Answer()/Explain() are safe from any number of threads
+/// concurrently — they only do const scans over the snapshot's own cloned
+/// store plus internally synchronized dictionary interning (aggregate
+/// literals). Queries run serially inside (dop 1): the server's
+/// parallelism axis is sessions, not morsels, and the executor determinism
+/// contract makes the results identical to any parallel schedule anyway.
+class EngineSnapshot {
+ public:
+  /// Monotone mutation counter of the owning engine at capture time; the
+  /// result-cache key component that invalidates cached answers when the
+  /// graph or the selection changes.
+  uint64_t epoch() const { return epoch_; }
+
+  uint64_t num_triples() const { return store_.NumTriples(); }
+  bool has_facet() const { return facet_.has_value(); }
+  const std::vector<MaterializedView>& materialized() const {
+    return materialized_;
+  }
+
+  /// Answers raw SPARQL against this snapshot, routing through the
+  /// snapshot's materialized views when `allow_views` (same semantics as
+  /// SofosEngine::AnswerSparql, pinned to this epoch). Deterministic:
+  /// repeated calls return byte-identical decoded results.
+  Result<QueryOutcome> Answer(const std::string& sparql,
+                              bool allow_views) const;
+
+  /// Logical plan + physical schedule of `sparql` over this snapshot.
+  Result<std::string> Explain(const std::string& sparql) const;
+
+  /// The facet's root-view query (EXPLAIN's default target). Requires
+  /// has_facet().
+  std::string RootViewSparql() const;
+
+ private:
+  friend class SofosEngine;
+  EngineSnapshot() = default;
+
+  uint64_t epoch_ = 0;
+  /// Mutable: Execute() interns freshly computed aggregate literals into
+  /// the snapshot's own dictionary, which is internally synchronized.
+  mutable TripleStore store_;
+  std::optional<Facet> facet_;
+  std::optional<Rewriter> rewriter_;  // bound to facet_ (never moves)
+  std::optional<LatticeProfile> profile_;
+  std::vector<MaterializedView> materialized_;
 };
 
 /// The SOFOS system facade (paper Figure 2): owns the knowledge graph, the
@@ -215,6 +281,27 @@ class SofosEngine {
   }
   std::vector<uint32_t> MaterializedMasks() const;
 
+  /// ---- Online serving: epoch snapshots ----
+
+  /// Monotone counter of queryable-state mutations: every entry point that
+  /// changes what a query could answer (LoadStore, SetFacet, Profile,
+  /// Materialize*, Drop, UpdateBaseGraph, ApplyUpdates) bumps it. The
+  /// result cache keys on it, so an epoch bump implicitly invalidates all
+  /// cached answers.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Clones the current queryable state into a fresh EngineSnapshot and
+  /// atomically swaps it in as the published read view (no-op returning the
+  /// existing snapshot when the epoch hasn't moved). Must be called from
+  /// the engine's single driver thread like every other mutating entry
+  /// point; concurrent CurrentSnapshot() readers are fine. Requires a
+  /// loaded, finalized store.
+  Result<std::shared_ptr<const EngineSnapshot>> PublishSnapshot();
+
+  /// The last published read view (may lag epoch(); null before the first
+  /// PublishSnapshot). Safe from any thread.
+  std::shared_ptr<const EngineSnapshot> CurrentSnapshot() const;
+
   /// ---- Online module ----
 
   /// Answers one query: picks the best usable materialized view (when
@@ -287,6 +374,9 @@ class SofosEngine {
   unsigned num_threads_ = 0;   // 0 = auto (hardware_concurrency)
   unsigned exec_threads_ = 0;  // 0 = auto intra-query dop (budgeted)
   mutable std::unique_ptr<ThreadPool> pool_;
+  uint64_t epoch_ = 0;
+  mutable std::mutex snapshot_mu_;  // guards snapshot_ (the published slot)
+  std::shared_ptr<const EngineSnapshot> snapshot_;
 };
 
 }  // namespace core

@@ -21,6 +21,14 @@ Dictionary& Dictionary::operator=(Dictionary&& other) noexcept {
   return *this;
 }
 
+Dictionary Dictionary::Clone() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Dictionary copy;
+  copy.terms_ = terms_;
+  copy.index_ = index_;
+  return copy;
+}
+
 TermId Dictionary::Intern(const Term& term) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);

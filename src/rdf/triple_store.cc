@@ -89,6 +89,19 @@ std::vector<Triple> MergeDelta(const std::vector<Triple>& index,
 
 }  // namespace
 
+TripleStore TripleStore::Clone() const {
+  SOFOS_CHECK(finalized_, "Clone() requires a finalized store");
+  SOFOS_CHECK(!HasStagedDelta(), "Clone() while a staged delta is pending");
+  TripleStore copy;
+  copy.dict_ = dict_.Clone();
+  copy.triples_ = triples_;
+  copy.indexes_ = indexes_;
+  copy.predicate_stats_ = predicate_stats_;
+  copy.num_nodes_ = num_nodes_;
+  copy.finalized_ = true;
+  return copy;
+}
+
 void TripleStore::Add(TermId s, TermId p, TermId o) {
   assert(s != kNullTermId && p != kNullTermId && o != kNullTermId);
   SOFOS_CHECK(!HasStagedDelta(),

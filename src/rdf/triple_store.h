@@ -80,6 +80,14 @@ class TripleStore {
   TripleStore(TripleStore&&) = default;
   TripleStore& operator=(TripleStore&&) = default;
 
+  /// Deep copy of a finalized store with no staged delta (SOFOS_CHECK):
+  /// identical triples, indexes, statistics, and dictionary ids. The clone
+  /// is completely independent of the original — this is what pins one
+  /// immutable graph state under an epoch snapshot while the original keeps
+  /// absorbing deltas (see core::EngineSnapshot). O(n) memcpy-ish cost,
+  /// the same order as one ApplyDelta merge pass.
+  TripleStore Clone() const;
+
   /// Interns `term` in the embedded dictionary.
   TermId Intern(const Term& term) { return dict_.Intern(term); }
 

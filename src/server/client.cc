@@ -1,0 +1,88 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/io_util.h"
+#include "server/protocol.h"
+
+namespace sofos {
+namespace server {
+
+namespace {
+// Response lines are rows/plan text; anything beyond this is a framing bug.
+constexpr size_t kMaxResponseLine = 16u << 20;
+}  // namespace
+
+BlockingClient::~BlockingClient() { Close(); }
+
+Status BlockingClient::Connect(uint16_t port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("connect: ") + std::strerror(err));
+  }
+  fd_ = fd;
+  reader_ = std::make_unique<LineReader>(fd, kMaxResponseLine);
+  return Status::OK();
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+}
+
+Result<std::string> BlockingClient::ReadLine() {
+  std::string line;
+  switch (reader_->ReadLine(&line)) {
+    case LineReader::ReadResult::kLine:
+      return line;
+    case LineReader::ReadResult::kEof:
+      return Status::Internal("connection closed mid-response");
+    case LineReader::ReadResult::kTooLong:
+      return Status::Internal("response line too long");
+    case LineReader::ReadResult::kError:
+      break;
+  }
+  return Status::Internal(std::string("recv: ") + std::strerror(errno));
+}
+
+Result<ClientResponse> BlockingClient::Roundtrip(const std::string& line) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  std::string out = line;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';  // one request = one line
+  }
+  out += '\n';
+  if (!SendAll(fd_, out)) {
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
+  }
+  ClientResponse response;
+  SOFOS_ASSIGN_OR_RETURN(response.header, ReadLine());
+  for (;;) {
+    SOFOS_ASSIGN_OR_RETURN(std::string body_line, ReadLine());
+    if (body_line == kEndMarker) break;
+    response.body.push_back(std::move(body_line));
+  }
+  return response;
+}
+
+}  // namespace server
+}  // namespace sofos

@@ -1,0 +1,70 @@
+#ifndef SOFOS_SERVER_CLIENT_H_
+#define SOFOS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "server/io_util.h"
+
+namespace sofos {
+namespace server {
+
+/// One framed server reply: the header line plus any body lines (the
+/// terminating `END` line is consumed, not stored).
+struct ClientResponse {
+  std::string header;              // "OK ...", "ERR ..." or "BUSY ..."
+  std::vector<std::string> body;   // TSV / text / JSON lines
+
+  bool ok() const { return header.rfind("OK", 0) == 0; }
+  bool busy() const { return header.rfind("BUSY", 0) == 0; }
+
+  /// Body re-joined with '\n' (each line newline-terminated) — the exact
+  /// payload bytes the server framed, for byte-identity checks.
+  std::string BodyText() const {
+    std::string out;
+    for (const std::string& line : body) {
+      out += line;
+      out += '\n';
+    }
+    return out;
+  }
+};
+
+/// Minimal blocking TCP client for the line protocol: one request out, one
+/// framed response in. Used by the CLI `client` command, the loopback
+/// integration test, and bench_server's load generators. Not thread-safe;
+/// use one client per thread.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  Status Connect(uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `line` (newline appended) and reads lines until `END`.
+  /// The protocol is line-delimited, so embedded newlines in `line` (e.g.
+  /// pretty-printed SPARQL) are flattened to spaces first — SPARQL is
+  /// whitespace-insensitive outside comments, which the protocol does not
+  /// carry. A closed connection mid-response is an error.
+  Result<ClientResponse> Roundtrip(const std::string& line);
+
+ private:
+  Result<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::unique_ptr<LineReader> reader_;  // shared framing (server/io_util.h)
+};
+
+}  // namespace server
+}  // namespace sofos
+
+#endif  // SOFOS_SERVER_CLIENT_H_

@@ -1,0 +1,45 @@
+#include "server/io_util.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace sofos {
+namespace server {
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+LineReader::ReadResult LineReader::ReadLine(std::string* line) {
+  for (;;) {
+    size_t eol = buffer_.find('\n');
+    if (eol != std::string::npos) {
+      line->assign(buffer_, 0, eol);
+      buffer_.erase(0, eol + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return ReadResult::kLine;
+    }
+    if (buffer_.size() > max_line_) return ReadResult::kTooLong;
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadResult::kEof;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kError;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace server
+}  // namespace sofos

@@ -1,0 +1,77 @@
+#include "server/protocol.h"
+
+#include "common/string_util.h"
+
+namespace sofos {
+namespace server {
+
+Result<Request> ParseRequest(const std::string& line) {
+  std::string_view trimmed = StrTrim(line);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  size_t space = trimmed.find_first_of(" \t");
+  std::string_view verb = trimmed.substr(0, space);
+  Request request;
+  if (verb == "QUERY") {
+    request.verb = Verb::kQuery;
+  } else if (verb == "UPDATE") {
+    request.verb = Verb::kUpdate;
+  } else if (verb == "EXPLAIN") {
+    request.verb = Verb::kExplain;
+  } else if (verb == "STATS") {
+    request.verb = Verb::kStats;
+  } else if (verb == "QUIT") {
+    request.verb = Verb::kQuit;
+  } else {
+    return Status::InvalidArgument("unknown verb '" + std::string(verb) +
+                                   "' (QUERY/UPDATE/EXPLAIN/STATS/QUIT)");
+  }
+  if (space != std::string_view::npos) {
+    request.arg = std::string(StrTrim(trimmed.substr(space + 1)));
+  }
+  return request;
+}
+
+std::string FormatQueryBody(const sparql::QueryResult& result) {
+  std::string out = "#vars";
+  for (const std::string& var : result.var_names) {
+    out += '\t';
+    out += var;
+  }
+  out += '\n';
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    for (size_t c = 0; c < result.rows[r].size(); ++c) {
+      if (c) out += '\t';
+      out += result.bound[r][c] ? result.rows[r][c].ToNTriples() : "UNBOUND";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FormatQueryHeader(uint64_t rows, uint64_t cols, uint64_t epoch,
+                              bool cached, const std::string& view,
+                              double micros) {
+  return StrFormat("OK QUERY rows=%llu cols=%llu epoch=%llu cached=%d view=%s "
+                   "micros=%.1f",
+                   static_cast<unsigned long long>(rows),
+                   static_cast<unsigned long long>(cols),
+                   static_cast<unsigned long long>(epoch), cached ? 1 : 0,
+                   view.empty() ? "-" : view.c_str(), micros);
+}
+
+std::string FormatError(const std::string& message) {
+  std::string flat = message;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "ERR " + flat;
+}
+
+std::string FormatBusy(int retry_ms) {
+  return StrFormat("BUSY retry_ms=%d", retry_ms);
+}
+
+}  // namespace server
+}  // namespace sofos

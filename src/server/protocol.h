@@ -1,0 +1,67 @@
+#ifndef SOFOS_SERVER_PROTOCOL_H_
+#define SOFOS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "sparql/query_engine.h"
+
+namespace sofos {
+namespace server {
+
+/// Line-delimited text protocol of the SOFOS online server (full grammar in
+/// src/server/README.md). One request per line:
+///
+///   QUERY <sparql>        answer a SPARQL query (view routing + cache)
+///   UPDATE [n] [frac]     apply n random update batches of frac * |G| ops
+///   EXPLAIN [sparql]      plan + physical schedule (default: root view)
+///   STATS                 one-line JSON metrics dump
+///   QUIT                  close the session
+///
+/// Every response is a header line (`OK ...`, `ERR <msg>` or
+/// `BUSY retry_ms=<n>`), optionally body lines (TSV rows for QUERY, text
+/// for EXPLAIN, JSON for STATS), and always a terminating `END` line.
+enum class Verb {
+  kQuery,
+  kUpdate,
+  kExplain,
+  kStats,
+  kQuit,
+};
+
+struct Request {
+  Verb verb = Verb::kStats;
+  std::string arg;  // rest of the line, trimmed
+};
+
+/// The response terminator line.
+inline constexpr const char kEndMarker[] = "END";
+
+/// Parses one request line. InvalidArgument on an unknown verb or an empty
+/// line.
+Result<Request> ParseRequest(const std::string& line);
+
+/// The QUERY response body: a `#vars` header line followed by one
+/// tab-separated row per solution, terms in N-Triples form (tabs/newlines
+/// are escaped by the N-Triples rendering, so the framing is unambiguous),
+/// unbound positions as `UNBOUND`. This is the byte-exact payload the
+/// result cache stores and the loopback test compares against direct
+/// EngineSnapshot::Answer calls.
+std::string FormatQueryBody(const sparql::QueryResult& result);
+
+/// The QUERY response header. `view` is the routed view label or "-".
+std::string FormatQueryHeader(uint64_t rows, uint64_t cols, uint64_t epoch,
+                              bool cached, const std::string& view,
+                              double micros);
+
+/// `ERR <message>` with newlines flattened; body-less (caller appends END).
+std::string FormatError(const std::string& message);
+
+/// `BUSY retry_ms=<n>` — admission rejection with a retry hint.
+std::string FormatBusy(int retry_ms);
+
+}  // namespace server
+}  // namespace sofos
+
+#endif  // SOFOS_SERVER_PROTOCOL_H_

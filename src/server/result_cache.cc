@@ -1,0 +1,159 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+
+namespace sofos {
+namespace server {
+
+std::string NormalizeQueryText(const std::string& sparql) {
+  std::string out;
+  out.reserve(sparql.size());
+  bool pending_space = false;
+  char quote = 0;     // the delimiter of the string literal being copied
+  bool escaped = false;
+  for (char c : sparql) {
+    if (quote != 0) {
+      // Inside a literal every byte is significant: two queries differing
+      // only in literal whitespace are *different* queries and must not
+      // share a cache key.
+      out += c;
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == quote) {
+        quote = 0;
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    if (c == '"' || c == '\'') quote = c;
+    out += c;
+  }
+  return out;
+}
+
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+ResultCache::ResultCache(const ResultCacheOptions& options) {
+  size_t shards = RoundUpPow2(std::max<size_t>(1, options.shards));
+  shard_mask_ = shards - 1;
+  shard_capacity_bytes_ = std::max<size_t>(1, options.capacity_bytes / shards);
+  shards_ = std::vector<Shard>(shards);
+}
+
+std::string ResultCache::MakeKey(const std::string& normalized_query,
+                                 uint64_t epoch, bool allow_views) {
+  // \x1f never occurs in SPARQL text, so the three components cannot alias.
+  return normalized_query + '\x1f' + std::to_string(epoch) + '\x1f' +
+         (allow_views ? '1' : '0');
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key)&shard_mask_];
+}
+
+bool ResultCache::Lookup(const std::string& key, std::string* payload) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  *payload = it->second->payload;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key, uint64_t epoch,
+                         std::string payload) {
+  if (payload.size() > shard_capacity_bytes_) return;  // would evict a shard
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Concurrent miss on the same key: both executed; keep the fresh
+    // payload (identical by determinism) and just refresh recency.
+    shard.bytes -= it->second->payload.size();
+    shard.bytes += payload.size();
+    it->second->payload = std::move(payload);
+    it->second->epoch = epoch;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.bytes += payload.size();
+  shard.lru.push_front(Entry{key, std::move(payload), epoch});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.insertions;
+  EvictOverflow(&shard);
+}
+
+void ResultCache::EvictOverflow(Shard* shard) {
+  while (shard->bytes > shard_capacity_bytes_ && shard->lru.size() > 1) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.payload.size();
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    ++shard->evictions;
+  }
+}
+
+void ResultCache::EvictObsolete(uint64_t live_epoch) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->epoch < live_epoch) {
+        shard.bytes -= it->payload.size();
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        ++shard.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.invalidations += shard.invalidations;
+    stats.entries += shard.lru.size();
+    stats.bytes += shard.bytes;
+  }
+  return stats;
+}
+
+}  // namespace server
+}  // namespace sofos

@@ -1,0 +1,110 @@
+#ifndef SOFOS_SERVER_RESULT_CACHE_H_
+#define SOFOS_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sofos {
+namespace server {
+
+/// Collapses runs of whitespace outside string literals to single spaces
+/// and trims the ends, so trivially reformatted repeats of the same SPARQL
+/// text share one cache entry. Whitespace *inside* quoted literals (single
+/// or double, backslash escapes respected) is preserved byte-for-byte —
+/// queries differing only there are different queries and must never
+/// collide on a key. (Triple-quoted long literals are treated as adjacent
+/// short ones, which still never merges distinct literal contents.)
+std::string NormalizeQueryText(const std::string& sparql);
+
+struct ResultCacheOptions {
+  /// Number of independently locked shards (rounded up to a power of two).
+  size_t shards = 8;
+  /// Total payload-byte budget across all shards; least-recently-used
+  /// entries are evicted per shard once its share is exceeded.
+  size_t capacity_bytes = 64u << 20;
+};
+
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;      // capacity evictions
+  uint64_t invalidations = 0;  // epoch-bump evictions
+  uint64_t entries = 0;        // current
+  uint64_t bytes = 0;          // current payload bytes
+};
+
+/// Concurrent query-result cache for the online server: a sharded LRU
+/// keyed by (normalized query text, epoch, flags). The epoch is part of
+/// the key, so a published engine mutation can never serve a stale answer
+/// — entries from dead epochs simply stop hitting and age out via LRU;
+/// EvictObsolete() additionally drops them eagerly after an epoch bump.
+///
+/// Values are opaque payload strings (the protocol-formatted response
+/// body), so a hit costs one hash probe + one string copy and zero query
+/// execution.
+///
+/// Thread safety: all methods are safe from any thread; each shard has its
+/// own mutex, and a key touches exactly one shard.
+class ResultCache {
+ public:
+  explicit ResultCache(const ResultCacheOptions& options = {});
+
+  /// Builds the canonical cache key for a query at an epoch.
+  /// `allow_views` distinguishes routed from forced-base answers.
+  static std::string MakeKey(const std::string& normalized_query,
+                             uint64_t epoch, bool allow_views);
+
+  /// Copies the payload into `*payload` and promotes the entry to
+  /// most-recently-used. False on miss.
+  bool Lookup(const std::string& key, std::string* payload);
+
+  /// Inserts (or refreshes) `key`, then evicts LRU entries until the
+  /// shard is back under its byte share. `epoch` is stored for
+  /// EvictObsolete. Oversized payloads (> shard share) are not cached.
+  void Insert(const std::string& key, uint64_t epoch, std::string payload);
+
+  /// Eagerly drops every entry from an epoch < `live_epoch` (they can
+  /// never hit again). Called by the server after publishing a snapshot.
+  void EvictObsolete(uint64_t live_epoch);
+
+  /// Drops everything.
+  void Clear();
+
+  ResultCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string payload;
+    uint64_t epoch = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    uint64_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  void EvictOverflow(Shard* shard);  // caller holds shard->mu
+
+  size_t shard_mask_ = 0;
+  size_t shard_capacity_bytes_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace server
+}  // namespace sofos
+
+#endif  // SOFOS_SERVER_RESULT_CACHE_H_

@@ -1,0 +1,457 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "server/io_util.h"
+#include "workload/generator.h"
+
+namespace sofos {
+namespace server {
+
+namespace {
+
+constexpr size_t kMaxRequestLine = 1u << 20;  // 1 MiB: plenty for SPARQL text
+
+/// Cached-entry layout: one meta line "<rows>\t<cols>\t<view>\n" followed by
+/// the wire body. Keeps the cache a single string while letting a hit
+/// regenerate the header without rescanning the payload.
+std::string PackCacheEntry(uint64_t rows, uint64_t cols,
+                           const std::string& view, const std::string& body) {
+  return std::to_string(rows) + '\t' + std::to_string(cols) + '\t' + view +
+         '\n' + body;
+}
+
+bool UnpackCacheEntry(const std::string& entry, uint64_t* rows, uint64_t* cols,
+                      std::string* view, std::string* body) {
+  size_t eol = entry.find('\n');
+  if (eol == std::string::npos) return false;
+  std::istringstream meta(entry.substr(0, eol));
+  std::string view_token;
+  if (!(meta >> *rows >> *cols >> view_token)) return false;
+  *view = view_token;
+  body->assign(entry, eol + 1, std::string::npos);
+  return true;
+}
+
+}  // namespace
+
+SofosServer::SofosServer(core::SofosEngine* engine, const ServerOptions& options)
+    : engine_(engine), options_(options), cache_(options.cache) {}
+
+SofosServer::~SofosServer() { Stop(); }
+
+Status SofosServer::Start() {
+  if (running_) return Status::Internal("server already running");
+
+  // The read view sessions resolve must exist before the first byte of
+  // traffic; this also validates that the engine has a loaded store.
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    SOFOS_RETURN_IF_ERROR(PublishAndInvalidate());
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("bind: ") + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("listen: ") + std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("getsockname: ") + std::strerror(err));
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+
+  pool_ = std::make_unique<ThreadPool>(std::max(1u, options_.max_sessions));
+  running_ = true;
+  listener_ = std::thread([this] { ListenLoop(); });
+  return Status::OK();
+}
+
+void SofosServer::Stop() {
+  if (!running_.exchange(false)) {
+    // Never started or already stopped; still reap a listener that raced.
+    if (listener_.joinable()) listener_.join();
+    return;
+  }
+  // Wake the listener out of accept(), then reap it.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (listener_.joinable()) listener_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Unblock every live session parked in recv(); each then finishes its
+  // in-flight response and exits. Queued-but-unstarted sessions run to the
+  // same immediate end once a worker frees up.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  {
+    std::unique_lock<std::mutex> lock(sessions_mu_);
+    sessions_cv_.wait(lock, [this] { return admitted_ == 0; });
+  }
+  pool_.reset();  // all tasks done; workers join
+}
+
+std::shared_ptr<const core::EngineSnapshot> SofosServer::SnapshotForEpoch(
+    uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(retained_mu_);
+  auto it = retained_.find(epoch);
+  return it == retained_.end() ? nullptr : it->second;
+}
+
+uint64_t SofosServer::update_batches_applied() const {
+  return update_batches_applied_.load(std::memory_order_relaxed);
+}
+
+Status SofosServer::PublishAndInvalidate() {
+  SOFOS_ASSIGN_OR_RETURN(auto snapshot, engine_->PublishSnapshot());
+  if (options_.retain_snapshots) {
+    std::lock_guard<std::mutex> lock(retained_mu_);
+    retained_[snapshot->epoch()] = snapshot;
+  }
+  cache_.EvictObsolete(snapshot->epoch());
+  return Status::OK();
+}
+
+void SofosServer::ListenLoop() {
+  while (running_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_) break;  // Stop() shut the listener down
+      // Transient per-connection failures must not kill the listener: a
+      // peer resetting mid-handshake (ECONNABORTED) is routine under the
+      // BUSY-churn load this server sheds, and fd exhaustion recovers as
+      // sessions close.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // the listening socket itself is dead
+    }
+    if (!running_) {
+      ::close(fd);
+      break;
+    }
+    bool admit;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      admit = admitted_ < options_.max_sessions + options_.queue_capacity;
+      if (admit) {
+        ++admitted_;
+        session_fds_.insert(fd);
+        metrics_.SetQueueDepth(static_cast<int64_t>(admitted_ - active_));
+      }
+    }
+    if (!admit) {
+      metrics_.RecordRejected();
+      SendAll(fd, FormatBusy(options_.busy_retry_ms) + "\n" + kEndMarker + "\n");
+      ::close(fd);
+      continue;
+    }
+    metrics_.RecordAccepted();
+    pool_->Submit([this, fd] { ServeSession(fd); });
+  }
+}
+
+void SofosServer::ServeSession(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    ++active_;
+    metrics_.SetQueueDepth(static_cast<int64_t>(admitted_ - active_));
+    metrics_.SetActiveSessions(static_cast<int64_t>(active_));
+  }
+
+  LineReader reader(fd, kMaxRequestLine);
+  bool open = true;
+  while (open) {
+    std::string line;
+    LineReader::ReadResult read = reader.ReadLine(&line);
+    if (read == LineReader::ReadResult::kTooLong) {
+      SendAll(fd, FormatError("request line too long") + "\n" + kEndMarker +
+                      "\n");
+      break;
+    }
+    // kEof: peer closed; kError: reset or Stop() shutdown. Either way the
+    // session is over.
+    if (read != LineReader::ReadResult::kLine) break;
+    if (StrTrim(line).empty()) continue;  // blank keep-alive lines are free
+
+    auto request = ParseRequest(line);
+    if (!request.ok()) {
+      metrics_.RecordProtocolError();
+      open = SendAll(fd, FormatError(request.status().ToString()) + "\n" +
+                             kEndMarker + "\n");
+      continue;
+    }
+
+    std::string response;
+    WallTimer timer;
+    switch (request->verb) {
+      case Verb::kQuery:
+        HandleQuery(request->arg, &response);
+        metrics_.ForEndpoint(Endpoint::kQuery)
+            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
+        break;
+      case Verb::kUpdate:
+        HandleUpdate(request->arg, &response);
+        metrics_.ForEndpoint(Endpoint::kUpdate)
+            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
+        break;
+      case Verb::kExplain:
+        HandleExplain(request->arg, &response);
+        metrics_.ForEndpoint(Endpoint::kExplain)
+            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
+        break;
+      case Verb::kStats:
+        HandleStats(&response);
+        metrics_.ForEndpoint(Endpoint::kStats)
+            .Record(timer.ElapsedMicros(), true);
+        break;
+      case Verb::kQuit:
+        SendAll(fd, std::string("OK BYE\n") + kEndMarker + "\n");
+        open = false;
+        break;
+    }
+    if (open) open = SendAll(fd, response);
+  }
+
+  // Deregister strictly *before* closing: once close() frees the fd
+  // number, a concurrent accept() may reuse it and re-insert it into
+  // session_fds_ — erasing afterwards would strip the new session's entry
+  // and leave it invisible to Stop()'s shutdown sweep.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_fds_.erase(fd);
+    --active_;
+    --admitted_;
+    metrics_.SetQueueDepth(static_cast<int64_t>(admitted_ - active_));
+    metrics_.SetActiveSessions(static_cast<int64_t>(active_));
+  }
+  ::close(fd);
+  sessions_cv_.notify_all();
+}
+
+void SofosServer::HandleQuery(const std::string& arg, std::string* out) {
+  if (arg.empty()) {
+    *out = FormatError("usage: QUERY <sparql>") + "\n" + kEndMarker + "\n";
+    return;
+  }
+  std::shared_ptr<const core::EngineSnapshot> snapshot =
+      engine_->CurrentSnapshot();
+  if (snapshot == nullptr) {
+    *out = FormatError("no published snapshot") + "\n" + kEndMarker + "\n";
+    return;
+  }
+  const bool allow_views = true;
+  const bool cache_enabled =
+      options_.enable_cache && options_.cache.capacity_bytes > 0;
+  std::string key;
+  if (cache_enabled) {
+    key = ResultCache::MakeKey(NormalizeQueryText(arg), snapshot->epoch(),
+                               allow_views);
+    std::string entry;
+    if (cache_.Lookup(key, &entry)) {
+      uint64_t rows = 0, cols = 0;
+      std::string view, body;
+      if (UnpackCacheEntry(entry, &rows, &cols, &view, &body)) {
+        metrics_.RecordCacheHit();
+        *out = FormatQueryHeader(rows, cols, snapshot->epoch(),
+                                 /*cached=*/true, view, /*micros=*/0.0) +
+               "\n" + body + kEndMarker + "\n";
+        return;
+      }
+      // Unreadable entry (cannot happen with our own packing; defensive):
+      // fall through to recompute and overwrite it.
+    }
+    metrics_.RecordCacheMiss();
+  }
+
+  auto outcome = snapshot->Answer(arg, allow_views);
+  if (!outcome.ok()) {
+    *out = FormatError(outcome.status().ToString()) + "\n" + kEndMarker + "\n";
+    return;
+  }
+  std::string view =
+      outcome->used_view ? std::to_string(outcome->view_mask) : "-";
+  std::string body = FormatQueryBody(outcome->result);
+  *out = FormatQueryHeader(outcome->result_rows, outcome->result.NumCols(),
+                           snapshot->epoch(), /*cached=*/false, view,
+                           outcome->micros) +
+         "\n" + body + kEndMarker + "\n";
+  if (cache_enabled) {
+    cache_.Insert(key, snapshot->epoch(),
+                  PackCacheEntry(outcome->result_rows,
+                                 outcome->result.NumCols(), view, body));
+  }
+}
+
+void SofosServer::HandleUpdate(const std::string& arg, std::string* out) {
+  // Strict parsing: a malformed argument must not silently fall back to
+  // defaults — UPDATE mutates the graph and invalidates the cache, so a
+  // typo has to fail loudly instead of applying a batch the client never
+  // asked for.
+  int batches = 1;
+  double fraction = 0.01;
+  bool parse_ok = true;
+  {
+    std::istringstream in(arg);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (in >> token) tokens.push_back(token);
+    if (tokens.size() > 2) parse_ok = false;
+    if (parse_ok && tokens.size() >= 1) {
+      char* end = nullptr;
+      long n = std::strtol(tokens[0].c_str(), &end, 10);
+      if (end == tokens[0].c_str() || *end != '\0') parse_ok = false;
+      else batches = static_cast<int>(n);
+    }
+    if (parse_ok && tokens.size() == 2) {
+      char* end = nullptr;
+      double f = std::strtod(tokens[1].c_str(), &end);
+      if (end == tokens[1].c_str() || *end != '\0') parse_ok = false;
+      else fraction = f;
+    }
+  }
+  if (!parse_ok || batches < 1 || batches > 1000 || fraction <= 0 ||
+      fraction > 1) {
+    *out = FormatError("usage: UPDATE [1 <= batches <= 1000] "
+                       "[0 < fraction <= 1]") +
+           "\n" + kEndMarker + "\n";
+    return;
+  }
+
+  WallTimer timer;
+  uint64_t adds = 0, deletes = 0;
+  double drift = 0.0;
+  bool reselect = false;
+  Status status = Status::OK();
+  uint64_t epoch = 0;
+  {
+    // Single-writer section: the engine facade must not see concurrent
+    // mutations, and batch seeds must advance deterministically.
+    std::lock_guard<std::mutex> lock(update_mu_);
+    workload::UpdateStreamOptions options;
+    options.num_batches = batches;
+    options.batch_fraction = fraction;
+    options.seed =
+        99 + update_batches_applied_.load(std::memory_order_relaxed);
+    auto stream = workload::GenerateUpdateStream(
+        engine_->base_snapshot(), engine_->store()->dictionary(), options);
+    if (!stream.ok()) {
+      status = stream.status();
+    } else {
+      for (const auto& delta : *stream) {
+        auto result = engine_->ApplyUpdates(delta);
+        if (!result.ok()) {
+          status = result.status();
+          break;
+        }
+        update_batches_applied_.fetch_add(1, std::memory_order_relaxed);
+        adds += result->adds_applied;
+        deletes += result->deletes_applied;
+        drift = result->staleness;
+        reselect = result->reselect_recommended;
+      }
+    }
+    // Publish whatever state was reached — even a partial multi-batch
+    // failure must not leave sessions reading a retired epoch forever.
+    Status publish = PublishAndInvalidate();
+    if (status.ok()) status = publish;
+    epoch = engine_->epoch();
+  }
+  if (!status.ok()) {
+    *out = FormatError(status.ToString()) + "\n" + kEndMarker + "\n";
+    return;
+  }
+  *out = StrFormat("OK UPDATE batches=%d adds=%llu deletes=%llu epoch=%llu "
+                   "drift=%.3f reselect=%d micros=%.1f",
+                   batches, static_cast<unsigned long long>(adds),
+                   static_cast<unsigned long long>(deletes),
+                   static_cast<unsigned long long>(epoch), drift,
+                   reselect ? 1 : 0, timer.ElapsedMicros()) +
+         "\n" + kEndMarker + "\n";
+}
+
+void SofosServer::HandleExplain(const std::string& arg, std::string* out) {
+  std::shared_ptr<const core::EngineSnapshot> snapshot =
+      engine_->CurrentSnapshot();
+  if (snapshot == nullptr) {
+    *out = FormatError("no published snapshot") + "\n" + kEndMarker + "\n";
+    return;
+  }
+  std::string sparql = arg;
+  if (sparql.empty()) {
+    if (!snapshot->has_facet()) {
+      *out = FormatError("EXPLAIN with no query requires a facet") + "\n" +
+             kEndMarker + "\n";
+      return;
+    }
+    sparql = snapshot->RootViewSparql();
+  }
+  auto plan = snapshot->Explain(sparql);
+  if (!plan.ok()) {
+    *out = FormatError(plan.status().ToString()) + "\n" + kEndMarker + "\n";
+    return;
+  }
+  std::string body = *plan;
+  if (body.empty() || body.back() != '\n') body += '\n';
+  *out = StrFormat("OK EXPLAIN epoch=%llu",
+                   static_cast<unsigned long long>(snapshot->epoch())) +
+         "\n" + body + kEndMarker + "\n";
+}
+
+void SofosServer::HandleStats(std::string* out) {
+  std::shared_ptr<const core::EngineSnapshot> snapshot =
+      engine_->CurrentSnapshot();
+  ResultCacheStats cache_stats = cache_.Stats();
+  uint64_t batches = update_batches_applied_.load(std::memory_order_relaxed);
+  std::string extra = StrFormat(
+      "\"server\": {\"epoch\": %llu, \"triples\": %llu, "
+      "\"update_batches\": %llu, \"cache_entries\": %llu, "
+      "\"cache_bytes\": %llu, \"cache_evictions\": %llu, "
+      "\"cache_invalidations\": %llu}",
+      static_cast<unsigned long long>(snapshot ? snapshot->epoch() : 0),
+      static_cast<unsigned long long>(snapshot ? snapshot->num_triples() : 0),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(cache_stats.entries),
+      static_cast<unsigned long long>(cache_stats.bytes),
+      static_cast<unsigned long long>(cache_stats.evictions),
+      static_cast<unsigned long long>(cache_stats.invalidations));
+  *out = std::string("OK STATS\n") + metrics_.ToJson(extra) + "\n" +
+         kEndMarker + "\n";
+}
+
+}  // namespace server
+}  // namespace sofos

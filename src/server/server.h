@@ -1,0 +1,152 @@
+#ifndef SOFOS_SERVER_SERVER_H_
+#define SOFOS_SERVER_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+#include "server/result_cache.h"
+
+namespace sofos {
+namespace server {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back with
+  /// port() after Start()).
+  uint16_t port = 0;
+  /// Concurrently *served* sessions — the size of the session worker pool.
+  unsigned max_sessions = 8;
+  /// Accepted-but-waiting sessions beyond max_sessions (the admission
+  /// queue). Connections arriving past max_sessions + queue_capacity are
+  /// rejected with `BUSY retry_ms=...` and closed.
+  unsigned queue_capacity = 16;
+  /// The retry hint sent with BUSY rejections.
+  int busy_retry_ms = 50;
+  /// Query-result cache; capacity_bytes 0 disables caching entirely.
+  ResultCacheOptions cache;
+  bool enable_cache = true;
+  /// Keep a handle on every published epoch snapshot instead of letting
+  /// superseded ones die. Test-only: lets the loopback suite re-answer a
+  /// query on the exact epoch a response was served from.
+  bool retain_snapshots = false;
+};
+
+/// The SOFOS online serving subsystem: a concurrent TCP server speaking the
+/// line protocol of server/protocol.h over localhost.
+///
+/// Architecture: one listener thread accepts connections and admits them
+/// to a session worker pool (common/thread_pool.h, max_sessions workers).
+/// The pool's FIFO is the admission queue; a bounded in-flight count
+/// (max_sessions + queue_capacity) provides backpressure — saturated
+/// arrivals get `BUSY retry_ms=<n>` and are closed, never queued unbounded.
+///
+/// Serving coexists with updates through the engine's epoch snapshots:
+/// QUERY/EXPLAIN sessions resolve SofosEngine::CurrentSnapshot() and run
+/// entirely against that immutable read view, while UPDATE requests
+/// (serialized by an internal writer mutex — the engine facade is single-
+/// writer) mutate the live engine and publish a fresh snapshot. In-flight
+/// queries finish on their old epoch; later requests see the new one; no
+/// reader ever blocks on a writer.
+///
+/// On top sit a sharded LRU result cache keyed by (normalized query,
+/// epoch) — epoch bumps invalidate implicitly, and the writer eagerly
+/// evicts dead epochs after publishing — and per-endpoint SLO metrics
+/// (request counts, p50/p95/p99 fixed-bucket latency, cache hit rate,
+/// queue depth) served by STATS as one JSON line.
+class SofosServer {
+ public:
+  /// `engine` must outlive the server and hold a loaded, finalized store.
+  /// The server becomes the engine's only driver: no other thread may call
+  /// engine methods (beyond CurrentSnapshot()) while it is running.
+  SofosServer(core::SofosEngine* engine, const ServerOptions& options = {});
+  ~SofosServer();  // implies Stop()
+
+  SofosServer(const SofosServer&) = delete;
+  SofosServer& operator=(const SofosServer&) = delete;
+
+  /// Binds 127.0.0.1, publishes the initial snapshot, spawns the listener
+  /// and the session pool.
+  Status Start();
+
+  /// Stops accepting, shuts down live sessions, waits for in-flight work.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  ServerMetrics& metrics() { return metrics_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+  ResultCacheStats CacheStats() const { return cache_.Stats(); }
+  /// Drops all cached results (bench_server's cold/warm boundary).
+  void ClearCache() { cache_.Clear(); }
+
+  /// Retained snapshot for `epoch` (requires options.retain_snapshots),
+  /// or null.
+  std::shared_ptr<const core::EngineSnapshot> SnapshotForEpoch(
+      uint64_t epoch) const;
+
+  /// Total UPDATE batches applied since Start() (seeds the deterministic
+  /// update stream like the CLI's `update` command does).
+  uint64_t update_batches_applied() const;
+
+ private:
+  void ListenLoop();
+  void ServeSession(int fd);
+
+  /// Request handlers append "header\n[body...]\nEND\n" to *out.
+  void HandleQuery(const std::string& arg, std::string* out);
+  void HandleUpdate(const std::string& arg, std::string* out);
+  void HandleExplain(const std::string& arg, std::string* out);
+  void HandleStats(std::string* out);
+
+  /// Publishes the engine's current epoch and eagerly invalidates dead
+  /// cache entries. Caller must hold update_mu_.
+  Status PublishAndInvalidate();
+
+  core::SofosEngine* engine_;
+  ServerOptions options_;
+  ServerMetrics metrics_;
+  ResultCache cache_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread listener_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Serializes every mutating engine entry point (UPDATE handling and
+  /// snapshot publication).
+  std::mutex update_mu_;
+  /// Written only under update_mu_; atomic so STATS and monitoring reads
+  /// never block behind a long multi-batch update (readers must not wait
+  /// on the writer — the same rule the snapshots enforce for queries).
+  std::atomic<uint64_t> update_batches_applied_{0};
+
+  /// Admission bookkeeping + live session fds (so Stop() can unblock
+  /// sessions parked in recv()).
+  mutable std::mutex sessions_mu_;
+  std::condition_variable sessions_cv_;
+  unsigned admitted_ = 0;  // submitted sessions not yet finished
+  unsigned active_ = 0;    // sessions currently on a worker
+  std::set<int> session_fds_;
+
+  mutable std::mutex retained_mu_;
+  std::map<uint64_t, std::shared_ptr<const core::EngineSnapshot>> retained_;
+};
+
+}  // namespace server
+}  // namespace sofos
+
+#endif  // SOFOS_SERVER_SERVER_H_
