@@ -18,6 +18,9 @@ namespace bench {
 inline void LoadEngine(core::SofosEngine* engine, const std::string& name,
                        datagen::Scale scale, uint64_t seed = 42) {
   TripleStore store;
+  // Build directly at the engine's shard count; LoadStore then no-ops its
+  // repartition instead of rebuilding the freshly sorted indexes.
+  store.SetShardCount(engine->ResolvedShardCount());
   auto spec = datagen::GenerateByName(name, scale, seed, &store);
   if (!spec.ok()) {
     std::fprintf(stderr, "dataset %s: %s\n", name.c_str(),

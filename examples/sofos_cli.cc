@@ -46,6 +46,9 @@ class Cli {
 
   Status LoadDataset(const std::string& name, datagen::Scale scale) {
     TripleStore store;
+    // Partition before generation finalizes, so LoadStore's repartition
+    // no-ops instead of rebuilding every index a second time.
+    store.SetShardCount(engine_.ResolvedShardCount());
     SOFOS_ASSIGN_OR_RETURN(datagen::DatasetSpec spec,
                            datagen::GenerateByName(name, scale, 42, &store));
     SOFOS_ASSIGN_OR_RETURN(
@@ -192,6 +195,19 @@ class Cli {
       } else {
         SetNumThreads(static_cast<unsigned>(n));
       }
+    } else if (cmd == "shards") {
+      long n = -1;
+      if (!(in >> n)) {
+        std::printf("store shards: %zu (knob %u, 0=auto)\n",
+                    engine_.store()->shard_count(), engine_.shard_count());
+      } else if (n < 0 || n > 256) {
+        std::printf("usage: shards [n] with 0 <= n <= 256 (0=auto from pool)\n");
+      } else {
+        engine_.SetShardCount(static_cast<unsigned>(n));
+        std::printf("store shards: %zu per index family (COW snapshots "
+                    "publish O(changed shards))\n",
+                    engine_.store()->shard_count());
+      }
     } else {
       std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
       had_error_ = true;
@@ -228,6 +244,8 @@ class Cli {
         "                       EXPLAIN/STATS/QUIT) and print the response\n"
         "  threads <n>          size the thread pool (0=auto, 1=serial)\n"
         "  exec-threads <n>     pin intra-query dop (0=auto budget)\n"
+        "  shards [n]           hash shards per index family (0=auto;\n"
+        "                       results never change, rebuild/publish do)\n"
         "  quit\n");
   }
 

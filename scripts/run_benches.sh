@@ -14,6 +14,9 @@
 #   BENCH_server.json      — online serving: closed-loop loopback load,
 #                            throughput + p50/p95/p99 + cache hit rate for
 #                            cold / warm / mixed(query+update) phases
+#   BENCH_store.json       — sharded COW TripleStore: Finalize/ApplyDelta/
+#                            Clone+publish at 1/2/4/8 shards with 0.5%
+#                            deltas, COW clone vs deep-clone baseline
 # Other benches (E1..E9 tables) print to stdout and are kept text-only.
 set -euo pipefail
 
@@ -25,13 +28,14 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_parallel bench_maintenance bench_exec bench_server
+  --target bench_parallel bench_maintenance bench_exec bench_server bench_store
 
 mkdir -p "$OUT_DIR"
 "$BUILD_DIR/bench_parallel" "$OUT_DIR/BENCH_parallel.json"
 "$BUILD_DIR/bench_maintenance" "$OUT_DIR/BENCH_maintenance.json"
 "$BUILD_DIR/bench_exec" "$OUT_DIR/BENCH_exec.json"
 "$BUILD_DIR/bench_server" "$OUT_DIR/BENCH_server.json"
+"$BUILD_DIR/bench_store" "$OUT_DIR/BENCH_store.json"
 
 echo "bench artifacts in $OUT_DIR:"
 ls -l "$OUT_DIR"/BENCH_*.json

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # ThreadSanitizer lane over the concurrency-sensitive tests (the ones
-# carrying the `maintenance`, `exec` and `server` CTest labels —
-# incremental updates, the vectorized morsel-parallel executor, and the
-# concurrent online serving subsystem): builds a separate TSan-enabled
-# tree and runs only those suites.
+# carrying the `maintenance`, `exec`, `server` and `store` CTest labels —
+# incremental updates, the vectorized morsel-parallel executor, the
+# concurrent online serving subsystem, and the sharded copy-on-write
+# TripleStore with its COW epoch snapshots): builds a separate
+# TSan-enabled tree and runs only those suites.
 #
 #   scripts/run_tsan.sh [build_dir]
 set -euo pipefail
@@ -14,7 +15,7 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSOFOS_TSAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target maintenance_test parallel_test exec_test server_test
+  --target maintenance_test parallel_test exec_test server_test store_test
 
 cd "$BUILD_DIR"
-ctest -L 'maintenance|exec|server' --output-on-failure
+ctest -L 'maintenance|exec|server|store' --output-on-failure

@@ -15,7 +15,7 @@ namespace sofos {
 namespace core {
 
 std::string WorkloadReport::Summary() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "queries=%zu wall=%s cpu=%s mean=%s median=%s p95=%s hist[%s] "
       "hits=%llu scanned=%llu",
       outcomes.size(), FormatMicros(wall_micros).c_str(),
@@ -24,6 +24,12 @@ std::string WorkloadReport::Summary() const {
       latency.SummaryString().c_str(),
       static_cast<unsigned long long>(view_hits),
       static_cast<unsigned long long>(total_rows_scanned));
+  if (publish.count > 0) {
+    out += StrFormat(" publish[n=%llu %s]",
+                     static_cast<unsigned long long>(publish.count),
+                     publish.SummaryString().c_str());
+  }
+  return out;
 }
 
 std::string UpdateOutcome::Summary() const {
@@ -38,6 +44,14 @@ std::string UpdateOutcome::Summary() const {
 void SofosEngine::SetNumThreads(unsigned num_threads) {
   num_threads_ = num_threads;
   pool_.reset();  // rebuilt at the right size on next use
+  // An auto (0) shard count follows the pool size; re-resolve it now so
+  // per-shard rebuild parallelism keeps matching the pool. The no-op
+  // check precedes pool() so a threads change that leaves the shard count
+  // alone keeps the pool rebuild lazy.
+  if (shard_count_ == 0 && store_.finalized() &&
+      store_.shard_count() != ResolvedShardCount()) {
+    store_.SetShardCount(ResolvedShardCount(), pool());
+  }
 }
 
 unsigned SofosEngine::num_threads() const {
@@ -45,6 +59,26 @@ unsigned SofosEngine::num_threads() const {
   // Keep the reported count in sync with what a pool would actually spawn.
   return static_cast<unsigned>(
       std::min<size_t>(n, ThreadPool::kMaxThreads));
+}
+
+void SofosEngine::SetShardCount(unsigned shard_count) {
+  // Mirror the store's clamp so shard_count()/ResolvedShardCount() always
+  // agree with what the store actually runs at (0 stays "auto").
+  shard_count_ = std::min(shard_count, 256u);
+  if (store_.finalized() && store_.shard_count() != ResolvedShardCount()) {
+    store_.SetShardCount(ResolvedShardCount(), pool());
+  }
+}
+
+unsigned SofosEngine::ResolvedShardCount() const {
+  if (shard_count_ != 0) return shard_count_;
+  // Auto: the smallest power of two covering the pool, so per-shard
+  // Finalize/ApplyDelta tasks can occupy every worker; capped where the
+  // per-shard constant overheads would start to dominate.
+  const unsigned threads = num_threads();
+  unsigned shards = 1;
+  while (shards < threads && shards < 64) shards <<= 1;
+  return shards;
 }
 
 ThreadPool* SofosEngine::pool() const {
@@ -76,6 +110,11 @@ Status SofosEngine::LoadStore(TripleStore&& store) {
     return Status::InvalidArgument("LoadStore requires a finalized store");
   }
   store_ = std::move(store);
+  // Callers that finalized at the default shard count get repartitioned to
+  // the engine's knob here (a one-time load cost; no-op when the store was
+  // built at the resolved count, as LoadGraphFile does — and never visible
+  // in results, by the store's shard-invariance contract).
+  store_.SetShardCount(ResolvedShardCount(), pool());
   base_snapshot_ = store_.triples();
   base_bytes_ = store_.MemoryBytes();
   materialized_.clear();
@@ -93,7 +132,10 @@ Status SofosEngine::LoadGraphFile(const std::string& path) {
   TripleStore store;
   TurtleParser parser;
   SOFOS_RETURN_IF_ERROR(parser.ParseFile(path, &store));
-  store.Finalize();
+  // Partition before Finalize so the initial build lands directly on the
+  // engine's shard count; LoadStore's repartition then no-ops.
+  store.SetShardCount(ResolvedShardCount());
+  store.Finalize(pool());
   return LoadStore(std::move(store));
 }
 
@@ -441,6 +483,7 @@ Result<WorkloadReport> SofosEngine::RunWorkload(
     for (double micros : times) histogram.Record(micros);
     report.latency = histogram.TakeSnapshot();
   }
+  report.publish = publish_latency();
   report.wall_micros = wall.ElapsedMicros();
   return report;
 }
@@ -453,9 +496,12 @@ Result<std::shared_ptr<const EngineSnapshot>> SofosEngine::PublishSnapshot() {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     if (snapshot_ != nullptr && snapshot_->epoch() == epoch_) return snapshot_;
   }
-  // Build outside the lock: cloning the store is O(n), and concurrent
-  // CurrentSnapshot() readers should keep resolving the old epoch until the
-  // new one is complete.
+  // Build outside the lock: concurrent CurrentSnapshot() readers should
+  // keep resolving the old epoch until the new one is complete. The store
+  // clone is copy-on-write (O(shard_count) pointer copies — see
+  // TripleStore::Clone), so the build cost is dominated by the profile and
+  // view-record copies, not the graph.
+  WallTimer publish_timer;
   auto snap = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
   snap->epoch_ = epoch_;
   snap->store_ = store_.Clone();
@@ -468,6 +514,7 @@ Result<std::shared_ptr<const EngineSnapshot>> SofosEngine::PublishSnapshot() {
     snap->rewriter_.emplace(&*snap->facet_);
   }
   std::shared_ptr<const EngineSnapshot> published = std::move(snap);
+  publish_hist_.Record(publish_timer.ElapsedMicros());
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = published;
   return published;

@@ -62,6 +62,11 @@ struct WorkloadReport {
   /// `median_micros`/`p95_micros` above stay the exact order statistics;
   /// these are the bucketed estimates.
   LatencyHistogram::Snapshot latency;
+  /// Cumulative PublishSnapshot() latency of the owning engine at report
+  /// time (same shape as the server STATS `publish` section) — zero-count
+  /// when the engine never published. Makes the O(changed shards) snapshot
+  /// cost observable next to query latencies.
+  LatencyHistogram::Snapshot publish;
   uint64_t view_hits = 0;
   uint64_t total_rows_scanned = 0;
 
@@ -92,9 +97,14 @@ struct UpdateOutcome {
 /// (shared_ptr). No reader ever blocks on a writer and vice versa.
 ///
 /// Thread safety: Answer()/Explain() are safe from any number of threads
-/// concurrently — they only do const scans over the snapshot's own cloned
+/// concurrently — they only do const scans over the snapshot's COW-cloned
 /// store plus internally synchronized dictionary interning (aggregate
-/// literals). Queries run serially inside (dop 1): the server's
+/// literals). The dictionary is *shared* with the live engine store
+/// (append-only, ids never change — what makes PublishSnapshot O(changed
+/// shards) instead of O(dictionary)); the known cost is that literals
+/// computed by snapshot queries intern into the engine-wide dictionary
+/// and outlive the snapshot (see the ROADMAP's overlay-dictionary
+/// follow-up). Queries run serially inside (dop 1): the server's
 /// parallelism axis is sessions, not morsels, and the executor determinism
 /// contract makes the results identical to any parallel schedule anyway.
 class EngineSnapshot {
@@ -203,6 +213,19 @@ class SofosEngine {
   void SetExecThreads(unsigned exec_threads) { exec_threads_ = exec_threads; }
   unsigned exec_threads() const { return exec_threads_; }
 
+  /// Sets the store's hash-shard count (TripleStore::SetShardCount): the
+  /// number of copy-on-write buckets per index family. 0 = auto — the
+  /// smallest power of two >= the resolved thread count (capped at 64), so
+  /// per-shard rebuilds saturate the pool. Takes effect immediately on a
+  /// loaded store (pool-parallel repartition) and is re-applied by every
+  /// LoadStore. Results never depend on this knob (the store's
+  /// shard-invariance contract) — it trades Finalize/ApplyDelta/publish
+  /// cost only.
+  void SetShardCount(unsigned shard_count);
+  unsigned shard_count() const { return shard_count_; }
+  /// The shard count LoadStore would apply right now (auto expanded).
+  unsigned ResolvedShardCount() const;
+
   TripleStore* store() { return &store_; }
   const Facet& facet() const { return *facet_; }
   const Lattice& lattice() const { return *lattice_; }
@@ -302,6 +325,14 @@ class SofosEngine {
   /// PublishSnapshot). Safe from any thread.
   std::shared_ptr<const EngineSnapshot> CurrentSnapshot() const;
 
+  /// Latency distribution of the snapshot builds PublishSnapshot()
+  /// actually performed (epoch no-ops are not recorded). Safe from any
+  /// thread (lock-free histogram); the server's STATS endpoint surfaces it
+  /// as the `publish` section.
+  LatencyHistogram::Snapshot publish_latency() const {
+    return publish_hist_.TakeSnapshot();
+  }
+
   /// ---- Online module ----
 
   /// Answers one query: picks the best usable materialized view (when
@@ -373,8 +404,10 @@ class SofosEngine {
   std::shared_ptr<learned::Mlp> learned_mlp_;
   unsigned num_threads_ = 0;   // 0 = auto (hardware_concurrency)
   unsigned exec_threads_ = 0;  // 0 = auto intra-query dop (budgeted)
+  unsigned shard_count_ = 0;   // 0 = auto (pool-size-derived power of two)
   mutable std::unique_ptr<ThreadPool> pool_;
   uint64_t epoch_ = 0;
+  LatencyHistogram publish_hist_;  // PublishSnapshot build latencies
   mutable std::mutex snapshot_mu_;  // guards snapshot_ (the published slot)
   std::shared_ptr<const EngineSnapshot> snapshot_;
 };

@@ -13,6 +13,8 @@ namespace sofos {
 namespace {
 
 // Field extraction per order: order -> (first, second, third) selectors.
+// Order indexes are family * 2 + run (see TripleStore::Family), i.e.
+// 0=SPO, 1=SOP, 2=PSO, 3=POS, 4=OSP, 5=OPS.
 struct FieldPerm {
   int a, b, c;  // 0 = s, 1 = p, 2 = o
 };
@@ -25,6 +27,13 @@ constexpr FieldPerm kPerms[] = {
     {2, 0, 1},  // OSP
     {2, 1, 0},  // OPS
 };
+
+constexpr int kSPO = 0;
+
+/// The leading field each family partitions on (0 = s, 1 = p, 2 = o).
+constexpr int kFamilyField[TripleStore::kNumFamilies] = {0, 1, 2};
+
+constexpr size_t kMaxShards = 256;
 
 inline TermId Field(const Triple& t, int f) {
   switch (f) {
@@ -87,19 +96,116 @@ std::vector<Triple> MergeDelta(const std::vector<Triple>& index,
   return out;
 }
 
+/// splitmix64 finalizer: deterministic across platforms, mixes the dense
+/// low-entropy TermId space well enough that buckets stay balanced.
+inline uint64_t MixId(TermId id) {
+  uint64_t v = id;
+  v ^= v >> 30;
+  v *= 0xbf58476d1ce4e5b9ULL;
+  v ^= v >> 27;
+  v *= 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  return v;
+}
+
 }  // namespace
+
+TripleStore::TripleStore() : dict_(std::make_shared<Dictionary>()) {}
+
+TripleStore::TripleStore(TripleStore&& other)
+    : dict_(std::move(other.dict_)),
+      canonical_(std::move(other.canonical_)),
+      pending_(std::move(other.pending_)),
+      shard_count_(other.shard_count_),
+      families_(std::move(other.families_)),
+      bucket_nodes_(std::move(other.bucket_nodes_)),
+      delta_adds_(std::move(other.delta_adds_)),
+      delta_deletes_(std::move(other.delta_deletes_)),
+      predicate_stats_(std::move(other.predicate_stats_)),
+      num_nodes_(other.num_nodes_),
+      finalized_(other.finalized_) {
+  other.Reset();
+}
+
+TripleStore& TripleStore::operator=(TripleStore&& other) {
+  if (this != &other) {
+    dict_ = std::move(other.dict_);
+    canonical_ = std::move(other.canonical_);
+    pending_ = std::move(other.pending_);
+    shard_count_ = other.shard_count_;
+    families_ = std::move(other.families_);
+    bucket_nodes_ = std::move(other.bucket_nodes_);
+    delta_adds_ = std::move(other.delta_adds_);
+    delta_deletes_ = std::move(other.delta_deletes_);
+    predicate_stats_ = std::move(other.predicate_stats_);
+    num_nodes_ = other.num_nodes_;
+    finalized_ = other.finalized_;
+    other.Reset();
+  }
+  return *this;
+}
+
+void TripleStore::Reset() {
+  dict_ = std::make_shared<Dictionary>();
+  canonical_.reset();
+  pending_.clear();
+  shard_count_ = 1;
+  for (auto& family : families_) family.clear();
+  bucket_nodes_.clear();
+  delta_adds_.clear();
+  delta_deletes_.clear();
+  predicate_stats_.clear();
+  num_nodes_ = 0;
+  finalized_ = false;
+}
+
+size_t TripleStore::ShardIndexFor(TermId id, size_t shard_count) {
+  return shard_count <= 1 ? 0 : static_cast<size_t>(MixId(id) % shard_count);
+}
 
 TripleStore TripleStore::Clone() const {
   SOFOS_CHECK(finalized_, "Clone() requires a finalized store");
   SOFOS_CHECK(!HasStagedDelta(), "Clone() while a staged delta is pending");
   TripleStore copy;
-  copy.dict_ = dict_.Clone();
-  copy.triples_ = triples_;
-  copy.indexes_ = indexes_;
+  copy.dict_ = dict_;            // shared: append-only + internally locked
+  copy.canonical_ = canonical_;  // COW: replaced wholesale on mutation
+  copy.shard_count_ = shard_count_;
+  copy.families_ = families_;  // COW: 3 * shard_count pointer copies
+  copy.bucket_nodes_ = bucket_nodes_;
   copy.predicate_stats_ = predicate_stats_;
   copy.num_nodes_ = num_nodes_;
   copy.finalized_ = true;
   return copy;
+}
+
+TripleStore TripleStore::DeepClone() const {
+  SOFOS_CHECK(finalized_, "DeepClone() requires a finalized store");
+  SOFOS_CHECK(!HasStagedDelta(), "DeepClone() while a staged delta is pending");
+  TripleStore copy;
+  copy.dict_ = std::make_shared<Dictionary>(dict_->Clone());
+  copy.canonical_ = std::make_shared<const std::vector<Triple>>(*canonical_);
+  copy.shard_count_ = shard_count_;
+  for (int f = 0; f < kNumFamilies; ++f) {
+    copy.families_[f].reserve(families_[f].size());
+    for (const auto& shard : families_[f]) {
+      copy.families_[f].push_back(std::make_shared<const Shard>(*shard));
+    }
+  }
+  copy.bucket_nodes_ = bucket_nodes_;
+  copy.predicate_stats_ = predicate_stats_;
+  copy.num_nodes_ = num_nodes_;
+  copy.finalized_ = true;
+  return copy;
+}
+
+const void* TripleStore::ShardIdentity(Family family, size_t shard) const {
+  SOFOS_CHECK(finalized_, "ShardIdentity() requires a finalized store");
+  return families_[family][shard].get();
+}
+
+const void* TripleStore::CanonicalIdentity() const {
+  SOFOS_CHECK(finalized_, "CanonicalIdentity() requires a finalized store");
+  return canonical_.get();
 }
 
 void TripleStore::Add(TermId s, TermId p, TermId o) {
@@ -107,18 +213,24 @@ void TripleStore::Add(TermId s, TermId p, TermId o) {
   SOFOS_CHECK(!HasStagedDelta(),
               "Add() while a staged delta is pending; ApplyDelta() or "
               "DiscardStagedDelta() first");
-  triples_.push_back(Triple{s, p, o});
-  finalized_ = false;
+  if (finalized_) {
+    // Detach into the staging buffer; the canonical array may be shared
+    // with clones and must never be edited in place. (finalized_ implies
+    // canonical_ is set — Finalize() establishes it and moves reset both.)
+    pending_ = *canonical_;
+    finalized_ = false;
+  }
+  pending_.push_back(Triple{s, p, o});
 }
 
 void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
-  Add(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+  Add(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o));
 }
 
 void TripleStore::ReplaceTriples(std::vector<Triple> triples) {
   SOFOS_CHECK(!HasStagedDelta(),
               "ReplaceTriples() while a staged delta is pending");
-  triples_ = std::move(triples);
+  pending_ = std::move(triples);
   finalized_ = false;
 }
 
@@ -135,11 +247,11 @@ void TripleStore::StageDelete(TermId s, TermId p, TermId o) {
 }
 
 void TripleStore::StageAdd(const Term& s, const Term& p, const Term& o) {
-  StageAdd(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+  StageAdd(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o));
 }
 
 void TripleStore::StageDelete(const Term& s, const Term& p, const Term& o) {
-  StageDelete(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+  StageDelete(dict_->Intern(s), dict_->Intern(p), dict_->Intern(o));
 }
 
 void TripleStore::DiscardStagedDelta() {
@@ -147,94 +259,35 @@ void TripleStore::DiscardStagedDelta() {
   delta_deletes_.clear();
 }
 
-DeltaApplyResult TripleStore::ApplyDelta(ThreadPool* pool) {
-  SOFOS_CHECK(finalized_, "ApplyDelta() requires a finalized store");
-  WallTimer timer;
-  DeltaApplyResult result;
-
-  // Normalize the staged buffers against the current graph so the per-order
-  // merges are pure: effective adds are absent from G, effective deletes are
-  // present in G and not re-added ((G \ D) ∪ A keeps a triple staged on both
-  // sides, so it must not be tombstoned).
-  std::sort(delta_adds_.begin(), delta_adds_.end());
-  delta_adds_.erase(std::unique(delta_adds_.begin(), delta_adds_.end()),
-                    delta_adds_.end());
-  std::sort(delta_deletes_.begin(), delta_deletes_.end());
-  delta_deletes_.erase(
-      std::unique(delta_deletes_.begin(), delta_deletes_.end()),
-      delta_deletes_.end());
-
-  std::vector<Triple> adds, deletes;
-  adds.reserve(delta_adds_.size());
-  deletes.reserve(delta_deletes_.size());
-  for (const Triple& t : delta_adds_) {
-    if (!std::binary_search(triples_.begin(), triples_.end(), t)) {
-      adds.push_back(t);
-    }
+std::vector<std::vector<Triple>> TripleStore::PartitionByField(
+    const std::vector<Triple>& triples, int field) const {
+  std::vector<std::vector<Triple>> buckets(shard_count_);
+  if (shard_count_ == 1) {
+    buckets[0] = triples;
+    return buckets;
   }
-  for (const Triple& t : delta_deletes_) {
-    if (std::binary_search(triples_.begin(), triples_.end(), t) &&
-        !std::binary_search(delta_adds_.begin(), delta_adds_.end(), t)) {
-      deletes.push_back(t);
-    }
+  std::vector<size_t> sizes(shard_count_, 0);
+  for (const Triple& t : triples) {
+    ++sizes[ShardIndexFor(Field(t, field), shard_count_)];
   }
-  DiscardStagedDelta();
-  result.adds_applied = adds.size();
-  result.deletes_applied = deletes.size();
-
-  if (!adds.empty() || !deletes.empty()) {
-    // Six independent merges; each sorts its own small copy of the delta
-    // into its permutation order, then merges in one pass.
-    ParallelForEach(pool, static_cast<size_t>(kNumOrders), [&](size_t order) {
-      PermLess less{kPerms[order]};
-      std::vector<Triple> order_adds = adds, order_deletes = deletes;
-      if (order != kSPO) {
-        std::sort(order_adds.begin(), order_adds.end(), less);
-        std::sort(order_deletes.begin(), order_deletes.end(), less);
-      }
-      indexes_[order] =
-          MergeDelta(indexes_[order], order_adds, order_deletes, less);
-    });
-    triples_ = indexes_[kSPO];
-    RebuildStats();
+  for (size_t k = 0; k < shard_count_; ++k) buckets[k].reserve(sizes[k]);
+  for (const Triple& t : triples) {
+    buckets[ShardIndexFor(Field(t, field), shard_count_)].push_back(t);
   }
-
-  result.merge_micros = timer.ElapsedMicros();
-  return result;
+  return buckets;
 }
 
-void TripleStore::Finalize(ThreadPool* pool) {
-  SOFOS_CHECK(!HasStagedDelta(),
-              "Finalize() while a staged delta is pending; ApplyDelta() or "
-              "DiscardStagedDelta() first");
-  if (finalized_) return;
-
-  std::sort(triples_.begin(), triples_.end());
-  triples_.erase(std::unique(triples_.begin(), triples_.end()), triples_.end());
-
-  // The canonical sort + dedup above must finish first; the five remaining
-  // permutation sorts are independent and fan out over the pool.
-  indexes_[kSPO] = triples_;
-  ParallelForEach(pool, static_cast<size_t>(kNumOrders) - 1, [&](size_t i) {
-    int order = static_cast<int>(i) + 1;
-    indexes_[order] = triples_;
-    std::sort(indexes_[order].begin(), indexes_[order].end(),
-              PermLess{kPerms[order]});
-  });
-
-  RebuildStats();
-  finalized_ = true;
-}
-
-void TripleStore::RebuildStats() {
-  // Per-predicate statistics from the PSO and POS indexes: triples per
-  // predicate, distinct subjects per predicate (runs of s within a predicate
-  // block of PSO), distinct objects per predicate (runs of o within POS).
-  predicate_stats_.clear();
-  const auto& pso = indexes_[kPSO];
+void TripleStore::ComputeShardStats(Shard* shard) {
+  // Per-predicate statistics from the shard's PSO and POS runs: triples per
+  // predicate, distinct subjects per predicate (runs of s within a
+  // predicate block of PSO), distinct objects per predicate (runs of o
+  // within POS). A predicate's triples all hash to one shard, so these are
+  // complete per-predicate figures.
+  shard->stats.clear();
+  const auto& pso = shard->runs[0];
   for (size_t i = 0; i < pso.size();) {
     TermId pred = pso[i].p;
-    PredicateStats& st = predicate_stats_[pred];
+    PredicateStats& st = shard->stats[pred];
     TermId last_s = kNullTermId;
     while (i < pso.size() && pso[i].p == pred) {
       ++st.triples;
@@ -245,10 +298,10 @@ void TripleStore::RebuildStats() {
       ++i;
     }
   }
-  const auto& pos = indexes_[kPOS];
+  const auto& pos = shard->runs[1];
   for (size_t i = 0; i < pos.size();) {
     TermId pred = pos[i].p;
-    PredicateStats& st = predicate_stats_[pred];
+    PredicateStats& st = shard->stats[pred];
     TermId last_o = kNullTermId;
     while (i < pos.size() && pos[i].p == pred) {
       if (pos[i].o != last_o) {
@@ -258,12 +311,19 @@ void TripleStore::RebuildStats() {
       ++i;
     }
   }
+}
 
-  // Node count: distinct ids appearing as subject or object. Subjects are
-  // the run-heads of SPO; objects the run-heads of OSP; merge-count them.
-  num_nodes_ = 0;
-  const auto& spo = indexes_[kSPO];
-  const auto& osp = indexes_[kOSP];
+uint64_t TripleStore::ComputeBucketNodes(size_t k) const {
+  // Distinct ids appearing as subject or object *within this bucket*:
+  // subjects are run-heads of the bucket's SPO run, objects run-heads of
+  // the bucket's OSP run; merge-count the two ascending sequences. The
+  // subject and object families use the same hash, so a term's subject
+  // occurrences and object occurrences land in the same bucket index and
+  // the per-bucket counts sum to the global node count without double
+  // counting.
+  const auto& spo = families_[kSubjectFamily][k]->runs[0];
+  const auto& osp = families_[kObjectFamily][k]->runs[0];
+  uint64_t nodes = 0;
   size_t i = 0, j = 0;
   TermId prev = kNullTermId;
   bool have_prev = false;
@@ -277,11 +337,203 @@ void TripleStore::RebuildStats() {
       ++j;
     }
     if (!have_prev || next != prev) {
-      ++num_nodes_;
+      ++nodes;
       prev = next;
       have_prev = true;
     }
   }
+  return nodes;
+}
+
+void TripleStore::RefreshStats(const std::vector<bool>* dirty_buckets) {
+  predicate_stats_.clear();
+  for (const auto& shard : families_[kPredicateFamily]) {
+    for (const auto& [pred, stats] : shard->stats) {
+      predicate_stats_.emplace(pred, stats);
+    }
+  }
+  if (bucket_nodes_.size() != shard_count_) {
+    bucket_nodes_.assign(shard_count_, 0);
+    dirty_buckets = nullptr;  // shard count changed: everything is dirty
+  }
+  for (size_t k = 0; k < shard_count_; ++k) {
+    if (dirty_buckets == nullptr || (*dirty_buckets)[k]) {
+      bucket_nodes_[k] = ComputeBucketNodes(k);
+    }
+  }
+  num_nodes_ = 0;
+  for (uint64_t n : bucket_nodes_) num_nodes_ += n;
+}
+
+void TripleStore::BuildShards(ThreadPool* pool) {
+  const std::vector<Triple>& all = *canonical_;
+
+  // Serial partition pass per family (linear), then every (family, bucket)
+  // sorts its two runs independently on the pool. Comparators are total
+  // orders over deduplicated triples, so the result is schedule-invariant.
+  std::array<std::vector<std::vector<Triple>>, kNumFamilies> partitioned;
+  for (int f = 0; f < kNumFamilies; ++f) {
+    partitioned[f] = PartitionByField(all, kFamilyField[f]);
+  }
+
+  std::array<std::vector<std::shared_ptr<const Shard>>, kNumFamilies> fresh;
+  for (int f = 0; f < kNumFamilies; ++f) {
+    fresh[f].resize(shard_count_);
+  }
+  ParallelForEach(
+      pool, static_cast<size_t>(kNumFamilies) * shard_count_, [&](size_t i) {
+        const int f = static_cast<int>(i / shard_count_);
+        const size_t k = i % shard_count_;
+        auto shard = std::make_shared<Shard>();
+        shard->runs[0] = std::move(partitioned[f][k]);
+        shard->runs[1] = shard->runs[0];
+        // The partition preserves canonical SPO order, so the subject
+        // family's first run is already sorted.
+        if (f != kSubjectFamily) {
+          std::sort(shard->runs[0].begin(), shard->runs[0].end(),
+                    PermLess{kPerms[f * 2]});
+        }
+        std::sort(shard->runs[1].begin(), shard->runs[1].end(),
+                  PermLess{kPerms[f * 2 + 1]});
+        if (f == kPredicateFamily) ComputeShardStats(shard.get());
+        fresh[f][k] = std::move(shard);
+      });
+  for (int f = 0; f < kNumFamilies; ++f) families_[f] = std::move(fresh[f]);
+  RefreshStats(nullptr);
+}
+
+void TripleStore::SetShardCount(size_t count, ThreadPool* pool) {
+  SOFOS_CHECK(!HasStagedDelta(),
+              "SetShardCount() while a staged delta is pending");
+  count = std::max<size_t>(1, std::min(count, kMaxShards));
+  if (count == shard_count_) return;
+  shard_count_ = count;
+  if (finalized_) BuildShards(pool);
+}
+
+DeltaApplyResult TripleStore::ApplyDelta(ThreadPool* pool) {
+  SOFOS_CHECK(finalized_, "ApplyDelta() requires a finalized store");
+  WallTimer timer;
+  DeltaApplyResult result;
+
+  // Normalize the staged buffers against the current graph so the merges
+  // are pure: effective adds are absent from G, effective deletes are
+  // present in G and not re-added ((G \ D) ∪ A keeps a triple staged on
+  // both sides, so it must not be tombstoned).
+  std::sort(delta_adds_.begin(), delta_adds_.end());
+  delta_adds_.erase(std::unique(delta_adds_.begin(), delta_adds_.end()),
+                    delta_adds_.end());
+  std::sort(delta_deletes_.begin(), delta_deletes_.end());
+  delta_deletes_.erase(
+      std::unique(delta_deletes_.begin(), delta_deletes_.end()),
+      delta_deletes_.end());
+
+  const std::vector<Triple>& current = *canonical_;
+  std::vector<Triple> adds, deletes;
+  adds.reserve(delta_adds_.size());
+  deletes.reserve(delta_deletes_.size());
+  for (const Triple& t : delta_adds_) {
+    if (!std::binary_search(current.begin(), current.end(), t)) {
+      adds.push_back(t);
+    }
+  }
+  for (const Triple& t : delta_deletes_) {
+    if (std::binary_search(current.begin(), current.end(), t) &&
+        !std::binary_search(delta_adds_.begin(), delta_adds_.end(), t)) {
+      deletes.push_back(t);
+    }
+  }
+  DiscardStagedDelta();
+  result.adds_applied = adds.size();
+  result.deletes_applied = deletes.size();
+
+  if (adds.empty() && deletes.empty()) {
+    result.merge_micros = timer.ElapsedMicros();
+    return result;
+  }
+
+  // Partition the (SPO-sorted) effective delta per family; only buckets
+  // with a non-empty slice are rebuilt, everything else keeps sharing its
+  // published Shard across the mutation (the COW aliasing contract).
+  std::array<std::vector<std::vector<Triple>>, kNumFamilies> f_adds, f_deletes;
+  for (int f = 0; f < kNumFamilies; ++f) {
+    f_adds[f] = PartitionByField(adds, kFamilyField[f]);
+    f_deletes[f] = PartitionByField(deletes, kFamilyField[f]);
+  }
+  struct ShardTask {
+    int family;
+    size_t bucket;
+  };
+  std::vector<ShardTask> tasks;
+  std::vector<bool> dirty_nodes(shard_count_, false);
+  for (int f = 0; f < kNumFamilies; ++f) {
+    for (size_t k = 0; k < shard_count_; ++k) {
+      if (f_adds[f][k].empty() && f_deletes[f][k].empty()) continue;
+      tasks.push_back(ShardTask{f, k});
+      if (f != kPredicateFamily) dirty_nodes[k] = true;
+    }
+  }
+  result.shards_rebuilt = tasks.size();
+
+  // Task list: one canonical-array merge plus one merge per touched shard,
+  // all independent; each shard task sorts its own small delta slice into
+  // its two run orders, then merges linearly.
+  auto fresh_canonical = std::make_shared<std::vector<Triple>>();
+  std::vector<std::shared_ptr<const Shard>> replacements(tasks.size());
+  ParallelForEach(pool, tasks.size() + 1, [&](size_t i) {
+    if (i == tasks.size()) {
+      *fresh_canonical =
+          MergeDelta(*canonical_, adds, deletes, PermLess{kPerms[kSPO]});
+      return;
+    }
+    const ShardTask& task = tasks[i];
+    const Shard& old = *families_[task.family][task.bucket];
+    auto fresh = std::make_shared<Shard>();
+    for (int run = 0; run < 2; ++run) {
+      const int order = task.family * 2 + run;
+      PermLess less{kPerms[order]};
+      // Each (family, bucket) slice belongs to exactly this task; the
+      // second run is its last use, so steal instead of copying.
+      std::vector<Triple> order_adds =
+          run == 1 ? std::move(f_adds[task.family][task.bucket])
+                   : f_adds[task.family][task.bucket];
+      std::vector<Triple> order_deletes =
+          run == 1 ? std::move(f_deletes[task.family][task.bucket])
+                   : f_deletes[task.family][task.bucket];
+      if (order != kSPO) {
+        std::sort(order_adds.begin(), order_adds.end(), less);
+        std::sort(order_deletes.begin(), order_deletes.end(), less);
+      }
+      fresh->runs[run] = MergeDelta(old.runs[run], order_adds, order_deletes,
+                                    less);
+    }
+    if (task.family == kPredicateFamily) ComputeShardStats(fresh.get());
+    replacements[i] = std::move(fresh);
+  });
+  canonical_ = std::move(fresh_canonical);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    families_[tasks[i].family][tasks[i].bucket] = std::move(replacements[i]);
+  }
+  RefreshStats(&dirty_nodes);
+
+  result.merge_micros = timer.ElapsedMicros();
+  return result;
+}
+
+void TripleStore::Finalize(ThreadPool* pool) {
+  SOFOS_CHECK(!HasStagedDelta(),
+              "Finalize() while a staged delta is pending; ApplyDelta() or "
+              "DiscardStagedDelta() first");
+  if (finalized_) return;
+
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+  canonical_ =
+      std::make_shared<const std::vector<Triple>>(std::move(pending_));
+  pending_ = std::vector<Triple>();
+  BuildShards(pool);
+  finalized_ = true;
 }
 
 namespace {
@@ -310,13 +562,29 @@ std::array<int, 3> TripleStore::ScanFieldOrder(bool s_bound, bool p_bound,
 
 TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o) const {
   assert(finalized_ && "Scan() requires a finalized store");
+  // Release-mode backstop for the misuse the assert catches in debug: an
+  // unfinalized store has no canonical array (and possibly no shards) —
+  // answer empty instead of dereferencing null.
+  if (canonical_ == nullptr) return ScanRange();
 
   if (s == kNullTermId && p == kNullTermId && o == kNullTermId) {
-    const auto& all = indexes_[kSPO];
+    // Fully unbound: the canonical array is the one globally SPO-sorted
+    // view (shard runs are only locally sorted).
+    const auto& all = *canonical_;
     return ScanRange(all.data(), all.data() + all.size());
   }
   int order =
       PickScanOrder(s != kNullTermId, p != kNullTermId, o != kNullTermId);
+
+  // Every non-full pattern binds the chosen order's leading field, so the
+  // scan resolves inside exactly one hash bucket of that order's family.
+  const int family = order / 2;
+  const TermId lead = family == kSubjectFamily
+                          ? s
+                          : family == kPredicateFamily ? p : o;
+  const Shard& shard =
+      *families_[family][ShardIndexFor(lead, shard_count_)];
+  const std::vector<Triple>& index = shard.runs[order % 2];
 
   const FieldPerm& perm = kPerms[order];
   constexpr TermId kMax = std::numeric_limits<TermId>::max();
@@ -335,7 +603,6 @@ TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o) const {
     SetField(&hi, perm.c, kMax);
   }
 
-  const auto& index = indexes_[order];
   PermLess less{perm};
   auto begin = std::lower_bound(index.begin(), index.end(), lo, less);
   auto end = std::upper_bound(begin, index.end(), hi, less);
@@ -368,10 +635,15 @@ const PredicateStats* TripleStore::StatsFor(TermId predicate) const {
 }
 
 uint64_t TripleStore::MemoryBytes() const {
-  uint64_t bytes = dict_.MemoryBytes();
-  bytes += triples_.capacity() * sizeof(Triple);
+  uint64_t bytes = dict_->MemoryBytes();
+  if (canonical_ != nullptr) bytes += canonical_->capacity() * sizeof(Triple);
+  bytes += pending_.capacity() * sizeof(Triple);
   bytes += (delta_adds_.capacity() + delta_deletes_.capacity()) * sizeof(Triple);
-  for (const auto& index : indexes_) bytes += index.capacity() * sizeof(Triple);
+  for (const auto& family : families_) {
+    for (const auto& shard : family) {
+      if (shard != nullptr) bytes += shard->MemoryBytes();
+    }
+  }
   return bytes;
 }
 

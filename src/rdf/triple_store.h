@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +19,7 @@ class ThreadPool;
 struct DeltaApplyResult {
   uint64_t adds_applied = 0;     // staged adds that were not already present
   uint64_t deletes_applied = 0;  // staged deletes that actually removed a triple
+  uint64_t shards_rebuilt = 0;   // hash shards the delta touched (of 3 * shard_count)
   double merge_micros = 0.0;
 };
 
@@ -35,6 +37,22 @@ struct PredicateStats {
 /// orders resolves to a binary-searched contiguous range, which makes both
 /// scans and exact pattern counting cheap.
 ///
+/// Sharded layout (see src/rdf/README.md for the full contract): the six
+/// orders are grouped into three *families* by their leading field —
+/// subject (SPO, SOP), predicate (PSO, POS), object (OSP, OPS) — and each
+/// family is hash-partitioned into `shard_count()` buckets by a
+/// deterministic mix of the leading field's TermId. Each bucket is an
+/// immutable `Shard` behind a `std::shared_ptr`, holding the bucket's two
+/// sorted runs. Because every Scan() with a bound leading field binds that
+/// field to one value, it resolves to exactly one shard, and the range it
+/// returns is byte-identical to the single-array layout for every shard
+/// count (a sorted subset restricted to one key value does not depend on
+/// what else shares its array). A separate canonical SPO array (also
+/// copy-on-write behind a shared_ptr) serves full scans, triples(), and
+/// delta normalization, so even the unbound pattern keeps its global sort
+/// order. `shard_count == 1` reproduces the historical single-array layout
+/// exactly.
+///
 /// Usage: Add() triples (interning terms through the embedded Dictionary),
 /// then Finalize() to (re)build the indexes; Scan()/Count() require a
 /// finalized store. Adding after Finalize() is allowed — the store becomes
@@ -44,14 +62,18 @@ struct PredicateStats {
 /// Incremental mutation: a *finalized* store can alternatively absorb an
 /// update batch through the staged-delta path — StageAdd()/StageDelete()
 /// collect dictionary-encoded triples in side buffers, and ApplyDelta()
-/// merges them into all six permutation indexes with one linear merge pass
-/// per order (the small delta is sorted, deletes act as tombstones during
-/// the merge), leaving the store finalized throughout. For a delta of d
-/// triples against n stored triples this costs O(n + d log d) instead of
-/// Finalize()'s O(n log n) six-way re-sort. Semantics are set-algebraic:
-/// the new graph is (G \ deletes) ∪ adds — a triple staged on both sides
-/// ends up present; deletes of absent triples and adds of present triples
-/// are no-ops (not counted in DeltaApplyResult).
+/// merges them into the canonical array plus *only the shards the delta
+/// touches*: the delta is partitioned by each family's hash, untouched
+/// buckets keep sharing their old immutable Shard (pointer-aliased across
+/// epochs — the copy-on-write contract the snapshot tests assert), touched
+/// buckets get a freshly merged replacement. For a delta of d triples
+/// against n stored triples this costs O(n + d log d) in the worst case
+/// (every bucket touched) and O(n/shard_count * touched + d log d) for
+/// skewed deltas, versus Finalize()'s O(n log n) six-way re-sort.
+/// Semantics are set-algebraic: the new graph is (G \ deletes) ∪ adds — a
+/// triple staged on both sides ends up present; deletes of absent triples
+/// and adds of present triples are no-ops (not counted in
+/// DeltaApplyResult).
 ///
 /// The two mutation paths must not interleave: Add()/ReplaceTriples()/
 /// Finalize() SOFOS_CHECK-fail while a staged delta is pending (a stale
@@ -59,37 +81,72 @@ struct PredicateStats {
 /// ApplyDelta), and ApplyDelta() requires a finalized store. Discard a
 /// pending delta with DiscardStagedDelta() to return to the legacy path.
 ///
-/// Thread safety (the contract the parallel offline pipeline and the
-/// batched workload runner rely on):
-///  - Between Finalize() and the next mutation, every const member —
-///    Scan(), Count(), Contains(), NumTriples(), NumNodes(), StatsFor(),
-///    triples(), dictionary() — is safe to call from any number of threads
-///    concurrently: they only read the immutable indexes. ScanRange
-///    pointers stay valid for that whole window.
+/// Thread safety (the contract the parallel offline pipeline, the batched
+/// workload runner, and the online epoch snapshots rely on):
+///  - Between Finalize()/ApplyDelta() and the next mutation, every const
+///    member — Scan(), Count(), Contains(), NumTriples(), NumNodes(),
+///    StatsFor(), triples(), dictionary() — is safe to call from any number
+///    of threads concurrently: they only read the immutable canonical array
+///    and shards. ScanRange pointers stay valid for that whole window, and
+///    — new with the COW layout — for as long as *any* store (a Clone())
+///    still references the shard that backs them.
 ///  - Intern() (and Dictionary access through mutable_dictionary()) is
 ///    internally synchronized and may run concurrently with the reads
-///    above; it grows the dictionary but never touches the indexes.
-///  - Add(), Finalize(), ReplaceTriples() and move operations require
-///    exclusive access: no concurrent calls of any kind.
+///    above; it grows the dictionary but never touches the indexes. The
+///    dictionary is shared between a store and its Clone()s (append-only,
+///    ids never change), so this also holds across clones.
+///  - Add(), Finalize(), ApplyDelta(), ReplaceTriples(), SetShardCount()
+///    and move operations require exclusive access to *this store object*:
+///    no concurrent calls of any kind on the same object. Mutating one
+///    store never disturbs readers of another store that shares shards
+///    with it — mutation replaces shard pointers, it never edits a
+///    published Shard in place.
 class TripleStore {
  public:
-  TripleStore() = default;
+  /// The three hash-partitioned index families and their leading field.
+  enum Family : int {
+    kSubjectFamily = 0,    // SPO + SOP, partitioned by hash(s)
+    kPredicateFamily = 1,  // PSO + POS, partitioned by hash(p)
+    kObjectFamily = 2,     // OSP + OPS, partitioned by hash(o)
+    kNumFamilies = 3,
+  };
+
+  TripleStore();
 
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
-  TripleStore(TripleStore&&) = default;
-  TripleStore& operator=(TripleStore&&) = default;
+  /// Moves steal the whole state and leave the source as a freshly
+  /// constructed empty store (unfinalized, own dictionary) — so every
+  /// entry point keeps well-defined behavior on a moved-from object
+  /// instead of tripping over a null canonical pointer. Not noexcept:
+  /// resetting the source allocates its fresh dictionary, which may throw
+  /// under memory exhaustion (no standard container in this codebase
+  /// stores TripleStore by value, so the strong-guarantee tradeoff never
+  /// bites).
+  TripleStore(TripleStore&& other);
+  TripleStore& operator=(TripleStore&& other);
 
-  /// Deep copy of a finalized store with no staged delta (SOFOS_CHECK):
-  /// identical triples, indexes, statistics, and dictionary ids. The clone
-  /// is completely independent of the original — this is what pins one
-  /// immutable graph state under an epoch snapshot while the original keeps
-  /// absorbing deltas (see core::EngineSnapshot). O(n) memcpy-ish cost,
-  /// the same order as one ApplyDelta merge pass.
+  /// Copy-on-write copy of a finalized store with no staged delta
+  /// (SOFOS_CHECK): the clone shares the canonical array, every shard, and
+  /// the (append-only, internally synchronized) dictionary with the
+  /// original — O(shard_count) pointer copies plus the small statistics
+  /// maps, independent of the number of triples. This is what pins one
+  /// immutable graph state under an epoch snapshot while the original
+  /// keeps absorbing deltas (see core::EngineSnapshot): a later mutation
+  /// of either store swaps in fresh shard pointers on that store only, so
+  /// the two diverge without ever copying untouched buckets. Query results
+  /// from the clone are byte-identical to the original at clone time,
+  /// forever.
   TripleStore Clone() const;
 
+  /// The pre-COW baseline: a fully independent deep copy (own dictionary,
+  /// own canonical array, own shards). O(n). Kept for bench_store's
+  /// clone-vs-COW comparison and for callers that must sever the shared
+  /// dictionary.
+  TripleStore DeepClone() const;
+
   /// Interns `term` in the embedded dictionary.
-  TermId Intern(const Term& term) { return dict_.Intern(term); }
+  TermId Intern(const Term& term) { return dict_->Intern(term); }
 
   /// Adds a triple by id. Ids must come from this store's dictionary.
   /// Must not be called while a staged delta is pending (SOFOS_CHECK).
@@ -98,13 +155,35 @@ class TripleStore {
   /// Convenience: interns the three terms and adds the triple.
   void Add(const Term& s, const Term& p, const Term& o);
 
-  /// Sorts and deduplicates the triples and rebuilds all six indexes and the
-  /// statistics. Idempotent. O(n log n). When `pool` is non-null the five
-  /// non-canonical permutation sorts run concurrently on it (the canonical
-  /// SPO sort must finish first — deduplication feeds the other orders);
-  /// the result is identical either way. Must not be called while a staged
-  /// delta is pending (SOFOS_CHECK).
+  /// Sorts and deduplicates the triples, rebuilds the canonical array, all
+  /// shards of all three families, and the statistics. Idempotent.
+  /// O(n log n) total, but the per-shard sorts (3 * shard_count * 2 runs)
+  /// fan out over `pool` when non-null; the result is identical either
+  /// way. Must not be called while a staged delta is pending (SOFOS_CHECK).
   void Finalize(ThreadPool* pool = nullptr);
+
+  /// ---- Sharding knobs ----
+
+  /// Sets the number of hash buckets per family (clamped to [1, 256]).
+  /// On a finalized store this re-partitions immediately (pool-parallel,
+  /// O(n log(n/count))); otherwise it takes effect at the next Finalize().
+  /// Scan()/Count()/query results are independent of the shard count by
+  /// contract — only rebuild/clone costs change. Must not be called while
+  /// a staged delta is pending (SOFOS_CHECK).
+  void SetShardCount(size_t count, ThreadPool* pool = nullptr);
+  size_t shard_count() const { return shard_count_; }
+
+  /// Deterministic bucket of a term id at a given shard count (splitmix64
+  /// finalizer mix, stable across platforms and runs).
+  static size_t ShardIndexFor(TermId id, size_t shard_count);
+
+  /// Test hooks for the COW aliasing contract: the identity (address) of
+  /// the Shard object backing `family`'s bucket `shard`, and of the
+  /// canonical array. Two stores returning the same identity share that
+  /// bucket byte-for-byte; ApplyDelta() must change the identity of
+  /// exactly the buckets the delta hashes into. Requires finalized().
+  const void* ShardIdentity(Family family, size_t shard) const;
+  const void* CanonicalIdentity() const;
 
   /// ---- Staged-delta mutation path (see class comment) ----
 
@@ -126,10 +205,13 @@ class TripleStore {
   /// Drops the staged buffers without applying them.
   void DiscardStagedDelta();
 
-  /// Merges the staged delta into all six indexes and refreshes the
-  /// statistics; the store stays finalized and Scan() ranges taken before
-  /// the call are invalidated. When `pool` is non-null the six per-order
-  /// merges run concurrently; results are identical either way.
+  /// Merges the staged delta into the canonical array and the delta-touched
+  /// shards (untouched shards keep their shared, pointer-aliased Shard) and
+  /// refreshes the statistics; the store stays finalized and Scan() ranges
+  /// taken from *this store* before the call are invalidated (ranges held
+  /// via a Clone() stay valid — the clone still owns its shards). When
+  /// `pool` is non-null the canonical merge and the per-shard merges run
+  /// concurrently; results are identical either way.
   DeltaApplyResult ApplyDelta(ThreadPool* pool = nullptr);
 
   /// Replaces the triple set wholesale (dictionary is kept; superfluous
@@ -140,7 +222,8 @@ class TripleStore {
 
   bool finalized() const { return finalized_; }
 
-  /// A contiguous range of matching triples (valid until the next Finalize).
+  /// A contiguous range of matching triples (valid until the next
+  /// mutation of every store sharing the underlying shard).
   class ScanRange {
    public:
     ScanRange() = default;
@@ -157,7 +240,10 @@ class TripleStore {
 
   /// Returns all triples matching the pattern (kNullTermId = wildcard).
   /// Requires finalized(). The range is sorted in the order of the index
-  /// that serves the bound prefix.
+  /// that serves the bound prefix. Contents and order are independent of
+  /// the shard count: a bound leading field resolves inside one shard
+  /// (same bytes as the single-array subset), and the fully unbound
+  /// pattern is served from the canonical SPO array.
   ScanRange Scan(TermId s, TermId p, TermId o) const;
   ScanRange Scan(const TripleIdPattern& pattern) const {
     return Scan(pattern.s, pattern.p, pattern.o);
@@ -168,9 +254,13 @@ class TripleStore {
   /// executor's exchange scans). Concatenating the partitions in return
   /// order yields exactly the Scan() range, so any order-preserving
   /// per-partition computation reduced in partition order is identical to a
-  /// single full-range scan. Never returns empty partitions; an empty scan
-  /// yields an empty vector. Requires finalized(); partitions stay valid as
-  /// long as the underlying ScanRange would.
+  /// single full-range scan. Because a non-full Scan() lives inside one
+  /// shard, these are naturally per-shard morsels; partition boundaries
+  /// depend only on the range length, never on the shard layout, so morsel
+  /// schedules (and Explain output) are shard-count-invariant. Never
+  /// returns empty partitions; an empty scan yields an empty vector.
+  /// Requires finalized(); partitions stay valid as long as the underlying
+  /// ScanRange would.
   std::vector<ScanRange> ScanPartitions(TermId s, TermId p, TermId o,
                                         size_t max_partitions) const;
 
@@ -193,8 +283,11 @@ class TripleStore {
     return Count(s, p, o) > 0;
   }
 
-  size_t NumTriples() const { return triples_.size(); }
-  size_t NumTerms() const { return dict_.size(); }
+  size_t NumTriples() const {
+    return finalized_ && canonical_ != nullptr ? canonical_->size()
+                                               : pending_.size();
+  }
+  size_t NumTerms() const { return dict_->size(); }
 
   /// Distinct terms used in subject or object position (graph nodes, the
   /// |I ∪ B ∪ L| of the paper's node-count cost model). Requires finalized().
@@ -209,28 +302,78 @@ class TripleStore {
   }
 
   /// Rough heap footprint of indexes + dictionary, for storage metrics.
+  /// Shards shared with clones are counted in every owner (the same bytes
+  /// a deep copy would have duplicated).
   uint64_t MemoryBytes() const;
 
-  Dictionary* mutable_dictionary() { return &dict_; }
-  const Dictionary& dictionary() const { return dict_; }
+  Dictionary* mutable_dictionary() { return dict_.get(); }
+  const Dictionary& dictionary() const { return *dict_; }
 
-  /// All triples in SPO order. Requires finalized().
-  const std::vector<Triple>& triples() const { return triples_; }
+  /// All triples in SPO order (the canonical array). Requires finalized().
+  const std::vector<Triple>& triples() const {
+    return finalized_ && canonical_ != nullptr ? *canonical_ : pending_;
+  }
 
  private:
-  enum Order : int { kSPO = 0, kSOP, kPSO, kPOS, kOSP, kOPS, kNumOrders };
+  /// One immutable hash bucket of one family: the bucket's triples sorted
+  /// by the family's two permutation orders (runs[0] is the order whose
+  /// enum value is family * 2, runs[1] is family * 2 + 1). Predicate-family
+  /// shards additionally carry the per-predicate statistics of the
+  /// predicates hashing into the bucket (a predicate never spans shards).
+  /// Published Shards are never modified — ApplyDelta() swaps in
+  /// replacements — which is what makes Clone() a pointer copy.
+  struct Shard {
+    std::array<std::vector<Triple>, 2> runs;
+    std::unordered_map<TermId, PredicateStats> stats;  // predicate family only
 
-  /// Recomputes predicate_stats_ and num_nodes_ from the (already sorted)
-  /// indexes; shared by Finalize() and ApplyDelta().
-  void RebuildStats();
+    uint64_t MemoryBytes() const {
+      return (runs[0].capacity() + runs[1].capacity()) * sizeof(Triple);
+    }
+  };
 
-  Dictionary dict_;
-  std::vector<Triple> triples_;  // canonical, SPO-sorted after Finalize
-  // indexes_[kSPO] aliases triples_ conceptually but is stored separately to
-  // keep the code uniform; the five extra orders are rebuilt in Finalize.
-  std::array<std::vector<Triple>, kNumOrders> indexes_;
+  /// Restores the freshly-constructed state (used on moved-from stores).
+  void Reset();
+
+  /// Rebuilds every shard of every family from the canonical array
+  /// (pool-parallel per-shard sorts) plus all statistics.
+  void BuildShards(ThreadPool* pool);
+
+  /// Repartitions `triples` (given in canonical SPO order) into
+  /// shard_count_ buckets by the hash of `field`. Bucket vectors stay in
+  /// canonical relative order, i.e. SPO-sorted.
+  std::vector<std::vector<Triple>> PartitionByField(
+      const std::vector<Triple>& triples, int field) const;
+
+  /// Recomputes predicate-family shard statistics (from its two runs).
+  static void ComputeShardStats(Shard* shard);
+
+  /// Distinct nodes (subject-or-object terms) of bucket `k`: the same hash
+  /// partitions subjects (in the subject family) and objects (in the
+  /// object family), so bucket node sets are disjoint across k and their
+  /// sizes sum to NumNodes().
+  uint64_t ComputeBucketNodes(size_t k) const;
+
+  /// Re-derives predicate_stats_ (the merged map), bucket_nodes_ for the
+  /// buckets listed in `dirty_buckets` (nullptr = all), and num_nodes_.
+  void RefreshStats(const std::vector<bool>* dirty_buckets);
+
+  std::shared_ptr<Dictionary> dict_;
+  /// Canonical SPO-sorted triples; non-null and authoritative while
+  /// finalized_. Shared copy-on-write with clones.
+  std::shared_ptr<const std::vector<Triple>> canonical_;
+  /// Staging buffer for the legacy Add()/ReplaceTriples() path: holds the
+  /// full (possibly duplicated, unsorted) triple multiset while
+  /// !finalized_. Empty while finalized.
+  std::vector<Triple> pending_;
+  size_t shard_count_ = 1;
+  /// families_[f] has shard_count_ entries; all non-null while finalized_.
+  std::array<std::vector<std::shared_ptr<const Shard>>, kNumFamilies> families_;
+  /// Per-bucket distinct-node counts (see ComputeBucketNodes).
+  std::vector<uint64_t> bucket_nodes_;
   std::vector<Triple> delta_adds_;     // staged, unsorted until ApplyDelta
   std::vector<Triple> delta_deletes_;  // staged, unsorted until ApplyDelta
+  /// Merged view over the predicate-family shard maps (kept global so
+  /// StatsFor()/predicate_stats() stay O(1)/iterable).
   std::unordered_map<TermId, PredicateStats> predicate_stats_;
   uint64_t num_nodes_ = 0;
   bool finalized_ = false;

@@ -54,6 +54,7 @@ ResultCache::ResultCache(const ResultCacheOptions& options) {
   size_t shards = RoundUpPow2(std::max<size_t>(1, options.shards));
   shard_mask_ = shards - 1;
   shard_capacity_bytes_ = std::max<size_t>(1, options.capacity_bytes / shards);
+  min_cost_micros_ = options.min_cost_micros;
   shards_ = std::vector<Shard>(shards);
 }
 
@@ -83,7 +84,14 @@ bool ResultCache::Lookup(const std::string& key, std::string* payload) {
 }
 
 void ResultCache::Insert(const std::string& key, uint64_t epoch,
-                         std::string payload) {
+                         std::string payload, double cost_micros) {
+  if (cost_micros < min_cost_micros_) {
+    // Below the admission floor: recomputing this answer is cheaper than
+    // the cache pressure it would add — keep the budget for expensive
+    // analytical results.
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (payload.size() > shard_capacity_bytes_) return;  // would evict a shard
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -142,6 +150,8 @@ void ResultCache::Clear() {
 
 ResultCacheStats ResultCache::Stats() const {
   ResultCacheStats stats;
+  stats.admission_rejects =
+      admission_rejects_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     stats.hits += shard.hits;

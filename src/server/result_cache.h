@@ -1,7 +1,9 @@
 #ifndef SOFOS_SERVER_RESULT_CACHE_H_
 #define SOFOS_SERVER_RESULT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <list>
 #include <mutex>
 #include <string>
@@ -26,16 +28,24 @@ struct ResultCacheOptions {
   /// Total payload-byte budget across all shards; least-recently-used
   /// entries are evicted per shard once its share is exceeded.
   size_t capacity_bytes = 64u << 20;
+  /// Cost-aware admission floor: entries whose execution cost (the
+  /// `cost_micros` passed to Insert, typically ExecStats wall micros) is
+  /// below this are not cached at all, so cheap point lookups cannot evict
+  /// expensive analytical answers under memory pressure. 0 admits
+  /// everything (the historical behavior); rejected inserts are counted in
+  /// ResultCacheStats::admission_rejects.
+  double min_cost_micros = 0.0;
 };
 
 struct ResultCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t insertions = 0;
-  uint64_t evictions = 0;      // capacity evictions
-  uint64_t invalidations = 0;  // epoch-bump evictions
-  uint64_t entries = 0;        // current
-  uint64_t bytes = 0;          // current payload bytes
+  uint64_t evictions = 0;          // capacity evictions
+  uint64_t invalidations = 0;      // epoch-bump evictions
+  uint64_t admission_rejects = 0;  // inserts refused by the cost floor
+  uint64_t entries = 0;            // current
+  uint64_t bytes = 0;              // current payload bytes
 };
 
 /// Concurrent query-result cache for the online server: a sharded LRU
@@ -65,8 +75,12 @@ class ResultCache {
 
   /// Inserts (or refreshes) `key`, then evicts LRU entries until the
   /// shard is back under its byte share. `epoch` is stored for
-  /// EvictObsolete. Oversized payloads (> shard share) are not cached.
-  void Insert(const std::string& key, uint64_t epoch, std::string payload);
+  /// EvictObsolete. Oversized payloads (> shard share) are not cached,
+  /// and neither are answers cheaper than the admission floor
+  /// (`cost_micros` < options.min_cost_micros — callers pass the measured
+  /// execution cost; the infinity default means "cost unknown, admit").
+  void Insert(const std::string& key, uint64_t epoch, std::string payload,
+              double cost_micros = std::numeric_limits<double>::infinity());
 
   /// Eagerly drops every entry from an epoch < `live_epoch` (they can
   /// never hit again). Called by the server after publishing a snapshot.
@@ -101,6 +115,8 @@ class ResultCache {
 
   size_t shard_mask_ = 0;
   size_t shard_capacity_bytes_ = 0;
+  double min_cost_micros_ = 0.0;
+  std::atomic<uint64_t> admission_rejects_{0};
   std::vector<Shard> shards_;
 };
 

@@ -311,9 +311,12 @@ void SofosServer::HandleQuery(const std::string& arg, std::string* out) {
                            outcome->micros) +
          "\n" + body + kEndMarker + "\n";
   if (cache_enabled) {
+    // The measured execution cost drives cost-aware admission: answers
+    // cheaper than the configured floor are recomputed instead of cached.
     cache_.Insert(key, snapshot->epoch(),
                   PackCacheEntry(outcome->result_rows,
-                                 outcome->result.NumCols(), view, body));
+                                 outcome->result.NumCols(), view, body),
+                  outcome->micros);
   }
 }
 
@@ -441,14 +444,23 @@ void SofosServer::HandleStats(std::string* out) {
       "\"server\": {\"epoch\": %llu, \"triples\": %llu, "
       "\"update_batches\": %llu, \"cache_entries\": %llu, "
       "\"cache_bytes\": %llu, \"cache_evictions\": %llu, "
-      "\"cache_invalidations\": %llu}",
+      "\"cache_invalidations\": %llu, \"cache_admission_rejects\": %llu}",
       static_cast<unsigned long long>(snapshot ? snapshot->epoch() : 0),
       static_cast<unsigned long long>(snapshot ? snapshot->num_triples() : 0),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(cache_stats.entries),
       static_cast<unsigned long long>(cache_stats.bytes),
       static_cast<unsigned long long>(cache_stats.evictions),
-      static_cast<unsigned long long>(cache_stats.invalidations));
+      static_cast<unsigned long long>(cache_stats.invalidations),
+      static_cast<unsigned long long>(cache_stats.admission_rejects));
+  // Snapshot-publication latency (the O(changed shards) path): observable
+  // online so the COW clone win shows up directly in STATS.
+  LatencyHistogram::Snapshot publish = engine_->publish_latency();
+  extra += StrFormat(
+      ", \"publish\": {\"count\": %llu, \"mean_us\": %.1f, "
+      "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}",
+      static_cast<unsigned long long>(publish.count), publish.MeanMicros(),
+      publish.P50(), publish.P95(), publish.P99());
   *out = std::string("OK STATS\n") + metrics_.ToJson(extra) + "\n" +
          kEndMarker + "\n";
 }

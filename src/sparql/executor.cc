@@ -1486,7 +1486,11 @@ Status Executor::RunBatch(std::vector<Row>* out, ExecStats* stats) {
   // fragments out when a pool is available; otherwise run one fragment over
   // the full range inline (see ComputeMorselSchedule). Row counters are
   // additive over morsels and therefore independent of the partitioning
-  // for fully-drained queries.
+  // for fully-drained queries. A bound leading pattern resolves inside one
+  // shard of the COW store, so the morsels are per-shard slices; the full
+  // scan morselizes the canonical array — either way partition boundaries
+  // depend only on range length, keeping schedules (and Explain) identical
+  // at every shard count.
   std::unique_ptr<BatchOperator> op;
   if (plan_->empty_guaranteed || plan_->steps.empty()) {
     op = std::make_unique<BatchEmptyOp>();

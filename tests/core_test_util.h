@@ -16,6 +16,9 @@ namespace testing {
 inline void SetUpEngine(core::SofosEngine* engine, const std::string& dataset,
                         uint64_t seed = 42) {
   TripleStore store;
+  // Build at the engine's shard count up front (same pattern as the CLI
+  // and bench loaders): LoadStore's repartition becomes a no-op.
+  store.SetShardCount(engine->ResolvedShardCount());
   auto spec = datagen::GenerateByName(dataset, datagen::Scale::kTiny, seed, &store);
   ASSERT_TRUE(spec.ok()) << spec.status().ToString();
   auto facet = core::Facet::FromSparql(spec->facet_sparql, spec->name,

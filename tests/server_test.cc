@@ -183,6 +183,36 @@ TEST(ResultCacheTest, HitMissAndLruEviction) {
   EXPECT_FALSE(cache.Lookup("huge", &payload));
 }
 
+TEST(ResultCacheTest, CostAwareAdmission) {
+  ResultCacheOptions options;
+  options.shards = 1;
+  options.capacity_bytes = 1 << 20;
+  options.min_cost_micros = 100.0;
+  ResultCache cache(options);
+  std::string payload;
+
+  // Cheap answers are refused outright — recomputing a point lookup is
+  // cheaper than letting it evict an expensive analytical result...
+  cache.Insert("cheap", 1, "point-lookup", /*cost_micros=*/5.0);
+  EXPECT_FALSE(cache.Lookup("cheap", &payload));
+  // ...while expensive and unknown-cost answers are admitted.
+  cache.Insert("expensive", 1, "analytical", /*cost_micros=*/250.0);
+  EXPECT_TRUE(cache.Lookup("expensive", &payload));
+  cache.Insert("unknown", 1, "no-cost-given");
+  EXPECT_TRUE(cache.Lookup("unknown", &payload));
+
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.admission_rejects, 1u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  // The default floor of 0 admits everything (historical behavior).
+  ResultCache open_cache(ResultCacheOptions{});
+  open_cache.Insert("tiny", 1, "x", /*cost_micros=*/0.0);
+  EXPECT_TRUE(open_cache.Lookup("tiny", &payload));
+  EXPECT_EQ(open_cache.Stats().admission_rejects, 0u);
+}
+
 TEST(ResultCacheTest, EpochInvalidation) {
   ResultCache cache;
   std::string q = "SELECT ?x WHERE { ?x ?p ?o }";
@@ -295,6 +325,28 @@ TEST_F(SnapshotTest, PublishIsIdempotentPerEpoch) {
   EXPECT_GT(snap3->epoch(), snap1->epoch());
 }
 
+TEST_F(SnapshotTest, PublishLatencyIsRecordedPerBuild) {
+  EXPECT_EQ(engine_.publish_latency().count, 0u);
+  SOFOS_ASSERT_OK(engine_.PublishSnapshot().status());
+  EXPECT_EQ(engine_.publish_latency().count, 1u);
+  SOFOS_ASSERT_OK(engine_.PublishSnapshot().status());  // epoch no-op
+  EXPECT_EQ(engine_.publish_latency().count, 1u);
+  SOFOS_ASSERT_OK(engine_.ApplyUpdates(MakeDelta(12)).status());
+  SOFOS_ASSERT_OK(engine_.PublishSnapshot().status());
+  EXPECT_EQ(engine_.publish_latency().count, 2u);
+
+  // The offline workload report carries the same histogram shape, so the
+  // snapshot cost is observable next to query latencies.
+  workload::WorkloadGenerator generator(&engine_.facet(), engine_.store());
+  workload::WorkloadOptions options;
+  options.num_queries = 2;
+  options.seed = 3;
+  SOFOS_ASSERT_OK_AND_ASSIGN(auto queries, generator.Generate(options));
+  SOFOS_ASSERT_OK_AND_ASSIGN(auto report, engine_.RunWorkload(queries, true));
+  EXPECT_EQ(report.publish.count, 2u);
+  EXPECT_NE(report.Summary().find("publish["), std::string::npos);
+}
+
 TEST_F(SnapshotTest, SnapshotAnswersMatchEngineAndSurviveUpdates) {
   workload::WorkloadGenerator generator(&engine_.facet(), engine_.store());
   workload::WorkloadOptions options;
@@ -342,6 +394,11 @@ TEST_F(ServerTest, SingleSessionBasics) {
   ASSERT_EQ(stats.body.size(), 1u);
   EXPECT_NE(stats.body[0].find("\"endpoints\""), std::string::npos);
   EXPECT_NE(stats.body[0].find("\"cache\""), std::string::npos);
+  // Snapshot-publication latency and admission accounting are part of the
+  // online observability surface.
+  EXPECT_NE(stats.body[0].find("\"publish\""), std::string::npos);
+  EXPECT_NE(stats.body[0].find("\"cache_admission_rejects\""),
+            std::string::npos);
 
   // QUERY twice: second one is a cache hit with the identical body.
   std::string sparql = engine_.facet().CanonicalQuerySparql(1);
