@@ -170,7 +170,9 @@ void WriteJson(const std::string& path, const std::vector<DatasetCurve>& curves)
                  batch_4t > 0 ? batch_1t / batch_4t : 0.0,
                  d + 1 < curves.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  ");
+  bench::WriteMemoryJson(f);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

@@ -204,7 +204,9 @@ void WriteJson(const std::string& path, const std::vector<DatasetResult>& result
         r.full_update_ms, r.EngineSpeedup(),
         i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  ");
+  bench::WriteMemoryJson(f);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

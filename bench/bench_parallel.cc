@@ -157,7 +157,9 @@ void WriteJson(const std::string& path, const std::vector<DatasetCurve>& curves)
                  profile_speedup_4t, workload_speedup_4t,
                  d + 1 < curves.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  ");
+  bench::WriteMemoryJson(f);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

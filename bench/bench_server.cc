@@ -146,7 +146,9 @@ void WriteJson(const std::string& path, const std::vector<PhaseResult>& phases,
         p.latency.MeanMicros(), p.cache_hit_rate,
         i + 1 < phases.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  ");
+  bench::WriteMemoryJson(f);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

@@ -189,7 +189,9 @@ void WriteJson(const std::string& path,
     }
     std::fprintf(f, "    ]}%s\n", i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  ");
+  bench::WriteMemoryJson(f);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

@@ -96,6 +96,41 @@ inline double Median(std::vector<double> values) {
   return values[values.size() / 2];
 }
 
+/// Process memory as the kernel accounts it (/proc/self/status): VmHWM is
+/// the peak resident set over the process lifetime, VmRSS the current one.
+/// Zeros on platforms without procfs — the JSON still validates.
+struct MemoryStats {
+  uint64_t vm_hwm_kb = 0;
+  uint64_t vm_rss_kb = 0;
+};
+
+inline MemoryStats ReadMemoryStats() {
+  MemoryStats stats;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return stats;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      stats.vm_hwm_kb = kb;
+    } else if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+      stats.vm_rss_kb = kb;
+    }
+  }
+  std::fclose(f);
+  return stats;
+}
+
+/// Emits the shared `"memory"` JSON object every BENCH_*.json carries (no
+/// trailing comma or newline; callers place it like any other field).
+inline void WriteMemoryJson(std::FILE* out) {
+  MemoryStats stats = ReadMemoryStats();
+  std::fprintf(out,
+               "\"memory\": {\"vm_hwm_kb\": %llu, \"vm_rss_kb\": %llu}",
+               static_cast<unsigned long long>(stats.vm_hwm_kb),
+               static_cast<unsigned long long>(stats.vm_rss_kb));
+}
+
 }  // namespace bench
 }  // namespace sofos
 

@@ -9,6 +9,11 @@
 ///
 ///   ./sofos_cli [dataset] [scale] [num_threads]
 ///
+/// `scale` is a named tier (tiny|demo|full) or an explicit triple target
+/// ("100k", "1m", up to 200m); see also the `load`, `gen` and `layout`
+/// commands for re-loading at a different scale or switching the store to
+/// the compact (CSR + front-coded dictionary) layout at runtime.
+///
 /// `num_threads` sizes the engine's pool for profiling, selection and the
 /// batched workload runner (0 = hardware_concurrency, 1 = serial legacy
 /// behavior); it can also be changed at runtime with `threads <n>`.
@@ -44,13 +49,16 @@ class Cli {
                 engine_.num_threads() == 1 ? "" : "s");
   }
 
-  Status LoadDataset(const std::string& name, datagen::Scale scale) {
+  Status LoadDataset(const std::string& name,
+                     const datagen::ScaleSpec& scale) {
     TripleStore store;
     // Partition before generation finalizes, so LoadStore's repartition
     // no-ops instead of rebuilding every index a second time.
     store.SetShardCount(engine_.ResolvedShardCount());
+    WallTimer gen_timer;
     SOFOS_ASSIGN_OR_RETURN(datagen::DatasetSpec spec,
                            datagen::GenerateByName(name, scale, 42, &store));
+    const double gen_seconds = gen_timer.ElapsedSeconds();
     SOFOS_ASSIGN_OR_RETURN(
         core::Facet facet,
         core::Facet::FromSparql(spec.facet_sparql, spec.name, spec.dim_labels));
@@ -58,10 +66,14 @@ class Cli {
     SOFOS_RETURN_IF_ERROR(engine_.SetFacet(std::move(facet)));
     SOFOS_RETURN_IF_ERROR(engine_.Profile().status());
     spec_ = spec;
-    std::printf("loaded %s (%s): %llu triples, facet %s with %zu dims\n",
-                spec.name.c_str(), spec.description.c_str(),
-                static_cast<unsigned long long>(engine_.CurrentTriples()),
-                engine_.facet().name().c_str(), engine_.facet().num_dims());
+    std::printf(
+        "loaded %s (%s): %llu triples in %.2fs (%.1f bytes/triple, "
+        "%s layout), facet %s with %zu dims\n",
+        spec.name.c_str(), spec.description.c_str(),
+        static_cast<unsigned long long>(engine_.CurrentTriples()), gen_seconds,
+        BytesPerTriple(), engine_.store()->compact_layout() ? "compact"
+                                                            : "sorted",
+        engine_.facet().name().c_str(), engine_.facet().num_dims());
     return Status::OK();
   }
 
@@ -195,6 +207,51 @@ class Cli {
       } else {
         SetNumThreads(static_cast<unsigned>(n));
       }
+    } else if (cmd == "load") {
+      std::string name, scale_text;
+      in >> name >> scale_text;
+      if (name.empty()) {
+        std::printf("usage: load <dataset> [tiny|demo|full|<N>[k|m]]\n");
+      } else {
+        datagen::ScaleSpec scale;
+        auto parsed = datagen::ParseScaleSpec(
+            scale_text.empty() ? "demo" : scale_text);
+        if (parsed.ok()) {
+          scale = parsed.value();
+          status = LoadDataset(name, scale);
+        } else {
+          status = parsed.status();
+        }
+      }
+    } else if (cmd == "gen") {
+      std::string name, scale_text;
+      in >> name >> scale_text;
+      if (name.empty()) {
+        std::printf("usage: gen <dataset> [tiny|demo|full|<N>[k|m]]\n");
+      } else {
+        status = Generate(name, scale_text.empty() ? "demo" : scale_text);
+      }
+    } else if (cmd == "layout") {
+      std::string name;
+      if (!(in >> name)) {
+        std::printf("store layout: %s (knob %s; auto switches to compact "
+                    "at %llu triples)\n",
+                    engine_.store()->compact_layout() ? "compact" : "sorted",
+                    core::StoreLayoutName(engine_.store_layout()).c_str(),
+                    static_cast<unsigned long long>(
+                        core::SofosEngine::kCompactAutoTriples));
+      } else {
+        auto parsed = core::ParseStoreLayout(name);
+        if (parsed.ok()) {
+          engine_.SetStoreLayout(parsed.value());
+          std::printf("store layout: %s (%.1f bytes/triple)\n",
+                      engine_.store()->compact_layout() ? "compact"
+                                                        : "sorted",
+                      BytesPerTriple());
+        } else {
+          status = parsed.status();
+        }
+      }
     } else if (cmd == "shards") {
       long n = -1;
       if (!(in >> n)) {
@@ -242,6 +299,12 @@ class Cli {
         "  serve stop           stop the online server\n"
         "  client <port> <req>  send one protocol request (QUERY/UPDATE/\n"
         "                       EXPLAIN/STATS/QUIT) and print the response\n"
+        "  load <ds> [scale]    load a dataset: scale is tiny|demo|full or\n"
+        "                       a triple target like 100k, 1m (up to 200m)\n"
+        "  gen <ds> [scale]     dry-run generation: triple count, timing,\n"
+        "                       and bytes/triple without loading the engine\n"
+        "  layout [mode]        auto|sorted|compact store layout (compact =\n"
+        "                       CSR shards + front-coded dictionary)\n"
         "  threads <n>          size the thread pool (0=auto, 1=serial)\n"
         "  exec-threads <n>     pin intra-query dop (0=auto budget)\n"
         "  shards [n]           hash shards per index family (0=auto;\n"
@@ -316,11 +379,45 @@ class Cli {
     return Status::OK();
   }
 
+  /// Store bytes per current triple (0 on an empty store).
+  double BytesPerTriple() const {
+    const uint64_t triples = engine_.CurrentTriples();
+    return triples == 0 ? 0.0
+                        : static_cast<double>(engine_.CurrentBytes()) /
+                              static_cast<double>(triples);
+  }
+
+  /// `gen`: generation dry run — builds the dataset into a scratch store
+  /// (never touching the engine) and reports size and footprint.
+  Status Generate(const std::string& name, const std::string& scale_text) {
+    SOFOS_ASSIGN_OR_RETURN(datagen::ScaleSpec scale,
+                           datagen::ParseScaleSpec(scale_text));
+    TripleStore store;
+    store.SetShardCount(engine_.ResolvedShardCount());
+    WallTimer timer;
+    SOFOS_ASSIGN_OR_RETURN(datagen::DatasetSpec spec,
+                           datagen::GenerateByName(name, scale, 42, &store));
+    const double seconds = timer.ElapsedSeconds();
+    const uint64_t triples = store.NumTriples();
+    std::printf(
+        "%s: %llu triples, %zu terms in %.2fs (%.0f triples/s), "
+        "%.1f bytes/triple sorted\n",
+        spec.name.c_str(), static_cast<unsigned long long>(triples),
+        store.NumTerms(), seconds,
+        seconds > 0 ? static_cast<double>(triples) / seconds : 0.0,
+        triples == 0 ? 0.0
+                     : static_cast<double>(store.MemoryBytes()) /
+                           static_cast<double>(triples));
+    return Status::OK();
+  }
+
   void PrintStatus() {
-    std::printf("triples: %llu (base %llu), amplification %.2fx, views:",
+    std::printf("triples: %llu (base %llu), amplification %.2fx, "
+                "%.1f bytes/triple (%s layout), views:",
                 static_cast<unsigned long long>(engine_.CurrentTriples()),
                 static_cast<unsigned long long>(engine_.BaseTriples()),
-                engine_.StorageAmplification());
+                engine_.StorageAmplification(), BytesPerTriple(),
+                engine_.store()->compact_layout() ? "compact" : "sorted");
     for (uint32_t mask : engine_.MaterializedMasks()) {
       std::printf(" %s", engine_.facet().MaskLabel(mask).c_str());
     }
@@ -533,7 +630,7 @@ class Cli {
 int main(int argc, char** argv) {
   std::string dataset = argc > 1 ? argv[1] : "geopop";
   std::string scale_name = argc > 2 ? argv[2] : "tiny";
-  auto scale = sofos::datagen::ParseScale(scale_name);
+  auto scale = sofos::datagen::ParseScaleSpec(scale_name);
   if (!scale.ok()) {
     std::fprintf(stderr, "%s\n", scale.status().ToString().c_str());
     return 1;

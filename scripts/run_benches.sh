@@ -17,7 +17,13 @@
 #   BENCH_store.json       — sharded COW TripleStore: Finalize/ApplyDelta/
 #                            Clone+publish at 1/2/4/8 shards with 0.5%
 #                            deltas, COW clone vs deep-clone baseline
+#   BENCH_scale.json       — million-triple scale: bytes/triple of the
+#                            compact CSR + front-coded layout vs sorted
+#                            runs, gen/load seconds, query p50/p95 and
+#                            delta-apply at 100k/300k/1m (SOFOS_SCALE_BIG=1
+#                            appends a 10m point)
 # Other benches (E1..E9 tables) print to stdout and are kept text-only.
+# Every artifact carries a "memory" object (VmHWM/VmRSS from procfs).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,7 +34,8 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_parallel bench_maintenance bench_exec bench_server bench_store
+  --target bench_parallel bench_maintenance bench_exec bench_server \
+           bench_store bench_scale
 
 mkdir -p "$OUT_DIR"
 "$BUILD_DIR/bench_parallel" "$OUT_DIR/BENCH_parallel.json"
@@ -36,6 +43,9 @@ mkdir -p "$OUT_DIR"
 "$BUILD_DIR/bench_exec" "$OUT_DIR/BENCH_exec.json"
 "$BUILD_DIR/bench_server" "$OUT_DIR/BENCH_server.json"
 "$BUILD_DIR/bench_store" "$OUT_DIR/BENCH_store.json"
+# SOFOS_SCALE_BIG=1 scripts/run_benches.sh adds the (minutes-long) 10m point.
+SOFOS_SCALE_BIG="${SOFOS_SCALE_BIG:-0}" \
+  "$BUILD_DIR/bench_scale" "$OUT_DIR/BENCH_scale.json"
 
 echo "bench artifacts in $OUT_DIR:"
 ls -l "$OUT_DIR"/BENCH_*.json

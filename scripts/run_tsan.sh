@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # ThreadSanitizer lane over the concurrency-sensitive tests (the ones
-# carrying the `maintenance`, `exec`, `server` and `store` CTest labels —
-# incremental updates, the vectorized morsel-parallel executor, the
-# concurrent online serving subsystem, and the sharded copy-on-write
-# TripleStore with its COW epoch snapshots): builds a separate
-# TSan-enabled tree and runs only those suites.
+# carrying the `maintenance`, `exec`, `server`, `store` and `scale` CTest
+# labels — incremental updates, the vectorized morsel-parallel executor,
+# the concurrent online serving subsystem, the sharded copy-on-write
+# TripleStore with its COW epoch snapshots, and the compact-layout scale
+# suite with concurrent snapshot readers): builds a separate TSan-enabled
+# tree and runs only those suites.
 #
 #   scripts/run_tsan.sh [build_dir]
 set -euo pipefail
@@ -15,7 +16,8 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSOFOS_TSAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target maintenance_test parallel_test exec_test server_test store_test
+  --target maintenance_test parallel_test exec_test server_test store_test \
+           scale_test
 
 cd "$BUILD_DIR"
-ctest -L 'maintenance|exec|server|store' --output-on-failure
+ctest -L 'maintenance|exec|server|store|scale' --output-on-failure

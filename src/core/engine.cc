@@ -70,6 +70,48 @@ void SofosEngine::SetShardCount(unsigned shard_count) {
   }
 }
 
+void SofosEngine::SetStoreLayout(StoreLayout layout) {
+  store_layout_ = layout;
+  ApplyStoreLayout();
+}
+
+void SofosEngine::ApplyStoreLayout() {
+  if (!store_.finalized()) return;
+  const bool compact =
+      store_layout_ == StoreLayout::kCompact ||
+      (store_layout_ == StoreLayout::kAuto &&
+       store_.NumTriples() >= kCompactAutoTriples);
+  // The shard layout and the dictionary encoding travel together: both
+  // trade decode work for bytes, and the bench/CLI "layout" knob means the
+  // pair.
+  if (store_.compact_layout() != compact) {
+    store_.SetCompactLayout(compact, pool());
+  }
+  if (store_.mutable_dictionary()->front_coded() != compact) {
+    store_.mutable_dictionary()->SetFrontCoding(compact);
+  }
+}
+
+Result<SofosEngine::StoreLayout> ParseStoreLayout(const std::string& name) {
+  if (name == "auto") return SofosEngine::StoreLayout::kAuto;
+  if (name == "sorted") return SofosEngine::StoreLayout::kSorted;
+  if (name == "compact") return SofosEngine::StoreLayout::kCompact;
+  return Status::InvalidArgument("unknown layout '" + name +
+                                 "' (expected auto|sorted|compact)");
+}
+
+std::string StoreLayoutName(SofosEngine::StoreLayout layout) {
+  switch (layout) {
+    case SofosEngine::StoreLayout::kAuto:
+      return "auto";
+    case SofosEngine::StoreLayout::kSorted:
+      return "sorted";
+    case SofosEngine::StoreLayout::kCompact:
+      return "compact";
+  }
+  return "?";
+}
+
 unsigned SofosEngine::ResolvedShardCount() const {
   if (shard_count_ != 0) return shard_count_;
   // Auto: the smallest power of two covering the pool, so per-shard
@@ -115,6 +157,7 @@ Status SofosEngine::LoadStore(TripleStore&& store) {
   // built at the resolved count, as LoadGraphFile does — and never visible
   // in results, by the store's shard-invariance contract).
   store_.SetShardCount(ResolvedShardCount(), pool());
+  ApplyStoreLayout();
   base_snapshot_ = store_.triples();
   base_bytes_ = store_.MemoryBytes();
   materialized_.clear();

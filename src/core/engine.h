@@ -226,6 +226,27 @@ class SofosEngine {
   /// The shard count LoadStore would apply right now (auto expanded).
   unsigned ResolvedShardCount() const;
 
+  /// Index layout policy, applied to the loaded store and re-applied by
+  /// every LoadStore: kSorted keeps the classic sorted-run indexes and the
+  /// plain dictionary; kCompact switches the subject/object index families
+  /// to the CSR adjacency layout and front-codes the dictionary
+  /// (TripleStore::SetCompactLayout + Dictionary::SetFrontCoding — about
+  /// half the bytes/triple at million-triple scale); kAuto picks compact
+  /// once the store holds at least kCompactAutoTriples triples, so the
+  /// bundled demo-sized graphs keep the historical layout byte-for-byte
+  /// while big graphs get the small one. Results are layout-invariant by
+  /// the store contract either way.
+  enum class StoreLayout { kAuto = 0, kSorted, kCompact };
+  /// kAuto threshold: 262144 triples — comfortably above every bundled
+  /// demo/full dataset, well below the 1M+ scale tier.
+  static constexpr uint64_t kCompactAutoTriples = 1ull << 18;
+  /// Applies immediately on a loaded store (pool-parallel rebuild). Must
+  /// run on the engine's single driver thread with no snapshot queries in
+  /// flight: the dictionary re-encode invalidates term() references held
+  /// by concurrent readers (results already decoded are unaffected).
+  void SetStoreLayout(StoreLayout layout);
+  StoreLayout store_layout() const { return store_layout_; }
+
   TripleStore* store() { return &store_; }
   const Facet& facet() const { return *facet_; }
   const Lattice& lattice() const { return *lattice_; }
@@ -388,6 +409,10 @@ class SofosEngine {
                                      const CostModel* routing_model,
                                      unsigned intra_dop);
 
+  /// Brings the loaded store's shard layout and dictionary encoding in
+  /// line with store_layout_ (no-op when already there or not finalized).
+  void ApplyStoreLayout();
+
   TripleStore store_;
   std::vector<Triple> base_snapshot_;
   uint64_t base_bytes_ = 0;
@@ -405,12 +430,17 @@ class SofosEngine {
   unsigned num_threads_ = 0;   // 0 = auto (hardware_concurrency)
   unsigned exec_threads_ = 0;  // 0 = auto intra-query dop (budgeted)
   unsigned shard_count_ = 0;   // 0 = auto (pool-size-derived power of two)
+  StoreLayout store_layout_ = StoreLayout::kAuto;
   mutable std::unique_ptr<ThreadPool> pool_;
   uint64_t epoch_ = 0;
   LatencyHistogram publish_hist_;  // PublishSnapshot build latencies
   mutable std::mutex snapshot_mu_;  // guards snapshot_ (the published slot)
   std::shared_ptr<const EngineSnapshot> snapshot_;
 };
+
+/// "auto" | "sorted" | "compact" (the CLI's `layout` command).
+Result<SofosEngine::StoreLayout> ParseStoreLayout(const std::string& name);
+std::string StoreLayoutName(SofosEngine::StoreLayout layout);
 
 }  // namespace core
 }  // namespace sofos

@@ -27,6 +27,13 @@ struct LubmConfig {
 
 inline constexpr const char* kLubmNs = "http://sofos.example.org/lubm#";
 
+/// Config whose expected output size is approximately `target_triples`:
+/// the per-department ranges keep their defaults (the schema's shape does
+/// not change with scale, matching the original UBA tool) and only the
+/// university count grows — ~4.3k triples per university, so 1M-100M
+/// triple graphs are a few hundred to ~23k universities.
+LubmConfig LubmConfigForTriples(uint64_t target_triples, uint64_t seed = 42);
+
 /// Generates a university KG and returns its enrollment facet:
 ///
 ///   SELECT ?university ?department ?level ?stype (COUNT(?student) AS ?agg)

@@ -1,5 +1,8 @@
 #include "datagen/registry.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "datagen/geo.h"
 #include "datagen/lubm.h"
 #include "datagen/swdf.h"
@@ -25,6 +28,44 @@ std::string ScaleName(Scale scale) {
       return "full";
   }
   return "?";
+}
+
+Result<ScaleSpec> ParseScaleSpec(const std::string& text) {
+  ScaleSpec spec;
+  auto tier = ParseScale(text);
+  if (tier.ok()) {
+    spec.tier = tier.value();
+    return spec;
+  }
+  // "<digits>[k|m]": an explicit triple target.
+  uint64_t value = 0;
+  size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+    if (value > 1000000000000ULL) break;  // overflow guard; bounds reject it
+    ++i;
+  }
+  uint64_t multiplier = 1;
+  if (i < text.size()) {
+    const char suffix = text[i];
+    if (suffix == 'k' || suffix == 'K') {
+      multiplier = 1000;
+    } else if (suffix == 'm' || suffix == 'M') {
+      multiplier = 1000000;
+    }
+    if (multiplier == 1 || i + 1 != text.size()) i = 0;  // reject
+  }
+  if (i == 0 || value == 0) {
+    return Status::InvalidArgument(
+        "unknown scale '" + text +
+        "' (expected tiny|demo|full or a triple target like 100k, 1m)");
+  }
+  spec.target_triples = value * multiplier;
+  if (spec.target_triples < 1000 || spec.target_triples > 200000000ULL) {
+    return Status::InvalidArgument("scale target '" + text +
+                                   "' out of range [1k, 200m]");
+  }
+  return spec;
 }
 
 std::vector<std::string> DatasetNames() { return {"lubm", "geopop", "swdf"}; }
@@ -93,6 +134,67 @@ Result<DatasetSpec> GenerateByName(const std::string& name, Scale scale,
         config.num_countries = 40;
         break;
     }
+    return GenerateSwdf(config, store);
+  }
+  return Status::NotFound("unknown dataset '" + name +
+                          "' (expected lubm|geopop|swdf)");
+}
+
+Result<DatasetSpec> GenerateByName(const std::string& name,
+                                   const ScaleSpec& scale, uint64_t seed,
+                                   TripleStore* store) {
+  if (scale.target_triples == 0) {
+    return GenerateByName(name, scale.tier, seed, store);
+  }
+  if (name == "lubm") {
+    return GenerateLubm(LubmConfigForTriples(scale.target_triples, seed),
+                        store);
+  }
+  // geopop and swdf grow on several schema axes at once; the exponents
+  // below split the linear scale factor f (relative to the ~measured demo
+  // output) so that slow-saturating real-world axes (languages, years,
+  // conference editions) grow sublinearly while the bulk axis (countries /
+  // papers) absorbs the rest. Targets land within a few tens of percent —
+  // callers needing exact counts use lubm.
+  if (name == "geopop") {
+    const double f = static_cast<double>(scale.target_triples) /
+                     6200.0;  // calibrated: measured output per unit f
+    GeoPopConfig config;
+    config.seed = seed;
+    const double year_growth = std::min(4.0, std::pow(f, 0.15));
+    const int span = std::max(10, static_cast<int>(10.0 * year_growth + 0.5));
+    config.year_max = 2019;
+    config.year_min = 2019 - span + 1;
+    config.num_languages = std::max(
+        8, std::min(200, static_cast<int>(24.0 * std::pow(f, 0.25) + 0.5)));
+    config.num_countries = std::max(
+        4, static_cast<int>(60.0 * f / (static_cast<double>(span) / 10.0) +
+                            0.5));
+    return GenerateGeoPop(config, store);
+  }
+  if (name == "swdf") {
+    const double f = static_cast<double>(scale.target_triples) /
+                     15300.0;  // calibrated: measured output per unit f
+    SwdfConfig config;
+    config.seed = seed;
+    const double conf_growth = std::max(1.0, std::pow(f, 0.3));
+    const double year_growth = std::min(4.0, std::max(1.0, std::pow(f, 0.15)));
+    config.num_conferences =
+        std::max(2, static_cast<int>(6.0 * conf_growth + 0.5));
+    config.num_years = std::max(1, static_cast<int>(5.0 * year_growth + 0.5));
+    config.num_authors =
+        std::max(80, static_cast<int>(400.0 * std::pow(f, 0.5) + 0.5));
+    config.num_countries = std::max(
+        8, std::min(120, static_cast<int>(20.0 * std::pow(f, 0.3) + 0.5)));
+    // Papers per track absorb whatever the sublinear axes left over.
+    const double residual =
+        std::max(1.0, f / ((static_cast<double>(config.num_conferences) / 6.0) *
+                           (static_cast<double>(config.num_years) / 5.0)));
+    config.min_papers_per_track = std::max(
+        5, std::min(4000, static_cast<int>(5.0 * residual + 0.5)));
+    config.max_papers_per_track = std::max(
+        config.min_papers_per_track + 1,
+        std::min(8000, static_cast<int>(25.0 * residual + 0.5)));
     return GenerateSwdf(config, store);
   }
   return Status::NotFound("unknown dataset '" + name +

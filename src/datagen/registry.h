@@ -18,12 +18,34 @@ enum class Scale { kTiny, kDemo, kFull };
 Result<Scale> ParseScale(const std::string& name);
 std::string ScaleName(Scale scale);
 
+/// Parsed scale argument: one of the named tiers, or an explicit triple
+/// target for million-scale runs.
+struct ScaleSpec {
+  Scale tier = Scale::kDemo;
+  /// 0 = use the named tier; otherwise generate approximately this many
+  /// triples. All three generators support targets; lubm tracks them the
+  /// closest (it scales by whole universities at ~4.3k triples each),
+  /// geopop and swdf grow several schema axes at once and land within a
+  /// few tens of percent.
+  uint64_t target_triples = 0;
+};
+
+/// Accepts the named tiers (tiny|demo|full) or a triple count with an
+/// optional magnitude suffix: "100k", "1m", "250000". Targets are bounded
+/// to [1k, 200m].
+Result<ScaleSpec> ParseScaleSpec(const std::string& text);
+
 /// Names of all registered datasets ("lubm", "geopop", "swdf").
 std::vector<std::string> DatasetNames();
 
 /// Generates dataset `name` at `scale` with `seed` into `store` (finalized).
 Result<DatasetSpec> GenerateByName(const std::string& name, Scale scale,
                                    uint64_t seed, TripleStore* store);
+
+/// As above, honoring an explicit triple target when the spec carries one.
+Result<DatasetSpec> GenerateByName(const std::string& name,
+                                   const ScaleSpec& scale, uint64_t seed,
+                                   TripleStore* store);
 
 }  // namespace datagen
 }  // namespace sofos

@@ -113,6 +113,16 @@ Result<Term> Term::TypedLiteral(std::string lexical, std::string_view datatype_i
   return t;
 }
 
+Term Term::FromRaw(Kind kind, Datatype datatype, std::string lexical,
+                   std::string extra) {
+  Term t;
+  t.kind_ = kind;
+  t.datatype_ = datatype;
+  t.lexical_ = std::move(lexical);
+  t.extra_ = std::move(extra);
+  return t;
+}
+
 std::string Term::datatype_iri() const {
   switch (datatype_) {
     case Datatype::kNone:

@@ -44,6 +44,14 @@ class Term {
   /// types and validates their lexical forms (returns ParseError otherwise).
   static Result<Term> TypedLiteral(std::string lexical, std::string_view datatype_iri);
 
+  /// Reassembles a term from its four raw storage fields without any
+  /// normalization or validation. Only for storage layers (the dictionary's
+  /// packed encoding) that decode fields previously taken from a real Term:
+  /// the round trip is byte-identical by construction, which the named
+  /// constructors above (which normalize lexical forms) cannot guarantee.
+  static Term FromRaw(Kind kind, Datatype datatype, std::string lexical,
+                      std::string extra);
+
   Kind kind() const { return kind_; }
   Datatype datatype() const { return datatype_; }
 
@@ -66,6 +74,11 @@ class Term {
   /// Full datatype IRI for literals (resolving the native tags); empty for
   /// IRIs and blank nodes.
   std::string datatype_iri() const;
+
+  /// The raw auxiliary string exactly as stored: the language tag for
+  /// kLangString, the datatype IRI for kOther, empty otherwise. Paired with
+  /// FromRaw() for byte-identical round trips through packed storage.
+  const std::string& raw_extra() const { return extra_; }
 
   /// Numeric access; TypeError for non-numeric terms.
   Result<int64_t> AsInt64() const;

@@ -123,7 +123,8 @@ TripleStore::TripleStore(TripleStore&& other)
       delta_deletes_(std::move(other.delta_deletes_)),
       predicate_stats_(std::move(other.predicate_stats_)),
       num_nodes_(other.num_nodes_),
-      finalized_(other.finalized_) {
+      finalized_(other.finalized_),
+      compact_layout_(other.compact_layout_) {
   other.Reset();
 }
 
@@ -140,6 +141,7 @@ TripleStore& TripleStore::operator=(TripleStore&& other) {
     predicate_stats_ = std::move(other.predicate_stats_);
     num_nodes_ = other.num_nodes_;
     finalized_ = other.finalized_;
+    compact_layout_ = other.compact_layout_;
     other.Reset();
   }
   return *this;
@@ -157,6 +159,7 @@ void TripleStore::Reset() {
   predicate_stats_.clear();
   num_nodes_ = 0;
   finalized_ = false;
+  compact_layout_ = false;
 }
 
 size_t TripleStore::ShardIndexFor(TermId id, size_t shard_count) {
@@ -175,6 +178,7 @@ TripleStore TripleStore::Clone() const {
   copy.predicate_stats_ = predicate_stats_;
   copy.num_nodes_ = num_nodes_;
   copy.finalized_ = true;
+  copy.compact_layout_ = compact_layout_;
   return copy;
 }
 
@@ -195,6 +199,7 @@ TripleStore TripleStore::DeepClone() const {
   copy.predicate_stats_ = predicate_stats_;
   copy.num_nodes_ = num_nodes_;
   copy.finalized_ = true;
+  copy.compact_layout_ = compact_layout_;
   return copy;
 }
 
@@ -313,27 +318,106 @@ void TripleStore::ComputeShardStats(Shard* shard) {
   }
 }
 
+void TripleStore::CompressShard(Shard* out, int family,
+                                const std::vector<Triple>& bucket) {
+  // `bucket` arrives sorted by the family's primary order, so the leading
+  // field is non-decreasing: one pass emits each distinct lead once and
+  // packs the two minor fields per triple. CSR offsets are uint32 — fine
+  // for any per-bucket size this store can hold (TermIds are uint32 and
+  // shards split the graph further).
+  SOFOS_CHECK(bucket.size() <= std::numeric_limits<uint32_t>::max(),
+              "compact shard bucket exceeds uint32 edge offsets");
+  const FieldPerm& perm = kPerms[family * 2];
+  out->compact = true;
+  out->edges.reserve(bucket.size());
+  for (const Triple& t : bucket) {
+    TermId lead = Field(t, perm.a);
+    if (out->node_ids.empty() || out->node_ids.back() != lead) {
+      out->node_ids.push_back(lead);
+      out->node_offsets.push_back(static_cast<uint32_t>(out->edges.size()));
+    }
+    out->edges.push_back(Shard::Edge{Field(t, perm.b), Field(t, perm.c)});
+  }
+  out->node_offsets.push_back(static_cast<uint32_t>(out->edges.size()));
+}
+
+std::vector<Triple> TripleStore::DecompressShard(const Shard& shard,
+                                                 int family) {
+  const FieldPerm& perm = kPerms[family * 2];
+  std::vector<Triple> out;
+  out.reserve(shard.edges.size());
+  for (size_t n = 0; n < shard.node_ids.size(); ++n) {
+    for (uint32_t i = shard.node_offsets[n]; i < shard.node_offsets[n + 1];
+         ++i) {
+      Triple t;
+      SetField(&t, perm.a, shard.node_ids[n]);
+      SetField(&t, perm.b, shard.edges[i][0]);
+      SetField(&t, perm.c, shard.edges[i][1]);
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+void TripleStore::ComputeShardBloom(Shard* shard) {
+  constexpr uint32_t kBloomBits = Shard::kBloomWords * 64;
+  shard->bloom.fill(0);
+  auto add = [shard](TermId p) {
+    const uint64_t h = MixId(p);
+    const uint32_t b1 = static_cast<uint32_t>(h) & (kBloomBits - 1);
+    const uint32_t b2 = static_cast<uint32_t>(h >> 32) & (kBloomBits - 1);
+    shard->bloom[b1 >> 6] |= 1ULL << (b1 & 63);
+    shard->bloom[b2 >> 6] |= 1ULL << (b2 & 63);
+  };
+  if (shard->compact) {
+    // Subject-family edges store (p, o).
+    for (const Shard::Edge& e : shard->edges) add(e[0]);
+  } else {
+    // Subject-family runs[0] is SPO.
+    for (const Triple& t : shard->runs[0]) add(t.p);
+  }
+}
+
+bool TripleStore::BloomMayContain(const Shard& shard, TermId predicate) {
+  constexpr uint32_t kBloomBits = Shard::kBloomWords * 64;
+  const uint64_t h = MixId(predicate);
+  const uint32_t b1 = static_cast<uint32_t>(h) & (kBloomBits - 1);
+  const uint32_t b2 = static_cast<uint32_t>(h >> 32) & (kBloomBits - 1);
+  return (shard.bloom[b1 >> 6] & (1ULL << (b1 & 63))) != 0 &&
+         (shard.bloom[b2 >> 6] & (1ULL << (b2 & 63))) != 0;
+}
+
 uint64_t TripleStore::ComputeBucketNodes(size_t k) const {
   // Distinct ids appearing as subject or object *within this bucket*:
-  // subjects are run-heads of the bucket's SPO run, objects run-heads of
-  // the bucket's OSP run; merge-count the two ascending sequences. The
-  // subject and object families use the same hash, so a term's subject
-  // occurrences and object occurrences land in the same bucket index and
-  // the per-bucket counts sum to the global node count without double
-  // counting.
-  const auto& spo = families_[kSubjectFamily][k]->runs[0];
-  const auto& osp = families_[kObjectFamily][k]->runs[0];
+  // subjects are the distinct leads of the bucket's SPO index, objects the
+  // distinct leads of the bucket's OSP index; merge-count the two ascending
+  // sequences. A compact shard lists its distinct leads directly
+  // (node_ids); a sorted-run shard yields them as run-heads of its primary
+  // run, which the prev-dedup below collapses. The subject and object
+  // families use the same hash, so a term's subject occurrences and object
+  // occurrences land in the same bucket index and the per-bucket counts
+  // sum to the global node count without double counting.
+  const Shard& subj = *families_[kSubjectFamily][k];
+  const Shard& obj = *families_[kObjectFamily][k];
+  auto size_of = [](const Shard& sh) {
+    return sh.compact ? sh.node_ids.size() : sh.runs[0].size();
+  };
+  auto lead_at = [](const Shard& sh, int field, size_t idx) {
+    return sh.compact ? sh.node_ids[idx] : Field(sh.runs[0][idx], field);
+  };
+  const size_t nsub = size_of(subj), nobj = size_of(obj);
   uint64_t nodes = 0;
   size_t i = 0, j = 0;
   TermId prev = kNullTermId;
   bool have_prev = false;
-  while (i < spo.size() || j < osp.size()) {
+  while (i < nsub || j < nobj) {
     TermId next;
-    if (j >= osp.size() || (i < spo.size() && spo[i].s <= osp[j].o)) {
-      next = spo[i].s;
+    if (j >= nobj ||
+        (i < nsub && lead_at(subj, 0, i) <= lead_at(obj, 2, j))) {
+      next = lead_at(subj, 0, i);
       ++i;
     } else {
-      next = osp[j].o;
+      next = lead_at(obj, 2, j);
       ++j;
     }
     if (!have_prev || next != prev) {
@@ -385,17 +469,28 @@ void TripleStore::BuildShards(ThreadPool* pool) {
         const int f = static_cast<int>(i / shard_count_);
         const size_t k = i % shard_count_;
         auto shard = std::make_shared<Shard>();
-        shard->runs[0] = std::move(partitioned[f][k]);
-        shard->runs[1] = shard->runs[0];
-        // The partition preserves canonical SPO order, so the subject
-        // family's first run is already sorted.
-        if (f != kSubjectFamily) {
-          std::sort(shard->runs[0].begin(), shard->runs[0].end(),
-                    PermLess{kPerms[f * 2]});
+        std::vector<Triple> bucket = std::move(partitioned[f][k]);
+        if (FamilyCompact(f)) {
+          // The partition preserves canonical SPO order, so the subject
+          // family's bucket is already in its primary order; the object
+          // family needs its OSP sort first.
+          if (f != kSubjectFamily) {
+            std::sort(bucket.begin(), bucket.end(), PermLess{kPerms[f * 2]});
+          }
+          CompressShard(shard.get(), f, bucket);
+        } else {
+          shard->runs[0] = std::move(bucket);
+          shard->runs[1] = shard->runs[0];
+          // Same SPO-order argument as above for the subject family.
+          if (f != kSubjectFamily) {
+            std::sort(shard->runs[0].begin(), shard->runs[0].end(),
+                      PermLess{kPerms[f * 2]});
+          }
+          std::sort(shard->runs[1].begin(), shard->runs[1].end(),
+                    PermLess{kPerms[f * 2 + 1]});
         }
-        std::sort(shard->runs[1].begin(), shard->runs[1].end(),
-                  PermLess{kPerms[f * 2 + 1]});
         if (f == kPredicateFamily) ComputeShardStats(shard.get());
+        if (f == kSubjectFamily) ComputeShardBloom(shard.get());
         fresh[f][k] = std::move(shard);
       });
   for (int f = 0; f < kNumFamilies; ++f) families_[f] = std::move(fresh[f]);
@@ -408,6 +503,14 @@ void TripleStore::SetShardCount(size_t count, ThreadPool* pool) {
   count = std::max<size_t>(1, std::min(count, kMaxShards));
   if (count == shard_count_) return;
   shard_count_ = count;
+  if (finalized_) BuildShards(pool);
+}
+
+void TripleStore::SetCompactLayout(bool compact, ThreadPool* pool) {
+  SOFOS_CHECK(!HasStagedDelta(),
+              "SetCompactLayout() while a staged delta is pending");
+  if (compact == compact_layout_) return;
+  compact_layout_ = compact;
   if (finalized_) BuildShards(pool);
 }
 
@@ -489,25 +592,45 @@ DeltaApplyResult TripleStore::ApplyDelta(ThreadPool* pool) {
     const ShardTask& task = tasks[i];
     const Shard& old = *families_[task.family][task.bucket];
     auto fresh = std::make_shared<Shard>();
-    for (int run = 0; run < 2; ++run) {
-      const int order = task.family * 2 + run;
+    if (old.compact) {
+      // Compact buckets merge in the primary order only: decode the CSR
+      // arrays back to triples, tombstone-merge, re-encode. The slices are
+      // this task's alone, so steal them.
+      const int order = task.family * 2;
       PermLess less{kPerms[order]};
-      // Each (family, bucket) slice belongs to exactly this task; the
-      // second run is its last use, so steal instead of copying.
       std::vector<Triple> order_adds =
-          run == 1 ? std::move(f_adds[task.family][task.bucket])
-                   : f_adds[task.family][task.bucket];
+          std::move(f_adds[task.family][task.bucket]);
       std::vector<Triple> order_deletes =
-          run == 1 ? std::move(f_deletes[task.family][task.bucket])
-                   : f_deletes[task.family][task.bucket];
+          std::move(f_deletes[task.family][task.bucket]);
       if (order != kSPO) {
         std::sort(order_adds.begin(), order_adds.end(), less);
         std::sort(order_deletes.begin(), order_deletes.end(), less);
       }
-      fresh->runs[run] = MergeDelta(old.runs[run], order_adds, order_deletes,
-                                    less);
+      CompressShard(fresh.get(), task.family,
+                    MergeDelta(DecompressShard(old, task.family), order_adds,
+                               order_deletes, less));
+    } else {
+      for (int run = 0; run < 2; ++run) {
+        const int order = task.family * 2 + run;
+        PermLess less{kPerms[order]};
+        // Each (family, bucket) slice belongs to exactly this task; the
+        // second run is its last use, so steal instead of copying.
+        std::vector<Triple> order_adds =
+            run == 1 ? std::move(f_adds[task.family][task.bucket])
+                     : f_adds[task.family][task.bucket];
+        std::vector<Triple> order_deletes =
+            run == 1 ? std::move(f_deletes[task.family][task.bucket])
+                     : f_deletes[task.family][task.bucket];
+        if (order != kSPO) {
+          std::sort(order_adds.begin(), order_adds.end(), less);
+          std::sort(order_deletes.begin(), order_deletes.end(), less);
+        }
+        fresh->runs[run] = MergeDelta(old.runs[run], order_adds,
+                                      order_deletes, less);
+      }
     }
     if (task.family == kPredicateFamily) ComputeShardStats(fresh.get());
+    if (task.family == kSubjectFamily) ComputeShardBloom(fresh.get());
     replacements[i] = std::move(fresh);
   });
   canonical_ = std::move(fresh_canonical);
@@ -584,6 +707,15 @@ TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o) const {
                           : family == kPredicateFamily ? p : o;
   const Shard& shard =
       *families_[family][ShardIndexFor(lead, shard_count_)];
+  // Subject-family scans are the only picked orders with a bound,
+  // non-leading predicate (SPO with p bound); the shard's predicate bloom
+  // proves many of those empty without touching the index. False positives
+  // just fall through to the normal search — results are unchanged.
+  if (family == kSubjectFamily && p != kNullTermId &&
+      !BloomMayContain(shard, p)) {
+    return ScanRange();
+  }
+  if (shard.compact) return CompactScan(shard, order, s, p, o);
   const std::vector<Triple>& index = shard.runs[order % 2];
 
   const FieldPerm& perm = kPerms[order];
@@ -610,6 +742,120 @@ TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o) const {
                    index.data() + (end - index.begin()));
 }
 
+TripleStore::ScanRange TripleStore::CompactScan(const Shard& shard, int order,
+                                                TermId s, TermId p,
+                                                TermId o) const {
+  const int family = order / 2;
+  const TermId lead = family == kSubjectFamily ? s : o;
+  auto it =
+      std::lower_bound(shard.node_ids.begin(), shard.node_ids.end(), lead);
+  if (it == shard.node_ids.end() || *it != lead) return ScanRange();
+  const size_t n = static_cast<size_t>(it - shard.node_ids.begin());
+  const Shard::Edge* ebeg = shard.edges.data() + shard.node_offsets[n];
+  const Shard::Edge* eend = shard.edges.data() + shard.node_offsets[n + 1];
+
+  // Materialize the node's matching slice in exactly the order the sorted
+  // run would have held it; the buffer travels with the range (backing).
+  auto out = std::make_shared<std::vector<Triple>>();
+  constexpr TermId kMax = std::numeric_limits<TermId>::max();
+  switch (order) {
+    case 0: {  // SPO: the slice is (p, o)-sorted; narrow by p (and o).
+      if (p != kNullTermId) {
+        ebeg = std::lower_bound(
+            ebeg, eend, Shard::Edge{p, o != kNullTermId ? o : 0});
+        eend = std::upper_bound(
+            ebeg, eend, Shard::Edge{p, o != kNullTermId ? o : kMax});
+      }
+      out->reserve(static_cast<size_t>(eend - ebeg));
+      for (const Shard::Edge* e = ebeg; e != eend; ++e) {
+        out->push_back(Triple{lead, (*e)[0], (*e)[1]});
+      }
+      break;
+    }
+    case 1: {  // SOP: s and o bound; p ascends within the filtered slice.
+      for (const Shard::Edge* e = ebeg; e != eend; ++e) {
+        if ((*e)[1] == o) out->push_back(Triple{lead, (*e)[0], o});
+      }
+      break;
+    }
+    case 4: {  // OSP: o bound alone; the whole (s, p)-sorted slice.
+      out->reserve(static_cast<size_t>(eend - ebeg));
+      for (const Shard::Edge* e = ebeg; e != eend; ++e) {
+        out->push_back(Triple{(*e)[0], (*e)[1], lead});
+      }
+      break;
+    }
+    default:
+      // PickScanOrder never sends PSO/POS here (predicate family keeps
+      // runs) and never picks OPS at all.
+      SOFOS_CHECK(false, "compact scan asked for an unexpected order");
+  }
+  if (out->empty()) return ScanRange();
+  // Compute both pointers before the move: argument evaluation order is
+  // unspecified, so `out` must not be read in the same call that moves it.
+  const Triple* data = out->data();
+  const Triple* data_end = data + out->size();
+  return ScanRange(data, data_end, std::move(out));
+}
+
+uint64_t TripleStore::CompactCount(const Shard& shard, int order, TermId s,
+                                   TermId p, TermId o) const {
+  const int family = order / 2;
+  const TermId lead = family == kSubjectFamily ? s : o;
+  auto it =
+      std::lower_bound(shard.node_ids.begin(), shard.node_ids.end(), lead);
+  if (it == shard.node_ids.end() || *it != lead) return 0;
+  const size_t n = static_cast<size_t>(it - shard.node_ids.begin());
+  const Shard::Edge* ebeg = shard.edges.data() + shard.node_offsets[n];
+  const Shard::Edge* eend = shard.edges.data() + shard.node_offsets[n + 1];
+  constexpr TermId kMax = std::numeric_limits<TermId>::max();
+  switch (order) {
+    case 0:
+      if (p != kNullTermId) {
+        ebeg = std::lower_bound(
+            ebeg, eend, Shard::Edge{p, o != kNullTermId ? o : 0});
+        eend = std::upper_bound(
+            ebeg, eend, Shard::Edge{p, o != kNullTermId ? o : kMax});
+      }
+      return static_cast<uint64_t>(eend - ebeg);
+    case 1: {
+      uint64_t count = 0;
+      for (const Shard::Edge* e = ebeg; e != eend; ++e) {
+        if ((*e)[1] == o) ++count;
+      }
+      return count;
+    }
+    case 4:
+      return static_cast<uint64_t>(eend - ebeg);
+    default:
+      SOFOS_CHECK(false, "compact count asked for an unexpected order");
+  }
+  return 0;
+}
+
+uint64_t TripleStore::Count(TermId s, TermId p, TermId o) const {
+  assert(finalized_ && "Count() requires a finalized store");
+  if (canonical_ == nullptr) return 0;
+  if (s == kNullTermId && p == kNullTermId && o == kNullTermId) {
+    return canonical_->size();
+  }
+  const int order =
+      PickScanOrder(s != kNullTermId, p != kNullTermId, o != kNullTermId);
+  const int family = order / 2;
+  const TermId lead = family == kSubjectFamily
+                          ? s
+                          : family == kPredicateFamily ? p : o;
+  const Shard& shard =
+      *families_[family][ShardIndexFor(lead, shard_count_)];
+  if (family == kSubjectFamily && p != kNullTermId &&
+      !BloomMayContain(shard, p)) {
+    return 0;
+  }
+  if (shard.compact) return CompactCount(shard, order, s, p, o);
+  // Sorted runs: Scan() is already two binary searches with no copy.
+  return Scan(s, p, o).size();
+}
+
 std::vector<TripleStore::ScanRange> TripleStore::ScanPartitions(
     TermId s, TermId p, TermId o, size_t max_partitions) const {
   ScanRange full = Scan(s, p, o);
@@ -622,7 +868,9 @@ std::vector<TripleStore::ScanRange> TripleStore::ScanPartitions(
   const Triple* begin = full.begin();
   for (size_t c = 0; c < chunks; ++c) {
     size_t len = base + (c < extra ? 1 : 0);
-    parts.emplace_back(begin, begin + len);
+    // Every partition shares the full range's backing (if any) so compact
+    // materializations outlive the morsel that reads them.
+    parts.emplace_back(begin, begin + len, full.backing());
     begin += len;
   }
   return parts;
@@ -632,6 +880,20 @@ const PredicateStats* TripleStore::StatsFor(TermId predicate) const {
   auto it = predicate_stats_.find(predicate);
   if (it == predicate_stats_.end()) return nullptr;
   return &it->second;
+}
+
+double TripleStore::AvgSubjectFanout(TermId predicate) const {
+  const PredicateStats* st = StatsFor(predicate);
+  if (st == nullptr || st->distinct_subjects == 0) return 0.0;
+  return static_cast<double>(st->triples) /
+         static_cast<double>(st->distinct_subjects);
+}
+
+double TripleStore::AvgObjectFanout(TermId predicate) const {
+  const PredicateStats* st = StatsFor(predicate);
+  if (st == nullptr || st->distinct_objects == 0) return 0.0;
+  return static_cast<double>(st->triples) /
+         static_cast<double>(st->distinct_objects);
 }
 
 uint64_t TripleStore::MemoryBytes() const {

@@ -53,6 +53,24 @@ struct PredicateStats {
 /// order. `shard_count == 1` reproduces the historical single-array layout
 /// exactly.
 ///
+/// Compact layout (SetCompactLayout): an alternate per-shard representation
+/// for the subject and object families modeled on in-memory adjacency
+/// stores — a sorted uint32 node table (the bucket's distinct leading-field
+/// ids) with CSR offsets into a packed edge array holding the two minor
+/// fields per triple in the family's primary order. Star-shaped access
+/// (all triples of one subject/object) becomes one node lookup plus a
+/// contiguous block, and per-triple index cost drops from two 12-byte
+/// sorted runs to one 8-byte edge pair; the secondary orders (SOP, OPS)
+/// are served by filtering the node block, which is cheap because a block
+/// is one entity's adjacency. The predicate family keeps sorted runs: its
+/// scans are the executor's morsel-partitioned exchange inputs and stay
+/// zero-copy. Scan()/Count()/ScanPartitions() results are byte-identical
+/// across layouts at every shard count — compact scans materialize into a
+/// shared buffer carried by the returned ScanRange (see ScanRange::
+/// backing()) in exactly the order the sorted run would have had. Every
+/// shard additionally carries a predicate bloom filter (subject family)
+/// so scans with a bound predicate skip shards that provably lack it.
+///
 /// Usage: Add() triples (interning terms through the embedded Dictionary),
 /// then Finalize() to (re)build the indexes; Scan()/Count() require a
 /// finalized store. Adding after Finalize() is allowed — the store becomes
@@ -173,6 +191,16 @@ class TripleStore {
   void SetShardCount(size_t count, ThreadPool* pool = nullptr);
   size_t shard_count() const { return shard_count_; }
 
+  /// Switches the subject and object families between the sorted-run
+  /// layout (false, the default) and the compact CSR adjacency layout
+  /// (true; see the class comment). On a finalized store this rebuilds the
+  /// shards immediately (pool-parallel); otherwise it takes effect at the
+  /// next Finalize(). Results are layout-invariant by contract — only
+  /// memory footprint and scan materialization cost change. Must not be
+  /// called while a staged delta is pending (SOFOS_CHECK).
+  void SetCompactLayout(bool compact, ThreadPool* pool = nullptr);
+  bool compact_layout() const { return compact_layout_; }
+
   /// Deterministic bucket of a term id at a given shard count (splitmix64
   /// finalizer mix, stable across platforms and runs).
   static size_t ShardIndexFor(TermId id, size_t shard_count);
@@ -223,19 +251,32 @@ class TripleStore {
   bool finalized() const { return finalized_; }
 
   /// A contiguous range of matching triples (valid until the next
-  /// mutation of every store sharing the underlying shard).
+  /// mutation of every store sharing the underlying shard). Ranges served
+  /// from a compact shard own their storage instead (a shared
+  /// materialization buffer, see backing()), so copies of the range keep
+  /// the triples alive regardless of later store mutations; the validity
+  /// rule above is the weaker of the two and always safe to assume.
   class ScanRange {
    public:
     ScanRange() = default;
     ScanRange(const Triple* begin, const Triple* end) : begin_(begin), end_(end) {}
+    ScanRange(const Triple* begin, const Triple* end,
+              std::shared_ptr<const std::vector<Triple>> backing)
+        : begin_(begin), end_(end), backing_(std::move(backing)) {}
     const Triple* begin() const { return begin_; }
     const Triple* end() const { return end_; }
     size_t size() const { return static_cast<size_t>(end_ - begin_); }
     bool empty() const { return begin_ == end_; }
+    /// Non-null iff the range owns its triples (compact-layout scans);
+    /// sub-ranges must share it to inherit the lifetime.
+    const std::shared_ptr<const std::vector<Triple>>& backing() const {
+      return backing_;
+    }
 
    private:
     const Triple* begin_ = nullptr;
     const Triple* end_ = nullptr;
+    std::shared_ptr<const std::vector<Triple>> backing_;
   };
 
   /// Returns all triples matching the pattern (kNullTermId = wildcard).
@@ -276,7 +317,10 @@ class TripleStore {
                                            bool o_bound);
 
   /// Exact number of triples matching the pattern. Requires finalized().
-  uint64_t Count(TermId s, TermId p, TermId o) const { return Scan(s, p, o).size(); }
+  /// Never materializes: compact shards answer from CSR offsets, sorted
+  /// runs from binary-search bounds — so the planner's per-pattern
+  /// cardinality pass stays cheap in either layout.
+  uint64_t Count(TermId s, TermId p, TermId o) const;
 
   /// True iff the exact triple is present. Requires finalized().
   bool Contains(TermId s, TermId p, TermId o) const {
@@ -301,6 +345,14 @@ class TripleStore {
     return predicate_stats_;
   }
 
+  /// Average matches when probing (?s p ?o) with a bound subject /
+  /// object: triples(p) / distinct_subjects(p) resp. distinct_objects(p).
+  /// 0 when the predicate is unknown. Global statistics — identical at
+  /// every shard count and layout — so planner decisions built on them
+  /// keep the determinism contract.
+  double AvgSubjectFanout(TermId predicate) const;
+  double AvgObjectFanout(TermId predicate) const;
+
   /// Rough heap footprint of indexes + dictionary, for storage metrics.
   /// Shards shared with clones are counted in every owner (the same bytes
   /// a deep copy would have duplicated).
@@ -315,19 +367,44 @@ class TripleStore {
   }
 
  private:
-  /// One immutable hash bucket of one family: the bucket's triples sorted
-  /// by the family's two permutation orders (runs[0] is the order whose
-  /// enum value is family * 2, runs[1] is family * 2 + 1). Predicate-family
-  /// shards additionally carry the per-predicate statistics of the
-  /// predicates hashing into the bucket (a predicate never spans shards).
+  /// One immutable hash bucket of one family, in one of two layouts:
+  ///
+  ///  - Sorted runs (compact == false): the bucket's triples sorted by the
+  ///    family's two permutation orders (runs[0] is the order whose enum
+  ///    value is family * 2, runs[1] is family * 2 + 1).
+  ///  - Compact CSR (compact == true; subject/object families only):
+  ///    node_ids holds the bucket's distinct leading-field ids ascending,
+  ///    node_offsets[i], node_offsets[i+1]) brackets node i's slice of
+  ///    edges, and each edge stores the two minor fields in the family's
+  ///    primary order (runs stay empty). The secondary order is recovered
+  ///    by filtering a node's slice — see CompactScan().
+  ///
+  /// Predicate-family shards additionally carry the per-predicate
+  /// statistics of the predicates hashing into the bucket (a predicate
+  /// never spans shards); subject-family shards carry a bloom filter over
+  /// their predicates so bound-predicate scans can skip shards wholesale.
   /// Published Shards are never modified — ApplyDelta() swaps in
   /// replacements — which is what makes Clone() a pointer copy.
   struct Shard {
+    using Edge = std::array<TermId, 2>;
+    static constexpr size_t kBloomWords = 16;  // 1024 bits, 2 probes
+
     std::array<std::vector<Triple>, 2> runs;
     std::unordered_map<TermId, PredicateStats> stats;  // predicate family only
 
+    bool compact = false;
+    std::vector<TermId> node_ids;
+    std::vector<uint32_t> node_offsets;  // node_ids.size() + 1 when compact
+    std::vector<Edge> edges;
+    /// Predicate bloom filter (subject family only, both layouts); all-zero
+    /// elsewhere and for empty shards, which correctly rejects every probe.
+    std::array<uint64_t, kBloomWords> bloom{};
+
     uint64_t MemoryBytes() const {
-      return (runs[0].capacity() + runs[1].capacity()) * sizeof(Triple);
+      return (runs[0].capacity() + runs[1].capacity()) * sizeof(Triple) +
+             node_ids.capacity() * sizeof(TermId) +
+             node_offsets.capacity() * sizeof(uint32_t) +
+             edges.capacity() * sizeof(Edge);
     }
   };
 
@@ -346,6 +423,31 @@ class TripleStore {
 
   /// Recomputes predicate-family shard statistics (from its two runs).
   static void ComputeShardStats(Shard* shard);
+
+  /// True when `family` stores its shards in the compact CSR layout under
+  /// the current flag (the predicate family never does).
+  bool FamilyCompact(int family) const {
+    return compact_layout_ && family != kPredicateFamily;
+  }
+
+  /// Encodes `bucket` (sorted by the family's primary order) into `out`'s
+  /// CSR arrays, and the inverse: decodes a compact shard back into
+  /// primary-order triples (the delta-merge input).
+  static void CompressShard(Shard* out, int family,
+                            const std::vector<Triple>& bucket);
+  static std::vector<Triple> DecompressShard(const Shard& shard, int family);
+
+  /// (Re)derives a subject-family shard's predicate bloom from whichever
+  /// layout it holds. Two bits per predicate from the MixId halves.
+  static void ComputeShardBloom(Shard* shard);
+  static bool BloomMayContain(const Shard& shard, TermId predicate);
+
+  /// Scan()/Count() served from a compact shard: node binary search plus a
+  /// slice walk, emitting exactly the bytes the sorted run would have.
+  ScanRange CompactScan(const Shard& shard, int order, TermId s, TermId p,
+                        TermId o) const;
+  uint64_t CompactCount(const Shard& shard, int order, TermId s, TermId p,
+                        TermId o) const;
 
   /// Distinct nodes (subject-or-object terms) of bucket `k`: the same hash
   /// partitions subjects (in the subject family) and objects (in the
@@ -377,6 +479,7 @@ class TripleStore {
   std::unordered_map<TermId, PredicateStats> predicate_stats_;
   uint64_t num_nodes_ = 0;
   bool finalized_ = false;
+  bool compact_layout_ = false;
 };
 
 }  // namespace sofos

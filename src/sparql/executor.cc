@@ -571,8 +571,9 @@ class BatchScanOp : public BatchOperator {
  public:
   BatchScanOp(TripleStore::ScanRange range, const PatternStep* step, size_t width,
               size_t batch_size, ExecStats* stats)
-      : next_(range.begin()),
-        end_(range.end()),
+      : range_(std::move(range)),  // owns the backing of compact-layout scans
+        next_(range_.begin()),
+        end_(range_.end()),
         step_(step),
         width_(width),
         batch_size_(batch_size),
@@ -596,6 +597,7 @@ class BatchScanOp : public BatchOperator {
   }
 
  private:
+  TripleStore::ScanRange range_;
   const Triple* next_;
   const Triple* end_;
   const PatternStep* step_;
@@ -792,9 +794,11 @@ class BatchJoinOp : public BatchOperator {
         return true;
       }
     }
-    TripleStore::ScanRange range = store_->Scan(ids[0], ids[1], ids[2]);
-    cursor_ = range.begin();
-    cursor_end_ = range.end();
+    // Keep the range alive in a member: compact-layout scans own their
+    // triples, and cursor_ must stay valid across Next() calls.
+    probe_range_ = store_->Scan(ids[0], ids[1], ids[2]);
+    cursor_ = probe_range_.begin();
+    cursor_end_ = probe_range_.end();
     return cursor_ != cursor_end_;
   }
 
@@ -808,6 +812,7 @@ class BatchJoinOp : public BatchOperator {
   RowBatch input_;
   size_t pos_ = 0;
   uint32_t probe_row_ = 0;
+  TripleStore::ScanRange probe_range_;
   const Triple* cursor_ = nullptr;
   const Triple* cursor_end_ = nullptr;
 };

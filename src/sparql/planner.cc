@@ -143,6 +143,13 @@ Result<Plan> Planner::Build(Query* query, const TripleStore& store) {
     // pipeline width at step i is usually driven by the biggest earlier
     // pattern; the first scan alone would grossly underestimate it.
     uint64_t probe_hint = 0;
+    // Compounded pipeline-width estimate: per-step predicate fanout
+    // multiplied along the pipeline (floored by each pattern's own
+    // cardinality). Participates in the hash-probe decision only above
+    // kFanoutHintMinRows — see the constant's comment for why the toy-
+    // scale plans must stay independent of it.
+    double est_width = 0.0;
+    constexpr double kWidthCap = 1e18;
     for (size_t i = 0; i < plan.steps.size(); ++i) {
       PatternStep& step = plan.steps[i];
       bool bound[3];
@@ -153,11 +160,35 @@ Result<Plan> Planner::Build(Query* query, const TripleStore& store) {
                              f) != step.key_positions.end();
       }
       step.match_order = TripleStore::ScanFieldOrder(bound[0], bound[1], bound[2]);
+      // Expected matches per probe row: the predicate's average fanout on
+      // the joined side (a constant predicate probed through a subject /
+      // object join key). 1.0 when unknown or not a keyed predicate probe.
+      double fanout = 1.0;
+      if (step.consts[1] != kNullTermId) {
+        const bool s_keyed = std::find(step.key_positions.begin(),
+                                       step.key_positions.end(),
+                                       0) != step.key_positions.end();
+        const bool o_keyed = std::find(step.key_positions.begin(),
+                                       step.key_positions.end(),
+                                       2) != step.key_positions.end();
+        if (s_keyed) {
+          fanout = store.AvgSubjectFanout(step.consts[1]);
+        } else if (o_keyed) {
+          fanout = store.AvgObjectFanout(step.consts[1]);
+        }
+        if (fanout < 1.0) fanout = 1.0;
+      }
       if (i == 0) {
         step.algo = JoinAlgo::kScan;
         probe_hint = step.est_cardinality;
+        est_width = static_cast<double>(step.est_cardinality);
         continue;
       }
+      const uint64_t width_hint =
+          est_width >= static_cast<double>(kFanoutHintMinRows)
+              ? static_cast<uint64_t>(est_width)
+              : 0;
+      const uint64_t effective_hint = std::max(probe_hint, width_hint);
       // Hash-probe when the build side (the pattern's full scan) is worth
       // materializing: bounded size and a probe side large enough — in
       // absolute rows and relative to the build — to amortize it.
@@ -165,11 +196,15 @@ Result<Plan> Planner::Build(Query* query, const TripleStore& store) {
       if (step.connected && !step.key_positions.empty() &&
           step.est_cardinality > 0 &&
           step.est_cardinality <= kHashBuildMaxRows &&
-          probe_hint >= kHashProbeMinRows &&
-          probe_hint >= kHashProbePerBuildRow * step.est_cardinality) {
+          effective_hint >= kHashProbeMinRows &&
+          effective_hint >= kHashProbePerBuildRow * step.est_cardinality) {
         step.algo = JoinAlgo::kHashProbe;
       }
       probe_hint = std::max(probe_hint, step.est_cardinality);
+      est_width = std::min(
+          std::max(est_width * fanout,
+                   static_cast<double>(step.est_cardinality)),
+          kWidthCap);
     }
   }
 

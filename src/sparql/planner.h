@@ -35,6 +35,20 @@ inline constexpr uint64_t kHashBuildMaxRows = 4ull << 20;
 inline constexpr uint64_t kHashProbeMinRows = 64;
 inline constexpr uint64_t kHashProbePerBuildRow = 2;
 
+/// The probe-side hint above (largest pattern so far) underestimates
+/// pipelines that *fan out*: joining through a high-fanout predicate (e.g.
+/// university –member→ student) multiplies the width beyond any single
+/// pattern. Planner::Build therefore also tracks a width estimate that
+/// compounds per-step predicate fanouts (TripleStore::AvgSubjectFanout /
+/// AvgObjectFanout) and uses it as an additional hash-probe trigger — but
+/// only once the estimated width reaches this floor. Fanout products are
+/// noisy small-sample estimates at toy scale, and the bundled demo
+/// datasets (≲ 20k triples) must keep bit-identical plans across releases
+/// (tests assert plan strings); at the million-triple scales where the
+/// width actually exceeds this floor, the compounding is dominated by real
+/// fanout and the hint is reliable.
+inline constexpr uint64_t kFanoutHintMinRows = 64ull << 10;
+
 /// One basic-graph-pattern step in execution order. The first step is an
 /// index scan (morsel-partitioned under the exchange operator); every
 /// later step joins the rows produced so far against its pattern.
