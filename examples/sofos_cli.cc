@@ -25,10 +25,12 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics_registry.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/table_printer.h"
+#include "common/trace.h"
 #include "core/engine.h"
 #include "core/training.h"
 #include "datagen/registry.h"
@@ -103,9 +105,11 @@ class Cli {
     Status status = Status::OK();
     if (cmd == "quit" || cmd == "exit") return false;
     // While serving, the server owns the engine (single-driver contract):
-    // only server management, client requests, and help stay available.
+    // only server management, client requests, help, and the thread-safe
+    // observability reads (registry snapshot / Prometheus dump) stay
+    // available.
     if (server_ != nullptr && cmd != "serve" && cmd != "client" &&
-        cmd != "help") {
+        cmd != "help" && cmd != "stats" && cmd != "metrics") {
       std::printf(
           "engine is busy serving on port %u: use `client %u <request>`, or "
           "`serve stop` first\n",
@@ -171,6 +175,27 @@ class Cli {
       std::string query;
       std::getline(in, query);
       status = Explain(query);
+    } else if (cmd == "analyze") {
+      std::string query;
+      std::getline(in, query);
+      status = Analyze(query);
+    } else if (cmd == "trace") {
+      std::string query;
+      std::getline(in, query);
+      status = Trace(query);
+    } else if (cmd == "stats") {
+      std::string mode;
+      in >> mode;
+      if (mode.empty()) {
+        std::printf("%s\n", engine_.metrics()->ToJson().c_str());
+      } else if (mode == "pretty") {
+        PrintStatsPretty();
+      } else {
+        std::printf("usage: stats [pretty]\n");
+        had_error_ = true;
+      }
+    } else if (cmd == "metrics") {
+      std::printf("%s", engine_.metrics()->PrometheusText().c_str());
     } else if (cmd == "serve") {
       std::string arg;
       in >> arg;
@@ -295,10 +320,18 @@ class Cli {
         "  challenge <k>        oracle best-k vs every cost model\n"
         "  sparql <query>       run a raw SPARQL query\n"
         "  explain <query>      show the batch plan (join algos, morsels, dop)\n"
+        "  analyze [query]      EXPLAIN ANALYZE: run and annotate the plan\n"
+        "                       with per-operator actuals (default: root view)\n"
+        "  trace [query]        run with span tracing on; prints the span\n"
+        "                       tree as JSON (default: root view)\n"
+        "  stats [pretty]       engine metrics registry: one JSON line, or\n"
+        "                       aligned counter/gauge/latency tables\n"
+        "  metrics              Prometheus text exposition of the registry\n"
         "  serve [port]         start the online server (0/none = ephemeral)\n"
         "  serve stop           stop the online server\n"
         "  client <port> <req>  send one protocol request (QUERY/UPDATE/\n"
-        "                       EXPLAIN/STATS/QUIT) and print the response\n"
+        "                       EXPLAIN/ANALYZE/TRACE/STATS/METRICS/QUIT)\n"
+        "                       and print the response\n"
         "  load <ds> [scale]    load a dataset: scale is tiny|demo|full or\n"
         "                       a triple target like 100k, 1m (up to 200m)\n"
         "  gen <ds> [scale]     dry-run generation: triple count, timing,\n"
@@ -563,7 +596,8 @@ class Cli {
     server_ = std::move(server);
     std::printf(
         "serving on 127.0.0.1:%u (line protocol: QUERY <sparql> | UPDATE "
-        "[n] [frac] | EXPLAIN [sparql] | STATS | QUIT)\n",
+        "[n] [frac] | EXPLAIN [sparql] | ANALYZE [sparql] | TRACE <sparql> "
+        "| STATS | METRICS | QUIT)\n",
         server_->port());
     return Status::OK();
   }
@@ -613,6 +647,78 @@ class Cli {
     SOFOS_ASSIGN_OR_RETURN(std::string plan, engine_.ExplainSparql(text));
     std::printf("%s", plan.c_str());
     return Status::OK();
+  }
+
+  /// EXPLAIN ANALYZE: runs the query with per-operator instrumentation and
+  /// prints the plan annotated with actual rows/batches/micros (defaults to
+  /// the root-view query like `explain`).
+  Status Analyze(const std::string& query) {
+    std::string text = query;
+    size_t first = text.find_first_not_of(" \t");
+    text = first == std::string::npos ? std::string() : text.substr(first);
+    if (text.empty()) {
+      text = engine_.facet().ViewQuerySparql(engine_.facet().FullMask());
+      std::printf("(root view query)\n");
+    }
+    sparql::QueryEngine qe(engine_.store(), engine_.ExecOptionsFor(0));
+    SOFOS_ASSIGN_OR_RETURN(std::string annotated, qe.Analyze(text));
+    std::printf("%s", annotated.c_str());
+    return Status::OK();
+  }
+
+  /// Runs the query with span tracing enabled and prints the span tree as
+  /// JSON (defaults to the root-view query like `explain`).
+  Status Trace(const std::string& query) {
+    std::string text = query;
+    size_t first = text.find_first_not_of(" \t");
+    text = first == std::string::npos ? std::string() : text.substr(first);
+    if (text.empty()) {
+      text = engine_.facet().ViewQuerySparql(engine_.facet().FullMask());
+      std::printf("(root view query)\n");
+    }
+    TraceContext trace;
+    sparql::ExecOptions options = engine_.ExecOptionsFor(0);
+    options.trace = &trace;
+    sparql::QueryEngine qe(engine_.store(), options);
+    SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result, qe.Execute(text));
+    std::printf("%llu rows, %.1f us wall, %zu spans\n%s\n",
+                static_cast<unsigned long long>(result.NumRows()),
+                result.stats.exec_micros, trace.Spans().size(),
+                trace.ToJson().c_str());
+    return Status::OK();
+  }
+
+  /// `stats pretty`: the registry snapshot as aligned tables — counters,
+  /// gauges, then latency histograms (count + p50/p95/p99/mean).
+  void PrintStatsPretty() {
+    std::vector<MetricSample> samples = engine_.metrics()->Collect();
+    TablePrinter counters({"counter", "value"});
+    TablePrinter gauges({"gauge", "value"});
+    TablePrinter latencies(
+        {"latency", "count", "p50_us", "p95_us", "p99_us", "mean_us"});
+    for (const MetricSample& s : samples) {
+      switch (s.kind) {
+        case MetricSample::Kind::kCounter:
+          counters.AddRow({s.name, TablePrinter::Cell(s.counter_value)});
+          break;
+        case MetricSample::Kind::kGauge:
+          gauges.AddRow({s.name, TablePrinter::Cell(s.gauge_value, 2)});
+          break;
+        case MetricSample::Kind::kHistogram:
+          latencies.AddRow({s.name, TablePrinter::Cell(s.histogram.count),
+                            TablePrinter::Cell(s.histogram.P50(), 1),
+                            TablePrinter::Cell(s.histogram.P95(), 1),
+                            TablePrinter::Cell(s.histogram.P99(), 1),
+                            TablePrinter::Cell(s.histogram.MeanMicros(), 1)});
+          break;
+      }
+    }
+    if (counters.num_rows()) counters.Print();
+    if (gauges.num_rows()) gauges.Print();
+    if (latencies.num_rows()) latencies.Print();
+    if (!counters.num_rows() && !gauges.num_rows() && !latencies.num_rows()) {
+      std::printf("(no metrics recorded yet)\n");
+    }
   }
 
   core::SofosEngine engine_;

@@ -49,3 +49,12 @@ SOFOS_SCALE_BIG="${SOFOS_SCALE_BIG:-0}" \
 
 echo "bench artifacts in $OUT_DIR:"
 ls -l "$OUT_DIR"/BENCH_*.json
+
+# Regression gate: diff the fresh artifacts against the committed
+# baselines and flag >25% regressions (warn-only by default; set
+# SOFOS_BENCH_STRICT=1 to fail the run on any regression).
+if [ "${SOFOS_BENCH_STRICT:-0}" = "1" ]; then
+  python3 "$REPO_ROOT/scripts/check_bench.py" --out-dir "$OUT_DIR" --strict
+else
+  python3 "$REPO_ROOT/scripts/check_bench.py" --out-dir "$OUT_DIR"
+fi

@@ -1,0 +1,216 @@
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace sofos {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // %.17g round-trips but is noisy; %.6g matches the precision the rest
+  // of the JSON emitters in this repo use.
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// `name{label="x"}` -> `name`; used for # TYPE lines, which apply to the
+// base metric family, not to each labeled series.
+std::string BaseName(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+// Splice extra labels (quantile="0.5") into a possibly-labeled name:
+// h{view="a"} + quantile -> h{view="a",quantile="0.5"}.
+std::string WithLabel(const std::string& name, const std::string& label) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + "{" + label + "}";
+  std::string out = name;
+  out.insert(out.size() - 1, "," + label);
+  return out;
+}
+
+// Suffix a histogram series name before its label block:
+// h{view="a"} + _sum -> h_sum{view="a"}.
+std::string WithSuffix(const std::string& name, const std::string& suffix) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+void EscapeJson(const std::string& in, std::string* out) {
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+MetricCounter* MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return it->second;
+  counters_.emplace_back();
+  counter_index_[name] = &counters_.back();
+  return &counters_.back();
+}
+
+MetricGauge* MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return it->second;
+  gauges_.emplace_back();
+  gauge_index_[name] = &gauges_.back();
+  return &gauges_.back();
+}
+
+LatencyHistogram* MetricsRegistry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return it->second;
+  histograms_.emplace_back();
+  histogram_index_[name] = &histograms_.back();
+  return &histograms_.back();
+}
+
+uint64_t MetricsRegistry::RegisterCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::UnregisterCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(
+      std::remove_if(collectors_.begin(), collectors_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      collectors_.end());
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::vector<MetricSample> samples;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples.reserve(counter_index_.size() + gauge_index_.size() +
+                    histogram_index_.size());
+    for (const auto& [name, counter] : counter_index_) {
+      MetricSample s;
+      s.name = name;
+      s.kind = MetricSample::Kind::kCounter;
+      s.counter_value = counter->Value();
+      samples.push_back(std::move(s));
+    }
+    for (const auto& [name, gauge] : gauge_index_) {
+      MetricSample s;
+      s.name = name;
+      s.kind = MetricSample::Kind::kGauge;
+      s.gauge_value = gauge->Value();
+      samples.push_back(std::move(s));
+    }
+    for (const auto& [name, hist] : histogram_index_) {
+      MetricSample s;
+      s.name = name;
+      s.kind = MetricSample::Kind::kHistogram;
+      s.histogram = hist->TakeSnapshot();
+      samples.push_back(std::move(s));
+    }
+    for (const auto& [id, fn] : collectors_) {
+      (void)id;
+      collectors.push_back(fn);
+    }
+  }
+  // Collector callbacks run outside the registry lock so they may freely
+  // take their own locks (cache shard mutexes etc.) without ordering
+  // constraints against Counter()/Gauge() calls elsewhere.
+  for (const auto& fn : collectors) fn(&samples);
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const MetricSample& a, const MetricSample& b) {
+                     return a.name < b.name;
+                   });
+  return samples;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::vector<MetricSample> samples = Collect();
+  std::string out;
+  std::set<std::string> typed;  // base names already given a # TYPE line
+  for (const MetricSample& s : samples) {
+    std::string base = BaseName(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        if (typed.insert(base).second)
+          out += "# TYPE " + base + " counter\n";
+        out += s.name + " " + std::to_string(s.counter_value) + "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        if (typed.insert(base).second)
+          out += "# TYPE " + base + " gauge\n";
+        out += s.name + " " + FormatDouble(s.gauge_value) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        if (typed.insert(base).second)
+          out += "# TYPE " + base + " summary\n";
+        const LatencyHistogram::Snapshot& h = s.histogram;
+        out += WithLabel(s.name, "quantile=\"0.5\"") + " " +
+               FormatDouble(h.Percentile(0.50)) + "\n";
+        out += WithLabel(s.name, "quantile=\"0.95\"") + " " +
+               FormatDouble(h.Percentile(0.95)) + "\n";
+        out += WithLabel(s.name, "quantile=\"0.99\"") + " " +
+               FormatDouble(h.Percentile(0.99)) + "\n";
+        out += WithSuffix(s.name, "_sum") + " " +
+               FormatDouble(h.sum_micros) + "\n";
+        out += WithSuffix(s.name, "_count") + " " +
+               std::to_string(h.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::vector<MetricSample> samples = Collect();
+  std::string out = "{";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    EscapeJson(s.name, &out);
+    out += "\":";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += std::to_string(s.counter_value);
+        break;
+      case MetricSample::Kind::kGauge:
+        out += FormatDouble(s.gauge_value);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const LatencyHistogram::Snapshot& h = s.histogram;
+        out += "{\"count\":" + std::to_string(h.count) +
+               ",\"p50\":" + FormatDouble(h.Percentile(0.50)) +
+               ",\"p95\":" + FormatDouble(h.Percentile(0.95)) +
+               ",\"p99\":" + FormatDouble(h.Percentile(0.99)) +
+               ",\"mean\":" + FormatDouble(h.MeanMicros()) + "}";
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sofos

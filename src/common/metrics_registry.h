@@ -1,0 +1,124 @@
+// MetricsRegistry: one process-wide (or per-engine) home for named
+// counters, gauges and latency histograms, with a single snapshot API.
+//
+// Design notes:
+//  - Record paths are lock-free: Counter/Gauge are a single relaxed
+//    atomic, histograms are common/latency_histogram.h (relaxed atomic
+//    buckets). The registry mutex is only taken on get-or-create and on
+//    snapshot, never per-record.
+//  - Instruments live in std::deques so handed-out pointers stay stable
+//    for the registry's lifetime; callers cache the pointer once and
+//    record through it forever.
+//  - Names follow the Prometheus convention documented in
+//    docs/OBSERVABILITY.md: sofos_<subsystem>_<what>_<unit|total>, with
+//    optional {label="value"} suffixes baked into the name (the registry
+//    treats the full string as the identity).
+//  - Collectors: subsystems that keep their own bespoke stats structs
+//    (server endpoint metrics, result cache shards) register a callback
+//    that contributes samples at snapshot time, so METRICS / STATS see
+//    every counter in the process without those subsystems migrating
+//    their hot paths.
+#ifndef SOFOS_COMMON_METRICS_REGISTRY_H_
+#define SOFOS_COMMON_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/latency_histogram.h"
+
+namespace sofos {
+
+// Monotonic counter. Add() is a relaxed fetch_add; never decreases.
+class MetricCounter {
+ public:
+  void Add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time gauge. Set() overwrites; Add() nudges.
+class MetricGauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// A flattened sample contributed by a collector callback (or produced by
+// the registry's own snapshot). `kind` selects which field is meaningful.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;  // full name incl. any {label="..."} suffix
+  Kind kind = Kind::kCounter;
+  uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  LatencyHistogram::Snapshot histogram;  // kind == kHistogram only
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create by full name. Pointers remain valid for the registry's
+  // lifetime. A name keeps its first-registered type: asking for the same
+  // name as a different instrument type returns the existing instrument's
+  // slot for that type (a fresh, disconnected instrument) — callers are
+  // expected to keep names unique across types.
+  MetricCounter* Counter(const std::string& name);
+  MetricGauge* Gauge(const std::string& name);
+  LatencyHistogram* Histogram(const std::string& name);
+
+  // Collector callbacks contribute extra samples at snapshot time (e.g.
+  // a server bridging its per-endpoint metrics). Returns an id usable
+  // with UnregisterCollector; callbacks must be thread-safe.
+  using Collector = std::function<void(std::vector<MetricSample>*)>;
+  uint64_t RegisterCollector(Collector fn);
+  void UnregisterCollector(uint64_t id);
+
+  // One snapshot API: every owned instrument plus every collector's
+  // samples, sorted by name (owned instruments first on name ties).
+  std::vector<MetricSample> Collect() const;
+
+  // Prometheus text exposition (docs/OBSERVABILITY.md documents the
+  // grammar). Counters/gauges are `name value`; histograms are rendered
+  // as summaries: name{quantile="0.5|0.95|0.99"}, name_sum, name_count.
+  std::string PrometheusText() const;
+
+  // Compact one-line JSON object {"name":value,...}; histograms expand to
+  // {"count":..,"p50":..,"p95":..,"p99":..,"mean":..}.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, MetricCounter*> counter_index_;
+  std::map<std::string, MetricGauge*> gauge_index_;
+  std::map<std::string, LatencyHistogram*> histogram_index_;
+  std::deque<MetricCounter> counters_;
+  std::deque<MetricGauge> gauges_;
+  std::deque<LatencyHistogram> histograms_;
+  uint64_t next_collector_id_ = 1;
+  std::vector<std::pair<uint64_t, Collector>> collectors_;
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_METRICS_REGISTRY_H_

@@ -6,6 +6,7 @@
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "rdf/turtle_parser.h"
 #include "rdf/turtle_writer.h"
 #include "rdf/vocab.h"
@@ -112,6 +113,19 @@ std::string StoreLayoutName(SofosEngine::StoreLayout layout) {
   return "?";
 }
 
+void SofosEngine::RecordStateGauges() {
+  metrics_.Gauge("sofos_engine_epoch")->Set(static_cast<double>(epoch_));
+  metrics_.Gauge("sofos_engine_base_triples")
+      ->Set(static_cast<double>(base_snapshot_.size()));
+  metrics_.Gauge("sofos_engine_current_triples")
+      ->Set(store_.finalized() ? static_cast<double>(store_.NumTriples()) : 0.0);
+  metrics_.Gauge("sofos_engine_materialized_views")
+      ->Set(static_cast<double>(materialized_.size()));
+  metrics_.Gauge("sofos_engine_staleness_drift")->Set(staleness_.drift());
+  metrics_.Gauge("sofos_engine_storage_amplification")
+      ->Set(StorageAmplification());
+}
+
 unsigned SofosEngine::ResolvedShardCount() const {
   if (shard_count_ != 0) return shard_count_;
   // Auto: the smallest power of two covering the pool, so per-shard
@@ -168,6 +182,7 @@ Status SofosEngine::LoadStore(TripleStore&& store) {
     materializer_ = std::make_unique<Materializer>(&store_, &*facet_);
   }
   ++epoch_;
+  RecordStateGauges();
   return Status::OK();
 }
 
@@ -198,6 +213,7 @@ Status SofosEngine::SetFacet(Facet facet) {
   // Profile() re-anchors against this one.
   staleness_ = maintenance::StalenessMonitor(staleness_.options());
   ++epoch_;
+  RecordStateGauges();
   return Status::OK();
 }
 
@@ -227,6 +243,7 @@ Result<const LatticeProfile*> SofosEngine::Profile(const ProfileOptions& options
   staleness_.ResetBaseline(store_, std::move(pattern_ids),
                            profile_->views[facet_->FullMask()].result_rows);
   ++epoch_;  // routing statistics changed: cached answers may route stale
+  RecordStateGauges();
   return &*profile_;
 }
 
@@ -296,6 +313,7 @@ Result<std::vector<MaterializedView>> SofosEngine::MaterializeViews(
   for (const auto& view : views) materialized_.push_back(view);
   maintainer_.reset();  // view set changed; rebuilt on the next ApplyUpdates
   ++epoch_;
+  RecordStateGauges();
   return views;
 }
 
@@ -322,6 +340,7 @@ Status SofosEngine::UpdateBaseGraph(
       SOFOS_RETURN_IF_ERROR(MaterializeViews(masks).status());
     }
   }
+  RecordStateGauges();
   return Status::OK();
 }
 
@@ -331,6 +350,7 @@ Status SofosEngine::DropMaterializedViews() {
   materialized_.clear();
   maintainer_.reset();
   ++epoch_;
+  RecordStateGauges();
   return Status::OK();
 }
 
@@ -423,6 +443,12 @@ Result<UpdateOutcome> SofosEngine::ApplyUpdates(
   outcome.staleness = staleness_.drift();
   outcome.reselect_recommended = staleness_.ShouldReselect();
   outcome.total_micros = timer.ElapsedMicros();
+  maintain_hist_->Record(outcome.total_micros);
+  updates_total_->Add();
+  adds_applied_total_->Add(outcome.adds_applied);
+  deletes_applied_total_->Add(outcome.deletes_applied);
+  if (outcome.reselect_recommended) reselect_recommended_total_->Add();
+  RecordStateGauges();
   return outcome;
 }
 
@@ -451,14 +477,31 @@ Result<QueryOutcome> SofosEngine::AnswerWithDop(const WorkloadQuery& query,
   outcome.executed_sparql = query.sparql;
 
   if (allow_views && !materialized_.empty() && profile_.has_value()) {
+    WallTimer route_timer;
     std::optional<uint32_t> best = rewriter_->PickBestView(
         query.signature, MaterializedMasks(), *profile_, routing_model);
+    route_hist_->Record(route_timer.ElapsedMicros());
     if (best.has_value()) {
+      WallTimer rewrite_timer;
       SOFOS_ASSIGN_OR_RETURN(std::string rewritten,
                              rewriter_->RewriteToView(query.signature, *best));
+      rewrite_hist_->Record(rewrite_timer.ElapsedMicros());
       outcome.used_view = true;
       outcome.view_mask = *best;
       outcome.executed_sparql = std::move(rewritten);
+      view_hits_total_->Add();
+      // Per-view routing counters: hits, and the profiled row reduction a
+      // hit buys (root-table rows minus the routed view's rows) — the
+      // concrete "benefit" number the greedy selector optimizes for.
+      const std::string label = facet_->MaskLabel(*best);
+      metrics_.Counter("sofos_view_hits_total{view=\"" + label + "\"}")->Add();
+      const uint64_t root_rows =
+          profile_->views[facet_->FullMask()].result_rows;
+      const uint64_t view_rows = profile_->views[*best].result_rows;
+      if (root_rows > view_rows) {
+        metrics_.Counter("sofos_view_benefit_rows_total{view=\"" + label + "\"}")
+            ->Add(root_rows - view_rows);
+      }
     }
   }
 
@@ -467,6 +510,8 @@ Result<QueryOutcome> SofosEngine::AnswerWithDop(const WorkloadQuery& query,
   SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result,
                          engine.Execute(outcome.executed_sparql));
   outcome.micros = timer.ElapsedMicros();
+  exec_hist_->Record(outcome.micros);
+  queries_total_->Add();
   outcome.rows_scanned = result.stats.rows_scanned;
   outcome.result_rows = result.NumRows();
   outcome.result = std::move(result);
@@ -556,8 +601,18 @@ Result<std::shared_ptr<const EngineSnapshot>> SofosEngine::PublishSnapshot() {
     // lives on the heap behind shared_ptr, so the pointer never dangles.
     snap->rewriter_.emplace(&*snap->facet_);
   }
+  // Snapshot-served queries feed the same registry as the engine's own
+  // entry points (instrument pointers are deque-stable for the registry's
+  // lifetime, which spans every snapshot's).
+  snap->metrics_ = &metrics_;
+  snap->parse_hist_ = parse_hist_;
+  snap->route_hist_ = route_hist_;
+  snap->exec_hist_ = exec_hist_;
+  snap->queries_total_ = queries_total_;
+  snap->view_hits_total_ = view_hits_total_;
   std::shared_ptr<const EngineSnapshot> published = std::move(snap);
-  publish_hist_.Record(publish_timer.ElapsedMicros());
+  publish_hist_->Record(publish_timer.ElapsedMicros());
+  publishes_total_->Add();
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = published;
   return published;
@@ -569,17 +624,27 @@ std::shared_ptr<const EngineSnapshot> SofosEngine::CurrentSnapshot() const {
 }
 
 Result<QueryOutcome> EngineSnapshot::Answer(const std::string& sparql,
-                                            bool allow_views) const {
+                                            bool allow_views,
+                                            TraceContext* trace) const {
   QueryOutcome outcome;
   outcome.query_id = "snapshot";
   outcome.executed_sparql = sparql;
 
+  ScopedSpan answer_span(trace, "snapshot.answer");
+
   // Mirror of SofosEngine::AnswerSparql + AnswerWithDop, pinned to this
   // snapshot's state: parse errors surface, shape mismatches merely disable
   // view routing, and routing consults the snapshot's profile + views.
+  ScopedSpan parse_span(trace, "engine.parse", answer_span.id());
+  WallTimer parse_timer;
   SOFOS_ASSIGN_OR_RETURN(sparql::Query parsed, sparql::Parser::Parse(sparql));
+  if (parse_hist_ != nullptr) parse_hist_->Record(parse_timer.ElapsedMicros());
+  parse_span.Close();
+
   if (allow_views && rewriter_.has_value() && !materialized_.empty() &&
       profile_.has_value()) {
+    ScopedSpan route_span(trace, "engine.route", answer_span.id());
+    WallTimer route_timer;
     auto signature = rewriter_->AnalyzeQuery(parsed);
     if (signature.ok()) {
       std::vector<uint32_t> masks;
@@ -593,15 +658,30 @@ Result<QueryOutcome> EngineSnapshot::Answer(const std::string& sparql,
         outcome.used_view = true;
         outcome.view_mask = *best;
         outcome.executed_sparql = std::move(rewritten);
+        if (view_hits_total_ != nullptr) view_hits_total_->Add();
+        if (metrics_ != nullptr && facet_.has_value()) {
+          metrics_
+              ->Counter("sofos_view_hits_total{view=\"" +
+                        facet_->MaskLabel(*best) + "\"}")
+              ->Add();
+        }
       }
     }
+    if (route_hist_ != nullptr) route_hist_->Record(route_timer.ElapsedMicros());
   }
 
-  sparql::QueryEngine engine(&store_);  // default options: serial, dop 1
+  sparql::ExecOptions options;  // default: serial batch engine, dop 1
+  ScopedSpan exec_span(trace, "engine.exec", answer_span.id());
+  options.trace = trace;
+  options.trace_parent = exec_span.id();
+  sparql::QueryEngine engine(&store_, options);
   WallTimer timer;
   SOFOS_ASSIGN_OR_RETURN(sparql::QueryResult result,
                          engine.Execute(outcome.executed_sparql));
   outcome.micros = timer.ElapsedMicros();
+  exec_span.Close();
+  if (exec_hist_ != nullptr) exec_hist_->Record(outcome.micros);
+  if (queries_total_ != nullptr) queries_total_->Add();
   outcome.rows_scanned = result.stats.rows_scanned;
   outcome.result_rows = result.NumRows();
   outcome.result = std::move(result);
@@ -611,6 +691,34 @@ Result<QueryOutcome> EngineSnapshot::Answer(const std::string& sparql,
 Result<std::string> EngineSnapshot::Explain(const std::string& sparql) const {
   sparql::QueryEngine engine(&store_);
   return engine.Explain(sparql);
+}
+
+Result<std::string> EngineSnapshot::Analyze(const std::string& sparql,
+                                            bool allow_views) const {
+  // Route exactly like Answer() so the analyzed plan is the plan a real
+  // query would run, then execute with per-operator instrumentation.
+  std::string executed = sparql;
+  std::string routed_line;
+  SOFOS_ASSIGN_OR_RETURN(sparql::Query parsed, sparql::Parser::Parse(sparql));
+  if (allow_views && rewriter_.has_value() && !materialized_.empty() &&
+      profile_.has_value()) {
+    auto signature = rewriter_->AnalyzeQuery(parsed);
+    if (signature.ok()) {
+      std::vector<uint32_t> masks;
+      masks.reserve(materialized_.size());
+      for (const auto& view : materialized_) masks.push_back(view.mask);
+      std::optional<uint32_t> best =
+          rewriter_->PickBestView(*signature, masks, *profile_, nullptr);
+      if (best.has_value()) {
+        SOFOS_ASSIGN_OR_RETURN(executed,
+                               rewriter_->RewriteToView(*signature, *best));
+        routed_line = "ROUTED view=" + facet_->MaskLabel(*best) + "\n";
+      }
+    }
+  }
+  sparql::QueryEngine engine(&store_);  // serial, dop 1 like Answer()
+  SOFOS_ASSIGN_OR_RETURN(std::string text, engine.Analyze(executed));
+  return routed_line + text;
 }
 
 std::string EngineSnapshot::RootViewSparql() const {
@@ -627,7 +735,9 @@ Result<QueryOutcome> SofosEngine::AnswerSparql(const std::string& sparql,
 
   // Surface parse errors immediately (they are user errors, not routing
   // decisions); shape mismatches merely disable view routing.
+  WallTimer parse_timer;
   SOFOS_ASSIGN_OR_RETURN(sparql::Query parsed, sparql::Parser::Parse(sparql));
+  parse_hist_->Record(parse_timer.ElapsedMicros());
   auto signature = rewriter_->AnalyzeQuery(parsed);
   if (signature.ok()) {
     query.signature = std::move(signature).value();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/latency_histogram.h"
+#include "common/metrics_registry.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/cost_model.h"
@@ -26,6 +27,9 @@
 #include "sparql/query_engine.h"
 
 namespace sofos {
+
+class TraceContext;
+
 namespace core {
 
 /// Result of answering one workload query through the online module.
@@ -123,12 +127,22 @@ class EngineSnapshot {
   /// Answers raw SPARQL against this snapshot, routing through the
   /// snapshot's materialized views when `allow_views` (same semantics as
   /// SofosEngine::AnswerSparql, pinned to this epoch). Deterministic:
-  /// repeated calls return byte-identical decoded results.
-  Result<QueryOutcome> Answer(const std::string& sparql,
-                              bool allow_views) const;
+  /// repeated calls return byte-identical decoded results. When `trace`
+  /// is non-null, records phase spans (parse / route / exec plus the
+  /// executor's subtree) into it — the server's TRACE verb.
+  Result<QueryOutcome> Answer(const std::string& sparql, bool allow_views,
+                              TraceContext* trace = nullptr) const;
 
   /// Logical plan + physical schedule of `sparql` over this snapshot.
   Result<std::string> Explain(const std::string& sparql) const;
+
+  /// EXPLAIN ANALYZE over this snapshot: routes like Answer() (a routed
+  /// query is analyzed in its rewritten form, with a leading "ROUTED
+  /// view=..." line), executes with per-operator instrumentation, and
+  /// returns the annotated plan text. Serial (dop 1) like every snapshot
+  /// query, so per-operator self times sum to ~exec_micros.
+  Result<std::string> Analyze(const std::string& sparql,
+                              bool allow_views) const;
 
   /// The facet's root-view query (EXPLAIN's default target). Requires
   /// has_facet().
@@ -146,6 +160,17 @@ class EngineSnapshot {
   std::optional<Rewriter> rewriter_;  // bound to facet_ (never moves)
   std::optional<LatticeProfile> profile_;
   std::vector<MaterializedView> materialized_;
+  /// The owning engine's registry plus cached phase instruments, so
+  /// snapshot-served queries land in the same METRICS the engine's own
+  /// entry points feed. Null in never-published snapshots; valid while
+  /// the owning engine lives (the server owns both, engine outlasting
+  /// its snapshots).
+  MetricsRegistry* metrics_ = nullptr;
+  LatencyHistogram* parse_hist_ = nullptr;
+  LatencyHistogram* route_hist_ = nullptr;
+  LatencyHistogram* exec_hist_ = nullptr;
+  MetricCounter* queries_total_ = nullptr;
+  MetricCounter* view_hits_total_ = nullptr;
 };
 
 /// The SOFOS system facade (paper Figure 2): owns the knowledge graph, the
@@ -349,10 +374,24 @@ class SofosEngine {
   /// Latency distribution of the snapshot builds PublishSnapshot()
   /// actually performed (epoch no-ops are not recorded). Safe from any
   /// thread (lock-free histogram); the server's STATS endpoint surfaces it
-  /// as the `publish` section.
+  /// as the `publish` section. The histogram lives in metrics() under
+  /// `sofos_engine_publish_micros`.
   LatencyHistogram::Snapshot publish_latency() const {
-    return publish_hist_.TakeSnapshot();
+    return publish_hist_->TakeSnapshot();
   }
+
+  /// ---- Observability ----
+
+  /// The engine's metrics registry: engine phase latencies
+  /// (sofos_engine_{parse,rewrite,route,exec,maintain,publish}_micros),
+  /// work counters (queries/updates/adds/deletes/view hits/reselects),
+  /// per-view hit and benefit counters (sofos_view_*_total{view="..."}),
+  /// and state gauges (epoch, triples, staleness drift) — everything the
+  /// server's METRICS verb exposes, plus whatever collectors the server
+  /// registers on top (endpoint SLOs, result cache). Record paths are
+  /// lock-free; safe from any thread. The accessor is const because
+  /// logically-read-only entry points also count their work.
+  MetricsRegistry* metrics() const { return &metrics_; }
 
   /// ---- Online module ----
 
@@ -413,6 +452,13 @@ class SofosEngine {
   /// line with store_layout_ (no-op when already there or not finalized).
   void ApplyStoreLayout();
 
+  /// Refreshes the registry's state gauges (epoch, triple counts,
+  /// materialized-view count, staleness drift, storage amplification).
+  /// Called from every mutating entry point after the state settles, so
+  /// METRICS always reflects the last completed mutation rather than
+  /// racing a concurrent one.
+  void RecordStateGauges();
+
   TripleStore store_;
   std::vector<Triple> base_snapshot_;
   uint64_t base_bytes_ = 0;
@@ -433,7 +479,31 @@ class SofosEngine {
   StoreLayout store_layout_ = StoreLayout::kAuto;
   mutable std::unique_ptr<ThreadPool> pool_;
   uint64_t epoch_ = 0;
-  LatencyHistogram publish_hist_;  // PublishSnapshot build latencies
+  /// Registry first, then the cached instrument pointers it hands out
+  /// (deque-backed, stable for the registry's lifetime). Mutable for the
+  /// same reason pool_ is: const read paths record their latencies.
+  mutable MetricsRegistry metrics_;
+  LatencyHistogram* parse_hist_ = metrics_.Histogram("sofos_engine_parse_micros");
+  LatencyHistogram* rewrite_hist_ =
+      metrics_.Histogram("sofos_engine_rewrite_micros");
+  LatencyHistogram* route_hist_ = metrics_.Histogram("sofos_engine_route_micros");
+  LatencyHistogram* exec_hist_ = metrics_.Histogram("sofos_engine_exec_micros");
+  LatencyHistogram* maintain_hist_ =
+      metrics_.Histogram("sofos_engine_maintain_micros");
+  LatencyHistogram* publish_hist_ =
+      metrics_.Histogram("sofos_engine_publish_micros");
+  MetricCounter* queries_total_ = metrics_.Counter("sofos_engine_queries_total");
+  MetricCounter* view_hits_total_ =
+      metrics_.Counter("sofos_engine_view_hits_total");
+  MetricCounter* updates_total_ = metrics_.Counter("sofos_engine_updates_total");
+  MetricCounter* adds_applied_total_ =
+      metrics_.Counter("sofos_engine_adds_applied_total");
+  MetricCounter* deletes_applied_total_ =
+      metrics_.Counter("sofos_engine_deletes_applied_total");
+  MetricCounter* reselect_recommended_total_ =
+      metrics_.Counter("sofos_engine_reselect_recommended_total");
+  MetricCounter* publishes_total_ =
+      metrics_.Counter("sofos_engine_publishes_total");
   mutable std::mutex snapshot_mu_;  // guards snapshot_ (the published slot)
   std::shared_ptr<const EngineSnapshot> snapshot_;
 };

@@ -683,7 +683,9 @@ std::array<int, 3> TripleStore::ScanFieldOrder(bool s_bound, bool p_bound,
   return {perm.a, perm.b, perm.c};
 }
 
-TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o) const {
+TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o,
+                                         bool* bloom_skipped) const {
+  if (bloom_skipped != nullptr) *bloom_skipped = false;
   assert(finalized_ && "Scan() requires a finalized store");
   // Release-mode backstop for the misuse the assert catches in debug: an
   // unfinalized store has no canonical array (and possibly no shards) —
@@ -713,6 +715,7 @@ TripleStore::ScanRange TripleStore::Scan(TermId s, TermId p, TermId o) const {
   // just fall through to the normal search — results are unchanged.
   if (family == kSubjectFamily && p != kNullTermId &&
       !BloomMayContain(shard, p)) {
+    if (bloom_skipped != nullptr) *bloom_skipped = true;
     return ScanRange();
   }
   if (shard.compact) return CompactScan(shard, order, s, p, o);

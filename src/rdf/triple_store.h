@@ -285,7 +285,13 @@ class TripleStore {
   /// the shard count: a bound leading field resolves inside one shard
   /// (same bytes as the single-array subset), and the fully unbound
   /// pattern is served from the canonical SPO array.
-  ScanRange Scan(TermId s, TermId p, TermId o) const;
+  /// `bloom_skipped`, when non-null, is set to true iff the scan was
+  /// proven empty by a shard's predicate bloom filter without touching the
+  /// index (an observability hook for EXPLAIN ANALYZE; never affects the
+  /// result). Which scans bloom-skip depends on the shard layout, so the
+  /// counter — unlike the range contents — is not shard-count invariant.
+  ScanRange Scan(TermId s, TermId p, TermId o,
+                 bool* bloom_skipped = nullptr) const;
   ScanRange Scan(const TripleIdPattern& pattern) const {
     return Scan(pattern.s, pattern.p, pattern.o);
   }

@@ -13,8 +13,14 @@ const char* EndpointName(Endpoint endpoint) {
       return "update";
     case Endpoint::kExplain:
       return "explain";
+    case Endpoint::kAnalyze:
+      return "analyze";
+    case Endpoint::kTrace:
+      return "trace";
     case Endpoint::kStats:
       return "stats";
+    case Endpoint::kMetrics:
+      return "metrics";
     case Endpoint::kNumEndpoints:
       break;
   }

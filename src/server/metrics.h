@@ -16,7 +16,10 @@ enum class Endpoint : int {
   kQuery = 0,
   kUpdate,
   kExplain,
+  kAnalyze,
+  kTrace,
   kStats,
+  kMetrics,
   kNumEndpoints,
 };
 

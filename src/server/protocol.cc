@@ -19,13 +19,20 @@ Result<Request> ParseRequest(const std::string& line) {
     request.verb = Verb::kUpdate;
   } else if (verb == "EXPLAIN") {
     request.verb = Verb::kExplain;
+  } else if (verb == "ANALYZE") {
+    request.verb = Verb::kAnalyze;
+  } else if (verb == "TRACE") {
+    request.verb = Verb::kTrace;
   } else if (verb == "STATS") {
     request.verb = Verb::kStats;
+  } else if (verb == "METRICS") {
+    request.verb = Verb::kMetrics;
   } else if (verb == "QUIT") {
     request.verb = Verb::kQuit;
   } else {
-    return Status::InvalidArgument("unknown verb '" + std::string(verb) +
-                                   "' (QUERY/UPDATE/EXPLAIN/STATS/QUIT)");
+    return Status::InvalidArgument(
+        "unknown verb '" + std::string(verb) +
+        "' (QUERY/UPDATE/EXPLAIN/ANALYZE/TRACE/STATS/METRICS/QUIT)");
   }
   if (space != std::string_view::npos) {
     request.arg = std::string(StrTrim(trimmed.substr(space + 1)));

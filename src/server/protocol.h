@@ -16,17 +16,27 @@ namespace server {
 ///   QUERY <sparql>        answer a SPARQL query (view routing + cache)
 ///   UPDATE [n] [frac]     apply n random update batches of frac * |G| ops
 ///   EXPLAIN [sparql]      plan + physical schedule (default: root view)
+///   ANALYZE [sparql]      EXPLAIN ANALYZE: executes and annotates the plan
+///                         with per-operator actuals (default: root view)
+///   TRACE <sparql>        answer with tracing on; body is the span tree
+///                         as one JSON array line
 ///   STATS                 one-line JSON metrics dump
+///   METRICS               Prometheus text exposition of every registered
+///                         counter/gauge/histogram
 ///   QUIT                  close the session
 ///
 /// Every response is a header line (`OK ...`, `ERR <msg>` or
 /// `BUSY retry_ms=<n>`), optionally body lines (TSV rows for QUERY, text
-/// for EXPLAIN, JSON for STATS), and always a terminating `END` line.
+/// for EXPLAIN/ANALYZE/METRICS, JSON for STATS/TRACE), and always a
+/// terminating `END` line.
 enum class Verb {
   kQuery,
   kUpdate,
   kExplain,
+  kAnalyze,
+  kTrace,
   kStats,
+  kMetrics,
   kQuit,
 };
 

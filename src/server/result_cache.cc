@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <functional>
 
 namespace sofos {
@@ -55,7 +56,16 @@ ResultCache::ResultCache(const ResultCacheOptions& options) {
   shard_mask_ = shards - 1;
   shard_capacity_bytes_ = std::max<size_t>(1, options.capacity_bytes / shards);
   min_cost_micros_ = options.min_cost_micros;
+  default_ttl_seconds_ = options.default_ttl_seconds;
+  clock_seconds_ = options.clock_seconds;
   shards_ = std::vector<Shard>(shards);
+}
+
+double ResultCache::NowSeconds() const {
+  if (clock_seconds_) return clock_seconds_();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 std::string ResultCache::MakeKey(const std::string& normalized_query,
@@ -71,20 +81,34 @@ ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
 
 bool ResultCache::Lookup(const std::string& key, std::string* payload) {
   Shard& shard = ShardFor(key);
+  const double now = NowSeconds();
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
     return false;
   }
+  const double age_seconds = now - it->second->inserted_at;
+  if (it->second->ttl_seconds > 0 && age_seconds >= it->second->ttl_seconds) {
+    // Expired: drop it on the probe (lazy expiry — there is no sweeper)
+    // and report a miss so the caller recomputes and re-inserts fresh.
+    shard.bytes -= it->second->payload.size();
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.ttl_expired;
+    ++shard.misses;
+    return false;
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   ++shard.hits;
+  age_at_hit_.Record(age_seconds * 1e6);
   *payload = it->second->payload;
   return true;
 }
 
 void ResultCache::Insert(const std::string& key, uint64_t epoch,
-                         std::string payload, double cost_micros) {
+                         std::string payload, double cost_micros,
+                         double ttl_seconds) {
   if (cost_micros < min_cost_micros_) {
     // Below the admission floor: recomputing this answer is cheaper than
     // the cache pressure it would add — keep the budget for expensive
@@ -93,21 +117,26 @@ void ResultCache::Insert(const std::string& key, uint64_t epoch,
     return;
   }
   if (payload.size() > shard_capacity_bytes_) return;  // would evict a shard
+  const double ttl = ttl_seconds < 0 ? default_ttl_seconds_ : ttl_seconds;
+  const double now = NowSeconds();
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Concurrent miss on the same key: both executed; keep the fresh
-    // payload (identical by determinism) and just refresh recency.
+    // payload (identical by determinism) and just refresh recency — and
+    // the TTL window, since the payload was just recomputed.
     shard.bytes -= it->second->payload.size();
     shard.bytes += payload.size();
     it->second->payload = std::move(payload);
     it->second->epoch = epoch;
+    it->second->inserted_at = now;
+    it->second->ttl_seconds = ttl;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
   shard.bytes += payload.size();
-  shard.lru.push_front(Entry{key, std::move(payload), epoch});
+  shard.lru.push_front(Entry{key, std::move(payload), epoch, now, ttl});
   shard.index.emplace(key, shard.lru.begin());
   ++shard.insertions;
   EvictOverflow(&shard);
@@ -152,6 +181,7 @@ ResultCacheStats ResultCache::Stats() const {
   ResultCacheStats stats;
   stats.admission_rejects =
       admission_rejects_.load(std::memory_order_relaxed);
+  stats.age_at_hit = age_at_hit_.TakeSnapshot();
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     stats.hits += shard.hits;
@@ -159,6 +189,7 @@ ResultCacheStats ResultCache::Stats() const {
     stats.insertions += shard.insertions;
     stats.evictions += shard.evictions;
     stats.invalidations += shard.invalidations;
+    stats.ttl_expired += shard.ttl_expired;
     stats.entries += shard.lru.size();
     stats.bytes += shard.bytes;
   }

@@ -3,12 +3,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/latency_histogram.h"
 
 namespace sofos {
 namespace server {
@@ -35,6 +38,15 @@ struct ResultCacheOptions {
   /// everything (the historical behavior); rejected inserts are counted in
   /// ResultCacheStats::admission_rejects.
   double min_cost_micros = 0.0;
+  /// Default time-to-live for entries whose Insert did not pass an
+  /// explicit TTL. 0 (the historical behavior) never expires — epoch
+  /// bumps remain the primary invalidation; TTLs bound how long an entry
+  /// from a *live* epoch may keep serving (e.g. to cap result-cache
+  /// memory on a read-only serving window).
+  double default_ttl_seconds = 0.0;
+  /// Injectable monotonic clock (seconds). Null uses steady_clock; tests
+  /// substitute a fake to exercise expiry without sleeping.
+  std::function<double()> clock_seconds;
 };
 
 struct ResultCacheStats {
@@ -44,8 +56,12 @@ struct ResultCacheStats {
   uint64_t evictions = 0;          // capacity evictions
   uint64_t invalidations = 0;      // epoch-bump evictions
   uint64_t admission_rejects = 0;  // inserts refused by the cost floor
+  uint64_t ttl_expired = 0;        // lookups that found an expired entry
   uint64_t entries = 0;            // current
   uint64_t bytes = 0;              // current payload bytes
+  /// Distribution of entry age at hit time (micros since insertion):
+  /// how warm served answers actually are. Recorded on every hit.
+  LatencyHistogram::Snapshot age_at_hit;
 };
 
 /// Concurrent query-result cache for the online server: a sharded LRU
@@ -79,8 +95,12 @@ class ResultCache {
   /// and neither are answers cheaper than the admission floor
   /// (`cost_micros` < options.min_cost_micros — callers pass the measured
   /// execution cost; the infinity default means "cost unknown, admit").
+  /// `ttl_seconds` caps the entry's lifetime: negative (the default)
+  /// inherits options.default_ttl_seconds, 0 never expires, positive is a
+  /// per-entry override.
   void Insert(const std::string& key, uint64_t epoch, std::string payload,
-              double cost_micros = std::numeric_limits<double>::infinity());
+              double cost_micros = std::numeric_limits<double>::infinity(),
+              double ttl_seconds = -1.0);
 
   /// Eagerly drops every entry from an epoch < `live_epoch` (they can
   /// never hit again). Called by the server after publishing a snapshot.
@@ -96,6 +116,8 @@ class ResultCache {
     std::string key;
     std::string payload;
     uint64_t epoch = 0;
+    double inserted_at = 0.0;  // clock seconds at Insert time
+    double ttl_seconds = 0.0;  // 0 = never expires
   };
 
   struct Shard {
@@ -108,15 +130,20 @@ class ResultCache {
     uint64_t insertions = 0;
     uint64_t evictions = 0;
     uint64_t invalidations = 0;
+    uint64_t ttl_expired = 0;
   };
 
   Shard& ShardFor(const std::string& key);
   void EvictOverflow(Shard* shard);  // caller holds shard->mu
+  double NowSeconds() const;
 
   size_t shard_mask_ = 0;
   size_t shard_capacity_bytes_ = 0;
   double min_cost_micros_ = 0.0;
+  double default_ttl_seconds_ = 0.0;
+  std::function<double()> clock_seconds_;
   std::atomic<uint64_t> admission_rejects_{0};
+  LatencyHistogram age_at_hit_;  // micros since insertion, at hit time
   std::vector<Shard> shards_;
 };
 

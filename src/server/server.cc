@@ -14,6 +14,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "server/io_util.h"
 #include "workload/generator.h"
 
@@ -91,6 +92,68 @@ Status SofosServer::Start() {
   port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
 
+  // Bridge the server's bespoke stats into the engine's registry so
+  // METRICS sees every counter in the process: per-endpoint SLOs under
+  // sofos_server_*{endpoint="..."} and the result cache under
+  // sofos_cache_*. The callback only reads atomics / per-shard mutexes
+  // and runs outside the registry lock, so it is safe from any thread.
+  metrics_collector_id_ = engine_->metrics()->RegisterCollector(
+      [this](std::vector<MetricSample>* out) {
+        auto counter = [out](std::string name, uint64_t v) {
+          MetricSample s;
+          s.name = std::move(name);
+          s.kind = MetricSample::Kind::kCounter;
+          s.counter_value = v;
+          out->push_back(std::move(s));
+        };
+        auto gauge = [out](std::string name, double v) {
+          MetricSample s;
+          s.name = std::move(name);
+          s.kind = MetricSample::Kind::kGauge;
+          s.gauge_value = v;
+          out->push_back(std::move(s));
+        };
+        auto histogram = [out](std::string name,
+                               LatencyHistogram::Snapshot snap) {
+          MetricSample s;
+          s.name = std::move(name);
+          s.kind = MetricSample::Kind::kHistogram;
+          s.histogram = std::move(snap);
+          out->push_back(std::move(s));
+        };
+        for (int i = 0; i < static_cast<int>(Endpoint::kNumEndpoints); ++i) {
+          const Endpoint endpoint = static_cast<Endpoint>(i);
+          const EndpointMetrics& ep = metrics_.ForEndpoint(endpoint);
+          const std::string label =
+              std::string("{endpoint=\"") + EndpointName(endpoint) + "\"}";
+          counter("sofos_server_requests_total" + label,
+                  ep.requests.load(std::memory_order_relaxed));
+          counter("sofos_server_errors_total" + label,
+                  ep.errors.load(std::memory_order_relaxed));
+          histogram("sofos_server_request_micros" + label,
+                    ep.latency.TakeSnapshot());
+        }
+        counter("sofos_server_accepted_total", metrics_.accepted());
+        counter("sofos_server_rejected_total", metrics_.rejected());
+        counter("sofos_server_cache_hits_total", metrics_.cache_hits());
+        counter("sofos_server_cache_misses_total", metrics_.cache_misses());
+        gauge("sofos_server_queue_depth",
+              static_cast<double>(metrics_.queue_depth()));
+        gauge("sofos_server_active_sessions",
+              static_cast<double>(metrics_.active_sessions()));
+        ResultCacheStats cs = cache_.Stats();
+        counter("sofos_cache_hits_total", cs.hits);
+        counter("sofos_cache_misses_total", cs.misses);
+        counter("sofos_cache_insertions_total", cs.insertions);
+        counter("sofos_cache_evictions_total", cs.evictions);
+        counter("sofos_cache_invalidations_total", cs.invalidations);
+        counter("sofos_cache_admission_rejects_total", cs.admission_rejects);
+        counter("sofos_cache_ttl_expired_total", cs.ttl_expired);
+        gauge("sofos_cache_entries", static_cast<double>(cs.entries));
+        gauge("sofos_cache_bytes", static_cast<double>(cs.bytes));
+        histogram("sofos_cache_age_at_hit_micros", std::move(cs.age_at_hit));
+      });
+
   pool_ = std::make_unique<ThreadPool>(std::max(1u, options_.max_sessions));
   running_ = true;
   listener_ = std::thread([this] { ListenLoop(); });
@@ -121,6 +184,13 @@ void SofosServer::Stop() {
     sessions_cv_.wait(lock, [this] { return admitted_ == 0; });
   }
   pool_.reset();  // all tasks done; workers join
+
+  // The collector closure captures `this`; it must not outlive the server
+  // in the engine's registry (the engine usually does).
+  if (metrics_collector_id_ != 0) {
+    engine_->metrics()->UnregisterCollector(metrics_collector_id_);
+    metrics_collector_id_ = 0;
+  }
 }
 
 std::shared_ptr<const core::EngineSnapshot> SofosServer::SnapshotForEpoch(
@@ -234,9 +304,24 @@ void SofosServer::ServeSession(int fd) {
         metrics_.ForEndpoint(Endpoint::kExplain)
             .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
         break;
+      case Verb::kAnalyze:
+        HandleAnalyze(request->arg, &response);
+        metrics_.ForEndpoint(Endpoint::kAnalyze)
+            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
+        break;
+      case Verb::kTrace:
+        HandleTrace(request->arg, &response);
+        metrics_.ForEndpoint(Endpoint::kTrace)
+            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
+        break;
       case Verb::kStats:
         HandleStats(&response);
         metrics_.ForEndpoint(Endpoint::kStats)
+            .Record(timer.ElapsedMicros(), true);
+        break;
+      case Verb::kMetrics:
+        HandleMetrics(&response);
+        metrics_.ForEndpoint(Endpoint::kMetrics)
             .Record(timer.ElapsedMicros(), true);
         break;
       case Verb::kQuit:
@@ -435,6 +520,74 @@ void SofosServer::HandleExplain(const std::string& arg, std::string* out) {
          "\n" + body + kEndMarker + "\n";
 }
 
+void SofosServer::HandleAnalyze(const std::string& arg, std::string* out) {
+  std::shared_ptr<const core::EngineSnapshot> snapshot =
+      engine_->CurrentSnapshot();
+  if (snapshot == nullptr) {
+    *out = FormatError("no published snapshot") + "\n" + kEndMarker + "\n";
+    return;
+  }
+  std::string sparql = arg;
+  if (sparql.empty()) {
+    if (!snapshot->has_facet()) {
+      *out = FormatError("ANALYZE with no query requires a facet") + "\n" +
+             kEndMarker + "\n";
+      return;
+    }
+    sparql = snapshot->RootViewSparql();
+  }
+  auto text = snapshot->Analyze(sparql, /*allow_views=*/true);
+  if (!text.ok()) {
+    *out = FormatError(text.status().ToString()) + "\n" + kEndMarker + "\n";
+    return;
+  }
+  std::string body = *text;
+  if (body.empty() || body.back() != '\n') body += '\n';
+  *out = StrFormat("OK ANALYZE epoch=%llu",
+                   static_cast<unsigned long long>(snapshot->epoch())) +
+         "\n" + body + kEndMarker + "\n";
+}
+
+void SofosServer::HandleTrace(const std::string& arg, std::string* out) {
+  if (arg.empty()) {
+    *out = FormatError("usage: TRACE <sparql>") + "\n" + kEndMarker + "\n";
+    return;
+  }
+  std::shared_ptr<const core::EngineSnapshot> snapshot =
+      engine_->CurrentSnapshot();
+  if (snapshot == nullptr) {
+    *out = FormatError("no published snapshot") + "\n" + kEndMarker + "\n";
+    return;
+  }
+  // Uncached by design: a TRACE is a request to *execute and observe*,
+  // so serving a memoized payload would defeat the point.
+  TraceContext trace;
+  auto outcome = snapshot->Answer(arg, /*allow_views=*/true, &trace);
+  if (!outcome.ok()) {
+    *out = FormatError(outcome.status().ToString()) + "\n" + kEndMarker + "\n";
+    return;
+  }
+  const size_t spans = trace.Spans().size();
+  *out = StrFormat("OK TRACE rows=%llu epoch=%llu view=%s micros=%.1f "
+                   "spans=%zu",
+                   static_cast<unsigned long long>(outcome->result_rows),
+                   static_cast<unsigned long long>(snapshot->epoch()),
+                   outcome->used_view
+                       ? std::to_string(outcome->view_mask).c_str()
+                       : "-",
+                   outcome->micros, spans) +
+         "\n" + trace.ToJson() + "\n" + kEndMarker + "\n";
+}
+
+void SofosServer::HandleMetrics(std::string* out) {
+  // Prometheus text exposition of the engine registry — which, via the
+  // collector registered in Start(), includes this server's endpoint SLOs
+  // and the result cache alongside the engine's phase/view metrics.
+  std::string body = engine_->metrics()->PrometheusText();
+  if (body.empty() || body.back() != '\n') body += '\n';
+  *out = std::string("OK METRICS\n") + body + kEndMarker + "\n";
+}
+
 void SofosServer::HandleStats(std::string* out) {
   std::shared_ptr<const core::EngineSnapshot> snapshot =
       engine_->CurrentSnapshot();
@@ -444,7 +597,8 @@ void SofosServer::HandleStats(std::string* out) {
       "\"server\": {\"epoch\": %llu, \"triples\": %llu, "
       "\"update_batches\": %llu, \"cache_entries\": %llu, "
       "\"cache_bytes\": %llu, \"cache_evictions\": %llu, "
-      "\"cache_invalidations\": %llu, \"cache_admission_rejects\": %llu}",
+      "\"cache_invalidations\": %llu, \"cache_admission_rejects\": %llu, "
+      "\"cache_ttl_expired\": %llu, \"cache_age_at_hit_p50_us\": %.1f}",
       static_cast<unsigned long long>(snapshot ? snapshot->epoch() : 0),
       static_cast<unsigned long long>(snapshot ? snapshot->num_triples() : 0),
       static_cast<unsigned long long>(batches),
@@ -452,7 +606,9 @@ void SofosServer::HandleStats(std::string* out) {
       static_cast<unsigned long long>(cache_stats.bytes),
       static_cast<unsigned long long>(cache_stats.evictions),
       static_cast<unsigned long long>(cache_stats.invalidations),
-      static_cast<unsigned long long>(cache_stats.admission_rejects));
+      static_cast<unsigned long long>(cache_stats.admission_rejects),
+      static_cast<unsigned long long>(cache_stats.ttl_expired),
+      cache_stats.age_at_hit.P50());
   // Snapshot-publication latency (the O(changed shards) path): observable
   // online so the COW clone win shows up directly in STATS.
   LatencyHistogram::Snapshot publish = engine_->publish_latency();
@@ -461,6 +617,10 @@ void SofosServer::HandleStats(std::string* out) {
       "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}",
       static_cast<unsigned long long>(publish.count), publish.MeanMicros(),
       publish.P50(), publish.P95(), publish.P99());
+  // The full registry view (engine phases, per-view routing, plus this
+  // server's own collector-contributed samples) as a nested object — the
+  // same figures METRICS exposes, in JSON for programmatic clients.
+  extra += ", \"registry\": " + engine_->metrics()->ToJson();
   *out = std::string("OK STATS\n") + metrics_.ToJson(extra) + "\n" +
          kEndMarker + "\n";
 }

@@ -109,7 +109,10 @@ class SofosServer {
   void HandleQuery(const std::string& arg, std::string* out);
   void HandleUpdate(const std::string& arg, std::string* out);
   void HandleExplain(const std::string& arg, std::string* out);
+  void HandleAnalyze(const std::string& arg, std::string* out);
+  void HandleTrace(const std::string& arg, std::string* out);
   void HandleStats(std::string* out);
+  void HandleMetrics(std::string* out);
 
   /// Publishes the engine's current epoch and eagerly invalidates dead
   /// cache entries. Caller must hold update_mu_.
@@ -119,6 +122,11 @@ class SofosServer {
   ServerOptions options_;
   ServerMetrics metrics_;
   ResultCache cache_;
+  /// Registry-collector registration bridging the server's bespoke stats
+  /// (endpoint SLOs, cache shards) into the engine's MetricsRegistry for
+  /// METRICS / STATS. Registered in Start(), unregistered in Stop(); 0 =
+  /// not registered.
+  uint64_t metrics_collector_id_ = 0;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

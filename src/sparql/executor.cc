@@ -16,6 +16,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "sparql/expression.h"
 #include "sparql/value.h"
 
@@ -200,9 +201,12 @@ Result<TermId> AggFinalize(const Expr& spec, const AggAccum& acc,
 class ScanOp : public Operator {
  public:
   ScanOp(const TripleStore* store, const PatternStep* step, size_t width,
-         ExecStats* stats)
+         ExecStats* stats, OperatorStats* op_slot = nullptr)
       : step_(step), width_(width), stats_(stats) {
-    range_ = store->Scan(step->consts[0], step->consts[1], step->consts[2]);
+    bool skipped = false;
+    range_ = store->Scan(step->consts[0], step->consts[1], step->consts[2],
+                         op_slot != nullptr ? &skipped : nullptr);
+    if (skipped) ++op_slot->bloom_skips;
     next_ = range_.begin();
   }
 
@@ -229,8 +233,13 @@ class ScanOp : public Operator {
 class IndexJoinOp : public Operator {
  public:
   IndexJoinOp(std::unique_ptr<Operator> child, const TripleStore* store,
-              const PatternStep* step, ExecStats* stats)
-      : child_(std::move(child)), store_(store), step_(step), stats_(stats) {}
+              const PatternStep* step, ExecStats* stats,
+              OperatorStats* op_slot = nullptr)
+      : child_(std::move(child)),
+        store_(store),
+        step_(step),
+        stats_(stats),
+        op_slot_(op_slot) {}
 
   Result<bool> Next(Row* row) override {
     while (true) {
@@ -251,7 +260,10 @@ class IndexJoinOp : public Operator {
           ids[i] = step_->consts[i];
         }
       }
-      range_ = store_->Scan(ids[0], ids[1], ids[2]);
+      bool skipped = false;
+      range_ = store_->Scan(ids[0], ids[1], ids[2],
+                            op_slot_ != nullptr ? &skipped : nullptr);
+      if (skipped) ++op_slot_->bloom_skips;
       cursor_ = range_.begin();
     }
   }
@@ -261,6 +273,7 @@ class IndexJoinOp : public Operator {
   const TripleStore* store_;
   const PatternStep* step_;
   ExecStats* stats_;
+  OperatorStats* op_slot_;
   Row current_;
   TripleStore::ScanRange range_;
   const Triple* cursor_ = nullptr;
@@ -528,6 +541,130 @@ class EmptyOp : public Operator {
   Result<bool> Next(Row*) override { return false; }
 };
 
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE instrumentation (ExecOptions::analyze): a plan-derived
+// slot layout shared by both engines, plus timing wrappers that record
+// per-operator actuals into ExecStats::operators. The layout depends only
+// on the Plan, so the slot sequence — and with it the ANALYZE output shape
+// — is identical across ExecMode, dop and shard count.
+// ---------------------------------------------------------------------------
+
+struct SlotLayout {
+  std::vector<int> step_op;      // slot of step i's scan/join operator
+  std::vector<int> step_filter;  // slot of step i's FILTER, -1 if none
+  int aggregate = -1;
+  int having = -1;
+  int project = -1;
+  int distinct = -1;
+  int order_by = -1;
+  int slice = -1;
+  size_t fragment_slots = 0;  // leading slots instantiated per morsel fragment
+  size_t total = 0;
+};
+
+SlotLayout ComputeSlotLayout(const Plan& plan) {
+  SlotLayout layout;
+  int next = 0;
+  if (plan.empty_guaranteed || plan.steps.empty()) {
+    next = 1;  // single EMPTY leaf
+  } else {
+    for (const PatternStep& step : plan.steps) {
+      layout.step_op.push_back(next++);
+      layout.step_filter.push_back(step.filters.empty() ? -1 : next++);
+    }
+  }
+  layout.fragment_slots = static_cast<size_t>(next);
+  if (plan.is_aggregate) {
+    layout.aggregate = next++;
+    if (!plan.having.empty()) layout.having = next++;
+  }
+  layout.project = next++;
+  if (plan.distinct) layout.distinct = next++;
+  if (!plan.order_keys.empty()) layout.order_by = next++;
+  if (plan.limit >= 0 || plan.offset > 0) layout.slice = next++;
+  layout.total = static_cast<size_t>(next);
+  return layout;
+}
+
+std::vector<OperatorStats> BuildOperatorSlots(const Plan& plan,
+                                              const SlotLayout& layout) {
+  std::vector<OperatorStats> slots(layout.total);
+  if (plan.empty_guaranteed || plan.steps.empty()) {
+    slots[0].label = "EMPTY";
+  } else {
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      const PatternStep& step = plan.steps[i];
+      const char* op = i == 0 ? "SCAN"
+                              : (step.algo == JoinAlgo::kHashProbe ? "HJOIN"
+                                                                   : "IJOIN");
+      OperatorStats& s = slots[static_cast<size_t>(layout.step_op[i])];
+      s.label = StrFormat("%s %s", op, step.pattern.ToString().c_str());
+      s.est_rows = step.est_cardinality;
+      if (layout.step_filter[i] >= 0) {
+        std::string label = "FILTER ";
+        for (size_t k = 0; k < step.filters.size(); ++k) {
+          if (k) label += " && ";
+          label += step.filters[k]->ToString();
+        }
+        slots[static_cast<size_t>(layout.step_filter[i])].label =
+            std::move(label);
+      }
+    }
+  }
+  if (layout.aggregate >= 0) slots[layout.aggregate].label = "AGGREGATE";
+  if (layout.having >= 0) slots[layout.having].label = "HAVING";
+  slots[layout.project].label = "PROJECT";
+  if (layout.distinct >= 0) slots[layout.distinct].label = "DISTINCT";
+  if (layout.order_by >= 0) slots[layout.order_by].label = "ORDER BY";
+  if (layout.slice >= 0) slots[layout.slice].label = "SLICE";
+  return slots;
+}
+
+/// Times every Next() call of the wrapped operator and counts its output.
+/// `micros` is inclusive (contains the whole subtree below); the renderer
+/// subtracts child time to show self time.
+class TimedOp : public Operator {
+ public:
+  TimedOp(std::unique_ptr<Operator> inner, OperatorStats* slot)
+      : inner_(std::move(inner)), slot_(slot) {}
+
+  Result<bool> Next(Row* row) override {
+    WallTimer timer;
+    auto result = inner_->Next(row);
+    slot_->micros += timer.ElapsedMicros();
+    if (result.ok() && result.value()) {
+      ++slot_->batches;
+      ++slot_->rows_out;
+    }
+    return result;
+  }
+
+ private:
+  std::unique_ptr<Operator> inner_;
+  OperatorStats* slot_;
+};
+
+class TimedBatchOp : public BatchOperator {
+ public:
+  TimedBatchOp(std::unique_ptr<BatchOperator> inner, OperatorStats* slot)
+      : inner_(std::move(inner)), slot_(slot) {}
+
+  Result<bool> Next(RowBatch* out) override {
+    WallTimer timer;
+    auto result = inner_->Next(out);
+    slot_->micros += timer.ElapsedMicros();
+    if (result.ok() && result.value()) {
+      ++slot_->batches;
+      slot_->rows_out += out->ActiveCount();
+    }
+    return result;
+  }
+
+ private:
+  std::unique_ptr<BatchOperator> inner_;
+  OperatorStats* slot_;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -659,10 +796,14 @@ using internal::JoinHashTable;
 
 std::unique_ptr<JoinHashTable> BuildJoinHashTable(const TripleStore* store,
                                                   const PatternStep& step,
-                                                  ExecStats* stats) {
+                                                  ExecStats* stats,
+                                                  OperatorStats* op_slot = nullptr) {
   auto table = std::make_unique<JoinHashTable>();
+  bool skipped = false;
   TripleStore::ScanRange range =
-      store->Scan(step.consts[0], step.consts[1], step.consts[2]);
+      store->Scan(step.consts[0], step.consts[1], step.consts[2],
+                  op_slot != nullptr ? &skipped : nullptr);
+  if (skipped) ++op_slot->bloom_skips;
   stats->rows_scanned += range.size();
 
   auto key_of = [&step](const Triple& t) {
@@ -719,14 +860,16 @@ class BatchJoinOp : public BatchOperator {
  public:
   BatchJoinOp(std::unique_ptr<BatchOperator> child, const TripleStore* store,
               const PatternStep* step, const JoinHashTable* table, size_t width,
-              size_t batch_size, ExecStats* stats)
+              size_t batch_size, ExecStats* stats,
+              OperatorStats* op_slot = nullptr)
       : child_(std::move(child)),
         store_(store),
         step_(step),
         table_(table),
         width_(width),
         batch_size_(batch_size),
-        stats_(stats) {}
+        stats_(stats),
+        op_slot_(op_slot) {}
 
   Result<bool> Next(RowBatch* out) override {
     out->ResetShape(width_, batch_size_);
@@ -796,7 +939,10 @@ class BatchJoinOp : public BatchOperator {
     }
     // Keep the range alive in a member: compact-layout scans own their
     // triples, and cursor_ must stay valid across Next() calls.
-    probe_range_ = store_->Scan(ids[0], ids[1], ids[2]);
+    bool skipped = false;
+    probe_range_ = store_->Scan(ids[0], ids[1], ids[2],
+                                op_slot_ != nullptr ? &skipped : nullptr);
+    if (skipped) ++op_slot_->bloom_skips;
     cursor_ = probe_range_.begin();
     cursor_end_ = probe_range_.end();
     return cursor_ != cursor_end_;
@@ -809,6 +955,7 @@ class BatchJoinOp : public BatchOperator {
   size_t width_;
   size_t batch_size_;
   ExecStats* stats_;
+  OperatorStats* op_slot_;
   RowBatch input_;
   size_t pos_ = 0;
   uint32_t probe_row_ = 0;
@@ -1190,11 +1337,14 @@ class ExchangeOp : public BatchOperator {
 
   ExchangeOp(FragmentFactory factory,
              std::vector<TripleStore::ScanRange> morsels, ThreadPool* pool,
-             unsigned dop, ExecStats* stats)
+             unsigned dop, ExecStats* stats, TraceContext* trace = nullptr,
+             uint64_t parent_span = 0)
       : factory_(std::move(factory)),
         morsels_(std::move(morsels)),
         pool_(pool),
         stats_(stats),
+        trace_(trace),
+        parent_span_(parent_span),
         slots_(morsels_.size()) {
     size_t workers = std::min<size_t>(dop, morsels_.size());
     futures_.reserve(workers);
@@ -1231,6 +1381,20 @@ class ExchangeOp : public BatchOperator {
       stats_->intermediate_rows += slot.stats.intermediate_rows;
       stats_->filtered_rows += slot.stats.filtered_rows;
       stats_->cpu_micros += slot.cpu_micros;
+      // Per-operator actuals (EXPLAIN ANALYZE): the fragment's slots are a
+      // prefix of the main layout, merged by index. Fragment `micros`
+      // accumulates across workers, making it a per-operator CPU figure.
+      for (size_t i = 0; i < slot.stats.operators.size() &&
+                         i < stats_->operators.size();
+           ++i) {
+        OperatorStats& dst = stats_->operators[i];
+        const OperatorStats& src = slot.stats.operators[i];
+        dst.rows_out += src.rows_out;
+        dst.batches += src.batches;
+        dst.micros += src.micros;
+        dst.bloom_skips += src.bloom_skips;
+        ++dst.morsels;
+      }
       slot.batches.clear();
       slot.batches.shrink_to_fit();
       ++consume_;
@@ -1257,6 +1421,7 @@ class ExchangeOp : public BatchOperator {
   }
 
   void RunMorsel(size_t m) {
+    ScopedSpan span(trace_, "exchange.morsel", parent_span_);
     WallTimer timer;
     ExecStats fstats;
     std::vector<RowBatch> batches;
@@ -1328,6 +1493,8 @@ class ExchangeOp : public BatchOperator {
   std::vector<TripleStore::ScanRange> morsels_;
   ThreadPool* pool_;
   ExecStats* stats_;
+  TraceContext* trace_;
+  uint64_t parent_span_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -1391,19 +1558,44 @@ std::unique_ptr<Operator> Executor::BuildVolcanoPipeline(ExecStats* stats) {
   std::unique_ptr<Operator> op;
   const size_t width = plan_->pattern_vars.size();
 
-  if (plan_->empty_guaranteed) {
-    op = std::make_unique<EmptyOp>();
+  const bool analyze = options_.analyze;
+  SlotLayout layout;
+  if (analyze) {
+    layout = ComputeSlotLayout(*plan_);
+    if (stats->operators.size() != layout.total) {
+      stats->operators = BuildOperatorSlots(*plan_, layout);
+    }
+  }
+  // Wraps `inner` with the timing instrumentation when ANALYZE is on.
+  auto timed = [&](std::unique_ptr<Operator> inner,
+                   int slot) -> std::unique_ptr<Operator> {
+    if (!analyze || slot < 0) return inner;
+    return std::make_unique<TimedOp>(std::move(inner),
+                                     &stats->operators[slot]);
+  };
+  auto op_slot = [&](int slot) -> OperatorStats* {
+    return analyze && slot >= 0 ? &stats->operators[slot] : nullptr;
+  };
+
+  if (plan_->empty_guaranteed || plan_->steps.empty()) {
+    op = timed(std::make_unique<EmptyOp>(), analyze ? 0 : -1);
   } else {
     for (size_t i = 0; i < plan_->steps.size(); ++i) {
       const PatternStep& step = plan_->steps[i];
+      const int slot = analyze ? layout.step_op[i] : -1;
       if (i == 0) {
-        op = std::make_unique<ScanOp>(store_, &step, width, stats);
+        op = std::make_unique<ScanOp>(store_, &step, width, stats,
+                                      op_slot(slot));
       } else {
-        op = std::make_unique<IndexJoinOp>(std::move(op), store_, &step, stats);
+        op = std::make_unique<IndexJoinOp>(std::move(op), store_, &step, stats,
+                                           op_slot(slot));
       }
+      op = timed(std::move(op), slot);
       if (!step.filters.empty()) {
-        op = std::make_unique<FilterOp>(std::move(op), step.filters, dict_,
-                                        &plan_->pattern_vars, stats);
+        op = timed(std::make_unique<FilterOp>(std::move(op), step.filters,
+                                              dict_, &plan_->pattern_vars,
+                                              stats),
+                   analyze ? layout.step_filter[i] : -1);
       }
     }
   }
@@ -1411,30 +1603,42 @@ std::unique_ptr<Operator> Executor::BuildVolcanoPipeline(ExecStats* stats) {
   int agg_base = -1;
   const VariableTable* project_input = &plan_->pattern_vars;
   if (plan_->is_aggregate) {
-    op = std::make_unique<AggregateOp>(std::move(op), plan_, dict_, dict_, stats);
+    op = timed(std::make_unique<AggregateOp>(std::move(op), plan_, dict_, dict_,
+                                             stats),
+               layout.aggregate);
     agg_base = static_cast<int>(plan_->group_slots.size());
     project_input = &plan_->group_vars;
     if (!plan_->having.empty()) {
       // HAVING is evaluated over the aggregate output layout: group vars
       // first, then one slot per aggregate (reached via agg_base).
-      op = std::make_unique<FilterOp>(std::move(op), plan_->having, dict_,
-                                      &plan_->group_vars, stats, agg_base);
+      op = timed(std::make_unique<FilterOp>(std::move(op), plan_->having,
+                                            dict_, &plan_->group_vars, stats,
+                                            agg_base),
+                 layout.having);
     }
   }
 
-  op = std::make_unique<ProjectOp>(std::move(op), plan_, dict_, dict_,
-                                   project_input, agg_base);
-  if (plan_->distinct) op = std::make_unique<DistinctOp>(std::move(op));
+  op = timed(std::make_unique<ProjectOp>(std::move(op), plan_, dict_, dict_,
+                                         project_input, agg_base),
+             layout.project);
+  if (plan_->distinct) {
+    op = timed(std::make_unique<DistinctOp>(std::move(op)), layout.distinct);
+  }
   if (!plan_->order_keys.empty()) {
-    op = std::make_unique<OrderByOp>(std::move(op), plan_, dict_, agg_base);
+    op = timed(std::make_unique<OrderByOp>(std::move(op), plan_, dict_,
+                                           agg_base),
+               layout.order_by);
   }
   if (plan_->limit >= 0 || plan_->offset > 0) {
-    op = std::make_unique<SliceOp>(std::move(op), plan_->offset, plan_->limit);
+    op = timed(std::make_unique<SliceOp>(std::move(op), plan_->offset,
+                                         plan_->limit),
+               layout.slice);
   }
   return op;
 }
 
 Status Executor::RunVolcano(std::vector<Row>* out, ExecStats* stats) {
+  ScopedSpan run_span(options_.trace, "exec.volcano", options_.trace_parent);
   std::unique_ptr<Operator> root = BuildVolcanoPipeline(stats);
   Row row;
   while (true) {
@@ -1449,6 +1653,16 @@ Status Executor::RunBatch(std::vector<Row>* out, ExecStats* stats) {
   const size_t width = plan_->pattern_vars.size();
   const size_t batch_size = std::max<size_t>(1, options_.batch_size);
 
+  const bool analyze = options_.analyze;
+  SlotLayout layout;
+  if (analyze) {
+    layout = ComputeSlotLayout(*plan_);
+    if (stats->operators.size() != layout.total) {
+      stats->operators = BuildOperatorSlots(*plan_, layout);
+    }
+  }
+  ScopedSpan run_span(options_.trace, "exec.batch", options_.trace_parent);
+
   // Shared-build sides of the plan's hash joins: built once here on the
   // caller thread, then probed read-only by every morsel worker.
   std::vector<std::unique_ptr<internal::JoinHashTable>> tables(
@@ -1456,32 +1670,59 @@ Status Executor::RunBatch(std::vector<Row>* out, ExecStats* stats) {
   if (!plan_->empty_guaranteed) {
     for (size_t i = 1; i < plan_->steps.size(); ++i) {
       if (plan_->steps[i].algo == JoinAlgo::kHashProbe) {
-        tables[i] = BuildJoinHashTable(store_, plan_->steps[i], stats);
+        ScopedSpan build_span(options_.trace, "exec.hash_build",
+                              run_span.id());
+        WallTimer build_timer;
+        OperatorStats* slot =
+            analyze ? &stats->operators[layout.step_op[i]] : nullptr;
+        tables[i] = BuildJoinHashTable(store_, plan_->steps[i], stats, slot);
+        if (slot != nullptr) {
+          slot->hash_build_rows += tables[i]->triples.size();
+          slot->build_micros += build_timer.ElapsedMicros();
+        }
       }
     }
   }
 
   // One fragment = scan → joins → pushed-down filters, instantiated per
-  // morsel with fragment-local stats.
+  // morsel with fragment-local stats. Under ANALYZE each fragment operator
+  // is wrapped to record actuals into the leading `fragment_slots` entries
+  // of `fstats->operators` (the main stats inline, a fragment-local vector
+  // under the exchange — merged back by index in partition order).
   auto make_fragment =
-      [this, width, batch_size, &tables](
+      [this, width, batch_size, &tables, analyze, &layout](
           TripleStore::ScanRange range,
           ExecStats* fstats) -> std::unique_ptr<BatchOperator> {
+    auto timed = [&](std::unique_ptr<BatchOperator> inner,
+                     int slot) -> std::unique_ptr<BatchOperator> {
+      if (!analyze || slot < 0) return inner;
+      return std::make_unique<TimedBatchOp>(std::move(inner),
+                                            &fstats->operators[slot]);
+    };
+    if (analyze && fstats->operators.size() < layout.fragment_slots) {
+      fstats->operators.resize(layout.fragment_slots);
+    }
     std::unique_ptr<BatchOperator> op = std::make_unique<BatchScanOp>(
         range, &plan_->steps[0], width, batch_size, fstats);
+    op = timed(std::move(op), analyze ? layout.step_op[0] : -1);
     if (!plan_->steps[0].filters.empty()) {
-      op = std::make_unique<BatchFilterOp>(std::move(op),
-                                           plan_->steps[0].filters, dict_,
-                                           &plan_->pattern_vars, fstats);
+      op = timed(std::make_unique<BatchFilterOp>(std::move(op),
+                                                 plan_->steps[0].filters, dict_,
+                                                 &plan_->pattern_vars, fstats),
+                 analyze ? layout.step_filter[0] : -1);
     }
     for (size_t i = 1; i < plan_->steps.size(); ++i) {
       const PatternStep& step = plan_->steps[i];
-      op = std::make_unique<BatchJoinOp>(std::move(op), store_, &step,
-                                         tables[i].get(), width, batch_size,
-                                         fstats);
+      const int slot = analyze ? layout.step_op[i] : -1;
+      op = std::make_unique<BatchJoinOp>(
+          std::move(op), store_, &step, tables[i].get(), width, batch_size,
+          fstats, slot >= 0 ? &fstats->operators[slot] : nullptr);
+      op = timed(std::move(op), slot);
       if (!step.filters.empty()) {
-        op = std::make_unique<BatchFilterOp>(std::move(op), step.filters, dict_,
-                                             &plan_->pattern_vars, fstats);
+        op = timed(std::make_unique<BatchFilterOp>(std::move(op), step.filters,
+                                                   dict_, &plan_->pattern_vars,
+                                                   fstats),
+                   analyze ? layout.step_filter[i] : -1);
       }
     }
     return op;
@@ -1499,10 +1740,16 @@ Status Executor::RunBatch(std::vector<Row>* out, ExecStats* stats) {
   std::unique_ptr<BatchOperator> op;
   if (plan_->empty_guaranteed || plan_->steps.empty()) {
     op = std::make_unique<BatchEmptyOp>();
+    if (analyze) {
+      op = std::make_unique<TimedBatchOp>(std::move(op), &stats->operators[0]);
+    }
   } else {
     const PatternStep& leaf = plan_->steps.front();
+    bool leaf_skipped = false;
     TripleStore::ScanRange full =
-        store_->Scan(leaf.consts[0], leaf.consts[1], leaf.consts[2]);
+        store_->Scan(leaf.consts[0], leaf.consts[1], leaf.consts[2],
+                     analyze ? &leaf_skipped : nullptr);
+    if (leaf_skipped) ++stats->operators[layout.step_op[0]].bloom_skips;
     MorselSchedule schedule = ComputeMorselSchedule(full.size(), options_);
     if (schedule.exchange) {
       std::vector<TripleStore::ScanRange> morsels = store_->ScanPartitions(
@@ -1512,7 +1759,8 @@ Status Executor::RunBatch(std::vector<Row>* out, ExecStats* stats) {
       stats->dop = static_cast<uint32_t>(
           std::min<size_t>(schedule.dop, morsels.size()));
       op = std::make_unique<ExchangeOp>(make_fragment, std::move(morsels),
-                                        options_.pool, schedule.dop, stats);
+                                        options_.pool, schedule.dop, stats,
+                                        options_.trace, run_span.id());
     } else {
       op = make_fragment(full, stats);
     }
@@ -1521,28 +1769,47 @@ Status Executor::RunBatch(std::vector<Row>* out, ExecStats* stats) {
   // Serial tail: aggregation, HAVING, projection, DISTINCT, ORDER BY, slice
   // — everything that interns literals or is an inherent pipeline breaker
   // runs on the caller thread, consuming the deterministic batch stream.
+  auto timed_tail = [&](std::unique_ptr<BatchOperator> inner,
+                        int slot) -> std::unique_ptr<BatchOperator> {
+    if (!analyze || slot < 0) return inner;
+    return std::make_unique<TimedBatchOp>(std::move(inner),
+                                          &stats->operators[slot]);
+  };
   int agg_base = -1;
   const VariableTable* project_input = &plan_->pattern_vars;
   if (plan_->is_aggregate) {
-    op = std::make_unique<BatchAggregateOp>(std::move(op), plan_, dict_, dict_,
-                                            batch_size, stats);
+    op = timed_tail(std::make_unique<BatchAggregateOp>(std::move(op), plan_,
+                                                       dict_, dict_, batch_size,
+                                                       stats),
+                    layout.aggregate);
     agg_base = static_cast<int>(plan_->group_slots.size());
     project_input = &plan_->group_vars;
     if (!plan_->having.empty()) {
-      op = std::make_unique<BatchFilterOp>(std::move(op), plan_->having, dict_,
-                                           &plan_->group_vars, stats, agg_base);
+      op = timed_tail(std::make_unique<BatchFilterOp>(std::move(op),
+                                                      plan_->having, dict_,
+                                                      &plan_->group_vars, stats,
+                                                      agg_base),
+                      layout.having);
     }
   }
-  op = std::make_unique<BatchProjectOp>(std::move(op), plan_, dict_, dict_,
-                                        project_input, agg_base);
-  if (plan_->distinct) op = std::make_unique<BatchDistinctOp>(std::move(op));
+  op = timed_tail(std::make_unique<BatchProjectOp>(std::move(op), plan_, dict_,
+                                                   dict_, project_input,
+                                                   agg_base),
+                  layout.project);
+  if (plan_->distinct) {
+    op = timed_tail(std::make_unique<BatchDistinctOp>(std::move(op)),
+                    layout.distinct);
+  }
   if (!plan_->order_keys.empty()) {
-    op = std::make_unique<BatchOrderByOp>(std::move(op), plan_, dict_, agg_base,
-                                          batch_size);
+    op = timed_tail(std::make_unique<BatchOrderByOp>(std::move(op), plan_,
+                                                     dict_, agg_base,
+                                                     batch_size),
+                    layout.order_by);
   }
   if (plan_->limit >= 0 || plan_->offset > 0) {
-    op = std::make_unique<BatchSliceOp>(std::move(op), plan_->offset,
-                                        plan_->limit);
+    op = timed_tail(std::make_unique<BatchSliceOp>(std::move(op),
+                                                   plan_->offset, plan_->limit),
+                    layout.slice);
   }
 
   RowBatch batch;
@@ -1599,6 +1866,66 @@ std::string Executor::DescribePhysical(const Plan& plan, const TripleStore& stor
       options.batch_size, schedule.dop, schedule.num_morsels, rows_per_morsel,
       hash_joins,
       schedule.exchange ? "  EXCHANGE" : "  (serial: no pool or single morsel)");
+}
+
+namespace {
+
+/// Self time of slot `i`: inclusive micros minus the child's inclusive
+/// micros (the previous slot in the linear pipeline). Clamped at 0 — under
+/// an exchange, fragment-slot micros are summed across workers, so the
+/// serial tail's first slot can measure less than its "child".
+double SelfMicros(const std::vector<OperatorStats>& slots, size_t i) {
+  double self = slots[i].micros - (i > 0 ? slots[i - 1].micros : 0.0);
+  return self < 0.0 ? 0.0 : self;
+}
+
+}  // namespace
+
+std::string Executor::RenderAnalyze(const Plan& plan, const ExecStats& stats) {
+  SlotLayout layout = ComputeSlotLayout(plan);
+  std::string out;
+  if (stats.operators.size() != layout.total) {
+    // Stats were not collected with ANALYZE (or the plan changed); render
+    // the estimates-only plan rather than mismatched actuals.
+    return plan.ToString() + "ANALYZE: no operator stats collected\n";
+  }
+  for (size_t i = 0; i < stats.operators.size(); ++i) {
+    const OperatorStats& slot = stats.operators[i];
+    const bool is_fragment = i < layout.fragment_slots;
+    const bool is_filter = slot.label.rfind("FILTER", 0) == 0;
+    // FILTER slots indent under their step, matching Plan::ToString.
+    out += is_filter ? "   " + slot.label : slot.label;
+    if (is_fragment && !is_filter && slot.label != "EMPTY") {
+      out += StrFormat("  [est=%llu]",
+                       static_cast<unsigned long long>(slot.est_rows));
+    }
+    out += StrFormat("  (actual rows=%llu batches=%llu self=%.1fus",
+                     static_cast<unsigned long long>(slot.rows_out),
+                     static_cast<unsigned long long>(slot.batches),
+                     SelfMicros(stats.operators, i));
+    if (slot.hash_build_rows > 0 || slot.build_micros > 0) {
+      out += StrFormat(" build_rows=%llu build=%.1fus",
+                       static_cast<unsigned long long>(slot.hash_build_rows),
+                       slot.build_micros);
+    }
+    if (is_fragment) {
+      out += StrFormat(" morsels=%llu bloom_skips=%llu",
+                       static_cast<unsigned long long>(slot.morsels),
+                       static_cast<unsigned long long>(slot.bloom_skips));
+    }
+    out += ")\n";
+  }
+  out += StrFormat(
+      "TOTALS output_rows=%llu rows_scanned=%llu intermediate_rows=%llu "
+      "filtered_rows=%llu plan=%.1fus exec=%.1fus cpu=%.1fus dop=%u "
+      "morsels=%llu\n",
+      static_cast<unsigned long long>(stats.output_rows),
+      static_cast<unsigned long long>(stats.rows_scanned),
+      static_cast<unsigned long long>(stats.intermediate_rows),
+      static_cast<unsigned long long>(stats.filtered_rows), stats.plan_micros,
+      stats.exec_micros, stats.cpu_micros, stats.dop,
+      static_cast<unsigned long long>(stats.morsels));
+  return out;
 }
 
 }  // namespace sparql

@@ -14,8 +14,33 @@
 namespace sofos {
 
 class ThreadPool;
+class TraceContext;
 
 namespace sparql {
+
+/// Per-operator actuals, collected only when ExecOptions::analyze is set
+/// (EXPLAIN ANALYZE). One entry per physical operator in pipeline order:
+/// per plan step a scan/join slot plus an optional FILTER slot, then the
+/// serial tail (AGGREGATE / HAVING / PROJECT / DISTINCT / ORDER BY /
+/// SLICE) as applicable. The slot layout is derived from the Plan alone,
+/// so it is identical across ExecMode, dop, and shard count; `rows_out`
+/// is additive over morsels and therefore also schedule-invariant for
+/// fully drained queries, while `batches`, `micros` and `morsels`
+/// describe the schedule actually used. Under an exchange, fragment-slot
+/// `micros` is the summed busy time across morsel workers (a CPU-like
+/// figure); at dop 1 it is plain inclusive wall time, and self time
+/// (inclusive minus child inclusive) sums to ~exec_micros.
+struct OperatorStats {
+  std::string label;            // "SCAN <pattern>", "FILTER <expr>", ...
+  uint64_t est_rows = 0;        // planner estimate (pattern steps only)
+  uint64_t rows_out = 0;        // live rows emitted by this operator
+  uint64_t batches = 0;         // successful Next() calls
+  double micros = 0.0;          // inclusive time spent in Next()
+  uint64_t hash_build_rows = 0; // HJOIN: build-side triples
+  double build_micros = 0.0;    // HJOIN: build time (caller thread)
+  uint64_t morsels = 0;         // fragment slots: morsels merged in
+  uint64_t bloom_skips = 0;     // scans proven empty by a shard bloom
+};
 
 /// Execution counters. The paper's online module reports per-query work;
 /// these counters feed its statistics (Sofos GUI panel ④) and the learned
@@ -47,6 +72,8 @@ struct ExecStats {
   double cpu_micros = 0.0;   // aggregated per-worker busy time
   uint64_t morsels = 0;      // leaf partitions executed (0 = no exchange)
   uint32_t dop = 1;          // intra-query parallelism actually used
+  /// Per-operator actuals; empty unless ExecOptions::analyze was set.
+  std::vector<OperatorStats> operators;
 };
 
 /// Which engine executes the plan. kBatch is the default vectorized engine
@@ -75,6 +102,16 @@ struct ExecOptions {
   /// joins; see Executor::RunBatch. Partitioning never affects results,
   /// and row counters are additive over morsels.
   size_t morsel_rows = 16 * 1024;
+  /// Collect per-operator actuals into ExecStats::operators (EXPLAIN
+  /// ANALYZE). Off by default: the instrumented wrappers time every
+  /// Next() call, which is not free on the hot path.
+  bool analyze = false;
+  /// When non-null, the executor records spans (hash builds, morsel
+  /// fragments) into this context; null costs one branch per span site.
+  TraceContext* trace = nullptr;
+  /// Span id the executor's root span is parented under (0 = root) —
+  /// lets engine-level phase spans own the executor subtree.
+  uint64_t trace_parent = 0;
 };
 
 /// A fixed-capacity columnar batch of solution rows: one uint32 TermId
@@ -182,6 +219,12 @@ class Executor {
   /// EXPLAIN companion to Plan::ToString().
   static std::string DescribePhysical(const Plan& plan, const TripleStore& store,
                                       const ExecOptions& options);
+
+  /// EXPLAIN ANALYZE rendering: the plan tree with per-operator actuals
+  /// (rows/batches/self-micros next to the planner's estimates) plus a
+  /// totals line. `stats` must come from a Run() with options.analyze set;
+  /// with no collected operators, renders the plan with a note instead.
+  static std::string RenderAnalyze(const Plan& plan, const ExecStats& stats);
 
  private:
   std::unique_ptr<Operator> BuildVolcanoPipeline(ExecStats* stats);

@@ -54,6 +54,35 @@ void QueryResult::SortCanonical() {
   bound = std::move(new_bound);
 }
 
+namespace {
+
+/// Decodes executor output rows (TermIds) into the result's Term rows.
+void DecodeRows(const std::vector<Row>& raw, const Plan& plan,
+                const Dictionary& dict, QueryResult* result) {
+  result->var_names = plan.output_vars.names();
+  result->rows.reserve(raw.size());
+  result->bound.reserve(raw.size());
+  for (const Row& row : raw) {
+    std::vector<Term> terms;
+    std::vector<bool> is_bound;
+    terms.reserve(row.size());
+    is_bound.reserve(row.size());
+    for (TermId id : row) {
+      if (id == kNullTermId) {
+        terms.emplace_back();
+        is_bound.push_back(false);
+      } else {
+        terms.push_back(dict.term(id));
+        is_bound.push_back(true);
+      }
+    }
+    result->rows.push_back(std::move(terms));
+    result->bound.push_back(std::move(is_bound));
+  }
+}
+
+}  // namespace
+
 Result<QueryResult> QueryEngine::Execute(std::string_view sparql) {
   SOFOS_ASSIGN_OR_RETURN(Query query, Parser::Parse(sparql));
   return Execute(&query);
@@ -72,27 +101,7 @@ Result<QueryResult> QueryEngine::Execute(Query* query) {
   Executor executor(&plan, store_, store_->mutable_dictionary(), options_);
   SOFOS_RETURN_IF_ERROR(executor.Run(&raw, &result.stats));
 
-  result.var_names = plan.output_vars.names();
-  const Dictionary& dict = store_->dictionary();
-  result.rows.reserve(raw.size());
-  result.bound.reserve(raw.size());
-  for (const Row& row : raw) {
-    std::vector<Term> terms;
-    std::vector<bool> is_bound;
-    terms.reserve(row.size());
-    is_bound.reserve(row.size());
-    for (TermId id : row) {
-      if (id == kNullTermId) {
-        terms.emplace_back();
-        is_bound.push_back(false);
-      } else {
-        terms.push_back(dict.term(id));
-        is_bound.push_back(true);
-      }
-    }
-    result.rows.push_back(std::move(terms));
-    result.bound.push_back(std::move(is_bound));
-  }
+  DecodeRows(raw, plan, store_->dictionary(), &result);
   return result;
 }
 
@@ -100,6 +109,35 @@ Result<std::string> QueryEngine::Explain(std::string_view sparql) {
   SOFOS_ASSIGN_OR_RETURN(Query query, Parser::Parse(sparql));
   SOFOS_ASSIGN_OR_RETURN(Plan plan, Planner::Build(&query, *store_));
   return plan.ToString() + Executor::DescribePhysical(plan, *store_, options_);
+}
+
+Result<std::string> QueryEngine::Analyze(std::string_view sparql,
+                                         QueryResult* result_out) {
+  if (!store_->finalized()) {
+    return Status::Internal("query engine requires a finalized store");
+  }
+  SOFOS_ASSIGN_OR_RETURN(Query query, Parser::Parse(sparql));
+
+  ExecOptions options = options_;
+  options.analyze = true;
+
+  QueryResult result;
+  WallTimer plan_timer;
+  SOFOS_ASSIGN_OR_RETURN(Plan plan, Planner::Build(&query, *store_));
+  result.stats.plan_micros = plan_timer.ElapsedMicros();
+
+  std::vector<Row> raw;
+  Executor executor(&plan, store_, store_->mutable_dictionary(), options);
+  SOFOS_RETURN_IF_ERROR(executor.Run(&raw, &result.stats));
+
+  std::string text = "EXPLAIN ANALYZE\n" +
+                     Executor::DescribePhysical(plan, *store_, options) +
+                     Executor::RenderAnalyze(plan, result.stats);
+  if (result_out != nullptr) {
+    DecodeRows(raw, plan, store_->dictionary(), &result);
+    *result_out = std::move(result);
+  }
+  return text;
 }
 
 }  // namespace sparql

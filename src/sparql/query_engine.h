@@ -65,6 +65,14 @@ class QueryEngine {
   /// this engine's options would execute it with, for diagnostics.
   Result<std::string> Explain(std::string_view sparql);
 
+  /// EXPLAIN ANALYZE: executes the query with per-operator instrumentation
+  /// (ExecOptions::analyze) and returns the physical schedule plus the plan
+  /// tree annotated with actual rows/batches/micros next to the planner's
+  /// estimates, then a totals line. If `result_out` is non-null the decoded
+  /// result is moved there, so callers can both show actuals and use rows.
+  Result<std::string> Analyze(std::string_view sparql,
+                              QueryResult* result_out = nullptr);
+
   TripleStore* store() { return store_; }
 
  private:
