@@ -77,6 +77,12 @@ NEUTRAL = (
     "dim",
     "seed",
     "terms",
+    # Maintenance sweep descriptors: the delta fraction swept, the signed
+    # bindings a batch produced, and the measured delta/full cost crossover
+    # are workload/policy figures, not timings.
+    "fraction",
+    "bindings",
+    "crossover",
 )
 
 MIN_ABS = 1.0  # ignore metrics whose baseline magnitude is below this

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # ThreadSanitizer lane over the concurrency-sensitive tests (the ones
 # carrying the `maintenance`, `exec`, `server`, `store`, `scale` and
-# `observability` CTest labels — incremental updates, the vectorized
+# `observability` CTest labels — delta-rule incremental view maintenance
+# with its parallel per-view roll-up repair, the vectorized
 # morsel-parallel executor, the concurrent online serving subsystem, the
 # sharded copy-on-write TripleStore with its COW epoch snapshots, the
 # compact-layout scale suite with concurrent snapshot readers, and the

@@ -223,6 +223,12 @@ void SofosEngine::SetStalenessOptions(
   staleness_ = maintenance::StalenessMonitor(options);
 }
 
+void SofosEngine::SetMaintainOptions(
+    const maintenance::MaintainOptions& options) {
+  maintain_options_ = options;
+  if (maintainer_ != nullptr) maintainer_->SetOptions(options);
+}
+
 Result<const LatticeProfile*> SofosEngine::Profile(const ProfileOptions& options) {
   if (!facet_.has_value()) return Status::Internal("no facet set");
   ProfileOptions effective = options;
@@ -289,6 +295,14 @@ Result<SelectionResult> SofosEngine::SelectViews(const CostModel& model, size_t 
     return Status::Internal("SelectViews requires Profile() first");
   }
   GreedySelector selector(&*lattice_, &*profile_, &model, pool());
+  if (update_rate_ > 0) {
+    MaintenancePenalty penalty;
+    penalty.update_rate = update_rate_;
+    penalty.bindings_per_update = avg_delta_bindings_;
+    penalty.root_rows = static_cast<double>(
+        profile_->ForMask(facet_->FullMask()).result_rows);
+    selector.SetMaintenancePenalty(penalty);
+  }
   return selector.SelectTopK(k, weights, seed);
 }
 
@@ -381,6 +395,7 @@ Result<UpdateOutcome> SofosEngine::ApplyUpdates(
     if (maintainer_ == nullptr) {
       maintainer_ =
           std::make_unique<maintenance::ViewMaintainer>(&store_, &*facet_);
+      maintainer_->SetOptions(maintain_options_);
     }
     if (!maintainer_->initialized()) {
       SOFOS_RETURN_IF_ERROR(maintainer_->Initialize(materialized_, pool()));
@@ -406,16 +421,27 @@ Result<UpdateOutcome> SofosEngine::ApplyUpdates(
     store_.StageDelete(*s, *p, *o);
     delete_ids.push_back(Triple{*s, *p, *o});
   }
-  DeltaApplyResult base_merge = store_.ApplyDelta(pool());
-  outcome.adds_applied = base_merge.adds_applied;
-  outcome.deletes_applied = base_merge.deletes_applied;
 
-  // Mirror the delta into the base snapshot with the shared semantics.
+  // Normalize the delta ids once: sorted + deduped serves the base
+  // snapshot mirror AND the maintainer's effective-delta computation.
   std::sort(add_ids.begin(), add_ids.end());
   add_ids.erase(std::unique(add_ids.begin(), add_ids.end()), add_ids.end());
   std::sort(delete_ids.begin(), delete_ids.end());
   delete_ids.erase(std::unique(delete_ids.begin(), delete_ids.end()),
                    delete_ids.end());
+
+  // The delta-rule path needs the *pre-merge* graph to normalize the
+  // delta (adds already present / deletes of absent triples are no-ops),
+  // so stage it with the maintainer before the store merges.
+  if (affects) {
+    SOFOS_RETURN_IF_ERROR(maintainer_->PrepareDelta(add_ids, delete_ids));
+  }
+
+  DeltaApplyResult base_merge = store_.ApplyDelta(pool());
+  outcome.adds_applied = base_merge.adds_applied;
+  outcome.deletes_applied = base_merge.deletes_applied;
+
+  // Mirror the delta into the base snapshot with the shared semantics.
   base_snapshot_ = ApplySortedDelta(base_snapshot_, add_ids, delete_ids);
   // The graph is mutated from here on: bump the epoch *now*, so even a
   // maintenance failure below leaves PublishSnapshot able to expose the
@@ -434,8 +460,45 @@ Result<UpdateOutcome> SofosEngine::ApplyUpdates(
             mv.triples_added + vm.triples_added - vm.triples_deleted;
       }
     }
+    // Refresh the profile's view sizes from the maintained row counts so
+    // staleness tracking and fewest-rows routing see fresh sizes without
+    // a re-profile (the profile's other statistics still age — that is
+    // what the StalenessMonitor measures).
+    if (profile_.has_value()) {
+      for (const MaterializedView& mv : materialized_) {
+        if (mv.mask < profile_->views.size()) {
+          profile_->views[mv.mask].result_rows = mv.rows;
+        }
+      }
+      profile_->views[facet_->FullMask()].result_rows =
+          maintainer_->root_rows();
+    }
+    const maintenance::MaintenanceReport& mr = outcome.maintenance;
+    switch (mr.mode) {
+      case maintenance::MaintainMode::kDelta:
+        maintain_mode_delta_total_->Add();
+        break;
+      case maintenance::MaintainMode::kFull:
+        maintain_mode_full_total_->Add();
+        break;
+      case maintenance::MaintainMode::kSkip:
+        maintain_mode_skip_total_->Add();
+        break;
+    }
+    maintain_bindings_hist_->Record(static_cast<double>(mr.delta_bindings));
+    // EWMA of the per-batch Δ-work rate: the delta path measures it as
+    // signed bindings, the full path approximates it with changed root
+    // rows. Feeds the update-aware selection penalty.
+    const double observed =
+        mr.mode == maintenance::MaintainMode::kDelta
+            ? static_cast<double>(mr.delta_bindings)
+            : static_cast<double>(mr.root_rows_changed);
+    avg_delta_bindings_ = avg_delta_bindings_ == 0.0
+                              ? observed
+                              : 0.7 * avg_delta_bindings_ + 0.3 * observed;
   } else {
     outcome.maintenance.skipped = true;
+    if (maintainer_ != nullptr) maintain_mode_skip_total_->Add();
   }
 
   // Track how far the current selection has drifted from its baseline.

@@ -341,6 +341,28 @@ class SofosEngine {
   /// Tunes the re-selection trigger (takes effect on the next baseline).
   void SetStalenessOptions(const maintenance::StalenessOptions& options);
 
+  /// Maintenance-mode policy forwarded to the ViewMaintainer (created
+  /// lazily by ApplyUpdates): force delta/full, or tune the automatic
+  /// delta-vs-full cost crossover.
+  void SetMaintainOptions(const maintenance::MaintainOptions& options);
+  const maintenance::MaintainOptions& maintain_options() const {
+    return maintain_options_;
+  }
+
+  /// Update-aware selection knob: expected update batches per query
+  /// window. When > 0, SelectViews subtracts each candidate's expected
+  /// maintenance cost (scaled by the measured Δ-bindings rate) from its
+  /// greedy benefit — the update-aware refinement of HRU benefit
+  /// (Goasdoué et al.). 0 (the default) keeps selection byte-identical
+  /// to the classic greedy.
+  void SetUpdateRate(double update_rate) { update_rate_ = update_rate; }
+  double update_rate() const { return update_rate_; }
+
+  /// EWMA of the measured Δ-bindings per maintenance pass — the
+  /// bindings_per_update signal of update-aware selection. 0 until the
+  /// first maintained update batch.
+  double avg_delta_bindings() const { return avg_delta_bindings_; }
+
   /// The base graph G as currently tracked (sorted SPO, no view
   /// encodings); update-stream generators sample from this.
   const std::vector<Triple>& base_snapshot() const { return base_snapshot_; }
@@ -471,7 +493,10 @@ class SofosEngine {
   /// Lazily built on the first ApplyUpdates with views present; any
   /// operation that rebuilds or drops view encodings invalidates it.
   std::unique_ptr<maintenance::ViewMaintainer> maintainer_;
+  maintenance::MaintainOptions maintain_options_;
   maintenance::StalenessMonitor staleness_;
+  double update_rate_ = 0.0;        // 0 = classic (update-oblivious) greedy
+  double avg_delta_bindings_ = 0.0; // EWMA over maintained batches
   std::shared_ptr<learned::Mlp> learned_mlp_;
   unsigned num_threads_ = 0;   // 0 = auto (hardware_concurrency)
   unsigned exec_threads_ = 0;  // 0 = auto intra-query dop (budgeted)
@@ -490,6 +515,8 @@ class SofosEngine {
   LatencyHistogram* exec_hist_ = metrics_.Histogram("sofos_engine_exec_micros");
   LatencyHistogram* maintain_hist_ =
       metrics_.Histogram("sofos_engine_maintain_micros");
+  LatencyHistogram* maintain_bindings_hist_ =
+      metrics_.Histogram("sofos_engine_maintain_delta_bindings");
   LatencyHistogram* publish_hist_ =
       metrics_.Histogram("sofos_engine_publish_micros");
   MetricCounter* queries_total_ = metrics_.Counter("sofos_engine_queries_total");
@@ -502,6 +529,12 @@ class SofosEngine {
       metrics_.Counter("sofos_engine_deletes_applied_total");
   MetricCounter* reselect_recommended_total_ =
       metrics_.Counter("sofos_engine_reselect_recommended_total");
+  MetricCounter* maintain_mode_delta_total_ =
+      metrics_.Counter("sofos_maintain_mode_total{mode=\"delta\"}");
+  MetricCounter* maintain_mode_full_total_ =
+      metrics_.Counter("sofos_maintain_mode_total{mode=\"full\"}");
+  MetricCounter* maintain_mode_skip_total_ =
+      metrics_.Counter("sofos_maintain_mode_total{mode=\"skip\"}");
   MetricCounter* publishes_total_ =
       metrics_.Counter("sofos_engine_publishes_total");
   mutable std::mutex snapshot_mu_;  // guards snapshot_ (the published slot)

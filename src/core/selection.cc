@@ -106,6 +106,15 @@ SelectionResult GreedySelector::SelectImpl(size_t max_views, uint64_t byte_budge
         double gain = cur[w] - view_cost[v];
         if (gain > 0) sum += (*weights)[w] * gain;
       }
+      if (penalty_.update_rate > 0) {
+        // Update-aware refinement: charge the candidate its expected
+        // maintenance cost (see MaintenancePenalty). Guarded so the
+        // update-oblivious path stays bit-identical.
+        const double per_row = penalty_.bindings_per_update /
+                               std::max(1.0, penalty_.root_rows);
+        sum = std::max(
+            0.0, sum - penalty_.update_rate * per_row * view_cost[v]);
+      }
       benefit[v] = sum;
       eligible[v] = 1;
     });

@@ -34,6 +34,26 @@ using QueryWeights = std::vector<double>;
 
 QueryWeights UniformWeights(size_t lattice_size);
 
+/// Update-aware selection signal: the expected cost of keeping a candidate
+/// view fresh, subtracted from its greedy benefit (the update-aware
+/// refinement of HRU benefit à la Goasdoué et al.). The per-update work a
+/// view causes is estimated as the measured Δ-bindings rate normalized by
+/// the root-view size (the fraction of the root the average batch
+/// touches) times the candidate's own cost (its repair work scales with
+/// its size in the same model units the benefit is expressed in):
+///
+///   penalty(V) = update_rate · bindings_per_update / max(1, root_rows)
+///                · C(V)
+///
+/// update_rate = 0 disables the penalty entirely and MUST keep selection
+/// byte-identical to the classic greedy (the determinism contract bench
+/// and test suites pin down).
+struct MaintenancePenalty {
+  double update_rate = 0.0;          // expected update batches per query
+  double bindings_per_update = 0.0;  // measured Δ-bindings EWMA per batch
+  double root_rows = 0.0;            // current root-view group count
+};
+
 /// Greedy benefit-based view selection (Harinarayan–Rajaraman–Ullman 1996,
 /// adapted to cost models over RDF views — paper §3: "to select the best
 /// set of views, we adopt a greedy approach").
@@ -59,6 +79,11 @@ class GreedySelector {
                  const CostModel* model, ThreadPool* pool = nullptr)
       : lattice_(lattice), profile_(profile), model_(model), pool_(pool) {}
 
+  /// Enables the update-aware benefit penalty (see MaintenancePenalty).
+  void SetMaintenancePenalty(const MaintenancePenalty& penalty) {
+    penalty_ = penalty;
+  }
+
   /// Selects exactly `k` views (or the whole lattice if k >= 2^d).
   SelectionResult SelectTopK(size_t k, const QueryWeights* weights = nullptr,
                              uint64_t seed = 42) const;
@@ -78,6 +103,7 @@ class GreedySelector {
   const LatticeProfile* profile_;
   const CostModel* model_;
   ThreadPool* pool_;  // not owned; nullptr = serial evaluation
+  MaintenancePenalty penalty_;  // update_rate 0 = classic greedy
 };
 
 /// The "User defined" strategy (paper §3.1): the user picks the views.

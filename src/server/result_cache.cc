@@ -108,7 +108,7 @@ bool ResultCache::Lookup(const std::string& key, std::string* payload) {
 
 void ResultCache::Insert(const std::string& key, uint64_t epoch,
                          std::string payload, double cost_micros,
-                         double ttl_seconds) {
+                         double ttl_seconds, const std::string& view) {
   if (cost_micros < min_cost_micros_) {
     // Below the admission floor: recomputing this answer is cheaper than
     // the cache pressure it would add — keep the budget for expensive
@@ -132,14 +132,71 @@ void ResultCache::Insert(const std::string& key, uint64_t epoch,
     it->second->epoch = epoch;
     it->second->inserted_at = now;
     it->second->ttl_seconds = ttl;
+    it->second->view = view;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
   shard.bytes += payload.size();
-  shard.lru.push_front(Entry{key, std::move(payload), epoch, now, ttl});
+  shard.lru.push_front(Entry{key, std::move(payload), epoch, now, ttl, view});
   shard.index.emplace(key, shard.lru.begin());
   ++shard.insertions;
   EvictOverflow(&shard);
+}
+
+uint64_t ResultCache::CarryForward(
+    uint64_t old_epoch, uint64_t new_epoch,
+    const std::vector<std::string>& untouched_views) {
+  if (untouched_views.empty() || new_epoch <= old_epoch) return 0;
+
+  // Phase 1: extract qualifying entries shard by shard (one lock at a
+  // time). Re-keying moves an entry to a different shard in general, so
+  // reinsertion cannot happen under the source shard's lock without
+  // risking lock-order cycles.
+  std::vector<Entry> carried;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      const bool eligible =
+          it->epoch == old_epoch && !it->view.empty() &&
+          std::find(untouched_views.begin(), untouched_views.end(),
+                    it->view) != untouched_views.end();
+      if (!eligible) {
+        ++it;
+        continue;
+      }
+      shard.bytes -= it->payload.size();
+      shard.index.erase(it->key);
+      carried.push_back(std::move(*it));
+      it = shard.lru.erase(it);
+    }
+  }
+
+  // Phase 2: rewrite the epoch component (the middle of the three
+  // \x1f-separated fields — split from the end, since \x1f cannot occur
+  // in the epoch or flags but query text is arbitrary bytes) and reinsert
+  // into the new key's home shard.
+  uint64_t count = 0;
+  for (Entry& entry : carried) {
+    const size_t flag_sep = entry.key.rfind('\x1f');
+    if (flag_sep == std::string::npos || flag_sep == 0) continue;
+    const size_t epoch_sep = entry.key.rfind('\x1f', flag_sep - 1);
+    if (epoch_sep == std::string::npos) continue;
+    std::string new_key = entry.key.substr(0, epoch_sep + 1) +
+                          std::to_string(new_epoch) +
+                          entry.key.substr(flag_sep);
+    entry.key = std::move(new_key);
+    entry.epoch = new_epoch;
+    Shard& shard = ShardFor(entry.key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.index.count(entry.key) > 0) continue;  // fresher answer won
+    shard.bytes += entry.payload.size();
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(shard.lru.front().key, shard.lru.begin());
+    ++count;
+    EvictOverflow(&shard);
+  }
+  carried_forward_.fetch_add(count, std::memory_order_relaxed);
+  return count;
 }
 
 void ResultCache::EvictOverflow(Shard* shard) {
@@ -181,6 +238,7 @@ ResultCacheStats ResultCache::Stats() const {
   ResultCacheStats stats;
   stats.admission_rejects =
       admission_rejects_.load(std::memory_order_relaxed);
+  stats.carried_forward = carried_forward_.load(std::memory_order_relaxed);
   stats.age_at_hit = age_at_hit_.TakeSnapshot();
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -57,6 +57,7 @@ struct ResultCacheStats {
   uint64_t invalidations = 0;      // epoch-bump evictions
   uint64_t admission_rejects = 0;  // inserts refused by the cost floor
   uint64_t ttl_expired = 0;        // lookups that found an expired entry
+  uint64_t carried_forward = 0;    // entries re-keyed across an epoch bump
   uint64_t entries = 0;            // current
   uint64_t bytes = 0;              // current payload bytes
   /// Distribution of entry age at hit time (micros since insertion):
@@ -97,10 +98,25 @@ class ResultCache {
   /// execution cost; the infinity default means "cost unknown, admit").
   /// `ttl_seconds` caps the entry's lifetime: negative (the default)
   /// inherits options.default_ttl_seconds, 0 never expires, positive is a
-  /// per-entry override.
+  /// per-entry override. `view` labels the materialized view the answer
+  /// was routed through ("" = answered from the base graph / unrouted):
+  /// the CarryForward eligibility tag.
   void Insert(const std::string& key, uint64_t epoch, std::string payload,
               double cost_micros = std::numeric_limits<double>::infinity(),
-              double ttl_seconds = -1.0);
+              double ttl_seconds = -1.0, const std::string& view = "");
+
+  /// Re-keys entries from `old_epoch` to `new_epoch` when the view that
+  /// produced them was untouched by the intervening maintenance pass:
+  /// routed answers are pure functions of their view's rows, so an update
+  /// whose per-view diff is empty (ViewMaintenance::touched() false)
+  /// cannot have changed them. `untouched_views` lists the view labels
+  /// (as passed to Insert) that qualify; base-graph entries (view == "")
+  /// never qualify — the base graph changed by definition of an update.
+  /// Must run before EvictObsolete(new_epoch), which drops whatever was
+  /// not carried. Returns the number of entries carried; also counted in
+  /// ResultCacheStats::carried_forward.
+  uint64_t CarryForward(uint64_t old_epoch, uint64_t new_epoch,
+                        const std::vector<std::string>& untouched_views);
 
   /// Eagerly drops every entry from an epoch < `live_epoch` (they can
   /// never hit again). Called by the server after publishing a snapshot.
@@ -118,6 +134,7 @@ class ResultCache {
     uint64_t epoch = 0;
     double inserted_at = 0.0;  // clock seconds at Insert time
     double ttl_seconds = 0.0;  // 0 = never expires
+    std::string view;          // routing label; "" = base-graph answer
   };
 
   struct Shard {
@@ -143,6 +160,7 @@ class ResultCache {
   double default_ttl_seconds_ = 0.0;
   std::function<double()> clock_seconds_;
   std::atomic<uint64_t> admission_rejects_{0};
+  std::atomic<uint64_t> carried_forward_{0};
   LatencyHistogram age_at_hit_;  // micros since insertion, at hit time
   std::vector<Shard> shards_;
 };

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -149,6 +150,7 @@ Status SofosServer::Start() {
         counter("sofos_cache_invalidations_total", cs.invalidations);
         counter("sofos_cache_admission_rejects_total", cs.admission_rejects);
         counter("sofos_cache_ttl_expired_total", cs.ttl_expired);
+        counter("sofos_cache_carried_forward_total", cs.carried_forward);
         gauge("sofos_cache_entries", static_cast<double>(cs.entries));
         gauge("sofos_cache_bytes", static_cast<double>(cs.bytes));
         histogram("sofos_cache_age_at_hit_micros", std::move(cs.age_at_hit));
@@ -204,11 +206,20 @@ uint64_t SofosServer::update_batches_applied() const {
   return update_batches_applied_.load(std::memory_order_relaxed);
 }
 
-Status SofosServer::PublishAndInvalidate() {
+Status SofosServer::PublishAndInvalidate(
+    const std::vector<std::string>* untouched_views) {
+  auto previous = engine_->CurrentSnapshot();
+  const uint64_t previous_epoch = previous != nullptr ? previous->epoch() : 0;
   SOFOS_ASSIGN_OR_RETURN(auto snapshot, engine_->PublishSnapshot());
   if (options_.retain_snapshots) {
     std::lock_guard<std::mutex> lock(retained_mu_);
     retained_[snapshot->epoch()] = snapshot;
+  }
+  // Carry still-exact routed answers across the epoch bump before the
+  // eager eviction drops everything that was not carried.
+  if (untouched_views != nullptr && !untouched_views->empty() &&
+      previous != nullptr && snapshot->epoch() > previous_epoch) {
+    cache_.CarryForward(previous_epoch, snapshot->epoch(), *untouched_views);
   }
   cache_.EvictObsolete(snapshot->epoch());
   return Status::OK();
@@ -398,10 +409,14 @@ void SofosServer::HandleQuery(const std::string& arg, std::string* out) {
   if (cache_enabled) {
     // The measured execution cost drives cost-aware admission: answers
     // cheaper than the configured floor are recomputed instead of cached.
+    // Routed answers are tagged with their view label so an update that
+    // provably leaves the view unchanged can carry them forward across
+    // the epoch bump; base-graph answers ("") are always invalidated.
     cache_.Insert(key, snapshot->epoch(),
                   PackCacheEntry(outcome->result_rows,
                                  outcome->result.NumCols(), view, body),
-                  outcome->micros);
+                  outcome->micros, /*ttl_seconds=*/-1.0,
+                  outcome->used_view ? view : "");
   }
 }
 
@@ -457,13 +472,19 @@ void SofosServer::HandleUpdate(const std::string& arg, std::string* out) {
         99 + update_batches_applied_.load(std::memory_order_relaxed);
     auto stream = workload::GenerateUpdateStream(
         engine_->base_snapshot(), engine_->store()->dictionary(), options);
+    // Union of view masks the maintenance passes actually changed, so the
+    // complement's cached answers can be carried across the epoch bump.
+    std::set<uint32_t> touched;
+    bool touched_known = true;
     if (!stream.ok()) {
       status = stream.status();
+      touched_known = false;
     } else {
       for (const auto& delta : *stream) {
         auto result = engine_->ApplyUpdates(delta);
         if (!result.ok()) {
           status = result.status();
+          touched_known = false;  // conservative: invalidate everything
           break;
         }
         update_batches_applied_.fetch_add(1, std::memory_order_relaxed);
@@ -471,11 +492,23 @@ void SofosServer::HandleUpdate(const std::string& arg, std::string* out) {
         deletes += result->deletes_applied;
         drift = result->staleness;
         reselect = result->reselect_recommended;
+        for (const auto& vm : result->maintenance.views) {
+          if (vm.touched()) touched.insert(vm.mask);
+        }
+      }
+    }
+    std::vector<std::string> untouched;
+    if (touched_known) {
+      for (uint32_t mask : engine_->MaterializedMasks()) {
+        if (touched.count(mask) == 0) {
+          untouched.push_back(std::to_string(mask));
+        }
       }
     }
     // Publish whatever state was reached — even a partial multi-batch
     // failure must not leave sessions reading a retired epoch forever.
-    Status publish = PublishAndInvalidate();
+    Status publish =
+        PublishAndInvalidate(touched_known ? &untouched : nullptr);
     if (status.ok()) status = publish;
     epoch = engine_->epoch();
   }
@@ -598,7 +631,8 @@ void SofosServer::HandleStats(std::string* out) {
       "\"update_batches\": %llu, \"cache_entries\": %llu, "
       "\"cache_bytes\": %llu, \"cache_evictions\": %llu, "
       "\"cache_invalidations\": %llu, \"cache_admission_rejects\": %llu, "
-      "\"cache_ttl_expired\": %llu, \"cache_age_at_hit_p50_us\": %.1f}",
+      "\"cache_ttl_expired\": %llu, \"cache_carried_forward\": %llu, "
+      "\"cache_age_at_hit_p50_us\": %.1f}",
       static_cast<unsigned long long>(snapshot ? snapshot->epoch() : 0),
       static_cast<unsigned long long>(snapshot ? snapshot->num_triples() : 0),
       static_cast<unsigned long long>(batches),
@@ -608,6 +642,7 @@ void SofosServer::HandleStats(std::string* out) {
       static_cast<unsigned long long>(cache_stats.invalidations),
       static_cast<unsigned long long>(cache_stats.admission_rejects),
       static_cast<unsigned long long>(cache_stats.ttl_expired),
+      static_cast<unsigned long long>(cache_stats.carried_forward),
       cache_stats.age_at_hit.P50());
   // Snapshot-publication latency (the O(changed shards) path): observable
   // online so the COW clone win shows up directly in STATS.

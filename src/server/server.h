@@ -115,8 +115,13 @@ class SofosServer {
   void HandleMetrics(std::string* out);
 
   /// Publishes the engine's current epoch and eagerly invalidates dead
-  /// cache entries. Caller must hold update_mu_.
-  Status PublishAndInvalidate();
+  /// cache entries. When `untouched_views` is non-null, cached answers
+  /// routed through those views are first re-keyed to the new epoch
+  /// (ResultCache::CarryForward) instead of evicted — the update provably
+  /// left their source view unchanged, so the answers are still exact.
+  /// Caller must hold update_mu_.
+  Status PublishAndInvalidate(
+      const std::vector<std::string>* untouched_views = nullptr);
 
   core::SofosEngine* engine_;
   ServerOptions options_;

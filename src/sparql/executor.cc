@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "sparql/delta_join.h"
 #include "sparql/expression.h"
 #include "sparql/value.h"
 
@@ -1925,6 +1926,209 @@ std::string Executor::RenderAnalyze(const Plan& plan, const ExecStats& stats) {
       static_cast<unsigned long long>(stats.filtered_rows), stats.plan_micros,
       stats.exec_micros, stats.cpu_micros, stats.dop,
       static_cast<unsigned long long>(stats.morsels));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded BGP evaluation (delta_join.h) — the Δ-pattern-join primitive of
+// incremental view maintenance. Lives in this TU to reuse the batch
+// engine's private machinery (BindStep, BuildJoinHashTable, HashKey): the
+// maintenance delta path must emit exactly the match streams a full
+// evaluation would, and sharing the code is how that stays true.
+// ---------------------------------------------------------------------------
+
+VariableTable BgpVariables(const std::vector<TriplePattern>& patterns) {
+  VariableTable vars;
+  for (const TriplePattern& tp : patterns) {
+    for (const PatternTerm* term : {&tp.s, &tp.p, &tp.o}) {
+      if (term->is_var()) vars.GetOrAdd(term->var());
+    }
+  }
+  return vars;
+}
+
+Result<SeededJoinResult> EvaluateSeededBgp(
+    const TripleStore& store, const VariableTable& vars,
+    const std::vector<TriplePattern>& patterns,
+    const std::vector<size_t>& remaining, const std::vector<int>& bound_slots,
+    const std::vector<Row>& seeds) {
+  SeededJoinResult out;
+  if (seeds.empty()) return out;
+  if (remaining.empty()) {
+    out.rows = seeds;
+    out.seed_index.resize(seeds.size());
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      out.seed_index[i] = static_cast<uint32_t>(i);
+    }
+    return out;
+  }
+
+  // ---- Resolve constants and estimate cardinalities (planner step 1). ----
+  struct Candidate {
+    const TriplePattern* pattern = nullptr;
+    std::array<TermId, 3> consts{{kNullTermId, kNullTermId, kNullTermId}};
+    std::array<const std::string*, 3> vars{{nullptr, nullptr, nullptr}};
+    uint64_t est = 0;
+  };
+  const Dictionary& dict = store.dictionary();
+  std::vector<Candidate> candidates;
+  candidates.reserve(remaining.size());
+  for (size_t idx : remaining) {
+    if (idx >= patterns.size()) {
+      return Status::Internal("EvaluateSeededBgp: pattern index out of range");
+    }
+    const TriplePattern& tp = patterns[idx];
+    Candidate c;
+    c.pattern = &tp;
+    const PatternTerm* positions[3] = {&tp.s, &tp.p, &tp.o};
+    for (int i = 0; i < 3; ++i) {
+      if (positions[i]->is_var()) {
+        c.vars[i] = &positions[i]->var();
+      } else {
+        auto id = dict.Lookup(positions[i]->term());
+        if (!id.has_value()) return out;  // constant absent: sub-BGP is empty
+        c.consts[i] = *id;
+      }
+    }
+    c.est = store.Count(c.consts[0], c.consts[1], c.consts[2]);
+    candidates.push_back(std::move(c));
+  }
+
+  // ---- Greedy order (planner step 2, seeds pre-binding bound_slots). ----
+  std::unordered_set<std::string> bound;
+  for (int slot : bound_slots) {
+    if (slot < 0 || static_cast<size_t>(slot) >= vars.size()) {
+      return Status::Internal("EvaluateSeededBgp: bound slot out of range");
+    }
+    bound.insert(vars.names()[static_cast<size_t>(slot)]);
+  }
+  std::vector<PatternStep> steps;
+  steps.reserve(candidates.size());
+  std::vector<bool> used(candidates.size(), false);
+  for (size_t step_idx = 0; step_idx < candidates.size(); ++step_idx) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (const auto* var : candidates[i].vars) {
+        if (var != nullptr && bound.count(*var) > 0) {
+          connected = true;
+          break;
+        }
+      }
+      // Prefer connected patterns; break ties by cardinality, then by the
+      // position in `remaining` (first wins) — fully deterministic.
+      if (best >= 0 && !connected && best_connected) continue;
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           candidates[i].est < candidates[static_cast<size_t>(best)].est)) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    Candidate& chosen = candidates[static_cast<size_t>(best)];
+    used[static_cast<size_t>(best)] = true;
+
+    PatternStep step;
+    step.pattern = *chosen.pattern;
+    step.consts = chosen.consts;
+    step.est_cardinality = chosen.est;
+    step.connected = best_connected;
+    for (int i = 0; i < 3; ++i) {
+      if (chosen.vars[i] != nullptr && bound.count(*chosen.vars[i]) > 0) {
+        step.key_positions.push_back(i);
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      if (chosen.vars[i] != nullptr) {
+        auto slot = vars.Get(*chosen.vars[i]);
+        if (!slot.has_value()) {
+          return Status::Internal("EvaluateSeededBgp: variable ?" +
+                                  *chosen.vars[i] + " missing from layout");
+        }
+        step.slots[i] = *slot;
+        bound.insert(*chosen.vars[i]);
+      } else {
+        step.slots[i] = -1;
+      }
+    }
+    bool bound_pos[3];
+    for (int f = 0; f < 3; ++f) {
+      bound_pos[f] = step.consts[f] != kNullTermId ||
+                     std::find(step.key_positions.begin(),
+                               step.key_positions.end(),
+                               f) != step.key_positions.end();
+    }
+    step.match_order =
+        TripleStore::ScanFieldOrder(bound_pos[0], bound_pos[1], bound_pos[2]);
+    steps.push_back(std::move(step));
+  }
+
+  // ---- Materialized stage-by-stage execution. ----
+  const size_t width = vars.size();
+  std::vector<Row> cur = seeds;
+  for (const Row& row : cur) {
+    if (row.size() != width) {
+      return Status::Internal("EvaluateSeededBgp: seed width mismatch");
+    }
+  }
+  std::vector<uint32_t> sidx(cur.size());
+  for (size_t i = 0; i < sidx.size(); ++i) sidx[i] = static_cast<uint32_t>(i);
+
+  ExecStats build_stats;
+  for (const PatternStep& step : steps) {
+    if (cur.empty()) break;
+    // Same hash-build-vs-index-probe decision as the batch planner, with
+    // the *actual* probe-side row count instead of an estimate.
+    std::unique_ptr<internal::JoinHashTable> table;
+    if (!step.key_positions.empty() && step.est_cardinality > 0 &&
+        step.est_cardinality <= kHashBuildMaxRows &&
+        cur.size() >= kHashProbeMinRows &&
+        cur.size() >= kHashProbePerBuildRow * step.est_cardinality) {
+      table = BuildJoinHashTable(&store, step, &build_stats);
+    }
+    std::vector<Row> next;
+    std::vector<uint32_t> nidx;
+    for (size_t r = 0; r < cur.size(); ++r) {
+      const Row& row = cur[r];
+      TermId ids[3];
+      for (int i = 0; i < 3; ++i) {
+        ids[i] = step.slots[i] >= 0 ? row[static_cast<size_t>(step.slots[i])]
+                                    : step.consts[i];
+      }
+      const Triple* begin = nullptr;
+      const Triple* end = nullptr;
+      TripleStore::ScanRange range;  // keeps compact-layout backing alive
+      if (table != nullptr) {
+        HashKey key;
+        for (int pos : step.key_positions) {
+          key.v[static_cast<size_t>(pos)] = ids[pos];
+        }
+        auto it = table->ranges.find(key);
+        if (it == table->ranges.end()) continue;
+        begin = table->triples.data() + it->second.offset;
+        end = begin + it->second.length;
+      } else {
+        range = store.Scan(ids[0], ids[1], ids[2]);
+        begin = range.begin();
+        end = range.end();
+      }
+      for (const Triple* t = begin; t != end; ++t) {
+        ++out.rows_scanned;
+        Row extended = row;
+        if (BindStep(step, *t, &extended)) {
+          next.push_back(std::move(extended));
+          nidx.push_back(sidx[r]);
+        }
+      }
+    }
+    cur = std::move(next);
+    sidx = std::move(nidx);
+  }
+  out.rows_scanned += build_stats.rows_scanned;
+  out.rows = std::move(cur);
+  out.seed_index = std::move(sidx);
   return out;
 }
 

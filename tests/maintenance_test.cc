@@ -454,6 +454,240 @@ TEST(ViewMaintenanceTest, ReservedVocabularyRejected) {
   EXPECT_FALSE(outcome.ok());
 }
 
+using core::maintenance::MaintainMode;
+using core::maintenance::MaintainOptions;
+
+/// Engine over `dataset` with 3 greedily selected views and the given
+/// maintenance-mode policy.
+void SetUpMaintenanceEngine(core::SofosEngine* engine,
+                            const std::string& dataset,
+                            MaintainOptions::Mode mode,
+                            unsigned num_threads = 1) {
+  testing::SetUpEngine(engine, dataset);
+  engine->SetNumThreads(num_threads);
+  testing::MustProfile(engine);
+  core::TripleCountCostModel model;
+  SOFOS_ASSERT_OK_AND_ASSIGN(auto selection, engine->SelectViews(model, 3));
+  SOFOS_ASSERT_OK(engine->MaterializeSelection(selection).status());
+  MaintainOptions options;
+  options.mode = mode;
+  engine->SetMaintainOptions(options);
+}
+
+/// Tentpole equivalence property: the delta-rule path and the
+/// recompute-and-diff path must produce byte-identical maintained graphs
+/// (fresh blank labels included) across every delta shape.
+TEST(DeltaMaintenanceTest, DeltaMatchesFullAcrossShapes) {
+  for (const std::string& dataset : {"geopop", "lubm"}) {
+    core::SofosEngine delta_engine, full_engine;
+    SetUpMaintenanceEngine(&delta_engine, dataset,
+                           MaintainOptions::Mode::kForceDelta);
+    SetUpMaintenanceEngine(&full_engine, dataset,
+                           MaintainOptions::Mode::kForceFull);
+
+    // Adds-only, deletes-only and mixed batches, in sequence over the
+    // same evolving graph.
+    const double delete_fractions[] = {0.0, 1.0, 0.5};
+    int shape = 0;
+    for (double delete_fraction : delete_fractions) {
+      SCOPED_TRACE(dataset + " delete_fraction=" +
+                   std::to_string(delete_fraction));
+      workload::UpdateStreamOptions options;
+      options.num_batches = 1;
+      options.batch_fraction = 0.03;
+      options.delete_fraction = delete_fraction;
+      options.seed = 17 + shape++;
+      SOFOS_ASSERT_OK_AND_ASSIGN(
+          auto stream, workload::GenerateUpdateStream(
+                           delta_engine.base_snapshot(),
+                           delta_engine.store()->dictionary(), options));
+      SOFOS_ASSERT_OK_AND_ASSIGN(auto delta_out,
+                                 delta_engine.ApplyUpdates(stream[0]));
+      SOFOS_ASSERT_OK_AND_ASSIGN(auto full_out,
+                                 full_engine.ApplyUpdates(stream[0]));
+      if (!delta_out.maintenance.skipped) {
+        EXPECT_EQ(delta_out.maintenance.mode, MaintainMode::kDelta)
+            << delta_out.maintenance.Summary();
+        EXPECT_EQ(full_out.maintenance.mode, MaintainMode::kFull);
+      }
+      ASSERT_EQ(DecodedTriples(*delta_engine.store()),
+                DecodedTriples(*full_engine.store()));
+
+      // Satellite: ApplyUpdates refreshes the profile's view sizes from
+      // the maintained row counts — no re-profiling, yet routing and
+      // staleness see fresh numbers.
+      for (const core::MaterializedView& mv : delta_engine.materialized()) {
+        EXPECT_EQ(delta_engine.profile()->ForMask(mv.mask).result_rows,
+                  mv.rows)
+            << "mask " << mv.mask;
+      }
+      uint32_t root_mask = delta_engine.facet().FullMask();
+      EXPECT_EQ(
+          delta_engine.profile()->ForMask(root_mask).result_rows,
+          MustExecute(delta_engine.store(),
+                      delta_engine.facet().ViewQuerySparql(root_mask))
+              .NumRows());
+    }
+  }
+}
+
+TEST(DeltaMaintenanceTest, NoOpAndCancellingDeltasStayOnDeltaPath) {
+  core::SofosEngine engine;
+  SetUpMaintenanceEngine(&engine, "geopop", MaintainOptions::Mode::kForceDelta);
+
+  // A base triple that carries a facet-pattern predicate (updates sample
+  // from exactly this population).
+  workload::UpdateStreamOptions options;
+  options.num_batches = 1;
+  options.batch_fraction = 0.02;
+  options.delete_fraction = 1.0;
+  options.seed = 23;
+  SOFOS_ASSERT_OK_AND_ASSIGN(
+      auto stream,
+      workload::GenerateUpdateStream(engine.base_snapshot(),
+                                     engine.store()->dictionary(), options));
+  ASSERT_FALSE(stream[0].deletes.empty());
+  TermTriple present = stream[0].deletes[0];
+
+  std::vector<std::string> before = DecodedTriples(*engine.store());
+
+  // Delete-then-readd of the same triple: the add wins, the effective
+  // delta is empty, and the delta path must recognize the no-op.
+  GraphDelta cancelling;
+  cancelling.adds.push_back(present);
+  cancelling.deletes.push_back(present);
+  SOFOS_ASSERT_OK_AND_ASSIGN(auto outcome, engine.ApplyUpdates(cancelling));
+  EXPECT_FALSE(outcome.maintenance.skipped);
+  EXPECT_EQ(outcome.maintenance.mode, MaintainMode::kDelta);
+  EXPECT_EQ(outcome.maintenance.delta_bindings, 0u);
+  EXPECT_EQ(outcome.maintenance.root_rows_changed, 0u);
+  EXPECT_EQ(DecodedTriples(*engine.store()), before);
+
+  // Add of a present triple + delete of an absent one: also effectively
+  // empty.
+  GraphDelta noop;
+  noop.adds.push_back(present);
+  noop.deletes.push_back(TermTriple{Term::Iri("http://example.org/ghost"),
+                                    present.p, Term::Integer(123456)});
+  SOFOS_ASSERT_OK_AND_ASSIGN(auto outcome2, engine.ApplyUpdates(noop));
+  EXPECT_EQ(outcome2.maintenance.mode, MaintainMode::kDelta);
+  EXPECT_EQ(outcome2.maintenance.root_rows_changed, 0u);
+  EXPECT_EQ(DecodedTriples(*engine.store()), before);
+}
+
+TEST(DeltaMaintenanceTest, MinMaxGroupsFallBackToTargetedReeval) {
+  // MAX is not additively repairable: every touched group must be
+  // re-evaluated exactly (regrouped_keys), and the result must still be
+  // byte-identical to full recompute.
+  auto make = [](core::SofosEngine* engine, MaintainOptions::Mode mode) {
+    TripleStore store;
+    store.SetShardCount(engine->ResolvedShardCount());
+    auto spec =
+        datagen::GenerateByName("geopop", datagen::Scale::kTiny, 42, &store);
+    ASSERT_TRUE(spec.ok());
+    std::string max_facet = spec->facet_sparql;
+    size_t pos = max_facet.find("SUM(?pop)");
+    ASSERT_NE(pos, std::string::npos);
+    max_facet.replace(pos, 9, "MAX(?pop)");
+    auto facet = core::Facet::FromSparql(max_facet, "geomax", spec->dim_labels);
+    ASSERT_TRUE(facet.ok()) << facet.status().ToString();
+    SOFOS_ASSERT_OK(engine->LoadStore(std::move(store)));
+    SOFOS_ASSERT_OK(engine->SetFacet(std::move(facet).value()));
+    testing::MustProfile(engine);
+    SOFOS_ASSERT_OK(
+        engine->MaterializeViews({engine->facet().FullMask(), 0}).status());
+    MaintainOptions options;
+    options.mode = mode;
+    engine->SetMaintainOptions(options);
+  };
+  core::SofosEngine delta_engine, full_engine;
+  make(&delta_engine, MaintainOptions::Mode::kForceDelta);
+  make(&full_engine, MaintainOptions::Mode::kForceFull);
+
+  workload::UpdateStreamOptions options;
+  options.num_batches = 2;
+  options.batch_fraction = 0.05;
+  options.delete_fraction = 1.0;  // deletes can retract a group's max
+  options.seed = 31;
+  SOFOS_ASSERT_OK_AND_ASSIGN(
+      auto stream, workload::GenerateUpdateStream(
+                       delta_engine.base_snapshot(),
+                       delta_engine.store()->dictionary(), options));
+  uint64_t regrouped = 0;
+  for (const GraphDelta& delta : stream) {
+    SOFOS_ASSERT_OK_AND_ASSIGN(auto delta_out,
+                               delta_engine.ApplyUpdates(delta));
+    SOFOS_ASSERT_OK(full_engine.ApplyUpdates(delta).status());
+    if (!delta_out.maintenance.skipped) {
+      EXPECT_EQ(delta_out.maintenance.mode, MaintainMode::kDelta);
+    }
+    regrouped += delta_out.maintenance.regrouped_keys;
+    ASSERT_EQ(DecodedTriples(*delta_engine.store()),
+              DecodedTriples(*full_engine.store()));
+  }
+  EXPECT_GT(regrouped, 0u)
+      << "MIN/MAX deltas must exercise the targeted re-evaluation path";
+}
+
+TEST(DeltaMaintenanceTest, CrossoverPolicySwitchesModes) {
+  core::SofosEngine engine;
+  SetUpMaintenanceEngine(&engine, "geopop", MaintainOptions::Mode::kAuto);
+
+  workload::UpdateStreamOptions options;
+  options.num_batches = 2;
+  options.batch_fraction = 0.02;
+  options.seed = 37;
+  SOFOS_ASSERT_OK_AND_ASSIGN(
+      auto stream,
+      workload::GenerateUpdateStream(engine.base_snapshot(),
+                                     engine.store()->dictionary(), options));
+
+  // A zero crossover classifies every non-empty delta as "large": the
+  // fallback full recompute must kick in.
+  MaintainOptions full_biased;
+  full_biased.crossover_fraction = 0.0;
+  engine.SetMaintainOptions(full_biased);
+  SOFOS_ASSERT_OK_AND_ASSIGN(auto full_out, engine.ApplyUpdates(stream[0]));
+  ASSERT_FALSE(full_out.maintenance.skipped);
+  EXPECT_EQ(full_out.maintenance.mode, MaintainMode::kFull);
+
+  // A permissive crossover keeps the same-sized delta on the delta path.
+  MaintainOptions delta_biased;
+  delta_biased.crossover_fraction = 1.0;
+  engine.SetMaintainOptions(delta_biased);
+  SOFOS_ASSERT_OK_AND_ASSIGN(auto delta_out, engine.ApplyUpdates(stream[1]));
+  ASSERT_FALSE(delta_out.maintenance.skipped);
+  EXPECT_EQ(delta_out.maintenance.mode, MaintainMode::kDelta);
+}
+
+TEST(DeltaMaintenanceTest, DeltaPathThreadCountInvariance) {
+  // The delta path's maintained graph — fresh blank labels included —
+  // must be byte-identical no matter how many threads maintain it.
+  auto run = [](unsigned num_threads) {
+    core::SofosEngine engine;
+    SetUpMaintenanceEngine(&engine, "geopop",
+                           MaintainOptions::Mode::kForceDelta, num_threads);
+    workload::UpdateStreamOptions options;
+    options.num_batches = 2;
+    options.batch_fraction = 0.05;
+    options.seed = 13;
+    auto stream = workload::GenerateUpdateStream(
+        engine.base_snapshot(), engine.store()->dictionary(), options);
+    EXPECT_TRUE(stream.ok());
+    for (const GraphDelta& delta : *stream) {
+      auto outcome = engine.ApplyUpdates(delta);
+      EXPECT_TRUE(outcome.ok());
+      if (outcome.ok() && !outcome->maintenance.skipped) {
+        EXPECT_EQ(outcome->maintenance.mode, MaintainMode::kDelta);
+      }
+    }
+    return DecodedTriples(*engine.store());
+  };
+  std::vector<std::string> serial = run(1);
+  std::vector<std::string> parallel = run(4);
+  EXPECT_EQ(serial, parallel);
+}
+
 TEST(StalenessTest, DriftTriggersReselection) {
   core::SofosEngine engine;
   testing::SetUpEngine(&engine, "geopop");

@@ -234,6 +234,47 @@ TEST(ResultCacheTest, EpochInvalidation) {
   EXPECT_EQ(stats.entries, 1u);
 }
 
+TEST(ResultCacheTest, CarryForwardKeepsUntouchedViewAnswers) {
+  ResultCache cache;
+  std::string q1 = "SELECT ?a WHERE { ?a ?p 1 }";
+  std::string q2 = "SELECT ?b WHERE { ?b ?p 2 }";
+  std::string q3 = "SELECT ?c WHERE { ?c ?p 3 }";
+  const double inf = std::numeric_limits<double>::infinity();
+  // Routed answers carry their view label; base answers carry "".
+  cache.Insert(ResultCache::MakeKey(q1, 1, true), 1, "view3-answer", inf,
+               -1.0, "3");
+  cache.Insert(ResultCache::MakeKey(q2, 1, true), 1, "view5-answer", inf,
+               -1.0, "5");
+  cache.Insert(ResultCache::MakeKey(q3, 1, true), 1, "base-answer", inf,
+               -1.0, "");
+
+  // The update touched view 5 but not view 3: only view 3's answer is
+  // still provably exact and survives the epoch bump.
+  EXPECT_EQ(cache.CarryForward(1, 2, {"3"}), 1u);
+  cache.EvictObsolete(2);
+
+  std::string payload;
+  EXPECT_TRUE(cache.Lookup(ResultCache::MakeKey(q1, 2, true), &payload));
+  EXPECT_EQ(payload, "view3-answer");
+  EXPECT_FALSE(cache.Lookup(ResultCache::MakeKey(q1, 1, true), &payload));
+  EXPECT_FALSE(cache.Lookup(ResultCache::MakeKey(q2, 2, true), &payload));
+  EXPECT_FALSE(cache.Lookup(ResultCache::MakeKey(q3, 2, true), &payload));
+
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.carried_forward, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // A fresher answer at the new epoch wins over a carried one.
+  cache.Insert(ResultCache::MakeKey(q1, 2, true), 2, "recomputed", inf, -1.0,
+               "3");
+  EXPECT_TRUE(cache.Lookup(ResultCache::MakeKey(q1, 2, true), &payload));
+  EXPECT_EQ(payload, "recomputed");
+
+  // No qualifying views or a non-advancing epoch carries nothing.
+  EXPECT_EQ(cache.CarryForward(2, 3, {}), 0u);
+  EXPECT_EQ(cache.CarryForward(2, 2, {"3"}), 0u);
+}
+
 TEST(ResultCacheTest, ConcurrentHitMissUnderPool) {
   ResultCache cache;
   ThreadPool pool(4);
