@@ -7,6 +7,12 @@
 ///   mixed  same traffic with a concurrent UPDATE stream (epoch bumps
 ///          invalidate the cache; queries keep serving on snapshots)
 ///
+/// plus a telemetry-overhead A/B: the warm phase re-run on a fresh server
+/// with the whole observability stack off (no sampler, no recorder, no
+/// HTTP listener) and again with it on at an aggressive 0.25 s sampling
+/// period — `telemetry_overhead_pct` is the warm-qps cost of always-on
+/// telemetry (acceptance: small single digits).
+///
 ///   ./bench_server [json_path]
 ///
 /// With `json_path` the results are written as BENCH_server.json (the
@@ -33,6 +39,12 @@ using namespace sofos;
 
 constexpr int kClients = 4;
 constexpr int kWarmPasses = 5;
+// Telemetry A/B phases: each measured arm runs ~150ms (kAbPasses sweeps)
+// and the off/on pair is alternated kAbRounds times — best round per arm —
+// so the overhead figure resolves a few-percent delta above run-to-run
+// scheduler/frequency noise.
+constexpr int kAbPasses = 100;
+constexpr int kAbRounds = 3;
 // Long enough that the concurrent UPDATE batches land (and invalidate the
 // cache) inside the measurement window, not after it.
 constexpr int kMixedPasses = 30;
@@ -121,7 +133,7 @@ PhaseResult RunPhase(const std::string& name, server::SofosServer* server,
 }
 
 void WriteJson(const std::string& path, const std::vector<PhaseResult>& phases,
-               size_t num_queries) {
+               size_t num_queries, double telemetry_overhead_pct) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -146,7 +158,9 @@ void WriteJson(const std::string& path, const std::vector<PhaseResult>& phases,
         p.latency.MeanMicros(), p.cache_hit_rate,
         i + 1 < phases.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  ");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"telemetry_overhead_pct\": %.2f,\n  ",
+               telemetry_overhead_pct);
   bench::WriteMemoryJson(f);
   std::fprintf(f, "\n}\n");
   std::fclose(f);
@@ -194,6 +208,50 @@ int main(int argc, char** argv) {
   phases.push_back(RunPhase("mixed", &server, *queries, kMixedPasses, true));
   server.Stop();
 
+  // Telemetry A/B: the same warm sweep on a fresh server with the full
+  // observability stack off, then on (sampler at 4 Hz — 4x the serving
+  // default — plus recorder and HTTP listener). Each phase warms its own
+  // cache with one untimed pass first.
+  auto run_telemetry_phase = [&](const std::string& name,
+                                 bool telemetry_on) -> PhaseResult {
+    server::ServerOptions ab_options;
+    ab_options.max_sessions = kClients + 2;
+    ab_options.enable_telemetry = telemetry_on;
+    ab_options.sample_period_seconds = 0.25;
+    ab_options.enable_http = telemetry_on;
+    engine.recorder()->Enable(telemetry_on);
+    server::SofosServer ab_server(&engine, ab_options);
+    if (!ab_server.Start().ok()) {
+      std::fprintf(stderr, "telemetry A/B server start failed\n");
+      return PhaseResult{};
+    }
+    RunPhase("warmup", &ab_server, *queries, 1, false);
+    PhaseResult result =
+        RunPhase(name, &ab_server, *queries, kAbPasses, false);
+    ab_server.Stop();
+    return result;
+  };
+  // A single warm sweep finishes in ~10ms on this container — far too
+  // short to resolve a few-percent qps delta — and back-to-back phases
+  // see ±10% run-order noise (scheduling, frequency). Alternate the two
+  // arms for several rounds and compare each arm's best round: the best
+  // approximates the arm's true capacity, which is what the overhead
+  // figure is about.
+  PhaseResult best_off, best_on;
+  for (int round = 0; round < kAbRounds; ++round) {
+    PhaseResult off = run_telemetry_phase("warm_no_telemetry", false);
+    PhaseResult on = run_telemetry_phase("warm_telemetry", true);
+    if (off.throughput_qps > best_off.throughput_qps) best_off = off;
+    if (on.throughput_qps > best_on.throughput_qps) best_on = on;
+  }
+  phases.push_back(best_off);
+  phases.push_back(best_on);
+  engine.recorder()->Enable(true);
+  const double qps_off = best_off.throughput_qps;
+  const double qps_on = best_on.throughput_qps;
+  const double telemetry_overhead_pct =
+      qps_off > 0 ? (1.0 - qps_on / qps_off) * 100.0 : 0.0;
+
   TablePrinter table({"phase", "requests", "errors", "wall ms", "qps",
                       "p50 us", "p95 us", "p99 us", "hit rate"});
   for (const PhaseResult& p : phases) {
@@ -207,13 +265,18 @@ int main(int argc, char** argv) {
                   TablePrinter::Cell(p.cache_hit_rate, 3)});
   }
   table.Print();
+  std::printf("telemetry overhead: %.2f%% of warm qps\n",
+              telemetry_overhead_pct);
 
-  if (argc > 1) WriteJson(argv[1], phases, queries->size());
+  if (argc > 1) {
+    WriteJson(argv[1], phases, queries->size(), telemetry_overhead_pct);
+  }
 
   std::printf(
       "\nReading: warm beats cold by the cache-hit margin (a hit skips\n"
       "parsing, routing, and execution); mixed shows epoch-snapshot\n"
       "serving under concurrent updates — hit rate drops with each epoch\n"
-      "bump, correctness never does.\n");
+      "bump, correctness never does. The warm_no_telemetry/warm_telemetry\n"
+      "pair isolates the cost of the sampler + recorder + HTTP listener.\n");
   return phases.back().errors == 0 ? 0 : 1;
 }

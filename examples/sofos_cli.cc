@@ -27,6 +27,7 @@
 
 #include "common/metrics_registry.h"
 #include "common/string_util.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/table_printer.h"
@@ -109,7 +110,8 @@ class Cli {
     // observability reads (registry snapshot / Prometheus dump) stay
     // available.
     if (server_ != nullptr && cmd != "serve" && cmd != "client" &&
-        cmd != "help" && cmd != "stats" && cmd != "metrics") {
+        cmd != "help" && cmd != "stats" && cmd != "metrics" &&
+        cmd != "history" && cmd != "slow" && cmd != "record") {
       std::printf(
           "engine is busy serving on port %u: use `client %u <request>`, or "
           "`serve stop` first\n",
@@ -196,6 +198,17 @@ class Cli {
       }
     } else if (cmd == "metrics") {
       std::printf("%s", engine_.metrics()->PrometheusText().c_str());
+    } else if (cmd == "history") {
+      double window = 60.0;
+      double w;
+      if (in >> w) window = w;
+      status = History(window);
+    } else if (cmd == "slow") {
+      status = Slow();
+    } else if (cmd == "record") {
+      std::string sub;
+      in >> sub;
+      status = Record(sub);
     } else if (cmd == "serve") {
       std::string arg;
       in >> arg;
@@ -327,11 +340,18 @@ class Cli {
         "  stats [pretty]       engine metrics registry: one JSON line, or\n"
         "                       aligned counter/gauge/latency tables\n"
         "  metrics              Prometheus text exposition of the registry\n"
+        "  history [sec]        sliding-window rates and interval\n"
+        "                       percentiles from the serving telemetry\n"
+        "                       history (default window 60 s)\n"
+        "  slow                 slow-query captures: ANALYZE + trace\n"
+        "                       diagnostics for over-threshold requests\n"
+        "  record [sub]         workload recorder: status|on|off|clear, or\n"
+        "                       export recorded queries for `run` to replay\n"
         "  serve [port]         start the online server (0/none = ephemeral)\n"
         "  serve stop           stop the online server\n"
         "  client <port> <req>  send one protocol request (QUERY/UPDATE/\n"
-        "                       EXPLAIN/ANALYZE/TRACE/STATS/METRICS/QUIT)\n"
-        "                       and print the response\n"
+        "                       EXPLAIN/ANALYZE/TRACE/STATS/METRICS/\n"
+        "                       HISTORY/SLOW/QUIT) and print the response\n"
         "  load <ds> [scale]    load a dataset: scale is tiny|demo|full or\n"
         "                       a triple target like 100k, 1m (up to 200m)\n"
         "  gen <ds> [scale]     dry-run generation: triple count, timing,\n"
@@ -597,8 +617,14 @@ class Cli {
     std::printf(
         "serving on 127.0.0.1:%u (line protocol: QUERY <sparql> | UPDATE "
         "[n] [frac] | EXPLAIN [sparql] | ANALYZE [sparql] | TRACE <sparql> "
-        "| STATS | METRICS | QUIT)\n",
+        "| STATS | METRICS | HISTORY [sec] | SLOW | QUIT)\n",
         server_->port());
+    if (server_->http_port() != 0) {
+      std::printf(
+          "observability http on 127.0.0.1:%u (GET /metrics /stats "
+          "/history?window=60 /slow /healthz)\n",
+          server_->http_port());
+    }
     return Status::OK();
   }
 
@@ -617,6 +643,71 @@ class Cli {
     }
     if (!response.ok()) {
       return Status::Internal("server replied: " + response.header);
+    }
+    return Status::OK();
+  }
+
+  /// `history [sec]`: sliding-window rates and interval percentiles from
+  /// the server's telemetry history (the HISTORY verb's body).
+  Status History(double window) {
+    if (window <= 0) {
+      return Status::InvalidArgument("usage: history [window_seconds > 0]");
+    }
+    if (server_ == nullptr) {
+      return Status::InvalidArgument(
+          "telemetry history lives in the server's sampler: `serve` first "
+          "(or `client <port> HISTORY <sec>` against a remote one)");
+    }
+    std::printf("%s\n", server_->HistoryJson(window).c_str());
+    return Status::OK();
+  }
+
+  /// `slow`: the slow-query capture ring (ANALYZE + trace diagnostics for
+  /// requests that crossed the server's latency threshold).
+  Status Slow() {
+    if (server_ == nullptr) {
+      return Status::InvalidArgument(
+          "slow-query capture runs in the server: `serve` first");
+    }
+    const server::SlowQueryLog& log = server_->slow_queries();
+    std::printf("captured=%llu suppressed=%llu threshold_us=%.1f\n%s\n",
+                static_cast<unsigned long long>(log.captured_total()),
+                static_cast<unsigned long long>(log.suppressed_total()),
+                log.threshold_micros(), log.ToJson().c_str());
+    return Status::OK();
+  }
+
+  /// `record [on|off|export|clear]`: the engine's workload recorder. With
+  /// no argument prints status; `export` loads the replayable recorded
+  /// queries into the CLI workload so `run` re-profiles observed traffic.
+  Status Record(const std::string& sub) {
+    core::WorkloadRecorder* recorder = engine_.recorder();
+    if (sub.empty() || sub == "status") {
+      std::printf(
+          "recorder %s: %zu/%zu entries (recorded %llu, dropped %llu)\n",
+          recorder->enabled() ? "on" : "off", recorder->size(),
+          recorder->capacity(),
+          static_cast<unsigned long long>(recorder->recorded_total()),
+          static_cast<unsigned long long>(recorder->dropped_total()));
+    } else if (sub == "on" || sub == "off") {
+      recorder->Enable(sub == "on");
+      std::printf("recorder %s\n", sub.c_str());
+    } else if (sub == "clear") {
+      recorder->Clear();
+      std::printf("recorder cleared\n");
+    } else if (sub == "export") {
+      std::vector<core::WorkloadQuery> exported = recorder->ExportWorkload();
+      if (exported.empty()) {
+        return Status::InvalidArgument(
+            "no replayable recorded queries yet (cache hits alone carry no "
+            "signature)");
+      }
+      queries_ = std::move(exported);
+      std::printf("exported %zu recorded queries into the workload "
+                  "(`run` replays them)\n",
+                  queries_.size());
+    } else {
+      return Status::InvalidArgument("usage: record [on|off|export|clear]");
     }
     return Status::OK();
   }
@@ -718,6 +809,36 @@ class Cli {
     if (latencies.num_rows()) latencies.Print();
     if (!counters.num_rows() && !gauges.num_rows() && !latencies.num_rows()) {
       std::printf("(no metrics recorded yet)\n");
+    }
+    PrintTopViews();
+  }
+
+  /// `top`: per-view traffic *rates* over the trailing minute, derived
+  /// from the serving telemetry history (lifetime counters say which view
+  /// was ever hot; rates say which one is hot now). Prints nothing until
+  /// the sampler has two samples inside the window.
+  void PrintTopViews() {
+    if (server_ == nullptr || server_->telemetry() == nullptr) return;
+    TelemetryWindow window = server_->telemetry()->Window(60.0);
+    if (!window.valid) return;
+    const std::string kHits = "sofos_view_hits_total{view=\"";
+    const std::string kBenefit = "sofos_view_benefit_rows_total{view=\"";
+    TablePrinter top({"view", "hits_per_s", "benefit_rows_per_s"});
+    for (const auto& [name, rate] : window.rates) {
+      if (name.rfind(kHits, 0) != 0 || name.size() < kHits.size() + 2) {
+        continue;
+      }
+      std::string label =
+          name.substr(kHits.size(), name.size() - kHits.size() - 2);
+      double benefit_per_s = 0.0;
+      auto it = window.rates.find(kBenefit + label + "\"}");
+      if (it != window.rates.end()) benefit_per_s = it->second.per_second;
+      top.AddRow({label, TablePrinter::Cell(rate.per_second, 2),
+                  TablePrinter::Cell(benefit_per_s, 2)});
+    }
+    if (top.num_rows()) {
+      std::printf("top views (trailing %.0fs):\n", window.window_seconds);
+      top.Print();
     }
   }
 

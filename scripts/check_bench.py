@@ -83,6 +83,16 @@ NEUTRAL = (
     "fraction",
     "bindings",
     "crossover",
+    # Telemetry descriptors: the A/B overhead figure is a noisy difference
+    # of two qps measurements (the warm phases themselves are gated), and
+    # window/threshold/sample/capture figures are configuration or volume,
+    # not performance.
+    "overhead",
+    "window",
+    "samples",
+    "captured",
+    "suppressed",
+    "threshold",
 )
 
 MIN_ABS = 1.0  # ignore metrics whose baseline magnitude is below this

@@ -66,6 +66,27 @@ class LatencyHistogram {
       sum_micros += other.sum_micros;
     }
 
+    /// Interval delta: the samples recorded between `older` and this
+    /// snapshot of the *same live histogram*. Counts of a live instrument
+    /// are monotone, so per-bucket subtraction yields a valid histogram of
+    /// just the interval — Percentile() on the result gives interval
+    /// p50/p95/p99 rather than lifetime figures (the telemetry history's
+    /// sliding-window view). Subtraction saturates at zero per bucket, so
+    /// snapshots taken under concurrent recording (relaxed atomics — the
+    /// fields may be a few samples apart) degrade gracefully instead of
+    /// wrapping.
+    Snapshot Subtract(const Snapshot& older) const {
+      Snapshot delta;
+      for (size_t i = 0; i < kNumBuckets; ++i) {
+        delta.counts[i] =
+            counts[i] >= older.counts[i] ? counts[i] - older.counts[i] : 0;
+        delta.count += delta.counts[i];
+      }
+      delta.sum_micros =
+          sum_micros >= older.sum_micros ? sum_micros - older.sum_micros : 0.0;
+      return delta;
+    }
+
     /// "p50=... p95=... p99=..." with FormatMicros units.
     std::string SummaryString() const {
       return StrFormat("p50=%s p95=%s p99=%s", FormatMicros(P50()).c_str(),

@@ -1,6 +1,7 @@
 #include "common/metrics_registry.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <set>
 
@@ -38,6 +39,72 @@ std::string WithSuffix(const std::string& name, const std::string& suffix) {
   size_t brace = name.find('{');
   if (brace == std::string::npos) return name + suffix;
   return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+// Prometheus exposition escaping for one label *value*: backslash, double
+// quote, and newline must be escaped (the exposition format's only three
+// escapes inside quoted label values).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+// True when name[pos...] starts a `key=` run (a Prometheus label key
+// followed by '='): the lookahead that tells a value-terminating quote
+// apart from a quote embedded in the value.
+bool StartsLabelKey(const std::string& name, size_t pos) {
+  size_t i = pos;
+  if (i >= name.size()) return false;
+  char c = name[i];
+  if (!(std::isalpha(static_cast<unsigned char>(c)) || c == '_')) return false;
+  for (++i; i < name.size(); ++i) {
+    c = name[i];
+    if (c == '=') return true;
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+  }
+  return false;
+}
+
+// Re-renders a possibly-labeled instrument name with every label *value*
+// escaped per the exposition format. Instrument identity bakes raw label
+// values into the name string (docs/OBSERVABILITY.md), so a value
+// containing '"' or '\' would otherwise render invalid exposition text.
+// A value's closing quote is recognized by lookahead: a '"' followed by
+// `,key=` or by the final `}` ends the value; any other '"' (or '\', or
+// '\n') is part of the value and gets escaped.
+std::string EscapePrometheusName(const std::string& name) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') return name;
+  std::string out = name.substr(0, brace + 1);
+  size_t i = brace + 1;
+  const size_t end = name.size() - 1;  // index of the final '}'
+  while (i < end) {
+    // Copy `key="` verbatim.
+    while (i < end && name[i] != '"') out.push_back(name[i++]);
+    if (i >= end) break;
+    out.push_back(name[i++]);  // the opening quote
+    // The raw value runs to the terminating quote (see lookahead above).
+    std::string raw;
+    while (i < end) {
+      if (name[i] == '"' &&
+          (i + 1 == end ||
+           (name[i + 1] == ',' && StartsLabelKey(name, i + 2)))) {
+        break;
+      }
+      raw.push_back(name[i++]);
+    }
+    out += EscapeLabelValue(raw);
+    if (i < end) out.push_back(name[i++]);  // the closing quote
+  }
+  out.push_back('}');
+  return out;
 }
 
 void EscapeJson(const std::string& in, std::string* out) {
@@ -148,31 +215,34 @@ std::string MetricsRegistry::PrometheusText() const {
   std::string out;
   std::set<std::string> typed;  // base names already given a # TYPE line
   for (const MetricSample& s : samples) {
-    std::string base = BaseName(s.name);
+    // Escape label values once per sample; registry identity keeps them
+    // raw, the exposition format needs \" and \\ inside quoted values.
+    std::string name = EscapePrometheusName(s.name);
+    std::string base = BaseName(name);
     switch (s.kind) {
       case MetricSample::Kind::kCounter:
         if (typed.insert(base).second)
           out += "# TYPE " + base + " counter\n";
-        out += s.name + " " + std::to_string(s.counter_value) + "\n";
+        out += name + " " + std::to_string(s.counter_value) + "\n";
         break;
       case MetricSample::Kind::kGauge:
         if (typed.insert(base).second)
           out += "# TYPE " + base + " gauge\n";
-        out += s.name + " " + FormatDouble(s.gauge_value) + "\n";
+        out += name + " " + FormatDouble(s.gauge_value) + "\n";
         break;
       case MetricSample::Kind::kHistogram: {
         if (typed.insert(base).second)
           out += "# TYPE " + base + " summary\n";
         const LatencyHistogram::Snapshot& h = s.histogram;
-        out += WithLabel(s.name, "quantile=\"0.5\"") + " " +
+        out += WithLabel(name, "quantile=\"0.5\"") + " " +
                FormatDouble(h.Percentile(0.50)) + "\n";
-        out += WithLabel(s.name, "quantile=\"0.95\"") + " " +
+        out += WithLabel(name, "quantile=\"0.95\"") + " " +
                FormatDouble(h.Percentile(0.95)) + "\n";
-        out += WithLabel(s.name, "quantile=\"0.99\"") + " " +
+        out += WithLabel(name, "quantile=\"0.99\"") + " " +
                FormatDouble(h.Percentile(0.99)) + "\n";
-        out += WithSuffix(s.name, "_sum") + " " +
+        out += WithSuffix(name, "_sum") + " " +
                FormatDouble(h.sum_micros) + "\n";
-        out += WithSuffix(s.name, "_count") + " " +
+        out += WithSuffix(name, "_count") + " " +
                std::to_string(h.count) + "\n";
         break;
       }

@@ -184,6 +184,39 @@ Result<std::string> UnescapeTurtleString(std::string_view s) {
   return out;
 }
 
+std::string NormalizeSparql(const std::string& sparql) {
+  std::string out;
+  out.reserve(sparql.size());
+  bool pending_space = false;
+  char quote = 0;     // the delimiter of the string literal being copied
+  bool escaped = false;
+  for (char c : sparql) {
+    if (quote != 0) {
+      // Inside a literal every byte is significant.
+      out += c;
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == quote) {
+        quote = 0;
+      }
+      continue;
+    }
+    if (IsAsciiSpace(c)) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    if (c == '"' || c == '\'') quote = c;
+    out += c;
+  }
+  return out;
+}
+
 std::string FormatBytes(uint64_t bytes) {
   static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   double value = static_cast<double>(bytes);

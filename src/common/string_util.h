@@ -42,6 +42,12 @@ std::string EscapeTurtleString(std::string_view s);
 /// Inverse of EscapeTurtleString; errors on malformed escapes.
 Result<std::string> UnescapeTurtleString(std::string_view s);
 
+/// Collapses runs of whitespace outside quoted string literals to one
+/// space and trims the ends, preserving every byte inside literals (two
+/// queries differing only in literal whitespace are different queries).
+/// The canonical query text used for cache keys and workload recording.
+std::string NormalizeSparql(const std::string& sparql);
+
 /// Formats a byte count with binary units ("3.2 MiB").
 std::string FormatBytes(uint64_t bytes);
 

@@ -1,0 +1,206 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace sofos {
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendJsonKey(const std::string& name, std::string* out) {
+  out->push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+  *out += "\":";
+}
+
+}  // namespace
+
+TelemetryHistory::TelemetryHistory(const MetricsRegistry* registry,
+                                   TelemetryOptions options)
+    : registry_(registry),
+      capacity_(std::max<size_t>(2, options.capacity)),
+      clock_seconds_(std::move(options.clock_seconds)) {}
+
+TelemetryHistory::~TelemetryHistory() { StopSampler(); }
+
+double TelemetryHistory::NowSeconds() const {
+  return clock_seconds_ ? clock_seconds_() : SteadyNowSeconds();
+}
+
+double TelemetryHistory::Sample() {
+  // Collect outside the ring lock: collectors may take their own locks
+  // and Window() readers should not wait on them.
+  TelemetrySample sample;
+  sample.at_seconds = NowSeconds();
+  sample.samples = registry_->Collect();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  return ring_.back().at_seconds;
+}
+
+size_t TelemetryHistory::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+TelemetryWindow TelemetryHistory::Window(double window_seconds) const {
+  TelemetryWindow win;
+  const TelemetrySample* newest = nullptr;
+  const TelemetrySample* oldest = nullptr;
+  // Copy the two boundary samples out under the lock; the rate math then
+  // runs lock-free. Boundary selection: newest retained sample, plus the
+  // oldest retained sample within `window_seconds` of it.
+  TelemetrySample newest_copy, oldest_copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < 2) return win;
+    newest = &ring_.back();
+    const double horizon = newest->at_seconds - window_seconds;
+    size_t in_window = 0;
+    for (const TelemetrySample& s : ring_) {
+      if (s.at_seconds >= horizon) {
+        if (oldest == nullptr) oldest = &s;
+        ++in_window;
+      }
+    }
+    if (oldest == nullptr || oldest == newest || in_window < 2) return win;
+    win.samples_in_window = in_window;
+    newest_copy = *newest;
+    oldest_copy = *oldest;
+  }
+  const double span = newest_copy.at_seconds - oldest_copy.at_seconds;
+  win.valid = true;
+  win.window_seconds = span;
+  win.newest_at_seconds = newest_copy.at_seconds;
+
+  // Index the older sample by name; Collect() output is name-sorted but a
+  // map keeps the pairing robust to instruments appearing mid-window.
+  std::map<std::string, const MetricSample*> old_index;
+  for (const MetricSample& s : oldest_copy.samples) old_index[s.name] = &s;
+
+  for (const MetricSample& s : newest_copy.samples) {
+    auto it = old_index.find(s.name);
+    const MetricSample* old_s =
+        (it != old_index.end() && it->second->kind == s.kind) ? it->second
+                                                              : nullptr;
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter: {
+        // A counter born mid-window baselines at 0; a counter that went
+        // backwards (instrument replaced) clamps to 0 delta.
+        const uint64_t before = old_s ? old_s->counter_value : 0;
+        TelemetryWindow::CounterRate rate;
+        rate.delta = s.counter_value >= before ? s.counter_value - before : 0;
+        rate.per_second =
+            span > 0 ? static_cast<double>(rate.delta) / span : 0.0;
+        win.rates[s.name] = rate;
+        break;
+      }
+      case MetricSample::Kind::kGauge:
+        win.gauges[s.name] = s.gauge_value;
+        break;
+      case MetricSample::Kind::kHistogram:
+        win.intervals[s.name] =
+            old_s ? s.histogram.Subtract(old_s->histogram) : s.histogram;
+        break;
+    }
+  }
+  return win;
+}
+
+std::string TelemetryHistory::WindowJson(double window_seconds) const {
+  TelemetryWindow win = Window(window_seconds);
+  std::string out = "{\"valid\":";
+  out += win.valid ? "true" : "false";
+  out += ",\"window_seconds\":" + JsonNumber(win.window_seconds);
+  out += ",\"samples\":" + std::to_string(win.samples_in_window);
+  out += ",\"rates\":{";
+  bool first = true;
+  for (const auto& [name, rate] : win.rates) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonKey(name, &out);
+    out += "{\"delta\":" + std::to_string(rate.delta) +
+           ",\"per_second\":" + JsonNumber(rate.per_second) + "}";
+  }
+  out += "},\"intervals\":{";
+  first = true;
+  for (const auto& [name, h] : win.intervals) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonKey(name, &out);
+    out += "{\"count\":" + std::to_string(h.count) +
+           ",\"p50\":" + JsonNumber(h.Percentile(0.50)) +
+           ",\"p95\":" + JsonNumber(h.Percentile(0.95)) +
+           ",\"p99\":" + JsonNumber(h.Percentile(0.99)) +
+           ",\"mean\":" + JsonNumber(h.MeanMicros()) + "}";
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : win.gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonKey(name, &out);
+    out += JsonNumber(v);
+  }
+  out += "}}";
+  return out;
+}
+
+void TelemetryHistory::StartSampler(double period_seconds) {
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  if (sampler_.joinable()) return;
+  sampler_stop_ = false;
+  sampler_ = std::thread([this, period_seconds] { SamplerLoop(period_seconds); });
+}
+
+void TelemetryHistory::StopSampler() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    if (!sampler_.joinable()) return;
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_.join();
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  sampler_ = std::thread();
+}
+
+void TelemetryHistory::SamplerLoop(double period_seconds) {
+  const auto period = std::chrono::duration<double>(
+      std::max(0.001, period_seconds));
+  std::unique_lock<std::mutex> lock(sampler_mu_);
+  while (!sampler_stop_) {
+    lock.unlock();
+    Sample();
+    lock.lock();
+    // wait_for (not wait_until) drifts by sampling cost per tick; rate
+    // math divides by observed timestamps, so drift never skews rates.
+    sampler_cv_.wait_for(lock, period, [this] { return sampler_stop_; });
+  }
+}
+
+}  // namespace sofos

@@ -1,0 +1,125 @@
+// TelemetryHistory: turns the MetricsRegistry's point-in-time snapshots
+// into time series. A fixed-capacity ring of timestamped Collect()
+// results supports sliding-window *rate* queries: counter deltas become
+// per-second rates, histogram snapshots subtract into interval
+// distributions (interval p50/p95/p99 rather than lifetime figures),
+// gauges report their latest value. This is the substrate the
+// queue-model admission policy (observed arrival/service rates) and the
+// self-driving re-selection loop (drift over time) read from, and what
+// the server's HISTORY verb / GET /history endpoint render.
+//
+// Threading: Sample() and Window() are mutex-guarded and may race freely
+// with each other and with the optional background sampler thread;
+// MetricsRegistry::Collect() is itself thread-safe against concurrent
+// recording. The clock is injectable so tests drive deterministic
+// windows without sleeping.
+#ifndef SOFOS_COMMON_TELEMETRY_H_
+#define SOFOS_COMMON_TELEMETRY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "common/metrics_registry.h"
+
+namespace sofos {
+
+/// One retained sample: everything Collect() saw, stamped with the
+/// history clock.
+struct TelemetrySample {
+  double at_seconds = 0.0;
+  std::vector<MetricSample> samples;
+};
+
+struct TelemetryOptions {
+  /// Ring capacity. At the server's default 1 s sampling period, 360
+  /// samples retain a 6-minute window in ~360 * |instruments| *
+  /// sizeof(MetricSample) — a few hundred KiB, fixed.
+  size_t capacity = 360;
+  /// Injectable clock in seconds (monotonic). Defaults to steady_clock.
+  std::function<double()> clock_seconds;
+};
+
+/// A window report derived from the newest retained sample and the oldest
+/// sample still inside the window.
+struct TelemetryWindow {
+  /// True when at least two samples fell inside the window (rates need a
+  /// baseline). When false every map below is empty.
+  bool valid = false;
+  double window_seconds = 0.0;  // actual span between the two samples
+  size_t samples_in_window = 0;
+  double newest_at_seconds = 0.0;
+
+  struct CounterRate {
+    uint64_t delta = 0;
+    double per_second = 0.0;
+  };
+  /// Counter name -> delta over the window and per-second rate. Counters
+  /// that first appear mid-window are treated as starting from zero.
+  std::map<std::string, CounterRate> rates;
+  /// Histogram name -> interval distribution (newest minus oldest).
+  std::map<std::string, LatencyHistogram::Snapshot> intervals;
+  /// Gauge name -> value in the newest sample.
+  std::map<std::string, double> gauges;
+};
+
+class TelemetryHistory {
+ public:
+  explicit TelemetryHistory(const MetricsRegistry* registry,
+                            TelemetryOptions options = {});
+  ~TelemetryHistory();
+
+  TelemetryHistory(const TelemetryHistory&) = delete;
+  TelemetryHistory& operator=(const TelemetryHistory&) = delete;
+
+  /// Takes one sample now: Collect() + timestamp, pushed into the ring
+  /// (evicting the oldest at capacity). Returns the sample's timestamp.
+  double Sample();
+
+  /// Derives rates/intervals between the newest retained sample and the
+  /// oldest sample no older than `window_seconds` before it. Needs >= 2
+  /// samples in the window, else returns {valid = false}.
+  TelemetryWindow Window(double window_seconds) const;
+
+  /// Window() rendered as one JSON object:
+  /// {"valid":true,"window_seconds":..,"samples":..,
+  ///  "rates":{"name":{"delta":..,"per_second":..},...},
+  ///  "intervals":{"name":{"count":..,"p50":..,"p95":..,"p99":..,"mean":..},...},
+  ///  "gauges":{"name":..,...}}
+  std::string WindowJson(double window_seconds) const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Starts the background sampler: one Sample() every `period_seconds`
+  /// until StopSampler() (or destruction). No-op if already running.
+  void StartSampler(double period_seconds);
+  void StopSampler();
+
+ private:
+  double NowSeconds() const;
+  void SamplerLoop(double period_seconds);
+
+  const MetricsRegistry* registry_;
+  const size_t capacity_;
+  std::function<double()> clock_seconds_;
+
+  mutable std::mutex mu_;
+  std::deque<TelemetrySample> ring_;
+
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace sofos
+
+#endif  // SOFOS_COMMON_TELEMETRY_H_

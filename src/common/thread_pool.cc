@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics_registry.h"
+
 namespace sofos {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -26,37 +28,69 @@ unsigned ThreadPool::DefaultNumThreads() {
   return n == 0 ? 1 : n;
 }
 
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t ThreadPool::BridgeMetrics(MetricsRegistry* registry) {
+  return registry->RegisterCollector([this](std::vector<MetricSample>* out) {
+    MetricSample wait;
+    wait.name = "sofos_pool_queue_wait_micros";
+    wait.kind = MetricSample::Kind::kHistogram;
+    wait.histogram = queue_wait_.TakeSnapshot();
+    out->push_back(std::move(wait));
+    MetricSample run;
+    run.name = "sofos_pool_task_micros";
+    run.kind = MetricSample::Kind::kHistogram;
+    run.histogram = task_run_.TakeSnapshot();
+    out->push_back(std::move(run));
+    MetricSample depth;
+    depth.name = "sofos_pool_queue_depth";
+    depth.kind = MetricSample::Kind::kGauge;
+    depth.gauge_value = static_cast<double>(QueueDepth());
+    out->push_back(std::move(depth));
+  });
+}
+
+void ThreadPool::RunTask(QueuedTask task) {
+  queue_wait_.Record(task.queued.ElapsedMicros());
+  WallTimer run_timer;
+  task.fn();
+  task_run_.Record(run_timer.ElapsedMicros());
+}
+
 bool ThreadPool::TryRunOneTask() {
-  std::function<void()> fn;
+  QueuedTask task;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) return false;
-    fn = std::move(queue_.front());
+    task = std::move(queue_.front());
     queue_.pop_front();
   }
-  fn();
+  RunTask(std::move(task));
   return true;
 }
 
 void ThreadPool::Enqueue(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(QueuedTask{std::move(fn), WallTimer()});
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> fn;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_) return;
-      fn = std::move(queue_.front());
+      task = std::move(queue_.front());
       queue_.pop_front();
     }
-    fn();
+    RunTask(std::move(task));
   }
 }
 

@@ -2,6 +2,7 @@
 #define SOFOS_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -12,7 +13,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/latency_histogram.h"
+#include "common/timer.h"
+
 namespace sofos {
+
+class MetricsRegistry;
 
 /// Fixed-size task pool: `num_threads` workers pull closures from a shared
 /// FIFO queue. No work stealing — sofos fans out coarse, independent units
@@ -70,15 +76,48 @@ class ThreadPool {
   /// allows it to return 0 when undetectable).
   static unsigned DefaultNumThreads();
 
+  /// Tasks currently queued (not yet claimed by a worker or TryRunOneTask).
+  size_t QueueDepth() const;
+
+  /// Lifetime queue-wait (enqueue → dequeue) latency distribution.
+  LatencyHistogram::Snapshot QueueWaitSnapshot() const {
+    return queue_wait_.TakeSnapshot();
+  }
+  /// Lifetime task-run (dequeue → completion) latency distribution.
+  LatencyHistogram::Snapshot TaskRunSnapshot() const {
+    return task_run_.TakeSnapshot();
+  }
+
+  /// Registers a collector on `registry` exporting this pool's telemetry
+  /// as `sofos_pool_queue_wait_micros` / `sofos_pool_task_micros`
+  /// (histograms) and `sofos_pool_queue_depth` (gauge) — the arrival/
+  /// service-time signals the queue-model admission policy reads. Returns
+  /// the collector id; the caller MUST UnregisterCollector(id) before the
+  /// pool is destroyed (the collector captures `this`).
+  uint64_t BridgeMetrics(MetricsRegistry* registry);
+
  private:
+  /// A queued closure stamped with its enqueue time, so the dequeue side
+  /// can attribute queue-wait without a per-task allocation.
+  struct QueuedTask {
+    std::function<void()> fn;
+    WallTimer queued;
+  };
+
   void Enqueue(std::function<void()> fn);
   void WorkerLoop();
+  void RunTask(QueuedTask task);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  // Record paths are lock-free (relaxed atomics); the histograms outlive
+  // every worker, so tasks record without touching the queue mutex.
+  LatencyHistogram queue_wait_;
+  LatencyHistogram task_run_;
 };
 
 }  // namespace sofos

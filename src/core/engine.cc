@@ -673,6 +673,7 @@ Result<std::shared_ptr<const EngineSnapshot>> SofosEngine::PublishSnapshot() {
   snap->exec_hist_ = exec_hist_;
   snap->queries_total_ = queries_total_;
   snap->view_hits_total_ = view_hits_total_;
+  snap->recorder_ = &recorder_;
   std::shared_ptr<const EngineSnapshot> published = std::move(snap);
   publish_hist_->Record(publish_timer.ElapsedMicros());
   publishes_total_->Add();
@@ -704,12 +705,14 @@ Result<QueryOutcome> EngineSnapshot::Answer(const std::string& sparql,
   if (parse_hist_ != nullptr) parse_hist_->Record(parse_timer.ElapsedMicros());
   parse_span.Close();
 
+  std::optional<QuerySignature> routed_signature;
   if (allow_views && rewriter_.has_value() && !materialized_.empty() &&
       profile_.has_value()) {
     ScopedSpan route_span(trace, "engine.route", answer_span.id());
     WallTimer route_timer;
     auto signature = rewriter_->AnalyzeQuery(parsed);
     if (signature.ok()) {
+      routed_signature = *signature;
       std::vector<uint32_t> masks;
       masks.reserve(materialized_.size());
       for (const auto& view : materialized_) masks.push_back(view.mask);
@@ -748,6 +751,29 @@ Result<QueryOutcome> EngineSnapshot::Answer(const std::string& sparql,
   outcome.rows_scanned = result.stats.rows_scanned;
   outcome.result_rows = result.NumRows();
   outcome.result = std::move(result);
+
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    RecordedQuery entry;
+    entry.normalized_sparql = NormalizeSparql(sparql);
+    entry.used_view = outcome.used_view;
+    entry.view_mask = outcome.view_mask;
+    entry.epoch = epoch_;
+    entry.micros = outcome.micros;
+    entry.result_rows = outcome.result_rows;
+    if (routed_signature.has_value()) {
+      entry.signature = *routed_signature;
+      entry.has_signature = true;
+    } else if (rewriter_.has_value()) {
+      // Routing was skipped (views disallowed or none materialized); the
+      // exported workload still wants the shape, so analyze it here.
+      auto signature = rewriter_->AnalyzeQuery(parsed);
+      if (signature.ok()) {
+        entry.signature = std::move(signature).value();
+        entry.has_signature = true;
+      }
+    }
+    recorder_->Record(std::move(entry));
+  }
   return outcome;
 }
 

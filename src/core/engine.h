@@ -22,6 +22,7 @@
 #include "core/profiler.h"
 #include "core/rewriter.h"
 #include "core/selection.h"
+#include "core/workload_recorder.h"
 #include "core/workload_types.h"
 #include "rdf/triple_store.h"
 #include "sparql/query_engine.h"
@@ -171,6 +172,11 @@ class EngineSnapshot {
   LatencyHistogram* exec_hist_ = nullptr;
   MetricCounter* queries_total_ = nullptr;
   MetricCounter* view_hits_total_ = nullptr;
+  /// The owning engine's workload recorder (same lifetime argument as
+  /// metrics_): snapshot-served queries append their routing outcome so
+  /// the recorded workload covers live traffic, not just the engine's own
+  /// entry points. Null in never-published snapshots.
+  WorkloadRecorder* recorder_ = nullptr;
 };
 
 /// The SOFOS system facade (paper Figure 2): owns the knowledge graph, the
@@ -415,6 +421,14 @@ class SofosEngine {
   /// logically-read-only entry points also count their work.
   MetricsRegistry* metrics() const { return &metrics_; }
 
+  /// The engine's workload recorder: the bounded log of answered queries
+  /// (normalized text + routing decision + latency) that snapshot-served
+  /// traffic appends to, exportable as a replayable workload for
+  /// re-profiling against observed traffic. Enabled by default; the
+  /// server/CLI toggle it. Safe from any thread. Const for the same
+  /// reason metrics() is.
+  WorkloadRecorder* recorder() const { return &recorder_; }
+
   /// ---- Online module ----
 
   /// Answers one query: picks the best usable materialized view (when
@@ -508,6 +522,7 @@ class SofosEngine {
   /// (deque-backed, stable for the registry's lifetime). Mutable for the
   /// same reason pool_ is: const read paths record their latencies.
   mutable MetricsRegistry metrics_;
+  mutable WorkloadRecorder recorder_;
   LatencyHistogram* parse_hist_ = metrics_.Histogram("sofos_engine_parse_micros");
   LatencyHistogram* rewrite_hist_ =
       metrics_.Histogram("sofos_engine_rewrite_micros");

@@ -1,0 +1,54 @@
+#include "core/workload_recorder.h"
+
+#include <algorithm>
+
+namespace sofos {
+namespace core {
+
+WorkloadRecorder::WorkloadRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+void WorkloadRecorder::Record(RecordedQuery entry) {
+  if (!enabled()) return;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<RecordedQuery> WorkloadRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RecordedQuery>(ring_.begin(), ring_.end());
+}
+
+std::vector<WorkloadQuery> WorkloadRecorder::ExportWorkload() const {
+  std::vector<RecordedQuery> entries = Snapshot();
+  std::vector<WorkloadQuery> workload;
+  workload.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const RecordedQuery& entry = entries[i];
+    if (!entry.has_signature) continue;
+    WorkloadQuery query;
+    query.id = "rec-" + std::to_string(i);
+    query.sparql = entry.normalized_sparql;
+    query.signature = entry.signature;
+    workload.push_back(std::move(query));
+  }
+  return workload;
+}
+
+void WorkloadRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+size_t WorkloadRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+}  // namespace core
+}  // namespace sofos

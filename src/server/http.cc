@@ -1,0 +1,83 @@
+#include "server/http.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace sofos {
+namespace server {
+namespace {
+
+/// %XX-decodes a query-string component (and '+' as space). Invalid
+/// escapes pass through verbatim — observability parameters are numeric,
+/// so leniency beats rejection here.
+std::string UrlDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    char c = in[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < in.size() &&
+               std::isxdigit(static_cast<unsigned char>(in[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(in[i + 2]))) {
+      auto hex = [](char h) {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        return h - 'A' + 10;
+      };
+      out += static_cast<char>(hex(in[i + 1]) * 16 + hex(in[i + 2]));
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ParseHttpRequestLine(const std::string& line, HttpRequest* request) {
+  std::string_view trimmed = StrTrim(line);
+  size_t sp1 = trimmed.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  size_t sp2 = trimmed.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  std::string_view version = trimmed.substr(sp2 + 1);
+  if (!StrStartsWith(version, "HTTP/")) return false;
+  request->method = std::string(trimmed.substr(0, sp1));
+  std::string_view target = trimmed.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+  size_t qmark = target.find('?');
+  request->path = std::string(target.substr(0, qmark));
+  request->params.clear();
+  if (qmark != std::string_view::npos) {
+    std::string_view query = target.substr(qmark + 1);
+    while (!query.empty()) {
+      size_t amp = query.find('&');
+      std::string_view pair = query.substr(0, amp);
+      size_t eq = pair.find('=');
+      if (eq != std::string_view::npos) {
+        request->params[UrlDecode(pair.substr(0, eq))] =
+            UrlDecode(pair.substr(eq + 1));
+      } else if (!pair.empty()) {
+        request->params[UrlDecode(pair)] = "";
+      }
+      if (amp == std::string_view::npos) break;
+      query.remove_prefix(amp + 1);
+    }
+  }
+  return true;
+}
+
+std::string FormatHttpResponse(const std::string& status,
+                               const std::string& content_type,
+                               const std::string& body) {
+  return "HTTP/1.0 " + status +
+         "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+}  // namespace server
+}  // namespace sofos

@@ -1,0 +1,36 @@
+// Minimal HTTP/1.0 helpers for the observability endpoint: just enough to
+// parse "GET <path>[?query] HTTP/1.x" from a scraper or browser and
+// render a Connection: close response. Not a general HTTP server — one
+// request per connection, GET only, no bodies, no keep-alive; the
+// line-protocol port remains the real client interface.
+#ifndef SOFOS_SERVER_HTTP_H_
+#define SOFOS_SERVER_HTTP_H_
+
+#include <map>
+#include <string>
+
+namespace sofos {
+namespace server {
+
+/// A parsed request line: "GET /history?window=60 HTTP/1.1" becomes
+/// {method "GET", path "/history", params {{"window","60"}}}.
+struct HttpRequest {
+  std::string method;
+  std::string path;  // without the query string
+  std::map<std::string, std::string> params;
+};
+
+/// Parses the request line only (headers are read and discarded by the
+/// caller). False on anything that is not "<METHOD> <target> HTTP/...".
+bool ParseHttpRequestLine(const std::string& line, HttpRequest* request);
+
+/// Renders a full HTTP/1.0 response with Content-Length and
+/// Connection: close. `status` is e.g. "200 OK", "404 Not Found".
+std::string FormatHttpResponse(const std::string& status,
+                               const std::string& content_type,
+                               const std::string& body);
+
+}  // namespace server
+}  // namespace sofos
+
+#endif  // SOFOS_SERVER_HTTP_H_

@@ -21,6 +21,10 @@ const char* EndpointName(Endpoint endpoint) {
       return "stats";
     case Endpoint::kMetrics:
       return "metrics";
+    case Endpoint::kHistory:
+      return "history";
+    case Endpoint::kSlow:
+      return "slow";
     case Endpoint::kNumEndpoints:
       break;
   }

@@ -20,6 +20,8 @@ enum class Endpoint : int {
   kTrace,
   kStats,
   kMetrics,
+  kHistory,
+  kSlow,
   kNumEndpoints,
 };
 

@@ -27,12 +27,17 @@ Result<Request> ParseRequest(const std::string& line) {
     request.verb = Verb::kStats;
   } else if (verb == "METRICS") {
     request.verb = Verb::kMetrics;
+  } else if (verb == "HISTORY") {
+    request.verb = Verb::kHistory;
+  } else if (verb == "SLOW") {
+    request.verb = Verb::kSlow;
   } else if (verb == "QUIT") {
     request.verb = Verb::kQuit;
   } else {
     return Status::InvalidArgument(
         "unknown verb '" + std::string(verb) +
-        "' (QUERY/UPDATE/EXPLAIN/ANALYZE/TRACE/STATS/METRICS/QUIT)");
+        "' (QUERY/UPDATE/EXPLAIN/ANALYZE/TRACE/STATS/METRICS/HISTORY/SLOW/"
+        "QUIT)");
   }
   if (space != std::string_view::npos) {
     request.arg = std::string(StrTrim(trimmed.substr(space + 1)));

@@ -23,6 +23,11 @@ namespace server {
 ///   STATS                 one-line JSON metrics dump
 ///   METRICS               Prometheus text exposition of every registered
 ///                         counter/gauge/histogram
+///   HISTORY [window_s]    sliding-window rates/interval percentiles from
+///                         the telemetry ring as one JSON object line
+///                         (default window 60 s)
+///   SLOW                  the captured slow-query ring as one JSON array
+///                         line (observed latency + ANALYZE tree + spans)
 ///   QUIT                  close the session
 ///
 /// Every response is a header line (`OK ...`, `ERR <msg>` or
@@ -37,6 +42,8 @@ enum class Verb {
   kTrace,
   kStats,
   kMetrics,
+  kHistory,
+  kSlow,
   kQuit,
 };
 

@@ -1,46 +1,19 @@
 #include "server/result_cache.h"
 
 #include <algorithm>
-#include <cctype>
 #include <chrono>
 #include <functional>
+
+#include "common/string_util.h"
 
 namespace sofos {
 namespace server {
 
 std::string NormalizeQueryText(const std::string& sparql) {
-  std::string out;
-  out.reserve(sparql.size());
-  bool pending_space = false;
-  char quote = 0;     // the delimiter of the string literal being copied
-  bool escaped = false;
-  for (char c : sparql) {
-    if (quote != 0) {
-      // Inside a literal every byte is significant: two queries differing
-      // only in literal whitespace are *different* queries and must not
-      // share a cache key.
-      out += c;
-      if (escaped) {
-        escaped = false;
-      } else if (c == '\\') {
-        escaped = true;
-      } else if (c == quote) {
-        quote = 0;
-      }
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      pending_space = !out.empty();
-      continue;
-    }
-    if (pending_space) {
-      out += ' ';
-      pending_space = false;
-    }
-    if (c == '"' || c == '\'') quote = c;
-    out += c;
-  }
-  return out;
+  // The canonicalizer lives in common/ so the core-layer workload
+  // recorder normalizes identically — recorded queries and cache keys
+  // must agree on the canonical text.
+  return NormalizeSparql(sparql);
 }
 
 namespace {

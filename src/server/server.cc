@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -16,6 +17,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "server/http.h"
 #include "server/io_util.h"
 #include "workload/generator.h"
 
@@ -47,23 +49,10 @@ bool UnpackCacheEntry(const std::string& entry, uint64_t* rows, uint64_t* cols,
   return true;
 }
 
-}  // namespace
-
-SofosServer::SofosServer(core::SofosEngine* engine, const ServerOptions& options)
-    : engine_(engine), options_(options), cache_(options.cache) {}
-
-SofosServer::~SofosServer() { Stop(); }
-
-Status SofosServer::Start() {
-  if (running_) return Status::Internal("server already running");
-
-  // The read view sessions resolve must exist before the first byte of
-  // traffic; this also validates that the engine has a loaded store.
-  {
-    std::lock_guard<std::mutex> lock(update_mu_);
-    SOFOS_RETURN_IF_ERROR(PublishAndInvalidate());
-  }
-
+/// Binds a loopback TCP listener on `port` (0 = ephemeral) and returns
+/// the fd, with the bound port in *bound_port. Shared by the protocol
+/// and HTTP listeners.
+Result<int> BindLoopback(uint16_t port, uint16_t* bound_port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -72,7 +61,7 @@ Status SofosServer::Start() {
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
+  addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     int err = errno;
@@ -90,8 +79,41 @@ Status SofosServer::Start() {
     ::close(fd);
     return Status::Internal(std::string("getsockname: ") + std::strerror(err));
   }
-  port_ = ntohs(addr.sin_port);
-  listen_fd_ = fd;
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+SofosServer::SofosServer(core::SofosEngine* engine, const ServerOptions& options)
+    : engine_(engine),
+      options_(options),
+      cache_(options.cache),
+      slow_log_(options.slow_query) {}
+
+SofosServer::~SofosServer() { Stop(); }
+
+Status SofosServer::Start() {
+  if (running_) return Status::Internal("server already running");
+
+  // The read view sessions resolve must exist before the first byte of
+  // traffic; this also validates that the engine has a loaded store.
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    SOFOS_RETURN_IF_ERROR(PublishAndInvalidate());
+  }
+
+  SOFOS_ASSIGN_OR_RETURN(listen_fd_, BindLoopback(options_.port, &port_));
+
+  if (options_.enable_http) {
+    auto http_fd = BindLoopback(options_.http_port, &http_port_);
+    if (!http_fd.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return http_fd.status();
+    }
+    http_listen_fd_ = *http_fd;
+  }
 
   // Bridge the server's bespoke stats into the engine's registry so
   // METRICS sees every counter in the process: per-endpoint SLOs under
@@ -157,22 +179,50 @@ Status SofosServer::Start() {
       });
 
   pool_ = std::make_unique<ThreadPool>(std::max(1u, options_.max_sessions));
+  // The session pool's queue-wait/task-run/depth figures are the observed
+  // arrival/service signals the queue-model admission policy needs; the
+  // bridge must unregister before pool_.reset() in Stop().
+  pool_collector_id_ = pool_->BridgeMetrics(engine_->metrics());
+
+  if (options_.enable_telemetry) {
+    TelemetryOptions topts;
+    topts.capacity = options_.history_capacity;
+    telemetry_ =
+        std::make_unique<TelemetryHistory>(engine_->metrics(), topts);
+    telemetry_->StartSampler(options_.sample_period_seconds);
+  }
+
   running_ = true;
   listener_ = std::thread([this] { ListenLoop(); });
+  if (http_listen_fd_ >= 0) {
+    http_listener_ = std::thread([this] { HttpListenLoop(); });
+  }
   return Status::OK();
 }
 
 void SofosServer::Stop() {
   if (!running_.exchange(false)) {
-    // Never started or already stopped; still reap a listener that raced.
+    // Never started or already stopped; still reap listeners that raced.
     if (listener_.joinable()) listener_.join();
+    if (http_listener_.joinable()) http_listener_.join();
     return;
   }
-  // Wake the listener out of accept(), then reap it.
+  // Wake the listeners out of accept(), then reap them.
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (listener_.joinable()) listener_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  if (http_listen_fd_ >= 0) {
+    ::shutdown(http_listen_fd_, SHUT_RDWR);
+    if (http_listener_.joinable()) http_listener_.join();
+    ::close(http_listen_fd_);
+    http_listen_fd_ = -1;
+  }
+
+  // The sampler reads the registry through collectors that touch server
+  // state; quiesce it before that state starts tearing down. The history
+  // itself stays readable after Stop() (the CLI renders it post-serve).
+  if (telemetry_ != nullptr) telemetry_->StopSampler();
 
   // Unblock every live session parked in recv(); each then finishes its
   // in-flight response and exits. Queued-but-unstarted sessions run to the
@@ -184,6 +234,12 @@ void SofosServer::Stop() {
   {
     std::unique_lock<std::mutex> lock(sessions_mu_);
     sessions_cv_.wait(lock, [this] { return admitted_ == 0; });
+  }
+  // The pool bridge captures the pool; it must unregister before the
+  // workers join and the pool dies.
+  if (pool_collector_id_ != 0) {
+    engine_->metrics()->UnregisterCollector(pool_collector_id_);
+    pool_collector_id_ = 0;
   }
   pool_.reset();  // all tasks done; workers join
 
@@ -335,6 +391,16 @@ void SofosServer::ServeSession(int fd) {
         metrics_.ForEndpoint(Endpoint::kMetrics)
             .Record(timer.ElapsedMicros(), true);
         break;
+      case Verb::kHistory:
+        HandleHistory(request->arg, &response);
+        metrics_.ForEndpoint(Endpoint::kHistory)
+            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
+        break;
+      case Verb::kSlow:
+        HandleSlow(&response);
+        metrics_.ForEndpoint(Endpoint::kSlow)
+            .Record(timer.ElapsedMicros(), true);
+        break;
       case Verb::kQuit:
         SendAll(fd, std::string("OK BYE\n") + kEndMarker + "\n");
         open = false;
@@ -375,14 +441,32 @@ void SofosServer::HandleQuery(const std::string& arg, std::string* out) {
       options_.enable_cache && options_.cache.capacity_bytes > 0;
   std::string key;
   if (cache_enabled) {
-    key = ResultCache::MakeKey(NormalizeQueryText(arg), snapshot->epoch(),
-                               allow_views);
+    std::string normalized = NormalizeQueryText(arg);
+    key = ResultCache::MakeKey(normalized, snapshot->epoch(), allow_views);
     std::string entry;
     if (cache_.Lookup(key, &entry)) {
       uint64_t rows = 0, cols = 0;
       std::string view, body;
       if (UnpackCacheEntry(entry, &rows, &cols, &view, &body)) {
         metrics_.RecordCacheHit();
+        // Served-from-cache answers still belong in the recorded workload
+        // (the observed traffic includes them); the routing decision is
+        // whatever the cached execution made. No signature — the miss
+        // that produced this entry recorded the replayable shape.
+        core::WorkloadRecorder* recorder = engine_->recorder();
+        if (recorder->enabled()) {
+          core::RecordedQuery rec;
+          rec.normalized_sparql = std::move(normalized);
+          rec.used_view = view != "-";
+          if (rec.used_view) {
+            rec.view_mask = static_cast<uint32_t>(
+                std::strtoul(view.c_str(), nullptr, 10));
+          }
+          rec.epoch = snapshot->epoch();
+          rec.result_rows = rows;
+          rec.cache_hit = true;
+          recorder->Record(std::move(rec));
+        }
         *out = FormatQueryHeader(rows, cols, snapshot->epoch(),
                                  /*cached=*/true, view, /*micros=*/0.0) +
                "\n" + body + kEndMarker + "\n";
@@ -418,6 +502,28 @@ void SofosServer::HandleQuery(const std::string& arg, std::string* out) {
                   outcome->micros, /*ttl_seconds=*/-1.0,
                   outcome->used_view ? view : "");
   }
+  MaybeCaptureSlowQuery(snapshot, arg, outcome->micros);
+}
+
+void SofosServer::MaybeCaptureSlowQuery(
+    const std::shared_ptr<const core::EngineSnapshot>& snapshot,
+    const std::string& arg, double observed_micros) {
+  if (!slow_log_.ShouldCapture(observed_micros)) return;
+  // One bounded, rate-limited diagnostic re-run: EXPLAIN ANALYZE for the
+  // per-operator actuals, a traced Answer for the span tree. The re-run
+  // is strictly extra work (the client already has its response), which
+  // is why ShouldCapture() gates it behind the interval rate limit.
+  SlowQueryRecord record;
+  record.query = arg;
+  record.micros = observed_micros;
+  record.epoch = snapshot->epoch();
+  auto analyze = snapshot->Analyze(arg, /*allow_views=*/true);
+  record.analyze_text =
+      analyze.ok() ? *analyze : "ANALYZE failed: " + analyze.status().ToString();
+  TraceContext trace;
+  auto rerun = snapshot->Answer(arg, /*allow_views=*/true, &trace);
+  if (rerun.ok()) record.trace_json = trace.ToJson();
+  slow_log_.Add(std::move(record));
 }
 
 void SofosServer::HandleUpdate(const std::string& arg, std::string* out) {
@@ -622,6 +728,10 @@ void SofosServer::HandleMetrics(std::string* out) {
 }
 
 void SofosServer::HandleStats(std::string* out) {
+  *out = std::string("OK STATS\n") + StatsJson() + "\n" + kEndMarker + "\n";
+}
+
+std::string SofosServer::StatsJson() const {
   std::shared_ptr<const core::EngineSnapshot> snapshot =
       engine_->CurrentSnapshot();
   ResultCacheStats cache_stats = cache_.Stats();
@@ -656,8 +766,159 @@ void SofosServer::HandleStats(std::string* out) {
   // server's own collector-contributed samples) as a nested object — the
   // same figures METRICS exposes, in JSON for programmatic clients.
   extra += ", \"registry\": " + engine_->metrics()->ToJson();
-  *out = std::string("OK STATS\n") + metrics_.ToJson(extra) + "\n" +
-         kEndMarker + "\n";
+  return metrics_.ToJson(extra);
+}
+
+void SofosServer::SampleTelemetryNow() {
+  if (telemetry_ != nullptr) telemetry_->Sample();
+}
+
+std::string SofosServer::HistoryJson(double window_seconds) const {
+  if (telemetry_ == nullptr) {
+    return "{\"valid\":false,\"window_seconds\":0,\"samples\":0,"
+           "\"rates\":{},\"intervals\":{},\"gauges\":{}}";
+  }
+  return telemetry_->WindowJson(window_seconds);
+}
+
+void SofosServer::HandleHistory(const std::string& arg, std::string* out) {
+  double window = 60.0;
+  if (!arg.empty()) {
+    auto parsed = ParseDouble(arg);
+    if (!parsed.ok() || *parsed <= 0) {
+      *out = FormatError("usage: HISTORY [window_seconds > 0]") + "\n" +
+             kEndMarker + "\n";
+      return;
+    }
+    window = *parsed;
+  }
+  const size_t samples = telemetry_ != nullptr ? telemetry_->size() : 0;
+  *out = StrFormat("OK HISTORY window=%.1f samples=%zu", window, samples) +
+         "\n" + HistoryJson(window) + "\n" + kEndMarker + "\n";
+}
+
+void SofosServer::HandleSlow(std::string* out) {
+  *out = StrFormat("OK SLOW captured=%llu suppressed=%llu threshold_us=%.1f",
+                   static_cast<unsigned long long>(slow_log_.captured_total()),
+                   static_cast<unsigned long long>(
+                       slow_log_.suppressed_total()),
+                   slow_log_.threshold_micros()) +
+         "\n" + slow_log_.ToJson() + "\n" + kEndMarker + "\n";
+}
+
+std::string SofosServer::HealthJson(bool* healthy) const {
+  unsigned admitted = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    admitted = admitted_;
+  }
+  const unsigned capacity = options_.max_sessions + options_.queue_capacity;
+  // Healthy = a new connection would be admitted right now (the exact
+  // admission test ListenLoop applies). Saturation flips /healthz to 503
+  // without waiting for a session slot — the HTTP listener serves
+  // synchronously off the session pool precisely so this stays readable
+  // when the pool is full.
+  const bool ok = admitted < capacity;
+  if (healthy != nullptr) *healthy = ok;
+  std::shared_ptr<const core::EngineSnapshot> snapshot =
+      engine_->CurrentSnapshot();
+  return StrFormat(
+      "{\"status\":\"%s\",\"epoch\":%llu,\"admitted\":%u,"
+      "\"capacity\":%u,\"update_batches\":%llu,\"telemetry_samples\":%zu}",
+      ok ? "ok" : "overloaded",
+      static_cast<unsigned long long>(snapshot ? snapshot->epoch() : 0),
+      admitted, capacity,
+      static_cast<unsigned long long>(
+          update_batches_applied_.load(std::memory_order_relaxed)),
+      telemetry_ != nullptr ? telemetry_->size() : static_cast<size_t>(0));
+}
+
+void SofosServer::HttpListenLoop() {
+  while (running_) {
+    int fd = ::accept(http_listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;
+    }
+    if (!running_) {
+      ::close(fd);
+      break;
+    }
+    // Synchronous, one request per connection: observability responses
+    // are small and generated from in-memory state, so a scraper cannot
+    // stall the listener for long — and a recv timeout bounds a client
+    // that connects and then says nothing.
+    ServeHttp(fd);
+    ::close(fd);
+  }
+}
+
+void SofosServer::ServeHttp(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  LineReader reader(fd, kMaxRequestLine);
+  std::string line;
+  if (reader.ReadLine(&line) != LineReader::ReadResult::kLine) return;
+  HttpRequest request;
+  if (!ParseHttpRequestLine(line, &request)) {
+    SendAll(fd, FormatHttpResponse("400 Bad Request", "text/plain",
+                                   "malformed request line\n"));
+    return;
+  }
+  // Drain headers (we use none) up to the blank line; tolerate clients
+  // that close without sending one.
+  std::string header;
+  while (reader.ReadLine(&header) == LineReader::ReadResult::kLine) {
+    if (StrTrim(header).empty()) break;
+  }
+
+  if (request.method != "GET") {
+    SendAll(fd, FormatHttpResponse("405 Method Not Allowed", "text/plain",
+                                   "GET only\n"));
+    return;
+  }
+  if (request.path == "/metrics") {
+    SendAll(fd, FormatHttpResponse("200 OK",
+                                   "text/plain; version=0.0.4",
+                                   engine_->metrics()->PrometheusText()));
+  } else if (request.path == "/stats") {
+    SendAll(fd, FormatHttpResponse("200 OK", "application/json",
+                                   StatsJson() + "\n"));
+  } else if (request.path == "/history") {
+    double window = 60.0;
+    auto it = request.params.find("window");
+    if (it != request.params.end()) {
+      auto parsed = ParseDouble(it->second);
+      if (!parsed.ok() || *parsed <= 0) {
+        SendAll(fd, FormatHttpResponse("400 Bad Request", "text/plain",
+                                       "window must be a positive number\n"));
+        return;
+      }
+      window = *parsed;
+    }
+    SendAll(fd, FormatHttpResponse("200 OK", "application/json",
+                                   HistoryJson(window) + "\n"));
+  } else if (request.path == "/slow") {
+    SendAll(fd, FormatHttpResponse("200 OK", "application/json",
+                                   slow_log_.ToJson() + "\n"));
+  } else if (request.path == "/healthz") {
+    bool healthy = false;
+    std::string body = HealthJson(&healthy) + "\n";
+    SendAll(fd, FormatHttpResponse(
+                    healthy ? "200 OK" : "503 Service Unavailable",
+                    "application/json", body));
+  } else {
+    SendAll(fd, FormatHttpResponse(
+                    "404 Not Found", "text/plain",
+                    "endpoints: /metrics /stats /history /slow /healthz\n"));
+  }
 }
 
 }  // namespace server

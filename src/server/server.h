@@ -11,11 +11,13 @@
 #include <thread>
 
 #include "common/result.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
+#include "server/slow_query_log.h"
 
 namespace sofos {
 namespace server {
@@ -39,6 +41,26 @@ struct ServerOptions {
   /// superseded ones die. Test-only: lets the loopback suite re-answer a
   /// query on the exact epoch a response was served from.
   bool retain_snapshots = false;
+
+  /// ---- Continuous telemetry ----
+
+  /// Run the background telemetry sampler (and keep a history ring) while
+  /// serving. Off = HISTORY/`/history` report no data but cost nothing.
+  bool enable_telemetry = true;
+  /// Seconds between background samples of the metrics registry.
+  double sample_period_seconds = 1.0;
+  /// Retained samples: 360 at 1 s/sample = a 6-minute sliding window.
+  size_t history_capacity = 360;
+
+  /// Serve the HTTP/1.0 observability endpoint (GET /metrics /stats
+  /// /history /slow /healthz) on a second loopback listener.
+  bool enable_http = true;
+  /// HTTP port; 0 picks an ephemeral port (read back with http_port()).
+  uint16_t http_port = 0;
+
+  /// Slow-query capture (threshold/rate-limit semantics in
+  /// server/slow_query_log.h). threshold_micros <= 0 disables capture.
+  SlowQueryOptions slow_query;
 };
 
 /// The SOFOS online serving subsystem: a concurrent TCP server speaking the
@@ -85,6 +107,9 @@ class SofosServer {
   bool running() const { return running_; }
   /// The bound port (valid after Start()).
   uint16_t port() const { return port_; }
+  /// The bound HTTP observability port (valid after Start() when
+  /// options.enable_http; 0 otherwise).
+  uint16_t http_port() const { return http_port_; }
 
   ServerMetrics& metrics() { return metrics_; }
   const ServerMetrics& metrics() const { return metrics_; }
@@ -101,9 +126,29 @@ class SofosServer {
   /// update stream like the CLI's `update` command does).
   uint64_t update_batches_applied() const;
 
+  /// The telemetry history (null unless running with enable_telemetry).
+  /// Safe to Sample()/Window() from any thread while the server runs.
+  TelemetryHistory* telemetry() { return telemetry_.get(); }
+  /// Takes one history sample immediately (test hook — lets suites drive
+  /// the ring without waiting out the sampler period). No-op when
+  /// telemetry is disabled.
+  void SampleTelemetryNow();
+  /// The HISTORY verb's JSON body: rates/interval percentiles over the
+  /// trailing `window_seconds` ({"valid":false,...} when disabled or not
+  /// enough samples yet).
+  std::string HistoryJson(double window_seconds) const;
+
+  const SlowQueryLog& slow_queries() const { return slow_log_; }
+
  private:
   void ListenLoop();
   void ServeSession(int fd);
+  void HttpListenLoop();
+  void ServeHttp(int fd);
+  /// The /healthz body; sets *healthy to the admission verdict.
+  std::string HealthJson(bool* healthy) const;
+  /// The STATS body (shared by the STATS verb and GET /stats).
+  std::string StatsJson() const;
 
   /// Request handlers append "header\n[body...]\nEND\n" to *out.
   void HandleQuery(const std::string& arg, std::string* out);
@@ -113,6 +158,15 @@ class SofosServer {
   void HandleTrace(const std::string& arg, std::string* out);
   void HandleStats(std::string* out);
   void HandleMetrics(std::string* out);
+  void HandleHistory(const std::string& arg, std::string* out);
+  void HandleSlow(std::string* out);
+
+  /// Slow-query capture: when the observed latency crosses the threshold
+  /// (and the rate limit admits), re-runs `arg` once under EXPLAIN
+  /// ANALYZE + tracing on `snapshot` and retains the diagnostics.
+  void MaybeCaptureSlowQuery(
+      const std::shared_ptr<const core::EngineSnapshot>& snapshot,
+      const std::string& arg, double observed_micros);
 
   /// Publishes the engine's current epoch and eagerly invalidates dead
   /// cache entries. When `untouched_views` is non-null, cached answers
@@ -132,12 +186,25 @@ class SofosServer {
   /// METRICS / STATS. Registered in Start(), unregistered in Stop(); 0 =
   /// not registered.
   uint64_t metrics_collector_id_ = 0;
+  /// Session-pool bridge (sofos_pool_*); 0 = not registered.
+  uint64_t pool_collector_id_ = 0;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread listener_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// HTTP observability listener (second port, own thread, serves each
+  /// connection synchronously — deliberately NOT on the session pool so
+  /// /healthz stays responsive when the pool is saturated).
+  int http_listen_fd_ = -1;
+  uint16_t http_port_ = 0;
+  std::thread http_listener_;
+
+  /// Telemetry history + background sampler (enable_telemetry).
+  std::unique_ptr<TelemetryHistory> telemetry_;
+  SlowQueryLog slow_log_;
 
   /// Serializes every mutating engine entry point (UPDATE handling and
   /// snapshot publication).

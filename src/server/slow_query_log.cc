@@ -1,0 +1,107 @@
+#include "server/slow_query_log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace sofos {
+namespace server {
+namespace {
+
+void AppendJsonString(const std::string& in, std::string* out) {
+  out->push_back('"');
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(const SlowQueryOptions& options)
+    : options_(options) {
+  options_.capacity = std::max<size_t>(1, options_.capacity);
+}
+
+double SlowQueryLog::NowSeconds() const {
+  if (options_.clock_seconds) return options_.clock_seconds();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool SlowQueryLog::ShouldCapture(double micros) {
+  if (options_.threshold_micros <= 0 || micros < options_.threshold_micros) {
+    return false;
+  }
+  const double now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (captured_any_ &&
+      now - last_capture_at_ < options_.min_interval_seconds) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  last_capture_at_ = now;
+  captured_any_ = true;
+  return true;
+}
+
+void SlowQueryLog::Add(SlowQueryRecord record) {
+  if (record.at_seconds == 0.0) record.at_seconds = NowSeconds();
+  captured_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(record));
+  while (ring_.size() > options_.capacity) ring_.pop_front();
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryRecord>(ring_.begin(), ring_.end());
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::string SlowQueryLog::ToJson() const {
+  std::vector<SlowQueryRecord> records = Snapshot();
+  std::string out = "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SlowQueryRecord& r = records[i];
+    if (i) out += ",";
+    char num[64];
+    out += "{\"at_seconds\":";
+    std::snprintf(num, sizeof(num), "%.3f", r.at_seconds);
+    out += num;
+    out += ",\"micros\":";
+    std::snprintf(num, sizeof(num), "%.1f", r.micros);
+    out += num;
+    out += ",\"epoch\":" + std::to_string(r.epoch);
+    out += ",\"query\":";
+    AppendJsonString(r.query, &out);
+    out += ",\"analyze\":";
+    AppendJsonString(r.analyze_text, &out);
+    // trace_json is already a rendered JSON array (TraceContext::ToJson);
+    // embed it verbatim, or null when the re-run produced none.
+    out += ",\"trace\":";
+    out += r.trace_json.empty() ? "null" : r.trace_json;
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace server
+}  // namespace sofos

@@ -1,0 +1,96 @@
+// SlowQueryLog: a bounded, rate-limited ring of deep diagnostics for the
+// server's slowest requests. A QUERY whose latency crosses the configured
+// threshold is re-run once under EXPLAIN ANALYZE + tracing and the
+// rendered plan tree plus span JSON are retained here — the SLOW verb and
+// GET /slow render the ring. Capture is rate-limited (min interval
+// between re-runs) so a burst of slow queries costs at most one extra
+// execution per interval, never a re-run per request.
+#ifndef SOFOS_SERVER_SLOW_QUERY_LOG_H_
+#define SOFOS_SERVER_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sofos {
+namespace server {
+
+/// One captured slow request: the original text, its observed latency,
+/// and the diagnostics from the instrumented re-run.
+struct SlowQueryRecord {
+  double at_seconds = 0.0;
+  std::string query;
+  double micros = 0.0;  // the *observed* latency that triggered capture
+  uint64_t epoch = 0;
+  std::string analyze_text;  // EXPLAIN ANALYZE tree of the re-run
+  std::string trace_json;    // span array of the re-run
+};
+
+struct SlowQueryOptions {
+  /// Capture threshold; requests at or above this observed latency are
+  /// candidates. <= 0 disables capture entirely.
+  double threshold_micros = 50000.0;
+  /// Retained records (oldest evicted beyond this).
+  size_t capacity = 16;
+  /// Minimum seconds between two instrumented re-runs — the rate limit
+  /// bounding the diagnostic overhead under a storm of slow queries.
+  double min_interval_seconds = 1.0;
+  /// Injectable clock (monotonic seconds). Defaults to steady_clock.
+  std::function<double()> clock_seconds;
+};
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(const SlowQueryOptions& options = {});
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Gate: should a request observed at `micros` be re-run for capture
+  /// right now? True consumes the rate-limit token (the caller is
+  /// expected to follow through with Add()); false either didn't cross
+  /// the threshold or was suppressed by the rate limit.
+  bool ShouldCapture(double micros);
+
+  /// Appends one captured record (evicting the oldest at capacity).
+  void Add(SlowQueryRecord record);
+
+  std::vector<SlowQueryRecord> Snapshot() const;
+  size_t size() const;
+
+  uint64_t captured_total() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  /// Requests that crossed the threshold but were suppressed by the rate
+  /// limit (observability for tuning min_interval_seconds).
+  uint64_t suppressed_total() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  double threshold_micros() const { return options_.threshold_micros; }
+
+  /// The ring as one JSON array, oldest first:
+  /// [{"at_seconds":..,"micros":..,"epoch":..,"query":"..",
+  ///   "analyze":"..","trace":[...]},...]
+  std::string ToJson() const;
+
+ private:
+  double NowSeconds() const;
+
+  SlowQueryOptions options_;
+  std::atomic<uint64_t> captured_{0};
+  std::atomic<uint64_t> suppressed_{0};
+  mutable std::mutex mu_;
+  double last_capture_at_ = 0.0;  // guarded by mu_
+  bool captured_any_ = false;     // guarded by mu_
+  std::deque<SlowQueryRecord> ring_;
+};
+
+}  // namespace server
+}  // namespace sofos
+
+#endif  // SOFOS_SERVER_SLOW_QUERY_LOG_H_
