@@ -93,6 +93,17 @@ NEUTRAL = (
     "captured",
     "suppressed",
     "threshold",
+    # Open-loop serving descriptors: offered load and the SLO budget are
+    # configuration; the shed rate tracks the offered/capacity ratio, not
+    # server quality (shedding *more* at 3x overload is correct behavior);
+    # e2e latency under overload includes deliberate queueing + lateness
+    # and is unbounded by design at the over-capacity points; round-spread
+    # figures report measurement noise, not performance.
+    "offered",
+    "budget",
+    "shed",
+    "e2e",
+    "spread",
 )
 
 MIN_ABS = 1.0  # ignore metrics whose baseline magnitude is below this

@@ -11,9 +11,13 @@
 #   BENCH_exec.json        — root-view query: vectorized batch engine at
 #                            1/2/4/8 morsel workers vs the row-at-a-time
 #                            Volcano executor
-#   BENCH_server.json      — online serving: closed-loop loopback load,
-#                            throughput + p50/p95/p99 + cache hit rate for
-#                            cold / warm / mixed(query+update) phases
+#   BENCH_server.json      — online serving (epoll event-loop io): closed-
+#                            loop cold/warm/mixed phases, telemetry-overhead
+#                            A/B (median of interleaved rounds), open-loop
+#                            overload sweep with queue-model admission, and
+#                            the idle-connection phase; the legacy
+#                            thread-per-session path is re-run stdout-only
+#                            as a cross-check (SOFOS_IO_MODE=thread)
 #   BENCH_store.json       — sharded COW TripleStore: Finalize/ApplyDelta/
 #                            Clone+publish at 1/2/4/8 shards with 0.5%
 #                            deltas, COW clone vs deep-clone baseline
@@ -41,7 +45,11 @@ mkdir -p "$OUT_DIR"
 "$BUILD_DIR/bench_parallel" "$OUT_DIR/BENCH_parallel.json"
 "$BUILD_DIR/bench_maintenance" "$OUT_DIR/BENCH_maintenance.json"
 "$BUILD_DIR/bench_exec" "$OUT_DIR/BENCH_exec.json"
-"$BUILD_DIR/bench_server" "$OUT_DIR/BENCH_server.json"
+SOFOS_IO_MODE=event "$BUILD_DIR/bench_server" "$OUT_DIR/BENCH_server.json"
+# Cross-check the legacy thread-per-session path (stdout only — the JSON
+# artifact tracks the default event-loop io; the closed-loop phases are
+# what both modes share).
+SOFOS_IO_MODE=thread "$BUILD_DIR/bench_server"
 "$BUILD_DIR/bench_store" "$OUT_DIR/BENCH_store.json"
 # SOFOS_SCALE_BIG=1 scripts/run_benches.sh adds the (minutes-long) 10m point.
 SOFOS_SCALE_BIG="${SOFOS_SCALE_BIG:-0}" \

@@ -20,8 +20,9 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSOFOS_TSAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target maintenance_test parallel_test exec_test server_test store_test \
-           scale_test observability_test telemetry_test
+  --target maintenance_test parallel_test exec_test server_test \
+           event_loop_test store_test scale_test observability_test \
+           telemetry_test
 
 cd "$BUILD_DIR"
 ctest -L 'maintenance|exec|server|store|scale|observability|telemetry' \

@@ -36,7 +36,43 @@ void AppendJsonKey(const std::string& name, std::string* out) {
   *out += "\":";
 }
 
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
 }  // namespace
+
+bool TelemetryWindow::SumRatePerSecond(const std::string& prefix,
+                                       double* out) const {
+  if (!valid) return false;
+  double total = 0.0;
+  bool any = false;
+  for (const auto& [name, rate] : rates) {
+    if (!StartsWith(name, prefix)) continue;
+    total += rate.per_second;
+    any = true;
+  }
+  if (any) *out = total;
+  return any;
+}
+
+bool TelemetryWindow::MergedIntervalMean(const std::string& prefix,
+                                         double* mean_micros,
+                                         uint64_t* count) const {
+  if (!valid) return false;
+  LatencyHistogram::Snapshot merged;
+  bool any = false;
+  for (const auto& [name, h] : intervals) {
+    if (!StartsWith(name, prefix)) continue;
+    merged.Merge(h);
+    any = true;
+  }
+  if (!any || merged.count == 0) return false;
+  *mean_micros = merged.MeanMicros();
+  *count = merged.count;
+  return true;
+}
 
 TelemetryHistory::TelemetryHistory(const MetricsRegistry* registry,
                                    TelemetryOptions options)

@@ -68,6 +68,20 @@ struct TelemetryWindow {
   std::map<std::string, LatencyHistogram::Snapshot> intervals;
   /// Gauge name -> value in the newest sample.
   std::map<std::string, double> gauges;
+
+  /// Sums the per-second rates of every counter whose name starts with
+  /// `prefix` (e.g. all `sofos_server_requests_total{...}` label
+  /// variants) into *out. Returns false — leaving *out untouched — when
+  /// the window is invalid or no counter matches, so callers can tell
+  /// "rate is zero" from "rate is unknown".
+  bool SumRatePerSecond(const std::string& prefix, double* out) const;
+
+  /// Merges every interval histogram whose name starts with `prefix` and
+  /// reports the merged mean in micros plus the merged observation count.
+  /// Returns false when the window is invalid, nothing matches, or the
+  /// merged interval is empty (a mean of zero observations is undefined).
+  bool MergedIntervalMean(const std::string& prefix, double* mean_micros,
+                          uint64_t* count) const;
 };
 
 class TelemetryHistory {

@@ -1,0 +1,213 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+namespace sofos {
+namespace server {
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// The two rate signals the model reads from the telemetry window.
+// Arrival: every line-protocol/HTTP request counter (all endpoints sum —
+// every admitted request occupies a pool worker regardless of verb).
+// Service: the per-endpoint handler latency histograms, which time the
+// handler body only (queueing excluded), exactly the S the model wants.
+constexpr char kArrivalPrefix[] = "sofos_server_requests_total";
+constexpr char kServicePrefix[] = "sofos_server_request_micros";
+
+}  // namespace
+
+double ErlangC(unsigned c, double a) {
+  if (c == 0) return 1.0;
+  if (a <= 0.0) return 0.0;
+  if (a >= static_cast<double>(c)) return 1.0;
+  // Erlang-B by the standard recurrence, then convert to Erlang-C.
+  double b = 1.0;
+  for (unsigned k = 1; k <= c; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  const double cc = static_cast<double>(c);
+  return cc * b / (cc - a * (1.0 - b));
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  if (options_.servers == 0) options_.servers = 1;
+  options_.min_retry_ms = std::max(1, options_.min_retry_ms);
+  options_.max_retry_ms = std::max(options_.min_retry_ms, options_.max_retry_ms);
+  clock_seconds_ = options_.clock_seconds ? options_.clock_seconds
+                                          : std::function<double()>();
+}
+
+void AdmissionController::SetTelemetry(const TelemetryHistory* telemetry) {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  telemetry_ = telemetry;
+  model_ = ModelState{};
+}
+
+double AdmissionController::NowSeconds() const {
+  return clock_seconds_ ? clock_seconds_() : SteadyNowSeconds();
+}
+
+void AdmissionController::OnComplete(double service_micros) {
+  if (service_micros <= 0.0) return;
+  uint64_t prev = service_ewma_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double old_ewma = BitsDouble(prev);
+    const double next =
+        old_ewma <= 0.0
+            ? service_micros
+            : old_ewma + options_.service_ewma_alpha * (service_micros - old_ewma);
+    if (service_ewma_bits_.compare_exchange_weak(prev, DoubleBits(next),
+                                                 std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AdmissionController::InvalidateModel() {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  model_.refreshed_at = -1e300;
+}
+
+AdmissionController::ModelState AdmissionController::RefreshedModel() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  const double now = NowSeconds();
+  if (telemetry_ != nullptr &&
+      now - model_.refreshed_at >= options_.refresh_interval_seconds) {
+    model_.refreshed_at = now;
+    TelemetryWindow window = telemetry_->Window(options_.window_seconds);
+    double lambda = 0.0;
+    if (window.SumRatePerSecond(kArrivalPrefix, &lambda)) {
+      model_.arrival_per_second = lambda;
+    } else {
+      model_.arrival_per_second = 0.0;
+    }
+    double mean = 0.0;
+    uint64_t count = 0;
+    if (window.MergedIntervalMean(kServicePrefix, &mean, &count)) {
+      model_.service_micros = mean;
+    } else {
+      model_.service_micros = 0.0;
+    }
+  }
+  return model_;
+}
+
+AdmissionDecision AdmissionController::Estimate(
+    size_t in_flight_requests) const {
+  AdmissionDecision decision;
+  const ModelState model = RefreshedModel();
+  const double ewma = BitsDouble(service_ewma_bits_.load(std::memory_order_relaxed));
+  // Window-derived service time wins once the window has data; the
+  // per-request EWMA covers the cold start and telemetry-off servers.
+  const double service = model.service_micros > 0.0 ? model.service_micros : ewma;
+  if (service <= 0.0) {
+    // No service observation at all: cannot estimate, admit with the
+    // static fallback hint.
+    decision.admit = true;
+    decision.retry_ms = options_.fallback_retry_ms;
+    return decision;
+  }
+
+  const double c = static_cast<double>(options_.servers);
+  // Instantaneous term from the live dispatch count: q requests beyond
+  // the c servers are waiting; a new arrival needs q+1 completions at
+  // aggregate rate c/S.
+  double wait = 0.0;
+  if (in_flight_requests >= options_.servers) {
+    const double q =
+        static_cast<double>(in_flight_requests - options_.servers);
+    wait = (q + 1.0) * service / c;
+  }
+
+  // Steady-state M/M/c term from the window rates, defined while rho < 1.
+  if (model.arrival_per_second > 0.0) {
+    const double lambda_micro = model.arrival_per_second / 1e6;
+    const double a = lambda_micro * service;  // offered erlangs
+    decision.utilization = a / c;
+    if (decision.utilization < 1.0) {
+      const double p_wait = ErlangC(options_.servers, a);
+      const double wq = p_wait / (c / service - lambda_micro);
+      wait = std::max(wait, wq);
+    }
+  }
+
+  decision.estimated_wait_micros = wait;
+  decision.admit = wait <= options_.slo_budget_micros;
+  const double wait_ms = wait / 1000.0;
+  decision.retry_ms =
+      std::clamp(static_cast<int>(std::ceil(wait_ms)), options_.min_retry_ms,
+                 options_.max_retry_ms);
+  return decision;
+}
+
+AdmissionDecision AdmissionController::Decide(size_t in_flight_requests) {
+  AdmissionDecision decision = Estimate(in_flight_requests);
+  if (decision.admit) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  estimated_wait_.Record(decision.estimated_wait_micros);
+  last_wait_bits_.store(DoubleBits(decision.estimated_wait_micros),
+                        std::memory_order_relaxed);
+  last_retry_bits_.store(DoubleBits(static_cast<double>(decision.retry_ms)),
+                         std::memory_order_relaxed);
+  last_util_bits_.store(DoubleBits(decision.utilization),
+                        std::memory_order_relaxed);
+  return decision;
+}
+
+AdmissionDecision AdmissionController::Peek(size_t in_flight_requests) const {
+  return Estimate(in_flight_requests);
+}
+
+int AdmissionController::ConnectionRetryHintMs(size_t in_flight_requests) {
+  const AdmissionDecision decision = Estimate(in_flight_requests);
+  return std::max(options_.fallback_retry_ms, decision.retry_ms);
+}
+
+AdmissionStats AdmissionController::Stats() const {
+  AdmissionStats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  const ModelState model = [&] {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    return model_;
+  }();
+  stats.arrival_per_second = model.arrival_per_second;
+  stats.service_micros =
+      model.service_micros > 0.0
+          ? model.service_micros
+          : BitsDouble(service_ewma_bits_.load(std::memory_order_relaxed));
+  stats.utilization = BitsDouble(last_util_bits_.load(std::memory_order_relaxed));
+  stats.last_estimated_wait_micros =
+      BitsDouble(last_wait_bits_.load(std::memory_order_relaxed));
+  stats.last_retry_ms = BitsDouble(last_retry_bits_.load(std::memory_order_relaxed));
+  stats.estimated_wait = estimated_wait_.TakeSnapshot();
+  return stats;
+}
+
+}  // namespace server
+}  // namespace sofos

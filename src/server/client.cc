@@ -6,7 +6,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "server/io_util.h"
 #include "server/protocol.h"
@@ -37,6 +40,7 @@ Status BlockingClient::Connect(uint16_t port) {
     return Status::Internal(std::string("connect: ") + std::strerror(err));
   }
   fd_ = fd;
+  port_ = port;
   reader_ = std::make_unique<LineReader>(fd, kMaxResponseLine);
   return Status::OK();
 }
@@ -82,6 +86,48 @@ Result<ClientResponse> BlockingClient::Roundtrip(const std::string& line) {
     response.body.push_back(std::move(body_line));
   }
   return response;
+}
+
+Result<ClientResponse> BlockingClient::SendWithRetry(const std::string& line,
+                                                     int max_attempts) {
+  if (max_attempts < 1) max_attempts = 1;
+  Result<ClientResponse> last = Status::Internal("not connected");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (!connected()) {
+      Status reconnect = Connect(port_);
+      if (!reconnect.ok()) {
+        last = reconnect;
+        continue;  // transient refusal (listener backlog full under load)
+      }
+    }
+    last = Roundtrip(line);
+    if (!last.ok()) {
+      // Closed/reset mid-exchange (e.g. a connection-cap BUSY followed by
+      // close): drop the socket so the next attempt reconnects.
+      Close();
+      continue;
+    }
+    if (!last->busy()) return last;
+    // "BUSY retry_ms=<n>": obey the server's pushback. The hint is
+    // load-derived (queue-model estimated wait), so sleeping it is the
+    // cheapest way back to an admittable system; jitter desynchronizes
+    // the shed cohort.
+    int retry_ms = 50;
+    size_t at = last->header.find("retry_ms=");
+    if (at != std::string::npos) {
+      retry_ms = std::atoi(last->header.c_str() + at + 9);
+      if (retry_ms < 1) retry_ms = 1;
+    }
+    jitter_state_ ^= jitter_state_ << 13;
+    jitter_state_ ^= jitter_state_ >> 17;
+    jitter_state_ ^= jitter_state_ << 5;
+    // Uniform in [0.75, 1.25) of the hint, floored at 1ms.
+    double scale = 0.75 + 0.5 * (jitter_state_ % 1024) / 1024.0;
+    int sleep_ms = static_cast<int>(retry_ms * scale);
+    if (sleep_ms < 1) sleep_ms = 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return last;
 }
 
 }  // namespace server

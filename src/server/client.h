@@ -57,10 +57,23 @@ class BlockingClient {
   /// carry. A closed connection mid-response is an error.
   Result<ClientResponse> Roundtrip(const std::string& line);
 
+  /// Roundtrip that honors server pushback: on a `BUSY retry_ms=<n>`
+  /// response it sleeps the server-suggested interval (±25% jitter so a
+  /// shed cohort does not retry in lockstep) and retries, up to
+  /// `max_attempts` sends total. On a connection-level rejection (server
+  /// closes after BUSY, or closes before answering) it reconnects to the
+  /// last Connect()ed port first. Returns the final response — the last
+  /// BUSY if every attempt was shed — so callers can distinguish "served
+  /// eventually" from "still overloaded".
+  Result<ClientResponse> SendWithRetry(const std::string& line,
+                                       int max_attempts = 5);
+
  private:
   Result<std::string> ReadLine();
 
   int fd_ = -1;
+  uint16_t port_ = 0;                   // last Connect() target, for retries
+  uint32_t jitter_state_ = 0x9e3779b9;  // xorshift seed, advanced per retry
   std::unique_ptr<LineReader> reader_;  // shared framing (server/io_util.h)
 };
 

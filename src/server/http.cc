@@ -1,6 +1,8 @@
 #include "server/http.h"
 
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/string_util.h"
 
@@ -70,13 +72,130 @@ bool ParseHttpRequestLine(const std::string& line, HttpRequest* request) {
   return true;
 }
 
+HttpRequestParser::State HttpRequestParser::Consume(std::string* buffer,
+                                                    HttpRequest* request) {
+  // Locate the blank line ending the head. Accept both CRLF and bare LF
+  // line endings (curl sends CRLF; hand-rolled test clients often don't).
+  size_t head_end = std::string::npos;  // index just past the terminator
+  size_t lf_lf = buffer->find("\n\n");
+  size_t lf_cr_lf = buffer->find("\n\r\n");
+  if (lf_cr_lf != std::string::npos &&
+      (lf_lf == std::string::npos || lf_cr_lf < lf_lf)) {
+    head_end = lf_cr_lf + 3;
+  } else if (lf_lf != std::string::npos) {
+    head_end = lf_lf + 2;
+  }
+  if (head_end == std::string::npos) {
+    if (buffer->size() > max_bytes_) {
+      error_ = "request head too large";
+      return State::kError;
+    }
+    return State::kNeedMore;
+  }
+  if (head_end > max_bytes_) {
+    error_ = "request head too large";
+    return State::kError;
+  }
+
+  // Split the head into lines; first is the request line, the rest are
+  // "Name: value" headers.
+  HttpRequest parsed;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < head_end) {
+    size_t nl = buffer->find('\n', pos);
+    if (nl == std::string::npos || nl >= head_end) break;
+    std::string line = buffer->substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = nl + 1;
+    if (first) {
+      first = false;
+      if (!ParseHttpRequestLine(line, &parsed)) {
+        error_ = "malformed request line";
+        return State::kError;
+      }
+      continue;
+    }
+    if (line.empty()) break;  // end of headers
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;  // tolerate junk header lines
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(
+                              static_cast<unsigned char>(c)));
+    size_t value_start = colon + 1;
+    while (value_start < line.size() && line[value_start] == ' ') ++value_start;
+    parsed.headers[name] = line.substr(value_start);
+  }
+  if (first) {
+    error_ = "empty request";
+    return State::kError;
+  }
+
+  size_t content_length = 0;
+  auto it = parsed.headers.find("content-length");
+  if (it != parsed.headers.end()) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || (end != nullptr && *end != '\0')) {
+      error_ = "malformed Content-Length";
+      return State::kError;
+    }
+    if (v > max_bytes_) {
+      error_ = "request body too large";
+      return State::kError;
+    }
+    content_length = static_cast<size_t>(v);
+  }
+  if (buffer->size() < head_end + content_length) return State::kNeedMore;
+
+  parsed.body = buffer->substr(head_end, content_length);
+  buffer->erase(0, head_end + content_length);
+  *request = std::move(parsed);
+  return State::kComplete;
+}
+
 std::string FormatHttpResponse(const std::string& status,
                                const std::string& content_type,
-                               const std::string& body) {
+                               const std::string& body,
+                               const std::string& extra_headers) {
   return "HTTP/1.0 " + status +
          "\r\nContent-Type: " + content_type +
-         "\r\nContent-Length: " + std::to_string(body.size()) +
-         "\r\nConnection: close\r\n\r\n" + body;
+         "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n" +
+         extra_headers + "Connection: close\r\n\r\n" + body;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
 }
 
 }  // namespace server

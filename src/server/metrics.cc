@@ -25,6 +25,8 @@ const char* EndpointName(Endpoint endpoint) {
       return "history";
     case Endpoint::kSlow:
       return "slow";
+    case Endpoint::kHttpQuery:
+      return "http_query";
     case Endpoint::kNumEndpoints:
       break;
   }

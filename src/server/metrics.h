@@ -22,6 +22,10 @@ enum class Endpoint : int {
   kMetrics,
   kHistory,
   kSlow,
+  /// The HTTP/JSON query adapter (GET/POST /query) — metered separately
+  /// from the line-protocol QUERY verb so the two serving surfaces get
+  /// independent SLO figures.
+  kHttpQuery,
   kNumEndpoints,
 };
 

@@ -6,6 +6,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -27,6 +28,21 @@ namespace server {
 namespace {
 
 constexpr size_t kMaxRequestLine = 1u << 20;  // 1 MiB: plenty for SPARQL text
+
+/// The framed response for an over-long request line — shared verbatim by
+/// the thread-per-session reader and the event loop's overflow path so
+/// the two modes stay byte-identical.
+std::string TooLongResponse() {
+  return FormatError("request line too long") + "\n" + kEndMarker + "\n";
+}
+
+/// 503 body + Retry-After for shedding HTTP /query requests.
+std::string HttpOverloadedResponse(int retry_ms) {
+  return FormatHttpResponse(
+      "503 Service Unavailable", "application/json",
+      StrFormat("{\"error\":\"overloaded\",\"retry_ms\":%d}\n", retry_ms),
+      StrFormat("Retry-After: %d\r\n", std::max(1, (retry_ms + 999) / 1000)));
+}
 
 /// Cached-entry layout: one meta line "<rows>\t<cols>\t<view>\n" followed by
 /// the wire body. Keeps the cache a single string while letting a hit
@@ -85,6 +101,21 @@ Result<int> BindLoopback(uint16_t port, uint16_t* bound_port) {
 
 }  // namespace
 
+IoMode IoModeFromEnv(IoMode fallback) {
+  const char* env = std::getenv("SOFOS_IO_MODE");
+  if (env == nullptr) return fallback;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(
+                        static_cast<unsigned char>(c)));
+  if (v == "thread" || v == "thread_per_session" || v == "tps") {
+    return IoMode::kThreadPerSession;
+  }
+  if (v == "event" || v == "event_loop" || v == "epoll") {
+    return IoMode::kEventLoop;
+  }
+  return fallback;
+}
+
 SofosServer::SofosServer(core::SofosEngine* engine, const ServerOptions& options)
     : engine_(engine),
       options_(options),
@@ -103,6 +134,19 @@ Status SofosServer::Start() {
     SOFOS_RETURN_IF_ERROR(PublishAndInvalidate());
   }
 
+  // The queue-model admission controller spans both io modes: per-request
+  // shedding in event mode, load-derived connection retry hints in thread
+  // mode. c = the worker pool size; the static busy_retry_ms becomes the
+  // model's no-data fallback.
+  {
+    AdmissionOptions aopts = options_.admission;
+    aopts.servers = std::max(1u, options_.max_sessions);
+    aopts.fallback_retry_ms = options_.busy_retry_ms;
+    admission_ = std::make_unique<AdmissionController>(aopts);
+  }
+  max_connections_ =
+      options_.max_connections != 0 ? options_.max_connections : 4096;
+
   SOFOS_ASSIGN_OR_RETURN(listen_fd_, BindLoopback(options_.port, &port_));
 
   if (options_.enable_http) {
@@ -113,6 +157,42 @@ Status SofosServer::Start() {
       return http_fd.status();
     }
     http_listen_fd_ = *http_fd;
+  }
+
+  if (options_.io_mode == IoMode::kEventLoop) {
+    // The loops own every socket, listeners included — no accept threads.
+    // loops_ must be fully populated *before* the metrics collector below
+    // is registered and the telemetry sampler starts: both read loops_
+    // (via open_connections()) from other threads, and it is the
+    // collector registration / sampler-thread creation that publishes
+    // the finished vector to them. The listener fds are handed over only
+    // at the end of Start(), so no callback fires before running_ flips.
+    EventLoopOptions lopts;
+    lopts.max_request_bytes = kMaxRequestLine;
+    lopts.overflow_response = TooLongResponse();
+    const unsigned n_loops = std::max(1u, options_.io_threads);
+    for (unsigned i = 0; i < n_loops; ++i) {
+      loops_.push_back(std::make_unique<EventLoop>(
+          lopts,
+          [this](EventLoop* loop, uint64_t conn, std::string line) {
+            OnLineRequest(loop, conn, std::move(line));
+          },
+          [this](EventLoop* loop, uint64_t conn, HttpRequest request) {
+            OnHttpRequest(loop, conn, std::move(request));
+          },
+          [this](int fd, ConnKind kind) { OnAccept(fd, kind); }));
+      Status started = loops_.back()->Start();
+      if (!started.ok()) {
+        loops_.clear();
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        if (http_listen_fd_ >= 0) {
+          ::close(http_listen_fd_);
+          http_listen_fd_ = -1;
+        }
+        return started;
+      }
+    }
   }
 
   // Bridge the server's bespoke stats into the engine's registry so
@@ -176,6 +256,22 @@ Status SofosServer::Start() {
         gauge("sofos_cache_entries", static_cast<double>(cs.entries));
         gauge("sofos_cache_bytes", static_cast<double>(cs.bytes));
         histogram("sofos_cache_age_at_hit_micros", std::move(cs.age_at_hit));
+        if (admission_ != nullptr) {
+          AdmissionStats as = admission_->Stats();
+          counter("sofos_server_admission_admitted_total", as.admitted);
+          counter("sofos_server_admission_shed_total", as.shed);
+          histogram("sofos_server_admission_estimated_wait_micros",
+                    std::move(as.estimated_wait));
+          gauge("sofos_server_admission_arrival_per_second",
+                as.arrival_per_second);
+          gauge("sofos_server_admission_service_micros", as.service_micros);
+          gauge("sofos_server_admission_utilization", as.utilization);
+          gauge("sofos_server_admission_retry_ms", as.last_retry_ms);
+        }
+        gauge("sofos_server_open_connections",
+              static_cast<double>(open_connections()));
+        gauge("sofos_server_inflight_requests",
+              static_cast<double>(InFlightRequests()));
       });
 
   pool_ = std::make_unique<ThreadPool>(std::max(1u, options_.max_sessions));
@@ -190,12 +286,20 @@ Status SofosServer::Start() {
     telemetry_ =
         std::make_unique<TelemetryHistory>(engine_->metrics(), topts);
     telemetry_->StartSampler(options_.sample_period_seconds);
+    admission_->SetTelemetry(telemetry_.get());
   }
 
   running_ = true;
-  listener_ = std::thread([this] { ListenLoop(); });
-  if (http_listen_fd_ >= 0) {
-    http_listener_ = std::thread([this] { HttpListenLoop(); });
+  if (options_.io_mode == IoMode::kEventLoop) {
+    loops_[0]->AddListener(listen_fd_, ConnKind::kLine);
+    if (http_listen_fd_ >= 0) {
+      loops_[0]->AddListener(http_listen_fd_, ConnKind::kHttp);
+    }
+  } else {
+    listener_ = std::thread([this] { ListenLoop(); });
+    if (http_listen_fd_ >= 0) {
+      http_listener_ = std::thread([this] { HttpListenLoop(); });
+    }
   }
   return Status::OK();
 }
@@ -207,7 +311,37 @@ void SofosServer::Stop() {
     if (http_listener_.joinable()) http_listener_.join();
     return;
   }
-  // Wake the listeners out of accept(), then reap them.
+
+  if (!loops_.empty()) {
+    // Event mode. running_ is already false, so the loop threads shed
+    // every *new* request from here on; requests already dispatched to
+    // the pool finish and Respond() — drain them before tearing the
+    // loops down (a response must never chase a destroyed loop).
+    {
+      std::unique_lock<std::mutex> lock(sessions_mu_);
+      sessions_cv_.wait(lock, [this] { return in_flight_requests_ == 0; });
+    }
+    if (telemetry_ != nullptr) telemetry_->StopSampler();
+    // Stopping a loop closes every socket it owns — connections and the
+    // listeners we transferred in Start().
+    for (auto& loop : loops_) loop->Stop();
+    loops_.clear();
+    listen_fd_ = -1;
+    http_listen_fd_ = -1;
+    if (pool_collector_id_ != 0) {
+      engine_->metrics()->UnregisterCollector(pool_collector_id_);
+      pool_collector_id_ = 0;
+    }
+    pool_.reset();
+    if (metrics_collector_id_ != 0) {
+      engine_->metrics()->UnregisterCollector(metrics_collector_id_);
+      metrics_collector_id_ = 0;
+    }
+    return;
+  }
+
+  // Thread-per-session mode: wake the listeners out of accept(), then
+  // reap them.
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (listener_.joinable()) listener_.join();
   ::close(listen_fd_);
@@ -302,9 +436,11 @@ void SofosServer::ListenLoop() {
       break;
     }
     bool admit;
+    unsigned admitted_snapshot;
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
       admit = admitted_ < options_.max_sessions + options_.queue_capacity;
+      admitted_snapshot = admitted_;
       if (admit) {
         ++admitted_;
         session_fds_.insert(fd);
@@ -313,7 +449,12 @@ void SofosServer::ListenLoop() {
     }
     if (!admit) {
       metrics_.RecordRejected();
-      SendAll(fd, FormatBusy(options_.busy_retry_ms) + "\n" + kEndMarker + "\n");
+      // Load-derived hint, floored at the configured busy_retry_ms: the
+      // model estimates request-queue drain, the floor covers the fact
+      // that a *session* slot freeing up is not rate-predictable.
+      SendAll(fd, FormatBusy(admission_->ConnectionRetryHintMs(
+                      admitted_snapshot)) +
+                      "\n" + kEndMarker + "\n");
       ::close(fd);
       continue;
     }
@@ -353,60 +494,11 @@ void SofosServer::ServeSession(int fd) {
       continue;
     }
 
-    std::string response;
-    WallTimer timer;
-    switch (request->verb) {
-      case Verb::kQuery:
-        HandleQuery(request->arg, &response);
-        metrics_.ForEndpoint(Endpoint::kQuery)
-            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
-        break;
-      case Verb::kUpdate:
-        HandleUpdate(request->arg, &response);
-        metrics_.ForEndpoint(Endpoint::kUpdate)
-            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
-        break;
-      case Verb::kExplain:
-        HandleExplain(request->arg, &response);
-        metrics_.ForEndpoint(Endpoint::kExplain)
-            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
-        break;
-      case Verb::kAnalyze:
-        HandleAnalyze(request->arg, &response);
-        metrics_.ForEndpoint(Endpoint::kAnalyze)
-            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
-        break;
-      case Verb::kTrace:
-        HandleTrace(request->arg, &response);
-        metrics_.ForEndpoint(Endpoint::kTrace)
-            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
-        break;
-      case Verb::kStats:
-        HandleStats(&response);
-        metrics_.ForEndpoint(Endpoint::kStats)
-            .Record(timer.ElapsedMicros(), true);
-        break;
-      case Verb::kMetrics:
-        HandleMetrics(&response);
-        metrics_.ForEndpoint(Endpoint::kMetrics)
-            .Record(timer.ElapsedMicros(), true);
-        break;
-      case Verb::kHistory:
-        HandleHistory(request->arg, &response);
-        metrics_.ForEndpoint(Endpoint::kHistory)
-            .Record(timer.ElapsedMicros(), response.rfind("OK", 0) == 0);
-        break;
-      case Verb::kSlow:
-        HandleSlow(&response);
-        metrics_.ForEndpoint(Endpoint::kSlow)
-            .Record(timer.ElapsedMicros(), true);
-        break;
-      case Verb::kQuit:
-        SendAll(fd, std::string("OK BYE\n") + kEndMarker + "\n");
-        open = false;
-        break;
+    if (request->verb == Verb::kQuit) {
+      SendAll(fd, std::string("OK BYE\n") + kEndMarker + "\n");
+      break;
     }
-    if (open) open = SendAll(fd, response);
+    open = SendAll(fd, ExecuteRequest(*request));
   }
 
   // Deregister strictly *before* closing: once close() frees the fd
@@ -425,16 +517,256 @@ void SofosServer::ServeSession(int fd) {
   sessions_cv_.notify_all();
 }
 
-void SofosServer::HandleQuery(const std::string& arg, std::string* out) {
-  if (arg.empty()) {
-    *out = FormatError("usage: QUERY <sparql>") + "\n" + kEndMarker + "\n";
+std::string SofosServer::ExecuteRequest(const Request& request) {
+  std::string response;
+  Endpoint endpoint = Endpoint::kStats;
+  bool always_ok = false;  // STATS/METRICS/SLOW cannot fail
+  WallTimer timer;
+  switch (request.verb) {
+    case Verb::kQuery:
+      HandleQuery(request.arg, &response);
+      endpoint = Endpoint::kQuery;
+      break;
+    case Verb::kUpdate:
+      HandleUpdate(request.arg, &response);
+      endpoint = Endpoint::kUpdate;
+      break;
+    case Verb::kExplain:
+      HandleExplain(request.arg, &response);
+      endpoint = Endpoint::kExplain;
+      break;
+    case Verb::kAnalyze:
+      HandleAnalyze(request.arg, &response);
+      endpoint = Endpoint::kAnalyze;
+      break;
+    case Verb::kTrace:
+      HandleTrace(request.arg, &response);
+      endpoint = Endpoint::kTrace;
+      break;
+    case Verb::kStats:
+      HandleStats(&response);
+      endpoint = Endpoint::kStats;
+      always_ok = true;
+      break;
+    case Verb::kMetrics:
+      HandleMetrics(&response);
+      endpoint = Endpoint::kMetrics;
+      always_ok = true;
+      break;
+    case Verb::kHistory:
+      HandleHistory(request.arg, &response);
+      endpoint = Endpoint::kHistory;
+      break;
+    case Verb::kSlow:
+      HandleSlow(&response);
+      endpoint = Endpoint::kSlow;
+      always_ok = true;
+      break;
+    case Verb::kQuit:
+      // Both io paths answer QUIT before reaching here.
+      return std::string("OK BYE\n") + kEndMarker + "\n";
+  }
+  const double micros = timer.ElapsedMicros();
+  metrics_.ForEndpoint(endpoint).Record(
+      micros, always_ok || response.rfind("OK", 0) == 0);
+  if (admission_ != nullptr) admission_->OnComplete(micros);
+  return response;
+}
+
+size_t SofosServer::InFlightRequests() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return in_flight_requests_;
+}
+
+size_t SofosServer::open_connections() const {
+  if (!loops_.empty()) {
+    size_t total = 0;
+    for (const auto& loop : loops_) total += loop->open_connections();
+    return total;
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return admitted_;
+}
+
+void SofosServer::OnAccept(int fd, ConnKind kind) {
+  if (!running_) {
+    ::close(fd);
     return;
+  }
+  if (open_connections() >= max_connections_) {
+    // Connection-level cap: bounds fds and buffers, not concurrency. The
+    // fd is still blocking here (AddConnection flips it), and the
+    // rejection fits a socket buffer, so SendAll cannot stall the loop.
+    metrics_.RecordRejected();
+    const int hint = admission_->ConnectionRetryHintMs(InFlightRequests());
+    if (kind == ConnKind::kLine) {
+      SendAll(fd, FormatBusy(hint) + "\n" + kEndMarker + "\n");
+    } else {
+      SendAll(fd, HttpOverloadedResponse(hint));
+    }
+    ::close(fd);
+    return;
+  }
+  metrics_.RecordAccepted();
+  const unsigned target =
+      next_loop_.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<unsigned>(loops_.size());
+  loops_[target]->AddConnection(fd, kind);
+}
+
+void SofosServer::OnLineRequest(EventLoop* loop, uint64_t conn,
+                                std::string line) {
+  if (StrTrim(line).empty()) {
+    // The loop already skips blank lines; belt-and-braces for CR-only.
+    loop->Respond(conn, "", false);
+    return;
+  }
+  auto request = ParseRequest(line);
+  if (!request.ok()) {
+    metrics_.RecordProtocolError();
+    loop->Respond(conn,
+                  FormatError(request.status().ToString()) + "\n" +
+                      kEndMarker + "\n",
+                  false);
+    return;
+  }
+  if (request->verb == Verb::kQuit) {
+    loop->Respond(conn, std::string("OK BYE\n") + kEndMarker + "\n", true);
+    return;
+  }
+  if (!running_) {
+    loop->Respond(conn,
+                  FormatError("server shutting down") + "\n" + kEndMarker +
+                      "\n",
+                  true);
+    return;
+  }
+  // Per-request queue-model admission: shed over-SLO arrivals with a
+  // load-derived hint but keep the connection — the client retries on
+  // the same socket.
+  AdmissionDecision decision = admission_->Decide(InFlightRequests());
+  if (!decision.admit) {
+    metrics_.RecordRejected();
+    loop->Respond(conn,
+                  FormatBusy(decision.retry_ms) + "\n" + kEndMarker + "\n",
+                  false);
+    return;
+  }
+  DispatchToPool(loop, conn, std::move(*request), /*http_sparql=*/"");
+}
+
+void SofosServer::OnHttpRequest(EventLoop* loop, uint64_t conn,
+                                HttpRequest request) {
+  const bool is_query = request.path == "/query";
+  if (!is_query) {
+    loop->Respond(conn, HttpObservabilityResponse(request), true);
+    return;
+  }
+  std::string sparql;
+  if (request.method == "GET") {
+    auto it = request.params.find("q");
+    if (it != request.params.end()) sparql = it->second;
+  } else if (request.method == "POST") {
+    sparql = request.body;
+  } else {
+    loop->Respond(conn,
+                  FormatHttpResponse("405 Method Not Allowed", "text/plain",
+                                     "GET or POST /query\n"),
+                  true);
+    return;
+  }
+  if (StrTrim(sparql).empty()) {
+    loop->Respond(
+        conn,
+        FormatHttpResponse("400 Bad Request", "application/json",
+                           "{\"error\":\"missing query: GET /query?q=... or "
+                           "POST body\"}\n"),
+        true);
+    return;
+  }
+  if (!running_) {
+    loop->Respond(conn,
+                  FormatHttpResponse("503 Service Unavailable", "text/plain",
+                                     "server shutting down\n"),
+                  true);
+    return;
+  }
+  AdmissionDecision decision = admission_->Decide(InFlightRequests());
+  if (!decision.admit) {
+    metrics_.RecordRejected();
+    loop->Respond(conn, HttpOverloadedResponse(decision.retry_ms), true);
+    return;
+  }
+  Request wrapped;
+  wrapped.verb = Verb::kQuery;
+  wrapped.arg = std::string(StrTrim(sparql));
+  DispatchToPool(loop, conn, std::move(wrapped), wrapped.arg);
+}
+
+void SofosServer::DispatchToPool(EventLoop* loop, uint64_t conn,
+                                 Request request, std::string http_sparql) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (!running_) {
+      // Raced with Stop() past its drain wait: answer without dispatching
+      // (the pool may be tearing down).
+      loop->Respond(conn,
+                    FormatError("server shutting down") + "\n" + kEndMarker +
+                        "\n",
+                    true);
+      return;
+    }
+    ++in_flight_requests_;
+    const unsigned in_flight = in_flight_requests_;
+    const unsigned servers = std::max(1u, options_.max_sessions);
+    metrics_.SetQueueDepth(
+        static_cast<int64_t>(in_flight > servers ? in_flight - servers : 0));
+    metrics_.SetActiveSessions(
+        static_cast<int64_t>(in_flight < servers ? in_flight : servers));
+  }
+  const bool is_http = !http_sparql.empty();
+  pool_->Submit(
+      [this, loop, conn, request = std::move(request),
+       http_sparql = std::move(http_sparql), is_http] {
+        std::string response = is_http ? HttpQueryResponse(http_sparql)
+                                       : ExecuteRequest(request);
+        loop->Respond(conn, std::move(response), /*close_after_flush=*/is_http);
+        {
+          std::lock_guard<std::mutex> lock(sessions_mu_);
+          --in_flight_requests_;
+          const unsigned in_flight = in_flight_requests_;
+          const unsigned servers = std::max(1u, options_.max_sessions);
+          metrics_.SetQueueDepth(static_cast<int64_t>(
+              in_flight > servers ? in_flight - servers : 0));
+          metrics_.SetActiveSessions(
+              static_cast<int64_t>(in_flight < servers ? in_flight : servers));
+        }
+        sessions_cv_.notify_all();
+      });
+}
+
+void SofosServer::HandleQuery(const std::string& arg, std::string* out) {
+  QueryOutcome result = ExecuteQuery(arg);
+  if (!result.ok) {
+    *out = FormatError(result.error) + "\n" + kEndMarker + "\n";
+    return;
+  }
+  *out = FormatQueryHeader(result.rows, result.cols, result.epoch,
+                           result.cached, result.view, result.micros) +
+         "\n" + result.body + kEndMarker + "\n";
+}
+
+SofosServer::QueryOutcome SofosServer::ExecuteQuery(const std::string& arg) {
+  QueryOutcome result;
+  if (arg.empty()) {
+    result.error = "usage: QUERY <sparql>";
+    return result;
   }
   std::shared_ptr<const core::EngineSnapshot> snapshot =
       engine_->CurrentSnapshot();
   if (snapshot == nullptr) {
-    *out = FormatError("no published snapshot") + "\n" + kEndMarker + "\n";
-    return;
+    result.error = "no published snapshot";
+    return result;
   }
   const bool allow_views = true;
   const bool cache_enabled =
@@ -467,10 +799,15 @@ void SofosServer::HandleQuery(const std::string& arg, std::string* out) {
           rec.cache_hit = true;
           recorder->Record(std::move(rec));
         }
-        *out = FormatQueryHeader(rows, cols, snapshot->epoch(),
-                                 /*cached=*/true, view, /*micros=*/0.0) +
-               "\n" + body + kEndMarker + "\n";
-        return;
+        result.ok = true;
+        result.rows = rows;
+        result.cols = cols;
+        result.epoch = snapshot->epoch();
+        result.cached = true;
+        result.view = std::move(view);
+        result.micros = 0.0;
+        result.body = std::move(body);
+        return result;
       }
       // Unreadable entry (cannot happen with our own packing; defensive):
       // fall through to recompute and overwrite it.
@@ -480,16 +817,20 @@ void SofosServer::HandleQuery(const std::string& arg, std::string* out) {
 
   auto outcome = snapshot->Answer(arg, allow_views);
   if (!outcome.ok()) {
-    *out = FormatError(outcome.status().ToString()) + "\n" + kEndMarker + "\n";
-    return;
+    result.error = outcome.status().ToString();
+    return result;
   }
   std::string view =
       outcome->used_view ? std::to_string(outcome->view_mask) : "-";
   std::string body = FormatQueryBody(outcome->result);
-  *out = FormatQueryHeader(outcome->result_rows, outcome->result.NumCols(),
-                           snapshot->epoch(), /*cached=*/false, view,
-                           outcome->micros) +
-         "\n" + body + kEndMarker + "\n";
+  result.ok = true;
+  result.rows = outcome->result_rows;
+  result.cols = outcome->result.NumCols();
+  result.epoch = snapshot->epoch();
+  result.cached = false;
+  result.view = view;
+  result.micros = outcome->micros;
+  result.body = body;
   if (cache_enabled) {
     // The measured execution cost drives cost-aware admission: answers
     // cheaper than the configured floor are recomputed instead of cached.
@@ -503,6 +844,7 @@ void SofosServer::HandleQuery(const std::string& arg, std::string* out) {
                   outcome->used_view ? view : "");
   }
   MaybeCaptureSlowQuery(snapshot, arg, outcome->micros);
+  return result;
 }
 
 void SofosServer::MaybeCaptureSlowQuery(
@@ -807,27 +1149,43 @@ void SofosServer::HandleSlow(std::string* out) {
 }
 
 std::string SofosServer::HealthJson(bool* healthy) const {
+  // Healthy = a new request would be admitted right now. Thread mode uses
+  // the exact session-slot test ListenLoop applies; event mode asks the
+  // queue-model estimator (Peek: no counters touched, so scraping /healthz
+  // never skews shed statistics). Either way the health probe stays
+  // readable under saturation: the thread-mode HTTP listener serves
+  // synchronously off the session pool, and the event loop never blocks
+  // on worker threads.
+  bool ok = true;
   unsigned admitted = 0;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    admitted = admitted_;
-  }
+  double estimated_wait_us = 0.0;
+  double utilization = 0.0;
   const unsigned capacity = options_.max_sessions + options_.queue_capacity;
-  // Healthy = a new connection would be admitted right now (the exact
-  // admission test ListenLoop applies). Saturation flips /healthz to 503
-  // without waiting for a session slot — the HTTP listener serves
-  // synchronously off the session pool precisely so this stays readable
-  // when the pool is full.
-  const bool ok = admitted < capacity;
+  if (!loops_.empty()) {
+    const size_t in_flight = InFlightRequests();
+    admitted = static_cast<unsigned>(in_flight);
+    AdmissionDecision peek = admission_->Peek(in_flight);
+    ok = peek.admit;
+    estimated_wait_us = peek.estimated_wait_micros;
+    utilization = peek.utilization;
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      admitted = admitted_;
+    }
+    ok = admitted < capacity;
+  }
   if (healthy != nullptr) *healthy = ok;
   std::shared_ptr<const core::EngineSnapshot> snapshot =
       engine_->CurrentSnapshot();
   return StrFormat(
       "{\"status\":\"%s\",\"epoch\":%llu,\"admitted\":%u,"
-      "\"capacity\":%u,\"update_batches\":%llu,\"telemetry_samples\":%zu}",
+      "\"capacity\":%u,\"estimated_wait_us\":%.1f,\"utilization\":%.3f,"
+      "\"open_connections\":%zu,\"update_batches\":%llu,"
+      "\"telemetry_samples\":%zu}",
       ok ? "ok" : "overloaded",
       static_cast<unsigned long long>(snapshot ? snapshot->epoch() : 0),
-      admitted, capacity,
+      admitted, capacity, estimated_wait_us, utilization, open_connections(),
       static_cast<unsigned long long>(
           update_batches_applied_.load(std::memory_order_relaxed)),
       telemetry_ != nullptr ? telemetry_->size() : static_cast<size_t>(0));
@@ -863,62 +1221,176 @@ void SofosServer::ServeHttp(int fd) {
   timeout.tv_sec = 2;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
 
-  LineReader reader(fd, kMaxRequestLine);
-  std::string line;
-  if (reader.ReadLine(&line) != LineReader::ReadResult::kLine) return;
+  // The same incremental parser the event loop uses, driven by blocking
+  // reads: byte-identical request handling across io modes.
+  HttpRequestParser parser(kMaxRequestLine + (1u << 20));
   HttpRequest request;
-  if (!ParseHttpRequestLine(line, &request)) {
-    SendAll(fd, FormatHttpResponse("400 Bad Request", "text/plain",
-                                   "malformed request line\n"));
-    return;
+  std::string buffer;
+  HttpRequestParser::State state = HttpRequestParser::State::kNeedMore;
+  char chunk[4096];
+  while (state == HttpRequestParser::State::kNeedMore) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;  // timeout, disconnect, or error: nothing to answer
+    buffer.append(chunk, static_cast<size_t>(n));
+    state = parser.Consume(&buffer, &request);
   }
-  // Drain headers (we use none) up to the blank line; tolerate clients
-  // that close without sending one.
-  std::string header;
-  while (reader.ReadLine(&header) == LineReader::ReadResult::kLine) {
-    if (StrTrim(header).empty()) break;
+  if (state == HttpRequestParser::State::kError) {
+    SendAll(fd, FormatHttpResponse("400 Bad Request", "text/plain",
+                                   parser.error() + "\n"));
+    return;
   }
 
-  if (request.method != "GET") {
-    SendAll(fd, FormatHttpResponse("405 Method Not Allowed", "text/plain",
-                                   "GET only\n"));
+  if (request.path == "/query") {
+    std::string sparql;
+    if (request.method == "GET") {
+      auto it = request.params.find("q");
+      if (it != request.params.end()) sparql = it->second;
+    } else if (request.method == "POST") {
+      sparql = request.body;
+    } else {
+      SendAll(fd, FormatHttpResponse("405 Method Not Allowed", "text/plain",
+                                     "GET or POST /query\n"));
+      return;
+    }
+    if (StrTrim(sparql).empty()) {
+      SendAll(fd, FormatHttpResponse(
+                      "400 Bad Request", "application/json",
+                      "{\"error\":\"missing query: GET /query?q=... or "
+                      "POST body\"}\n"));
+      return;
+    }
+    // Thread-mode admission for the HTTP surface: the same session-slot
+    // test the line listener applies, since the query runs synchronously
+    // on this listener thread rather than through the pool.
+    unsigned admitted = 0;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      admitted = admitted_;
+    }
+    if (admitted >= options_.max_sessions + options_.queue_capacity) {
+      metrics_.RecordRejected();
+      SendAll(fd, HttpOverloadedResponse(
+                      admission_->ConnectionRetryHintMs(admitted)));
+      return;
+    }
+    SendAll(fd, HttpQueryResponse(std::string(StrTrim(sparql))));
     return;
   }
+  SendAll(fd, HttpObservabilityResponse(request));
+}
+
+std::string SofosServer::HttpObservabilityResponse(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return FormatHttpResponse("405 Method Not Allowed", "text/plain",
+                              "GET only\n");
+  }
   if (request.path == "/metrics") {
-    SendAll(fd, FormatHttpResponse("200 OK",
-                                   "text/plain; version=0.0.4",
-                                   engine_->metrics()->PrometheusText()));
-  } else if (request.path == "/stats") {
-    SendAll(fd, FormatHttpResponse("200 OK", "application/json",
-                                   StatsJson() + "\n"));
-  } else if (request.path == "/history") {
+    return FormatHttpResponse("200 OK", "text/plain; version=0.0.4",
+                              engine_->metrics()->PrometheusText());
+  }
+  if (request.path == "/stats") {
+    return FormatHttpResponse("200 OK", "application/json", StatsJson() + "\n");
+  }
+  if (request.path == "/history") {
     double window = 60.0;
     auto it = request.params.find("window");
     if (it != request.params.end()) {
       auto parsed = ParseDouble(it->second);
       if (!parsed.ok() || *parsed <= 0) {
-        SendAll(fd, FormatHttpResponse("400 Bad Request", "text/plain",
-                                       "window must be a positive number\n"));
-        return;
+        return FormatHttpResponse("400 Bad Request", "text/plain",
+                                  "window must be a positive number\n");
       }
       window = *parsed;
     }
-    SendAll(fd, FormatHttpResponse("200 OK", "application/json",
-                                   HistoryJson(window) + "\n"));
-  } else if (request.path == "/slow") {
-    SendAll(fd, FormatHttpResponse("200 OK", "application/json",
-                                   slow_log_.ToJson() + "\n"));
-  } else if (request.path == "/healthz") {
+    return FormatHttpResponse("200 OK", "application/json",
+                              HistoryJson(window) + "\n");
+  }
+  if (request.path == "/slow") {
+    return FormatHttpResponse("200 OK", "application/json",
+                              slow_log_.ToJson() + "\n");
+  }
+  if (request.path == "/healthz") {
     bool healthy = false;
     std::string body = HealthJson(&healthy) + "\n";
-    SendAll(fd, FormatHttpResponse(
-                    healthy ? "200 OK" : "503 Service Unavailable",
-                    "application/json", body));
-  } else {
-    SendAll(fd, FormatHttpResponse(
-                    "404 Not Found", "text/plain",
-                    "endpoints: /metrics /stats /history /slow /healthz\n"));
+    return FormatHttpResponse(healthy ? "200 OK" : "503 Service Unavailable",
+                              "application/json", body);
   }
+  return FormatHttpResponse(
+      "404 Not Found", "text/plain",
+      "endpoints: /query /metrics /stats /history /slow /healthz\n");
+}
+
+std::string SofosServer::HttpQueryResponse(const std::string& sparql) {
+  WallTimer timer;
+  QueryOutcome result = ExecuteQuery(sparql);
+  std::string response;
+  if (!result.ok) {
+    response = FormatHttpResponse(
+        "400 Bad Request", "application/json",
+        "{\"error\":\"" + JsonEscape(result.error) + "\"}\n");
+  } else {
+    // The TSV body FormatQueryBody produced ("#vars\tv1..." then one
+    // row per line) re-encoded as JSON arrays, with the line-protocol
+    // header fields inline — one adapter, same execution + cache path.
+    std::string json = StrFormat(
+        "{\"rows\":%llu,\"cols\":%llu,\"epoch\":%llu,\"cached\":%s,"
+        "\"view\":\"%s\",\"micros\":%.1f,",
+        static_cast<unsigned long long>(result.rows),
+        static_cast<unsigned long long>(result.cols),
+        static_cast<unsigned long long>(result.epoch),
+        result.cached ? "true" : "false", JsonEscape(result.view).c_str(),
+        result.micros);
+    json += "\"vars\":[";
+    std::istringstream body(result.body);
+    std::string line;
+    bool first_row = true;
+    std::string bindings = "\"bindings\":[";
+    bool header_seen = false;
+    while (std::getline(body, line)) {
+      if (!header_seen) {
+        header_seen = true;
+        // "#vars\tv1\tv2..." — an empty projection has no tabs at all.
+        size_t pos = line.find('\t');
+        bool first_var = true;
+        while (pos != std::string::npos) {
+          size_t next = line.find('\t', pos + 1);
+          std::string var = line.substr(
+              pos + 1, next == std::string::npos ? std::string::npos
+                                                 : next - pos - 1);
+          if (!first_var) json += ',';
+          first_var = false;
+          json += '"' + JsonEscape(var) + '"';
+          pos = next;
+        }
+        continue;
+      }
+      if (!first_row) bindings += ',';
+      first_row = false;
+      bindings += '[';
+      size_t start = 0;
+      bool first_cell = true;
+      while (true) {
+        size_t tab = line.find('\t', start);
+        std::string cell = line.substr(
+            start, tab == std::string::npos ? std::string::npos : tab - start);
+        if (!first_cell) bindings += ',';
+        first_cell = false;
+        bindings += '"' + JsonEscape(cell) + '"';
+        if (tab == std::string::npos) break;
+        start = tab + 1;
+      }
+      bindings += ']';
+    }
+    json += "],";
+    json += bindings;
+    json += "]}\n";
+    response = FormatHttpResponse("200 OK", "application/json", json);
+  }
+  const double micros = timer.ElapsedMicros();
+  metrics_.ForEndpoint(Endpoint::kHttpQuery)
+      .Record(micros, response.rfind("HTTP/1.0 200", 0) == 0);
+  if (admission_ != nullptr) admission_->OnComplete(micros);
+  return response;
 }
 
 }  // namespace server

@@ -1,6 +1,7 @@
 #ifndef SOFOS_SERVER_SERVER_H_
 #define SOFOS_SERVER_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -9,11 +10,15 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/result.h"
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "server/admission.h"
+#include "server/event_loop.h"
+#include "server/http.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
@@ -22,6 +27,24 @@
 namespace sofos {
 namespace server {
 
+/// How connections map to threads.
+enum class IoMode {
+  /// Legacy: each accepted fd occupies one worker for its whole lifetime.
+  /// Concurrency = pool size; admission is per *connection*.
+  kThreadPerSession,
+  /// Default: epoll event-loop threads own the sockets; only parsed
+  /// requests hit the worker pool, so idle connections are nearly free
+  /// and admission is per *request* (shed with BUSY, connection kept).
+  kEventLoop,
+};
+
+/// Resolves the SOFOS_IO_MODE environment override ("thread" /
+/// "thread_per_session" vs "event" / "event_loop" / "epoll", case
+/// insensitive); anything else — including unset — returns `fallback`.
+/// Used by the CLI `serve` command and bench_server so CI can run both
+/// paths without a rebuild.
+IoMode IoModeFromEnv(IoMode fallback);
+
 struct ServerOptions {
   /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back with
   /// port() after Start()).
@@ -29,11 +52,30 @@ struct ServerOptions {
   /// Concurrently *served* sessions — the size of the session worker pool.
   unsigned max_sessions = 8;
   /// Accepted-but-waiting sessions beyond max_sessions (the admission
-  /// queue). Connections arriving past max_sessions + queue_capacity are
-  /// rejected with `BUSY retry_ms=...` and closed.
+  /// queue). In thread-per-session mode, connections arriving past
+  /// max_sessions + queue_capacity are rejected with `BUSY retry_ms=...`
+  /// and closed; in event-loop mode the same figure caps the in-flight
+  /// *requests* the queue model tolerates before its SLO math sheds.
   unsigned queue_capacity = 16;
-  /// The retry hint sent with BUSY rejections.
+  /// The retry hint floor for BUSY rejections: the admission controller's
+  /// fallback while its model has no data, and the minimum hint for
+  /// connection-level rejections (see AdmissionController).
   int busy_retry_ms = 50;
+
+  /// ---- I/O architecture ----
+
+  IoMode io_mode = IoMode::kEventLoop;
+  /// Event-loop threads (event mode only). Connections are spread
+  /// round-robin; each loop multiplexes its share with epoll.
+  unsigned io_threads = 2;
+  /// Open-connection cap in event mode (0 = default 4096). Accepts past
+  /// the cap get BUSY/503 + close — this bounds fd/buffer usage, not
+  /// concurrency; mostly-idle connections below it cost no threads.
+  unsigned max_connections = 0;
+  /// Queue-model admission tuning (SLO budget, retry clamps, telemetry
+  /// window). `servers` and `fallback_retry_ms` are overwritten from
+  /// max_sessions / busy_retry_ms at Start().
+  AdmissionOptions admission;
   /// Query-result cache; capacity_bytes 0 disables caching entirely.
   ResultCacheOptions cache;
   bool enable_cache = true;
@@ -64,13 +106,26 @@ struct ServerOptions {
 };
 
 /// The SOFOS online serving subsystem: a concurrent TCP server speaking the
-/// line protocol of server/protocol.h over localhost.
+/// line protocol of server/protocol.h over localhost, plus an HTTP port
+/// carrying the observability GETs and the /query JSON adapter.
 ///
-/// Architecture: one listener thread accepts connections and admits them
-/// to a session worker pool (common/thread_pool.h, max_sessions workers).
-/// The pool's FIFO is the admission queue; a bounded in-flight count
-/// (max_sessions + queue_capacity) provides backpressure — saturated
-/// arrivals get `BUSY retry_ms=<n>` and are closed, never queued unbounded.
+/// Architecture (IoMode::kEventLoop, the default): a small set of epoll
+/// event-loop threads own every socket — they accept, frame requests from
+/// non-blocking reads, and write responses with EPOLLOUT backpressure —
+/// and only parsed requests are dispatched to the worker pool
+/// (common/thread_pool.h, max_sessions workers). Connection count is
+/// therefore decoupled from thread count: thousands of mostly-idle
+/// clients cost buffers, not workers. Admission is per *request* through
+/// an M/M/c queue model (server/admission.h): estimated-wait-over-SLO
+/// arrivals get `BUSY retry_ms=<load-derived>` and the connection stays
+/// open.
+///
+/// IoMode::kThreadPerSession keeps the legacy shape — one listener thread
+/// admits each connection to a pool worker for its whole lifetime; the
+/// bounded in-flight count (max_sessions + queue_capacity) sheds
+/// saturated arrivals with BUSY + close. Protocol responses are
+/// byte-identical between the modes (asserted test-side); only admission
+/// timing and connection capacity differ.
 ///
 /// Serving coexists with updates through the engine's epoch snapshots:
 /// QUERY/EXPLAIN sessions resolve SofosEngine::CurrentSnapshot() and run
@@ -126,6 +181,12 @@ class SofosServer {
   /// update stream like the CLI's `update` command does).
   uint64_t update_batches_applied() const;
 
+  /// The queue-model admission controller (valid after Start()).
+  AdmissionController* admission() { return admission_.get(); }
+  /// Live connections: event mode sums the loops' open sockets; thread
+  /// mode reports admitted sessions.
+  size_t open_connections() const;
+
   /// The telemetry history (null unless running with enable_telemetry).
   /// Safe to Sample()/Window() from any thread while the server runs.
   TelemetryHistory* telemetry() { return telemetry_.get(); }
@@ -141,6 +202,21 @@ class SofosServer {
   const SlowQueryLog& slow_queries() const { return slow_log_; }
 
  private:
+  /// One executed query in wire-neutral form, shared by the line
+  /// protocol's QUERY and the HTTP/JSON adapter so both surfaces hit the
+  /// same cache entries, recorder, and slow-query capture.
+  struct QueryOutcome {
+    bool ok = false;
+    std::string error;  // when !ok
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    uint64_t epoch = 0;
+    bool cached = false;
+    std::string view = "-";
+    double micros = 0.0;
+    std::string body;  // FormatQueryBody bytes (TSV)
+  };
+
   void ListenLoop();
   void ServeSession(int fd);
   void HttpListenLoop();
@@ -149,6 +225,41 @@ class SofosServer {
   std::string HealthJson(bool* healthy) const;
   /// The STATS body (shared by the STATS verb and GET /stats).
   std::string StatsJson() const;
+
+  /// ---- Event-loop mode ----
+
+  /// Loop-thread callbacks: frame-level admission + dispatch.
+  void OnAccept(int fd, ConnKind kind);
+  void OnLineRequest(EventLoop* loop, uint64_t conn, std::string line);
+  void OnHttpRequest(EventLoop* loop, uint64_t conn, HttpRequest request);
+  /// Books the request in flight and hands it to the worker pool; the
+  /// task answers through loop->Respond(). `http_sparql` non-empty means
+  /// an HTTP /query request (responds with the JSON adapter instead of
+  /// the line protocol).
+  void DispatchToPool(EventLoop* loop, uint64_t conn, Request request,
+                      std::string http_sparql);
+  /// In-flight dispatched requests (running + queued), the queue-model's
+  /// live input.
+  size_t InFlightRequests() const;
+
+  /// Runs one parsed non-QUIT request and returns the framed response —
+  /// the single execution path both io modes share (byte-identity between
+  /// them rests on this). Records endpoint metrics and feeds the
+  /// admission controller's service-time EWMA.
+  std::string ExecuteRequest(const Request& request);
+
+  /// The shared QUERY execution: cache lookup/fill, workload recording,
+  /// slow-query capture.
+  QueryOutcome ExecuteQuery(const std::string& arg);
+
+  /// ---- HTTP ----
+
+  /// Full response for the observability GETs (/metrics /stats /history
+  /// /slow /healthz, plus 404/405 fallbacks). Never runs engine work.
+  std::string HttpObservabilityResponse(const HttpRequest& request);
+  /// Full response for GET/POST /query (runs the query — pool-side in
+  /// event mode, inline on the HTTP thread in thread mode).
+  std::string HttpQueryResponse(const std::string& sparql);
 
   /// Request handlers append "header\n[body...]\nEND\n" to *out.
   void HandleQuery(const std::string& arg, std::string* out);
@@ -195,6 +306,15 @@ class SofosServer {
   std::thread listener_;
   std::unique_ptr<ThreadPool> pool_;
 
+  /// Queue-model admission (created in Start(), kept across Stop() so
+  /// late Stats() reads stay valid).
+  std::unique_ptr<AdmissionController> admission_;
+
+  /// Event-loop mode: the loops own every socket (listeners included).
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<unsigned> next_loop_{0};  // round-robin connection placement
+  unsigned max_connections_ = 0;        // resolved from options at Start()
+
   /// HTTP observability listener (second port, own thread, serves each
   /// connection synchronously — deliberately NOT on the session pool so
   /// /healthz stays responsive when the pool is saturated).
@@ -214,12 +334,15 @@ class SofosServer {
   /// on the writer — the same rule the snapshots enforce for queries).
   std::atomic<uint64_t> update_batches_applied_{0};
 
-  /// Admission bookkeeping + live session fds (so Stop() can unblock
-  /// sessions parked in recv()).
+  /// Admission bookkeeping. Thread mode: admitted/active *sessions* plus
+  /// their fds (so Stop() can unblock recv()). Event mode: in-flight
+  /// dispatched *requests* (running + pool-queued) — Stop() drains this
+  /// to zero before tearing the loops down.
   mutable std::mutex sessions_mu_;
   std::condition_variable sessions_cv_;
   unsigned admitted_ = 0;  // submitted sessions not yet finished
   unsigned active_ = 0;    // sessions currently on a worker
+  unsigned in_flight_requests_ = 0;  // event mode
   std::set<int> session_fds_;
 
   mutable std::mutex retained_mu_;

@@ -506,6 +506,10 @@ TEST_F(ServerTest, UpdateBumpsEpochAndInvalidatesCache) {
 
 TEST_F(ServerTest, SaturationRejectsWithRetryHint) {
   ServerOptions options;
+  // Thread-per-session semantics: admission happens per *connection* at
+  // accept time. Event-loop mode admits per request (see
+  // event_loop_test.cc), so a second idle connection is not rejected.
+  options.io_mode = server::IoMode::kThreadPerSession;
   options.max_sessions = 1;
   options.queue_capacity = 0;
   options.busy_retry_ms = 77;
@@ -522,7 +526,12 @@ TEST_F(ServerTest, SaturationRejectsWithRetryHint) {
   SOFOS_ASSERT_OK(second.Connect(server.port()));
   SOFOS_ASSERT_OK_AND_ASSIGN(auto busy, second.Roundtrip("STATS"));
   EXPECT_TRUE(busy.busy()) << busy.header;
-  EXPECT_NE(busy.header.find("retry_ms=77"), std::string::npos);
+  // The hint is load-derived but floored at busy_retry_ms; with the one
+  // admitted session idle it is exactly the floor, though a slow run
+  // (TSan) may push the queue-model estimate above it.
+  size_t hint_at = busy.header.find("retry_ms=");
+  ASSERT_NE(hint_at, std::string::npos) << busy.header;
+  EXPECT_GE(std::atoi(busy.header.c_str() + hint_at + 9), 77) << busy.header;
   EXPECT_GE(server.metrics().rejected(), 1u);
 
   // Once the first session leaves, capacity frees up.

@@ -597,6 +597,11 @@ TEST_F(TelemetryServerTest, HttpEndpointsRoundTrip) {
 
 TEST_F(TelemetryServerTest, HealthzFlipsTo503UnderSaturation) {
   ServerOptions options;
+  // Thread-per-session semantics: one admitted *connection* fills the
+  // capacity. Event-loop mode decouples connections from concurrency
+  // (idle connections are free), so its /healthz flip is covered by the
+  // open-loop saturation test in event_loop_test.cc instead.
+  options.io_mode = server::IoMode::kThreadPerSession;
   options.max_sessions = 1;
   options.queue_capacity = 0;
   SofosServer server(&engine_, options);
