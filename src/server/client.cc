@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -88,6 +89,17 @@ Result<ClientResponse> BlockingClient::Roundtrip(const std::string& line) {
   return response;
 }
 
+void BlockingClient::JitteredSleep(int base_ms) {
+  jitter_state_ ^= jitter_state_ << 13;
+  jitter_state_ ^= jitter_state_ >> 17;
+  jitter_state_ ^= jitter_state_ << 5;
+  // Uniform in [0.75, 1.25) of the base, floored at 1ms.
+  double scale = 0.75 + 0.5 * (jitter_state_ % 1024) / 1024.0;
+  int sleep_ms = static_cast<int>(base_ms * scale);
+  if (sleep_ms < 1) sleep_ms = 1;
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
 Result<ClientResponse> BlockingClient::SendWithRetry(const std::string& line,
                                                      int max_attempts) {
   if (max_attempts < 1) max_attempts = 1;
@@ -97,7 +109,11 @@ Result<ClientResponse> BlockingClient::SendWithRetry(const std::string& line,
       Status reconnect = Connect(port_);
       if (!reconnect.ok()) {
         last = reconnect;
-        continue;  // transient refusal (listener backlog full under load)
+        // Transient refusal (listener backlog full under load, server
+        // restarting): back off exponentially instead of burning the
+        // remaining attempts in a tight connect loop.
+        JitteredSleep(std::min(10 << attempt, 200));
+        continue;
       }
     }
     last = Roundtrip(line);
@@ -118,14 +134,7 @@ Result<ClientResponse> BlockingClient::SendWithRetry(const std::string& line,
       retry_ms = std::atoi(last->header.c_str() + at + 9);
       if (retry_ms < 1) retry_ms = 1;
     }
-    jitter_state_ ^= jitter_state_ << 13;
-    jitter_state_ ^= jitter_state_ >> 17;
-    jitter_state_ ^= jitter_state_ << 5;
-    // Uniform in [0.75, 1.25) of the hint, floored at 1ms.
-    double scale = 0.75 + 0.5 * (jitter_state_ % 1024) / 1024.0;
-    int sleep_ms = static_cast<int>(retry_ms * scale);
-    if (sleep_ms < 1) sleep_ms = 1;
-    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    JitteredSleep(retry_ms);
   }
   return last;
 }

@@ -70,6 +70,8 @@ class BlockingClient {
 
  private:
   Result<std::string> ReadLine();
+  /// Sleeps `base_ms` scaled by ±25% xorshift jitter, floored at 1ms.
+  void JitteredSleep(int base_ms);
 
   int fd_ = -1;
   uint16_t port_ = 0;                   // last Connect() target, for retries

@@ -83,6 +83,11 @@ void EventLoop::AddListener(int listen_fd, ConnKind kind) {
 }
 
 void EventLoop::AddConnection(int fd, ConnKind kind) {
+  // Counted at handoff, not when the loop processes the mail: admission
+  // gates on open_connections(), and counting late would let an accept
+  // burst overshoot the connection cap while kAddConn mail sits queued.
+  // The failure paths in ProcessMail (and loop teardown) undo this.
+  open_connections_.fetch_add(1, std::memory_order_relaxed);
   Mail mail;
   mail.kind = Mail::Kind::kAddConn;
   mail.fd = fd;
@@ -155,6 +160,21 @@ void EventLoop::Run() {
   conns_.clear();
   for (auto& [id, lf] : listeners_) ::close(lf.first);
   listeners_.clear();
+  // Mail that raced with stop never reaches ProcessMail: close handed-off
+  // fds and give back their AddConnection() handoff counts.
+  std::vector<Mail> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mail_mu_);
+    leftover.swap(mail_);
+  }
+  for (const Mail& mail : leftover) {
+    if (mail.kind == Mail::Kind::kAddConn) {
+      ::close(mail.fd);
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    } else if (mail.kind == Mail::Kind::kAddListener) {
+      ::close(mail.fd);
+    }
+  }
 }
 
 void EventLoop::ProcessMail(std::vector<Mail> batch) {
@@ -164,7 +184,12 @@ void EventLoop::ProcessMail(std::vector<Mail> batch) {
         stop_requested_ = true;
         break;
       case Mail::Kind::kAddListener: {
-        SetNonBlocking(mail.fd);
+        if (!SetNonBlocking(mail.fd)) {
+          // A blocking listener would wedge the loop in HandleAccept's
+          // accept-until-EAGAIN drain; refuse it like kAddConn does.
+          ::close(mail.fd);
+          break;
+        }
         const uint64_t id = next_id_++;
         struct epoll_event ev;
         ::memset(&ev, 0, sizeof(ev));
@@ -180,6 +205,7 @@ void EventLoop::ProcessMail(std::vector<Mail> batch) {
       case Mail::Kind::kAddConn: {
         if (!SetNonBlocking(mail.fd)) {
           ::close(mail.fd);
+          open_connections_.fetch_sub(1, std::memory_order_relaxed);
           break;
         }
         const uint64_t id = next_id_++;
@@ -196,10 +222,10 @@ void EventLoop::ProcessMail(std::vector<Mail> batch) {
         if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, mail.fd, &ev) != 0) {
           ::close(mail.fd);
           conns_.erase(id);
+          open_connections_.fetch_sub(1, std::memory_order_relaxed);
           break;
         }
         conn->armed_events = EPOLLIN | EPOLLRDHUP;
-        open_connections_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       case Mail::Kind::kRespond: {

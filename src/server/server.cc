@@ -700,7 +700,11 @@ void SofosServer::OnHttpRequest(EventLoop* loop, uint64_t conn,
   Request wrapped;
   wrapped.verb = Verb::kQuery;
   wrapped.arg = std::string(StrTrim(sparql));
-  DispatchToPool(loop, conn, std::move(wrapped), wrapped.arg);
+  // Copy before the call: argument evaluation order is unspecified, so
+  // `wrapped.arg` must not be read in the same argument list that moves
+  // `wrapped`.
+  std::string http_sparql = wrapped.arg;
+  DispatchToPool(loop, conn, std::move(wrapped), std::move(http_sparql));
 }
 
 void SofosServer::DispatchToPool(EventLoop* loop, uint64_t conn,

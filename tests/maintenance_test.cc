@@ -589,7 +589,21 @@ TEST(DeltaMaintenanceTest, MinMaxGroupsFallBackToTargetedReeval) {
     size_t pos = max_facet.find("SUM(?pop)");
     ASSERT_NE(pos, std::string::npos);
     max_facet.replace(pos, 9, "MAX(?pop)");
-    auto facet = core::Facet::FromSparql(max_facet, "geomax", spec->dim_labels);
+    // geopop has exactly one observation per (country, language, year), so
+    // the full 4-dim grouping puts one row in every group and a delete can
+    // only empty its group — which skips targeted re-evaluation entirely.
+    // Drop ?year from the head and GROUP BY (the `geo:year` pattern stays)
+    // so each group keeps one row per year and a delete leaves survivors
+    // whose max must be re-evaluated.
+    size_t head = max_facet.find("?year (MAX");
+    ASSERT_NE(head, std::string::npos);
+    max_facet.erase(head, 6);
+    size_t tail = max_facet.rfind(" ?year");
+    ASSERT_NE(tail, std::string::npos);
+    max_facet.erase(tail, 6);
+    std::vector<std::string> labels(spec->dim_labels.begin(),
+                                    spec->dim_labels.end() - 1);
+    auto facet = core::Facet::FromSparql(max_facet, "geomax", labels);
     ASSERT_TRUE(facet.ok()) << facet.status().ToString();
     SOFOS_ASSERT_OK(engine->LoadStore(std::move(store)));
     SOFOS_ASSERT_OK(engine->SetFacet(std::move(facet).value()));
